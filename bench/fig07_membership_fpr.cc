@@ -1,0 +1,145 @@
+// Figure 7 — membership FPR: ShBF_M (theory Eq 1 + simulation) vs 1MemBF at
+// equal memory and at 1.5x memory.
+//   (a) k = 8, m = 22008, w̄ = 57, n = 1000..1500
+//   (b) m = 22976, n = 2000, k = 4..16
+//   (c) n = 4000, k = 6, m = 32000..44000
+//
+// Paper's findings (§6.2.1): theory-vs-simulation relative error < 3%;
+// 1MemBF's FPR is 5–10x ShBF_M's at equal memory and still above it at 1.5x
+// memory. The paper issues 7M negative queries per point; we default to
+// 400k·scale (pass a scale factor as argv[1]; 17.5 reproduces the paper's
+// volume).
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "analysis/membership_theory.h"
+#include "baselines/one_mem_bf.h"
+#include "bench_util/csv.h"
+#include "bench_util/table.h"
+#include "shbf/shbf_membership.h"
+#include "trace/workload.h"
+
+namespace shbf {
+namespace {
+
+struct Point {
+  double theory_shbf;
+  double sim_shbf;
+  double sim_one_mem;
+  double sim_one_mem_15;  // 1.5x memory
+};
+
+Point RunPoint(size_t m, size_t n, uint32_t k, size_t num_negatives,
+               uint64_t seed) {
+  auto w = MakeMembershipWorkload(n, num_negatives, seed);
+  ShbfM shbf({.num_bits = m, .num_hashes = k});
+  OneMemBloomFilter one_mem({.num_bits = m, .num_hashes = k});
+  OneMemBloomFilter one_mem_15({.num_bits = m * 3 / 2, .num_hashes = k});
+  for (const auto& key : w.members) {
+    shbf.Add(key);
+    one_mem.Add(key);
+    one_mem_15.Add(key);
+  }
+  size_t fp_shbf = 0;
+  size_t fp_one_mem = 0;
+  size_t fp_one_mem_15 = 0;
+  for (const auto& key : w.non_members) {
+    fp_shbf += shbf.Contains(key);
+    fp_one_mem += one_mem.Contains(key);
+    fp_one_mem_15 += one_mem_15.Contains(key);
+  }
+  double denom = static_cast<double>(w.non_members.size());
+  return {theory::ShbfMFpr(m, n, k, 57), fp_shbf / denom, fp_one_mem / denom,
+          fp_one_mem_15 / denom};
+}
+
+TablePrinter MakeTable() {
+  return TablePrinter({"x", "ShBF_M theory", "ShBF_M sim", "1MemBF (m)",
+                       "1MemBF (1.5m)", "rel.err thy/sim"});
+}
+
+void AddRow(TablePrinter& table, const std::string& x, const Point& p) {
+  double rel_err = p.sim_shbf == 0
+                       ? 0
+                       : std::abs(p.sim_shbf - p.theory_shbf) / p.theory_shbf;
+  table.AddRow({x, TablePrinter::Sci(p.theory_shbf),
+                TablePrinter::Sci(p.sim_shbf),
+                TablePrinter::Sci(p.sim_one_mem),
+                TablePrinter::Sci(p.sim_one_mem_15),
+                TablePrinter::Num(rel_err * 100, 2) + "%"});
+}
+
+void Run(size_t num_negatives) {
+  double err_sum = 0;
+  double ratio_sum = 0;
+  int points = 0;
+
+  // Mirror the Fig 7(a) series to results/fig07a.csv for offline plotting.
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  CsvWriter csv;
+  bool csv_ok =
+      CsvWriter::Open("results/fig07a.csv",
+                      {"n", "shbf_theory", "shbf_sim", "onemem", "onemem_1.5x"},
+                      &csv)
+          .ok();
+
+  PrintBanner("Fig 7(a): FPR vs n  (k=8, m=22008, w_bar=57)");
+  TablePrinter a = MakeTable();
+  for (size_t n = 1000; n <= 1500; n += 100) {
+    Point p = RunPoint(22008, n, 8, num_negatives, 700 + n);
+    AddRow(a, std::to_string(n), p);
+    if (csv_ok) {
+      csv.AddRow({std::to_string(n), TablePrinter::Sci(p.theory_shbf),
+                  TablePrinter::Sci(p.sim_shbf),
+                  TablePrinter::Sci(p.sim_one_mem),
+                  TablePrinter::Sci(p.sim_one_mem_15)});
+    }
+    err_sum += std::abs(p.sim_shbf - p.theory_shbf) / p.theory_shbf;
+    ratio_sum += p.sim_one_mem / p.sim_shbf;
+    ++points;
+  }
+  a.Print();
+  if (csv_ok) std::printf("(series mirrored to results/fig07a.csv)\n");
+
+  PrintBanner("Fig 7(b): FPR vs k  (m=22976, n=2000)");
+  TablePrinter b = MakeTable();
+  for (uint32_t k = 4; k <= 16; k += 2) {
+    Point p = RunPoint(22976, 2000, k, num_negatives, 710 + k);
+    AddRow(b, std::to_string(k), p);
+  }
+  b.Print();
+
+  PrintBanner("Fig 7(c): FPR vs m  (n=4000, k=6)");
+  TablePrinter c = MakeTable();
+  for (size_t m = 32000; m <= 44000; m += 2000) {
+    Point p = RunPoint(m, 4000, 6, num_negatives, 720 + m);
+    AddRow(c, std::to_string(m), p);
+  }
+  c.Print();
+
+  std::printf(
+      "\npaper says : theory-vs-sim relative error < 3%%; FPR(1MemBF) is "
+      "5-10x FPR(ShBF_M) at equal memory, still higher at 1.5x\n"
+      "we measured: mean rel.err %.2f%% over Fig 7(a); mean "
+      "FPR(1MemBF)/FPR(ShBF_M) = %.1fx\n",
+      err_sum / points * 100, ratio_sum / points);
+}
+
+}  // namespace
+}  // namespace shbf
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  // Fig 7(a)'s FPRs sit near 1e-4; 2M negatives keep the sampling error in
+  // the few-percent range the paper reports (it used 7M; scale 3.5 matches).
+  size_t negatives = static_cast<size_t>(2000000 * scale);
+  shbf::PrintBanner("Reproduction of Fig 7 (Yang et al., VLDB 2016)");
+  std::printf("negative queries per point: %zu (scale %.2f; paper used 7M)\n",
+              negatives, scale);
+  shbf::Run(negatives);
+  return 0;
+}

@@ -1,0 +1,249 @@
+// Micro-benchmarks: per-operation cost of every structure in the library at
+// a common operating point (n = 10000 elements, k = 8, optimal-ish memory),
+// split into member and non-member queries (early exits differ) and inserts.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "baselines/bloom_filter.h"
+#include "baselines/cm_sketch.h"
+#include "baselines/counting_bloom_filter.h"
+#include "baselines/cuckoo_filter.h"
+#include "baselines/km_bloom_filter.h"
+#include "baselines/one_mem_bf.h"
+#include "baselines/spectral_bloom_filter.h"
+#include "shbf/counting_shbf_membership.h"
+#include "shbf/scm_sketch.h"
+#include "shbf/shbf_membership.h"
+#include "shbf/shbf_multiplicity.h"
+#include "trace/workload.h"
+
+namespace shbf {
+namespace {
+
+constexpr size_t kN = 10000;
+constexpr uint32_t kK = 8;
+constexpr size_t kM = 115000;  // ~= n·k/ln2
+
+const MembershipWorkload& Workload() {
+  static const MembershipWorkload w = MakeMembershipWorkload(kN, kN, 0x51c0);
+  return w;
+}
+
+template <typename Filter>
+void QueryLoop(benchmark::State& state, const Filter& filter,
+               const std::vector<std::string>& keys) {
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Contains(keys[i % keys.size()]));
+    ++i;
+  }
+}
+
+void BM_Bloom_ContainsMember(benchmark::State& state) {
+  BloomFilter filter({.num_bits = kM, .num_hashes = kK});
+  for (const auto& key : Workload().members) filter.Add(key);
+  QueryLoop(state, filter, Workload().members);
+}
+BENCHMARK(BM_Bloom_ContainsMember);
+
+void BM_Bloom_ContainsNonMember(benchmark::State& state) {
+  BloomFilter filter({.num_bits = kM, .num_hashes = kK});
+  for (const auto& key : Workload().members) filter.Add(key);
+  QueryLoop(state, filter, Workload().non_members);
+}
+BENCHMARK(BM_Bloom_ContainsNonMember);
+
+void BM_ShbfM_ContainsMember(benchmark::State& state) {
+  ShbfM filter({.num_bits = kM, .num_hashes = kK});
+  for (const auto& key : Workload().members) filter.Add(key);
+  QueryLoop(state, filter, Workload().members);
+}
+BENCHMARK(BM_ShbfM_ContainsMember);
+
+void BM_ShbfM_ContainsNonMember(benchmark::State& state) {
+  ShbfM filter({.num_bits = kM, .num_hashes = kK});
+  for (const auto& key : Workload().members) filter.Add(key);
+  QueryLoop(state, filter, Workload().non_members);
+}
+BENCHMARK(BM_ShbfM_ContainsNonMember);
+
+void BM_OneMemBf_ContainsMember(benchmark::State& state) {
+  OneMemBloomFilter filter({.num_bits = kM, .num_hashes = kK});
+  for (const auto& key : Workload().members) filter.Add(key);
+  QueryLoop(state, filter, Workload().members);
+}
+BENCHMARK(BM_OneMemBf_ContainsMember);
+
+void BM_KmBloom_ContainsMember(benchmark::State& state) {
+  KmBloomFilter filter({.num_bits = kM, .num_hashes = kK});
+  for (const auto& key : Workload().members) filter.Add(key);
+  QueryLoop(state, filter, Workload().members);
+}
+BENCHMARK(BM_KmBloom_ContainsMember);
+
+void BM_Cuckoo_ContainsMember(benchmark::State& state) {
+  CuckooFilter filter({.num_buckets = 4096, .fingerprint_bits = 12});
+  for (const auto& key : Workload().members) filter.Insert(key);
+  QueryLoop(state, filter, Workload().members);
+}
+BENCHMARK(BM_Cuckoo_ContainsMember);
+
+// Batch (prefetching) vs scalar queries: the gap widens once the filter
+// outgrows the last-level cache; at this size it mainly shows the overhead
+// floor of batching.
+void BM_ShbfM_ContainsBatch(benchmark::State& state) {
+  ShbfM filter({.num_bits = kM, .num_hashes = kK});
+  for (const auto& key : Workload().members) filter.Add(key);
+  std::vector<uint8_t> results(Workload().members.size());
+  for (auto _ : state) {
+    filter.ContainsBatch(Workload().members, &results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(Workload().members.size()));
+}
+BENCHMARK(BM_ShbfM_ContainsBatch);
+
+void BM_Bloom_ContainsBatch(benchmark::State& state) {
+  BloomFilter filter({.num_bits = kM, .num_hashes = kK});
+  for (const auto& key : Workload().members) filter.Add(key);
+  std::vector<uint8_t> results(Workload().members.size());
+  for (auto _ : state) {
+    filter.ContainsBatch(Workload().members, &results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(Workload().members.size()));
+}
+BENCHMARK(BM_Bloom_ContainsBatch);
+
+void BM_Bloom_Add(benchmark::State& state) {
+  BloomFilter filter({.num_bits = kM, .num_hashes = kK});
+  size_t i = 0;
+  for (auto _ : state) {
+    filter.Add(Workload().members[i % kN]);
+    ++i;
+  }
+}
+BENCHMARK(BM_Bloom_Add);
+
+void BM_ShbfM_Add(benchmark::State& state) {
+  ShbfM filter({.num_bits = kM, .num_hashes = kK});
+  size_t i = 0;
+  for (auto _ : state) {
+    filter.Add(Workload().members[i % kN]);
+    ++i;
+  }
+}
+BENCHMARK(BM_ShbfM_Add);
+
+void BM_CountingShbfM_InsertDelete(benchmark::State& state) {
+  CountingShbfM filter(
+      {.num_bits = kM, .num_hashes = kK, .counter_bits = 8});
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string& key = Workload().members[i % kN];
+    filter.Insert(key);
+    filter.Delete(key);
+    ++i;
+  }
+}
+BENCHMARK(BM_CountingShbfM_InsertDelete);
+
+void BM_CountingBloom_InsertDelete(benchmark::State& state) {
+  CountingBloomFilter filter(
+      {.num_counters = kM, .num_hashes = kK, .counter_bits = 8});
+  size_t i = 0;
+  for (auto _ : state) {
+    const std::string& key = Workload().members[i % kN];
+    filter.Insert(key);
+    filter.Delete(key);
+    ++i;
+  }
+}
+BENCHMARK(BM_CountingBloom_InsertDelete);
+
+// --- multiplicity structures ---------------------------------------------------
+
+struct MultiSetup {
+  MultiplicityWorkload w = MakeMultiplicityWorkload(kN, 57, kN, 77);
+  size_t memory_bits = static_cast<size_t>(1.5 * kN * kK / std::log(2.0));
+};
+
+const MultiSetup& Multi() {
+  static const MultiSetup setup;
+  return setup;
+}
+
+void BM_ShbfX_QueryMember(benchmark::State& state) {
+  ShbfX filter({.num_bits = Multi().memory_bits,
+                .num_hashes = kK,
+                .max_count = 57});
+  for (size_t i = 0; i < Multi().w.keys.size(); ++i) {
+    filter.InsertWithCount(Multi().w.keys[i], Multi().w.counts[i]);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        filter.QueryCount(Multi().w.keys[i % kN]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ShbfX_QueryMember);
+
+void BM_Spectral_QueryMember(benchmark::State& state) {
+  SpectralBloomFilter filter({.num_counters = Multi().memory_bits / 6,
+                              .num_hashes = kK,
+                              .counter_bits = 6});
+  for (size_t i = 0; i < Multi().w.keys.size(); ++i) {
+    for (uint32_t c = 0; c < Multi().w.counts[i]; ++c) {
+      filter.Insert(Multi().w.keys[i]);
+    }
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.QueryCount(Multi().w.keys[i % kN]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Spectral_QueryMember);
+
+void BM_CmSketch_QueryMember(benchmark::State& state) {
+  CmSketch filter({.depth = kK,
+                   .width = Multi().memory_bits / 6 / kK,
+                   .counter_bits = 6});
+  for (size_t i = 0; i < Multi().w.keys.size(); ++i) {
+    for (uint32_t c = 0; c < Multi().w.counts[i]; ++c) {
+      filter.Insert(Multi().w.keys[i]);
+    }
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.QueryCount(Multi().w.keys[i % kN]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CmSketch_QueryMember);
+
+void BM_ScmSketch_QueryMember(benchmark::State& state) {
+  ScmSketch filter(
+      {.depth = kK, .width = Multi().memory_bits / 16 / kK, .counter_bits = 16});
+  for (size_t i = 0; i < Multi().w.keys.size(); ++i) {
+    for (uint32_t c = 0; c < Multi().w.counts[i]; ++c) {
+      filter.Insert(Multi().w.keys[i]);
+    }
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.QueryCount(Multi().w.keys[i % kN]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ScmSketch_QueryMember);
+
+}  // namespace
+}  // namespace shbf

@@ -1,0 +1,62 @@
+// Micro-benchmarks: raw hash-function throughput on the key lengths the
+// experiments use (13-byte flow IDs) plus short and long keys. The hash cost
+// is the denominator of every "ShBF halves the hash computations" claim.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "hash/hash_family.h"
+
+namespace shbf {
+namespace {
+
+std::vector<std::string> MakeKeys(size_t count, size_t len) {
+  Rng rng(0xbeefcafe + len);
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (size_t i = 0; i < count; ++i) keys.push_back(rng.NextBytes(len));
+  return keys;
+}
+
+void BM_Hash(benchmark::State& state) {
+  auto alg = static_cast<HashAlgorithm>(state.range(0));
+  size_t len = static_cast<size_t>(state.range(1));
+  HashFamily family(alg, 1, 42);
+  auto keys = MakeKeys(1024, len);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(family.Hash(0, keys[i & 1023]));
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * len);
+  state.SetLabel(HashAlgorithmName(alg));
+}
+
+BENCHMARK(BM_Hash)
+    ->ArgsProduct({{static_cast<long>(HashAlgorithm::kMurmur3),
+                    static_cast<long>(HashAlgorithm::kBobLookup3),
+                    static_cast<long>(HashAlgorithm::kBobLookup2),
+                    static_cast<long>(HashAlgorithm::kFnv1a)},
+                   {8, 13, 64}});
+
+void BM_HashFamilyKofN(benchmark::State& state) {
+  // The per-query hashing bill: k evaluations on one 13-byte key.
+  uint32_t k = static_cast<uint32_t>(state.range(0));
+  HashFamily family(HashAlgorithm::kMurmur3, k, 42);
+  auto keys = MakeKeys(1024, 13);
+  size_t i = 0;
+  for (auto _ : state) {
+    uint64_t acc = 0;
+    for (uint32_t f = 0; f < k; ++f) acc ^= family.Hash(f, keys[i & 1023]);
+    benchmark::DoNotOptimize(acc);
+    ++i;
+  }
+}
+
+BENCHMARK(BM_HashFamilyKofN)->Arg(2)->Arg(5)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace shbf

@@ -1,0 +1,74 @@
+// dedup_stream — membership with deletions: a sliding-window duplicate
+// suppressor, the kind of front-end an alert pipeline or crawler frontier
+// uses. The counting twin CShbfM (§3.3) absorbs inserts and expirations in
+// its counter array while queries run against the bit array at ShbfM speed —
+// the paper's SRAM/DRAM split in miniature.
+
+#include <cstdio>
+#include <deque>
+#include <string>
+
+#include "core/chained_hash_table.h"
+#include "core/rng.h"
+#include "shbf/counting_shbf_membership.h"
+#include "trace/trace_generator.h"
+
+int main() {
+  // A window of the last 20k events; ~12 bits per live element.
+  const size_t kWindow = 20000;
+  shbf::CountingShbfM seen({.num_bits = 240000,
+                            .num_hashes = 8,
+                            .counter_bits = 4});  // §3.3: 4-bit counters
+  std::deque<std::string> window;
+
+  // Event stream: 200k events drawn from a 60k-ID universe, so genuine
+  // repeats arrive both inside and outside the window.
+  const size_t kEvents = 200000;
+  shbf::TraceGenerator gen(424242);
+  auto universe = gen.DistinctFlowKeys(60000);
+  shbf::Rng pick(99);
+
+  size_t suppressed = 0;
+  size_t emitted = 0;
+  size_t false_suppressions = 0;  // suppressed but NOT actually in window
+  shbf::ChainedHashTable truth(2 * kWindow);  // exact window contents
+
+  for (size_t i = 0; i < kEvents; ++i) {
+    const std::string& event = universe[pick.NextBelow(universe.size())];
+
+    if (seen.Contains(event)) {
+      ++suppressed;
+      // The only possible error is a false positive (never a miss).
+      if (!truth.Contains(event)) ++false_suppressions;
+    } else {
+      ++emitted;
+    }
+
+    // Slide the window: insert the new event, expire the oldest.
+    window.push_back(event);
+    seen.Insert(event);
+    truth.AddTo(event, 1);
+    if (window.size() > kWindow) {
+      const std::string& oldest = window.front();
+      seen.Delete(oldest);  // counters make deletion safe
+      uint64_t* c = truth.Find(oldest);
+      if (--*c == 0) truth.Erase(oldest);
+      window.pop_front();
+    }
+  }
+
+  std::printf("processed %zu events over a %zu-event window\n", kEvents,
+              kWindow);
+  std::printf("   emitted:            %zu\n", emitted);
+  std::printf("   suppressed:         %zu\n", suppressed);
+  std::printf("   false suppressions: %zu (%.4f%% of queries; Bloom-style "
+              "FPs, never misses)\n",
+              false_suppressions, 100.0 * false_suppressions / kEvents);
+  std::printf("   filter still consistent with its counters: %s\n",
+              seen.SynchronizedWithCounters() ? "yes" : "NO");
+  std::printf(
+      "\nthe counting array costs 4x the bits but lives off the query path; "
+      "queries touch only the %zu-bit array at k/2 = 4 accesses each\n",
+      seen.num_bits());
+  return 0;
+}

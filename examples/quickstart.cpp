@@ -1,0 +1,68 @@
+// Quickstart: the 60-second tour of the Shifting Bloom Filter library.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// Covers the three query families on small, printable data:
+//   1. membership  (ShbfM)        — "have we seen this key?"
+//   2. association (ShbfA)        — "which of two sets holds this key?"
+//   3. multiplicity (ShbfX)       — "how many times did this key occur?"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/membership_theory.h"
+#include "shbf/shbf_association.h"
+#include "shbf/shbf_membership.h"
+#include "shbf/shbf_multiplicity.h"
+
+int main() {
+  // ---------------------------------------------------------------- membership
+  std::printf("1) membership: ShbfM\n");
+  // Size the filter: ~10 bits/element gives ~1% FPR at the optimal k.
+  shbf::ShbfM::Params params;
+  params.num_bits = 10000;
+  params.num_hashes = 8;  // k; the filter computes only k/2 + 1 = 5 hashes
+  shbf::ShbfM members(params);
+
+  for (const char* user : {"alice", "bob", "carol"}) members.Add(user);
+  for (const char* probe : {"alice", "mallory"}) {
+    std::printf("   contains(%-7s) = %s\n", probe,
+                members.Contains(probe) ? "true" : "false");
+  }
+  std::printf("   predicted FPR at n=1000: %.4f (Eq 1)\n",
+              shbf::theory::ShbfMFpr(params.num_bits, 1000, params.num_hashes,
+                                     params.max_offset_span));
+
+  // ---------------------------------------------------------------- association
+  std::printf("\n2) association: ShbfA (one filter for two sets)\n");
+  std::vector<std::string> server_a{"/index.html", "/logo.png", "/hot.mp4"};
+  std::vector<std::string> server_b{"/about.html", "/logo.png", "/hot.mp4"};
+  shbf::ShbfA router(shbf::ShbfAParams::Optimal(
+      server_a.size(), server_b.size(), /*n_intersection=*/2,
+      /*num_hashes=*/10));
+  router.Build(server_a, server_b);
+  for (const char* url : {"/index.html", "/about.html", "/hot.mp4"}) {
+    std::printf("   %-12s -> %s\n", url,
+                shbf::AssociationOutcomeName(router.Query(url)));
+  }
+
+  // ---------------------------------------------------------------- multiplicity
+  std::printf("\n3) multiplicity: ShbfX (counts in offsets, not counters)\n");
+  shbf::ShbfXParams multi_params;
+  multi_params.num_bits = 4096;
+  multi_params.num_hashes = 8;
+  multi_params.max_count = 57;  // the paper's c
+  shbf::ShbfX counts(multi_params);
+  counts.Build({"tcp", "udp", "tcp", "icmp", "tcp", "udp"});
+  for (const char* proto : {"tcp", "udp", "icmp", "sctp"}) {
+    std::printf("   count(%-4s) = %u\n", proto, counts.QueryCount(proto));
+  }
+
+  std::printf(
+      "\nWhy it is fast: each base bit and its shifted partner(s) live in "
+      "one unaligned 64-bit window,\nso every pair/triple of probes costs "
+      "one memory access and the offset hash replaces k/2 hash calls.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// summary_cache — the protocol that made Bloom filters famous in networking
+// (Fan et al., the paper's reference [11], cited in §2.2): cooperating web
+// proxies periodically exchange compact summaries of their cache contents so
+// a miss can be forwarded to a sibling that (probably) has the object,
+// instead of the origin server.
+//
+// This demo upgrades the summary from a standard BF to a ShbfM — same false
+// positive rate, half the lookup cost — and uses the wire format
+// (ToBytes/FromBytes) to actually ship it between the two "nodes".
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/chained_hash_table.h"
+#include "core/rng.h"
+#include "shbf/shbf_membership.h"
+#include "trace/trace_generator.h"
+
+namespace {
+
+struct Proxy {
+  std::string name;
+  std::vector<std::string> cache;             // objects held locally
+  std::optional<shbf::ShbfM> sibling_summary; // what the other proxy claims
+};
+
+// Builds the summary a proxy advertises: ~12 bits per cached object.
+std::string AdvertiseSummary(const Proxy& proxy) {
+  shbf::ShbfM summary({.num_bits = proxy.cache.size() * 12, .num_hashes = 8});
+  for (const auto& object : proxy.cache) summary.Add(object);
+  return summary.ToBytes();
+}
+
+}  // namespace
+
+int main() {
+  // Two proxies, 40k objects each, 10% shared (both fetched popular pages).
+  shbf::TraceGenerator gen(19991207);  // Summary Cache's publication era :-)
+  auto objects = gen.DistinctKeys(76000, 16);
+  Proxy a{"proxy-A", {objects.begin(), objects.begin() + 40000}, {}};
+  Proxy b{"proxy-B", {objects.begin() + 36000, objects.begin() + 76000}, {}};
+
+  // 1) Exchange summaries as byte blobs (here: a string; in ICP: a UDP blast).
+  std::string blob_a = AdvertiseSummary(a);
+  std::string blob_b = AdvertiseSummary(b);
+  std::printf("summary sizes on the wire: %zu and %zu bytes "
+              "(vs ~%zu KB for the full key lists)\n",
+              blob_a.size(), blob_b.size(), 40000 * 16 / 1024);
+
+  shbf::CheckOk(shbf::ShbfM::FromBytes(blob_b, &a.sibling_summary));
+  shbf::CheckOk(shbf::ShbfM::FromBytes(blob_a, &b.sibling_summary));
+
+  // 2) Proxy A suffers local misses and consults B's summary before going to
+  //    the origin. Three outcomes per miss:
+  //      forwarded + sibling has it   -> saved an origin fetch (win)
+  //      forwarded + sibling lacks it -> wasted hop (summary false positive)
+  //      not forwarded                -> origin fetch (sibling never claims
+  //                                      to lack what it has: no FNs)
+  size_t saved = 0;
+  size_t wasted = 0;
+  size_t origin = 0;
+  shbf::Rng pick(5);
+  shbf::ChainedHashTable b_contents(2 * b.cache.size());
+  for (const auto& object : b.cache) b_contents.Insert(object, 0);
+
+  const size_t kMisses = 50000;
+  for (size_t i = 0; i < kMisses; ++i) {
+    // Requests skew towards objects someone has cached; 20% are cold.
+    std::string want = (pick.NextBelow(10) < 8)
+                           ? objects[pick.NextBelow(objects.size())]
+                           : pick.NextBytes(16);
+    if (a.sibling_summary->Contains(want)) {
+      if (b_contents.Contains(want)) {
+        ++saved;
+      } else {
+        ++wasted;
+      }
+    } else {
+      ++origin;
+    }
+  }
+  std::printf("\n%s handled %zu local misses:\n", a.name.c_str(), kMisses);
+  std::printf("   forwarded to %s and served there: %zu\n", b.name.c_str(),
+              saved);
+  std::printf("   forwarded but wasted (summary FP): %zu (%.3f%%)\n", wasted,
+              100.0 * wasted / kMisses);
+  std::printf("   sent to origin:                    %zu\n", origin);
+  std::printf(
+      "\neach summary lookup costs k/2 = 4 memory accesses and 5 hashes — "
+      "half of what the original BF-based Summary Cache paid per sibling\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "analysis/association_theory.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace shbf::theory {
+
+double SpuriousPatternProb(double one_bit_prob, double num_hashes) {
+  return std::pow(one_bit_prob, num_hashes);
+}
+
+double ShbfAOutcomeProb(int outcome, double num_hashes) {
+  SHBF_CHECK(outcome >= 1 && outcome <= 7);
+  double x = std::pow(0.5, num_hashes);  // spurious pattern probability
+  if (outcome <= 3) return (1.0 - x) * (1.0 - x);
+  if (outcome <= 6) return x * (1.0 - x);
+  return x * x;
+}
+
+double ShbfAClearAnswerProb(double num_hashes) {
+  double x = std::pow(0.5, num_hashes);
+  return (1.0 - x) * (1.0 - x);
+}
+
+double ShbfAClearAnswerProbGeneral(size_t num_bits, size_t n_union,
+                                   double num_hashes) {
+  SHBF_CHECK(num_bits > 0);
+  // Eq (24): p′ = (1 − 1/m)^{k·n′}; a spurious pattern needs its k bits set.
+  double p_zero = std::pow(1.0 - 1.0 / static_cast<double>(num_bits),
+                           num_hashes * static_cast<double>(n_union));
+  double x = std::pow(1.0 - p_zero, num_hashes);
+  return (1.0 - x) * (1.0 - x);
+}
+
+double IbfClearAnswerProb(double num_hashes) {
+  double f = std::pow(0.5, num_hashes);
+  return 2.0 / 3.0 * (1.0 - f);
+}
+
+double IbfClearAnswerProbGeneral(double fpr1, double fpr2) {
+  // Uniform over the three parts. S1−S2 queries are clear iff BF2 does not
+  // fire (1 − f2); S2−S1 symmetric; intersection answers are never clear.
+  return ((1.0 - fpr2) + (1.0 - fpr1)) / 3.0;
+}
+
+}  // namespace shbf::theory

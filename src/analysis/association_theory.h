@@ -1,0 +1,40 @@
+// Closed-form association-query analysis (paper §4.4–4.5, Eq (25), Table 2).
+
+#ifndef SHBF_ANALYSIS_ASSOCIATION_THEORY_H_
+#define SHBF_ANALYSIS_ASSOCIATION_THEORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace shbf::theory {
+
+/// Probability that a *spurious* k-bit pattern is all ones, given the
+/// probability q that any single bit is 1. At the optimal load q = 1/2 and
+/// this is 0.5^k.
+double SpuriousPatternProb(double one_bit_prob, double num_hashes);
+
+/// Eq (25) at optimal load (q = 1/2), outcome ∈ [1, 7]:
+///   P1 = P2 = P3 = (1 − 0.5^k)²,
+///   P4 = P5 = P6 = 0.5^k · (1 − 0.5^k),
+///   P7 = (0.5^k)².
+double ShbfAOutcomeProb(int outcome, double num_hashes);
+
+/// Probability ShBF_A returns a clear answer (outcomes 1–3) for an element
+/// of S1 ∪ S2: (1 − 0.5^k)² at optimal load (Table 2).
+double ShbfAClearAnswerProb(double num_hashes);
+
+/// Same, with explicit load: q = 1 − (1 − 1/m)^{k·n_union}.
+double ShbfAClearAnswerProbGeneral(size_t num_bits, size_t n_union,
+                                   double num_hashes);
+
+/// Probability iBF returns a clear answer under uniform hits over the three
+/// parts: (2/3)(1 − 0.5^k) at optimal sizing (Table 2) — only the two
+/// "exactly one filter positive" answers are authoritative.
+double IbfClearAnswerProb(double num_hashes);
+
+/// Same, with explicit per-filter false-positive rates f1, f2.
+double IbfClearAnswerProbGeneral(double fpr1, double fpr2);
+
+}  // namespace shbf::theory
+
+#endif  // SHBF_ANALYSIS_ASSOCIATION_THEORY_H_

@@ -1,0 +1,33 @@
+#include "analysis/generalized_theory.h"
+
+#include <cmath>
+
+#include "analysis/membership_theory.h"
+#include "core/check.h"
+
+namespace shbf::theory {
+
+double GeneralizedShbfFpr(size_t num_bits, size_t num_elements,
+                          double num_hashes, uint32_t max_offset_span,
+                          uint32_t num_shifts) {
+  SHBF_CHECK(num_shifts >= 1);
+  SHBF_CHECK(max_offset_span >= num_shifts + 1);
+  const double t = num_shifts;
+  const double p = ZeroBitProb(num_bits, num_elements, num_hashes);
+  const double a = 1.0 - p;  // probability a given bit is 1
+  const double b =
+      1.0 - p * (max_offset_span - 1.0 - t) / (max_offset_span - 1.0);
+
+  // (A^t − B^t)/(A − B); the difference is tiny, so expand as a geometric
+  // sum to avoid catastrophic cancellation: Σ_{i=0}^{t−1} A^i B^{t−1−i}.
+  double geometric_sum = 0.0;
+  for (uint32_t i = 0; i < num_shifts; ++i) {
+    geometric_sum += std::pow(a, i) * std::pow(b, t - 1.0 - i);
+  }
+
+  double f_group = (1.0 / t) * a * a * geometric_sum + p * std::pow(b, t);
+  double exponent = num_hashes / (t + 1.0);
+  return std::pow(a, exponent) * std::pow(f_group, exponent);
+}
+
+}  // namespace shbf::theory

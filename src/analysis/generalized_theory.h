@@ -1,0 +1,25 @@
+// Closed-form analysis of the generalized (t-shift) ShBF_M, paper §3.6–3.7,
+// Eqs (10)–(12)/(20)–(21).
+
+#ifndef SHBF_ANALYSIS_GENERALIZED_THEORY_H_
+#define SHBF_ANALYSIS_GENERALIZED_THEORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace shbf::theory {
+
+/// FPR of the generalized ShBF_M with t shifting operations:
+///   f = (1 − p′)^{k/(t+1)} · f_group^{k/(t+1)}               (Eq 11/21)
+/// where p′ = e^{−kn/m} and f_group is Eq (12)/(20):
+///   f_group = (1/t)·(1 − p′)²·(A^t − B^t)/(A − B) + p′·B^t,
+///   A = 1 − p′,  B = 1 − p′·(w̄ − 1 − t)/(w̄ − 1).
+/// For t = 1 this reduces exactly to ShbfMFpr; as w̄ → ∞ it reduces to the
+/// standard Bloom formula.
+double GeneralizedShbfFpr(size_t num_bits, size_t num_elements,
+                          double num_hashes, uint32_t max_offset_span,
+                          uint32_t num_shifts);
+
+}  // namespace shbf::theory
+
+#endif  // SHBF_ANALYSIS_GENERALIZED_THEORY_H_

@@ -1,0 +1,74 @@
+#include "analysis/membership_theory.h"
+
+#include <cmath>
+
+#include "analysis/numeric.h"
+#include "core/check.h"
+
+namespace shbf::theory {
+
+double ZeroBitProb(size_t num_bits, size_t num_elements, double num_hashes) {
+  SHBF_CHECK(num_bits > 0);
+  return std::exp(-static_cast<double>(num_elements) * num_hashes / num_bits);
+}
+
+double BloomFpr(size_t num_bits, size_t num_elements, double num_hashes) {
+  double p = ZeroBitProb(num_bits, num_elements, num_hashes);
+  return std::pow(1.0 - p, num_hashes);
+}
+
+double BloomOptimalK(size_t num_bits, size_t num_elements) {
+  SHBF_CHECK(num_elements > 0);
+  return static_cast<double>(num_bits) / num_elements * std::log(2.0);
+}
+
+double BloomMinFpr(size_t num_bits, size_t num_elements) {
+  // (1/2)^{(m/n)·ln 2} = 0.6185^{m/n} (Eq (9)).
+  double ratio = static_cast<double>(num_bits) / num_elements;
+  return std::pow(0.5, ratio * std::log(2.0));
+}
+
+double ShbfMFpr(size_t num_bits, size_t num_elements, double num_hashes,
+                uint32_t max_offset_span) {
+  SHBF_CHECK(max_offset_span >= 2);
+  double p = ZeroBitProb(num_bits, num_elements, num_hashes);
+  double first = 1.0 - p;                                      // base bit set
+  double second = 1.0 - p + p * p / (max_offset_span - 1.0);   // shifted bit
+  return std::pow(first, num_hashes / 2.0) *
+         std::pow(second, num_hashes / 2.0);
+}
+
+double ShbfMOptimalK(size_t num_bits, size_t num_elements,
+                     uint32_t max_offset_span) {
+  // The FPR is unimodal in k; bracket generously around the BF optimum.
+  double k_bloom = BloomOptimalK(num_bits, num_elements);
+  double hi = std::max(4.0, 2.5 * k_bloom);
+  return MinimizeGoldenSection(
+      [&](double k) {
+        return ShbfMFpr(num_bits, num_elements, k, max_offset_span);
+      },
+      0.01, hi);
+}
+
+double ShbfMMinFpr(size_t num_bits, size_t num_elements,
+                   uint32_t max_offset_span) {
+  double k = ShbfMOptimalK(num_bits, num_elements, max_offset_span);
+  return ShbfMFpr(num_bits, num_elements, k, max_offset_span);
+}
+
+double BloomMinFprBase() {
+  // 0.5^{ln 2} ≈ 0.6185.
+  return std::pow(0.5, std::log(2.0));
+}
+
+double ShbfMMinFprBase(uint32_t max_offset_span) {
+  // min FPR = base^{m/n}; recover the base from a reference ratio. The ratio
+  // cancels out (the optimum k scales linearly in m/n), so any moderately
+  // large reference works; 20 matches the paper's operating range.
+  constexpr size_t kRefBits = 20000;
+  constexpr size_t kRefElements = 1000;
+  double min_fpr = ShbfMMinFpr(kRefBits, kRefElements, max_offset_span);
+  return std::pow(min_fpr, static_cast<double>(kRefElements) / kRefBits);
+}
+
+}  // namespace shbf::theory

@@ -1,0 +1,51 @@
+// Closed-form membership-query analysis (paper §3.4–3.5).
+//
+// All formulas use Bloom's classical independence approximation, as the
+// paper does (it argues, citing Bose et al. and Christensen et al., that the
+// error is negligible for these parameter ranges). k is treated as a real
+// number so the optima can be located by continuous minimization.
+
+#ifndef SHBF_ANALYSIS_MEMBERSHIP_THEORY_H_
+#define SHBF_ANALYSIS_MEMBERSHIP_THEORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace shbf::theory {
+
+/// p = e^{−nk/m}: the asymptotic probability a bit stays 0 after n inserts.
+double ZeroBitProb(size_t num_bits, size_t num_elements, double num_hashes);
+
+/// Standard BF false-positive rate, Eq (8): (1 − e^{−nk/m})^k.
+double BloomFpr(size_t num_bits, size_t num_elements, double num_hashes);
+
+/// k* = (m/n)·ln 2 (continuous).
+double BloomOptimalK(size_t num_bits, size_t num_elements);
+
+/// Minimum BF FPR, Eq (9): 0.6185^{m/n}.
+double BloomMinFpr(size_t num_bits, size_t num_elements);
+
+/// ShBF_M false-positive rate, Eq (1):
+///   (1 − p)^{k/2} · (1 − p + p²/(w̄ − 1))^{k/2},  p = e^{−nk/m}.
+/// As w̄ → ∞ this converges to BloomFpr.
+double ShbfMFpr(size_t num_bits, size_t num_elements, double num_hashes,
+                uint32_t max_offset_span);
+
+/// Continuous k minimizing ShbfMFpr (numerical, §3.4.2; ≈ 0.7009·m/n for
+/// w̄ = 57).
+double ShbfMOptimalK(size_t num_bits, size_t num_elements,
+                     uint32_t max_offset_span);
+
+/// Minimum ShBF_M FPR at the optimal k (Eq (7): ≈ 0.6204^{m/n} for w̄ = 57).
+double ShbfMMinFpr(size_t num_bits, size_t num_elements,
+                   uint32_t max_offset_span);
+
+/// The constants of Eq (7)/(9): minimum FPR = base^{m/n}. For BF the base is
+/// 0.6185; for ShBF_M with w̄ = 57 the paper reports 0.6204. Computed here
+/// numerically from the formulas rather than hard-coded.
+double BloomMinFprBase();
+double ShbfMMinFprBase(uint32_t max_offset_span);
+
+}  // namespace shbf::theory
+
+#endif  // SHBF_ANALYSIS_MEMBERSHIP_THEORY_H_

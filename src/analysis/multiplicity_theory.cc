@@ -1,0 +1,47 @@
+#include "analysis/multiplicity_theory.h"
+
+#include <cmath>
+
+#include "analysis/membership_theory.h"
+#include "core/check.h"
+
+namespace shbf::theory {
+
+double FalseCandidateProb(size_t num_bits, size_t num_distinct,
+                          double num_hashes) {
+  double p = ZeroBitProb(num_bits, num_distinct, num_hashes);
+  return std::pow(1.0 - p, num_hashes);
+}
+
+double CorrectnessRateNonMember(size_t num_bits, size_t num_distinct,
+                                double num_hashes, uint32_t max_count) {
+  double f0 = FalseCandidateProb(num_bits, num_distinct, num_hashes);
+  return std::pow(1.0 - f0, max_count);
+}
+
+double CorrectnessRateMember(size_t num_bits, size_t num_distinct,
+                             double num_hashes, uint32_t multiplicity) {
+  SHBF_CHECK(multiplicity >= 1);
+  double f0 = FalseCandidateProb(num_bits, num_distinct, num_hashes);
+  return std::pow(1.0 - f0, multiplicity - 1.0);
+}
+
+double CorrectnessRateMemberLargest(size_t num_bits, size_t num_distinct,
+                                    double num_hashes, uint32_t multiplicity,
+                                    uint32_t max_count) {
+  SHBF_CHECK(multiplicity >= 1 && multiplicity <= max_count);
+  double f0 = FalseCandidateProb(num_bits, num_distinct, num_hashes);
+  return std::pow(1.0 - f0, static_cast<double>(max_count - multiplicity));
+}
+
+double ExpectedCorrectnessRateUniform(size_t num_bits, size_t num_distinct,
+                                      double num_hashes, uint32_t max_count) {
+  SHBF_CHECK(max_count >= 1);
+  double total = 0.0;
+  for (uint32_t j = 1; j <= max_count; ++j) {
+    total += CorrectnessRateMember(num_bits, num_distinct, num_hashes, j);
+  }
+  return total / max_count;
+}
+
+}  // namespace shbf::theory

@@ -1,0 +1,41 @@
+// Closed-form multiplicity-query analysis (paper §5.4, Eqs (26)–(28)).
+
+#ifndef SHBF_ANALYSIS_MULTIPLICITY_THEORY_H_
+#define SHBF_ANALYSIS_MULTIPLICITY_THEORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace shbf::theory {
+
+/// Eq (26): f0 = (1 − e^{−kn/m})^k — the probability one *wrong* count value
+/// shows up as an all-ones candidate (n = number of DISTINCT elements; each
+/// element sets only k bits regardless of multiplicity).
+double FalseCandidateProb(size_t num_bits, size_t num_distinct,
+                          double num_hashes);
+
+/// Eq (27): correctness rate for a non-member: no candidate may appear at
+/// any of the c positions ⇒ (1 − f0)^c.
+double CorrectnessRateNonMember(size_t num_bits, size_t num_distinct,
+                                double num_hashes, uint32_t max_count);
+
+/// Eq (28): correctness rate for a member with multiplicity j:
+/// (1 − f0)^{j−1}. NOTE (DESIGN.md §4 item 5): this counts false candidates at
+/// positions BELOW j, i.e. the smallest-candidate policy; the paper's prose
+/// says "largest". CorrectnessRateMemberLargest gives the (1 − f0)^{c−j}
+/// counterpart for the largest-candidate policy.
+double CorrectnessRateMember(size_t num_bits, size_t num_distinct,
+                             double num_hashes, uint32_t multiplicity);
+
+double CorrectnessRateMemberLargest(size_t num_bits, size_t num_distinct,
+                                    double num_hashes, uint32_t multiplicity,
+                                    uint32_t max_count);
+
+/// Average of Eq (28) over multiplicities drawn uniformly from [1, c] — the
+/// expected correctness rate of the Fig 11(a) member workload.
+double ExpectedCorrectnessRateUniform(size_t num_bits, size_t num_distinct,
+                                      double num_hashes, uint32_t max_count);
+
+}  // namespace shbf::theory
+
+#endif  // SHBF_ANALYSIS_MULTIPLICITY_THEORY_H_

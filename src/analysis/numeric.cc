@@ -1,0 +1,41 @@
+#include "analysis/numeric.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace shbf {
+
+double MinimizeGoldenSection(const std::function<double(double)>& f, double lo,
+                             double hi, double tol) {
+  SHBF_CHECK(lo < hi);
+  const double inv_phi = (std::sqrt(5.0) - 1.0) / 2.0;   // 1/φ
+  const double inv_phi2 = (3.0 - std::sqrt(5.0)) / 2.0;  // 1/φ²
+  double a = lo;
+  double b = hi;
+  double h = b - a;
+  double c = a + inv_phi2 * h;
+  double d = a + inv_phi * h;
+  double fc = f(c);
+  double fd = f(d);
+  while (h > tol) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      h = b - a;
+      c = a + inv_phi2 * h;
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      h = b - a;
+      d = a + inv_phi * h;
+      fd = f(d);
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+}  // namespace shbf

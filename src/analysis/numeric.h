@@ -1,0 +1,19 @@
+// Small numeric utilities for the closed-form analyses: the paper computes
+// optimal k values "using standard numerical methods" (§3.4.2); we use
+// golden-section search on the (unimodal) FPR curves.
+
+#ifndef SHBF_ANALYSIS_NUMERIC_H_
+#define SHBF_ANALYSIS_NUMERIC_H_
+
+#include <functional>
+
+namespace shbf {
+
+/// Minimizes a unimodal `f` over [lo, hi] by golden-section search; returns
+/// the argmin with absolute tolerance `tol`.
+double MinimizeGoldenSection(const std::function<double(double)>& f, double lo,
+                             double hi, double tol = 1e-9);
+
+}  // namespace shbf
+
+#endif  // SHBF_ANALYSIS_NUMERIC_H_

@@ -1,0 +1,77 @@
+#include "baselines/cm_sketch.h"
+
+#include <algorithm>
+
+namespace shbf {
+
+Status CmSketch::Params::Validate() const {
+  if (depth == 0) {
+    return Status::InvalidArgument("CmSketch: depth must be positive");
+  }
+  if (width == 0) {
+    return Status::InvalidArgument("CmSketch: width must be positive");
+  }
+  if (counter_bits < 1 || counter_bits > 32) {
+    return Status::InvalidArgument("CmSketch: counter_bits must be in [1,32]");
+  }
+  return Status::Ok();
+}
+
+CmSketch::CmSketch(const Params& params)
+    : family_(params.hash_algorithm, params.depth, params.seed),
+      depth_(params.depth),
+      width_(params.width),
+      conservative_(params.conservative_update),
+      counters_(static_cast<size_t>(params.depth) * params.width,
+                params.counter_bits) {
+  CheckOk(params.Validate());
+}
+
+void CmSketch::Insert(std::string_view key) {
+  if (!conservative_) {
+    for (uint32_t row = 0; row < depth_; ++row) {
+      counters_.Increment(CellIndex(row, key));
+    }
+    return;
+  }
+  // Conservative update: the new estimate must be current_min + 1; only
+  // counters below that need to move.
+  uint64_t min_value = ~0ull;
+  size_t cells[64];
+  SHBF_CHECK(depth_ <= 64) << "CmSketch: depth too large";
+  for (uint32_t row = 0; row < depth_; ++row) {
+    cells[row] = CellIndex(row, key);
+    min_value = std::min(min_value, counters_.Get(cells[row]));
+  }
+  uint64_t target = min_value + 1;
+  for (uint32_t row = 0; row < depth_; ++row) {
+    uint64_t v = counters_.Get(cells[row]);
+    if (v < target && v < counters_.max_value()) {
+      counters_.Set(cells[row], std::min(target, counters_.max_value()));
+    }
+  }
+}
+
+uint64_t CmSketch::QueryCount(std::string_view key) const {
+  uint64_t min_value = ~0ull;
+  for (uint32_t row = 0; row < depth_; ++row) {
+    min_value = std::min(min_value, counters_.Get(CellIndex(row, key)));
+    if (min_value == 0) return 0;
+  }
+  return min_value;
+}
+
+uint64_t CmSketch::QueryCountWithStats(std::string_view key,
+                                       QueryStats* stats) const {
+  ++stats->queries;
+  uint64_t min_value = ~0ull;
+  for (uint32_t row = 0; row < depth_; ++row) {
+    ++stats->hash_computations;
+    ++stats->memory_accesses;
+    min_value = std::min(min_value, counters_.Get(CellIndex(row, key)));
+    if (min_value == 0) return 0;
+  }
+  return min_value;
+}
+
+}  // namespace shbf

@@ -1,0 +1,58 @@
+#include "baselines/counting_bloom_filter.h"
+
+namespace shbf {
+
+Status CountingBloomFilter::Params::Validate() const {
+  if (num_counters == 0) {
+    return Status::InvalidArgument("CBF: num_counters must be positive");
+  }
+  if (num_hashes == 0) {
+    return Status::InvalidArgument("CBF: num_hashes must be positive");
+  }
+  if (counter_bits < 1 || counter_bits > 32) {
+    return Status::InvalidArgument("CBF: counter_bits must be in [1, 32]");
+  }
+  return Status::Ok();
+}
+
+CountingBloomFilter::CountingBloomFilter(const Params& params)
+    : family_(params.hash_algorithm, params.num_hashes, params.seed),
+      counters_(params.num_counters, params.counter_bits) {
+  CheckOk(params.Validate());
+}
+
+void CountingBloomFilter::Insert(std::string_view key) {
+  const size_t m = counters_.num_counters();
+  for (uint32_t i = 0; i < family_.num_functions(); ++i) {
+    counters_.Increment(family_.Hash(i, key) % m);
+  }
+}
+
+void CountingBloomFilter::Delete(std::string_view key) {
+  const size_t m = counters_.num_counters();
+  for (uint32_t i = 0; i < family_.num_functions(); ++i) {
+    counters_.Decrement(family_.Hash(i, key) % m);
+  }
+}
+
+bool CountingBloomFilter::Contains(std::string_view key) const {
+  const size_t m = counters_.num_counters();
+  for (uint32_t i = 0; i < family_.num_functions(); ++i) {
+    if (counters_.Get(family_.Hash(i, key) % m) == 0) return false;
+  }
+  return true;
+}
+
+bool CountingBloomFilter::ContainsWithStats(std::string_view key,
+                                            QueryStats* stats) const {
+  const size_t m = counters_.num_counters();
+  ++stats->queries;
+  for (uint32_t i = 0; i < family_.num_functions(); ++i) {
+    ++stats->hash_computations;
+    ++stats->memory_accesses;
+    if (counters_.Get(family_.Hash(i, key) % m) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace shbf

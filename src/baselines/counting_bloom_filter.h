@@ -1,0 +1,55 @@
+// Counting Bloom filter (Fan et al., ToN 2000) — replaces each bit with a
+// small counter so elements can be deleted (§1.1). Used standalone and as the
+// "array C in DRAM" half of the paper's SRAM/DRAM update architecture.
+
+#ifndef SHBF_BASELINES_COUNTING_BLOOM_FILTER_H_
+#define SHBF_BASELINES_COUNTING_BLOOM_FILTER_H_
+
+#include <string_view>
+
+#include "core/packed_counter_array.h"
+#include "core/query_stats.h"
+#include "core/status.h"
+#include "hash/hash_family.h"
+
+namespace shbf {
+
+class CountingBloomFilter {
+ public:
+  struct Params {
+    size_t num_counters = 0;   ///< m (one counter per Bloom bit)
+    uint32_t num_hashes = 0;   ///< k
+    uint32_t counter_bits = 4; ///< §3.3: "4 bits for a counter are enough"
+    HashAlgorithm hash_algorithm = HashAlgorithm::kMurmur3;
+    uint64_t seed = 0x5eed5eed5eed5eedull;
+
+    Status Validate() const;
+  };
+
+  explicit CountingBloomFilter(const Params& params);
+
+  /// Increments the k counters of `key`.
+  void Insert(std::string_view key);
+
+  /// Decrements the k counters of `key`. Deleting a key that was never
+  /// inserted is a caller bug and CHECK-fails on underflow.
+  void Delete(std::string_view key);
+
+  /// True iff all k counters are >= 1 (no false negatives while every
+  /// inserted element is still present).
+  bool Contains(std::string_view key) const;
+  bool ContainsWithStats(std::string_view key, QueryStats* stats) const;
+
+  size_t num_counters() const { return counters_.num_counters(); }
+  uint32_t num_hashes() const { return family_.num_functions(); }
+  const PackedCounterArray& counters() const { return counters_; }
+  void Clear() { counters_.Clear(); }
+
+ private:
+  HashFamily family_;
+  PackedCounterArray counters_;
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_BASELINES_COUNTING_BLOOM_FILTER_H_

@@ -1,0 +1,152 @@
+#include "baselines/cuckoo_filter.h"
+
+#include "core/bits.h"
+
+namespace shbf {
+
+Status CuckooFilter::Params::Validate() const {
+  if (num_buckets == 0) {
+    return Status::InvalidArgument("CuckooFilter: num_buckets must be > 0");
+  }
+  if (bucket_size == 0 || bucket_size > 8) {
+    return Status::InvalidArgument("CuckooFilter: bucket_size must be in [1,8]");
+  }
+  if (fingerprint_bits < 4 || fingerprint_bits > 32) {
+    return Status::InvalidArgument(
+        "CuckooFilter: fingerprint_bits must be in [4,32]");
+  }
+  return Status::Ok();
+}
+
+CuckooFilter::CuckooFilter(const Params& params)
+    : family_(params.hash_algorithm, 3, params.seed),
+      num_buckets_(NextPowerOfTwo(params.num_buckets)),
+      bucket_size_(params.bucket_size),
+      fingerprint_bits_(params.fingerprint_bits),
+      max_kicks_(params.max_kicks),
+      kick_rng_(params.seed ^ 0xc0c0c0c0c0c0c0c0ull),
+      slots_(NextPowerOfTwo(params.num_buckets) * params.bucket_size,
+             params.fingerprint_bits) {
+  CheckOk(params.Validate());
+}
+
+CuckooFilter::IndexPair CuckooFilter::Locate(std::string_view key) const {
+  uint64_t fp_mask = slots_.max_value();
+  uint64_t fingerprint = family_.Hash(1, key) & fp_mask;
+  if (fingerprint == 0) fingerprint = 1;  // 0 is the empty-slot marker
+  size_t i1 = family_.Hash(0, key) & (num_buckets_ - 1);
+  return {i1, AltIndex(i1, fingerprint), fingerprint};
+}
+
+size_t CuckooFilter::AltIndex(size_t index, uint64_t fingerprint) const {
+  // Standard partial-key trick: XOR with a hash of the fingerprint keeps the
+  // pair relation symmetric (AltIndex(AltIndex(i)) == i).
+  uint64_t h = family_.Hash(2, &fingerprint, sizeof(fingerprint));
+  return (index ^ h) & (num_buckets_ - 1);
+}
+
+bool CuckooFilter::BucketContains(size_t bucket, uint64_t fingerprint) const {
+  size_t base = bucket * bucket_size_;
+  for (uint32_t s = 0; s < bucket_size_; ++s) {
+    if (slots_.Get(base + s) == fingerprint) return true;
+  }
+  return false;
+}
+
+bool CuckooFilter::TryInsertIntoBucket(size_t bucket, uint64_t fingerprint) {
+  size_t base = bucket * bucket_size_;
+  for (uint32_t s = 0; s < bucket_size_; ++s) {
+    if (slots_.Get(base + s) == 0) {
+      slots_.Set(base + s, fingerprint);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CuckooFilter::RemoveFromBucket(size_t bucket, uint64_t fingerprint) {
+  size_t base = bucket * bucket_size_;
+  for (uint32_t s = 0; s < bucket_size_; ++s) {
+    if (slots_.Get(base + s) == fingerprint) {
+      slots_.Set(base + s, 0);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CuckooFilter::Insert(std::string_view key) {
+  if (victim_.used) return false;  // full since the last failure
+  IndexPair loc = Locate(key);
+  if (TryInsertIntoBucket(loc.i1, loc.fingerprint) ||
+      TryInsertIntoBucket(loc.i2, loc.fingerprint)) {
+    ++num_items_;
+    return true;
+  }
+  // Kick a random resident and relocate it, up to max_kicks_ times.
+  size_t bucket = (kick_rng_.Next() & 1) ? loc.i2 : loc.i1;
+  uint64_t fingerprint = loc.fingerprint;
+  for (uint32_t kick = 0; kick < max_kicks_; ++kick) {
+    size_t slot = bucket * bucket_size_ + kick_rng_.NextBelow(bucket_size_);
+    uint64_t victim = slots_.Get(slot);
+    slots_.Set(slot, fingerprint);
+    fingerprint = victim;
+    bucket = AltIndex(bucket, fingerprint);
+    if (TryInsertIntoBucket(bucket, fingerprint)) {
+      ++num_items_;
+      return true;
+    }
+  }
+  // Filter full (the Cuckoo paper's "non-negligible failure"). Park the last
+  // displaced fingerprint in the stash so earlier keys keep no-FN semantics.
+  victim_ = {true, bucket, fingerprint};
+  ++num_items_;
+  return false;
+}
+
+bool CuckooFilter::Contains(std::string_view key) const {
+  IndexPair loc = Locate(key);
+  if (victim_.used && victim_.fingerprint == loc.fingerprint &&
+      (victim_.index == loc.i1 || victim_.index == loc.i2)) {
+    return true;
+  }
+  return BucketContains(loc.i1, loc.fingerprint) ||
+         BucketContains(loc.i2, loc.fingerprint);
+}
+
+bool CuckooFilter::ContainsWithStats(std::string_view key,
+                                     QueryStats* stats) const {
+  ++stats->queries;
+  stats->hash_computations += 3;
+  IndexPair loc = Locate(key);
+  ++stats->memory_accesses;  // bucket 1
+  if (BucketContains(loc.i1, loc.fingerprint)) return true;
+  ++stats->memory_accesses;  // bucket 2
+  return BucketContains(loc.i2, loc.fingerprint);
+}
+
+bool CuckooFilter::Delete(std::string_view key) {
+  IndexPair loc = Locate(key);
+  if (victim_.used && victim_.fingerprint == loc.fingerprint &&
+      (victim_.index == loc.i1 || victim_.index == loc.i2)) {
+    victim_.used = false;
+    --num_items_;
+    return true;
+  }
+  if (RemoveFromBucket(loc.i1, loc.fingerprint) ||
+      RemoveFromBucket(loc.i2, loc.fingerprint)) {
+    --num_items_;
+    // A freed slot may let the stashed victim re-enter either of its
+    // buckets.
+    if (victim_.used &&
+        (TryInsertIntoBucket(victim_.index, victim_.fingerprint) ||
+         TryInsertIntoBucket(AltIndex(victim_.index, victim_.fingerprint),
+                             victim_.fingerprint))) {
+      victim_.used = false;
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace shbf

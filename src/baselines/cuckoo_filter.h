@@ -1,0 +1,99 @@
+// Cuckoo filter (Fan, Andersen, Kaminsky, Mitzenmacher) — cited in §2.1 as a
+// space/time-competitive membership structure whose cost is a "non-negligible
+// probability of failing when inserting". Implemented as a related-work
+// comparator for the membership benches and to exercise that failure mode in
+// tests.
+//
+// Partial-key cuckoo hashing: each element stores an f-bit fingerprint in one
+// of two buckets, i1 = H(x) and i2 = i1 XOR H(fingerprint); displaced
+// fingerprints kick existing ones, up to max_kicks before declaring the
+// filter full. Supports deletion (unlike a plain BF).
+
+#ifndef SHBF_BASELINES_CUCKOO_FILTER_H_
+#define SHBF_BASELINES_CUCKOO_FILTER_H_
+
+#include <string_view>
+
+#include "core/packed_counter_array.h"
+#include "core/query_stats.h"
+#include "core/rng.h"
+#include "core/status.h"
+#include "hash/hash_family.h"
+
+namespace shbf {
+
+class CuckooFilter {
+ public:
+  struct Params {
+    size_t num_buckets = 0;        ///< rounded up to a power of two
+    uint32_t bucket_size = 4;      ///< slots per bucket (the paper's "(2,4)")
+    uint32_t fingerprint_bits = 12;
+    uint32_t max_kicks = 500;
+    HashAlgorithm hash_algorithm = HashAlgorithm::kMurmur3;
+    uint64_t seed = 0x5eed5eed5eed5eedull;
+
+    Status Validate() const;
+  };
+
+  explicit CuckooFilter(const Params& params);
+
+  /// Inserts `key`; returns false iff the filter is full (insertion failure
+  /// after max_kicks displacements). The last displaced fingerprint is kept
+  /// in a one-entry victim stash so queries stay false-negative-free; once
+  /// the stash is occupied all further inserts fail until a delete frees it.
+  bool Insert(std::string_view key);
+
+  /// Membership query. No false negatives for successfully inserted keys.
+  bool Contains(std::string_view key) const;
+  bool ContainsWithStats(std::string_view key, QueryStats* stats) const;
+
+  /// Deletes one copy of `key`'s fingerprint; returns false if absent.
+  bool Delete(std::string_view key);
+
+  size_t num_buckets() const { return num_buckets_; }
+  uint32_t bucket_size() const { return bucket_size_; }
+  size_t num_items() const { return num_items_; }
+  double LoadFactor() const {
+    return static_cast<double>(num_items_) /
+           (static_cast<double>(num_buckets_) * bucket_size_);
+  }
+  size_t memory_bits() const {
+    return slots_.num_counters() * slots_.bits_per_counter();
+  }
+
+  /// True iff an insertion failure parked a fingerprint in the stash.
+  bool HasVictim() const { return victim_.used; }
+
+ private:
+  struct IndexPair {
+    size_t i1;
+    size_t i2;
+    uint64_t fingerprint;
+  };
+
+  struct Victim {
+    bool used = false;
+    size_t index = 0;
+    uint64_t fingerprint = 0;
+  };
+
+  IndexPair Locate(std::string_view key) const;
+  size_t AltIndex(size_t index, uint64_t fingerprint) const;
+  bool BucketContains(size_t bucket, uint64_t fingerprint) const;
+  bool TryInsertIntoBucket(size_t bucket, uint64_t fingerprint);
+  bool RemoveFromBucket(size_t bucket, uint64_t fingerprint);
+
+  HashFamily family_;  // 0: bucket index; 1: fingerprint; 2: fp→offset
+  size_t num_buckets_;
+  uint32_t bucket_size_;
+  uint32_t fingerprint_bits_;
+  uint32_t max_kicks_;
+  size_t num_items_ = 0;
+  mutable Rng kick_rng_;
+  Victim victim_;
+  PackedCounterArray slots_;  // fingerprint per slot; 0 = empty
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_BASELINES_CUCKOO_FILTER_H_

@@ -1,0 +1,88 @@
+// Dynamic Count Filter (Aguilar-Saborit, Trancoso, Muntés-Mulero,
+// Larriba-Pey; SIGMOD Record 2006) — the §2.3 comparator that "combines the
+// ideas of spectral BF and CBF" using TWO filters:
+//   * CBFV — m fixed-width counters (the low `base_bits` bits of each count)
+//   * OFV  — m dynamically-resized counters holding the overflow (high bits)
+// The value of counter i is OFV[i]·2^base_bits + CBFV[i]. When an increment
+// carries out of a saturated OFV, the whole OFV is rebuilt one bit wider;
+// deletions trigger a (amortized) shrink scan. The paper's criticism — "the
+// use of two filters degrades query performance" — is exactly what the
+// update/query ablation measures.
+
+#ifndef SHBF_BASELINES_DYNAMIC_COUNT_FILTER_H_
+#define SHBF_BASELINES_DYNAMIC_COUNT_FILTER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "core/packed_counter_array.h"
+#include "core/query_stats.h"
+#include "core/status.h"
+#include "hash/hash_family.h"
+
+namespace shbf {
+
+class DynamicCountFilter {
+ public:
+  struct Params {
+    size_t num_counters = 0;  ///< m
+    uint32_t num_hashes = 0;  ///< k
+    uint32_t base_bits = 4;   ///< x: width of the fixed CBFV counters
+    HashAlgorithm hash_algorithm = HashAlgorithm::kMurmur3;
+    uint64_t seed = 0x5eed5eed5eed5eedull;
+
+    Status Validate() const;
+  };
+
+  explicit DynamicCountFilter(const Params& params);
+
+  /// Adds one occurrence of `key` (increments its k counters, growing the
+  /// overflow vector when a carry no longer fits).
+  void Insert(std::string_view key);
+
+  /// Removes one occurrence; CHECK-fails on underflow (deleting a key that
+  /// was never inserted). Periodically shrinks the overflow vector.
+  void Delete(std::string_view key);
+
+  /// Multiplicity estimate: min over the k combined counters. Never
+  /// underestimates. Zero means "not present".
+  uint64_t QueryCount(std::string_view key) const;
+
+  /// Cost model: each counter probe touches BOTH vectors (2 accesses) while
+  /// the overflow vector exists — the "two filters" penalty.
+  uint64_t QueryCountWithStats(std::string_view key, QueryStats* stats) const;
+
+  bool Contains(std::string_view key) const { return QueryCount(key) > 0; }
+
+  size_t num_counters() const { return base_.num_counters(); }
+  uint32_t num_hashes() const { return family_.num_functions(); }
+  uint32_t base_bits() const { return base_.bits_per_counter(); }
+
+  /// Current width of the overflow counters (0 = no overflow vector yet).
+  uint32_t overflow_bits() const {
+    return overflow_ == nullptr ? 0 : overflow_->bits_per_counter();
+  }
+
+  /// Total rebuilds (grow + shrink) — the structure's hidden update cost.
+  uint64_t rebuilds() const { return rebuilds_; }
+
+  /// Live footprint: CBFV plus the current OFV.
+  size_t memory_bits() const;
+
+ private:
+  uint64_t Combined(size_t i) const;
+  void IncrementAt(size_t i);
+  void DecrementAt(size_t i);
+  void GrowOverflow();
+  void MaybeShrinkOverflow();
+
+  HashFamily family_;
+  PackedCounterArray base_;
+  std::unique_ptr<PackedCounterArray> overflow_;
+  uint64_t rebuilds_ = 0;
+  uint64_t deletes_since_shrink_check_ = 0;
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_BASELINES_DYNAMIC_COUNT_FILTER_H_

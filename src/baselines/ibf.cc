@@ -1,0 +1,65 @@
+#include "baselines/ibf.h"
+
+#include <cmath>
+
+namespace shbf {
+
+Status IndividualBloomFilters::Params::Validate() const {
+  if (num_bits_s1 == 0 || num_bits_s2 == 0) {
+    return Status::InvalidArgument("iBF: both filter sizes must be positive");
+  }
+  if (num_hashes == 0) {
+    return Status::InvalidArgument("iBF: num_hashes must be positive");
+  }
+  return Status::Ok();
+}
+
+IndividualBloomFilters::Params IndividualBloomFilters::OptimalParams(
+    size_t n1, size_t n2, uint32_t num_hashes) {
+  SHBF_CHECK(n1 > 0 && n2 > 0 && num_hashes > 0);
+  double ln2 = std::log(2.0);
+  Params p;
+  p.num_bits_s1 = static_cast<size_t>(std::ceil(n1 * num_hashes / ln2));
+  p.num_bits_s2 = static_cast<size_t>(std::ceil(n2 * num_hashes / ln2));
+  p.num_hashes = num_hashes;
+  return p;
+}
+
+IndividualBloomFilters::IndividualBloomFilters(const Params& params)
+    : bf1_({.num_bits = params.num_bits_s1,
+            .num_hashes = params.num_hashes,
+            .hash_algorithm = params.hash_algorithm,
+            .seed = params.seed}),
+      bf2_({.num_bits = params.num_bits_s2,
+            .num_hashes = params.num_hashes,
+            .hash_algorithm = params.hash_algorithm,
+            // Independent filters: decorrelate the two hash families.
+            .seed = params.seed ^ 0xa5a5a5a5a5a5a5a5ull}) {
+  CheckOk(params.Validate());
+}
+
+AssociationOutcome IndividualBloomFilters::Query(std::string_view key) const {
+  bool in1 = bf1_.Contains(key);
+  bool in2 = bf2_.Contains(key);
+  if (in1 && !in2) return AssociationOutcome::kS1Only;
+  if (!in1 && in2) return AssociationOutcome::kS2Only;
+  if (in1 && in2) return AssociationOutcome::kIntersection;  // possibly FP
+  return AssociationOutcome::kUnknown;  // contradicts the e ∈ S1 ∪ S2 promise
+}
+
+AssociationOutcome IndividualBloomFilters::QueryWithStats(
+    std::string_view key, QueryStats* stats) const {
+  ++stats->queries;
+  // iBF must evaluate both filters to classify; no early exit across filters.
+  QueryStats sub;
+  bool in1 = bf1_.ContainsWithStats(key, &sub);
+  bool in2 = bf2_.ContainsWithStats(key, &sub);
+  stats->memory_accesses += sub.memory_accesses;
+  stats->hash_computations += sub.hash_computations;
+  if (in1 && !in2) return AssociationOutcome::kS1Only;
+  if (!in1 && in2) return AssociationOutcome::kS2Only;
+  if (in1 && in2) return AssociationOutcome::kIntersection;
+  return AssociationOutcome::kUnknown;
+}
+
+}  // namespace shbf

@@ -1,0 +1,73 @@
+// iBF — "individual Bloom filters", the straightforward association-query
+// baseline (§4.5, Table 2, Fig 10): one standard BF per set, as used by the
+// Summary-Cache Enhanced ICP protocol.
+//
+// For an element promised to lie in S1 ∪ S2, iBF queries both filters:
+//   (1, 0) → definitely S1 − S2 (clear: BF2 negative is authoritative)
+//   (0, 1) → definitely S2 − S1 (clear)
+//   (1, 1) → declared S1 ∩ S2, but this is exactly where iBF is "prone to
+//            false positives" — a false positive in either filter also lands
+//            here, so the answer is never clear.
+//   (0, 0) → impossible for e ∈ S1 ∪ S2 (no false negatives).
+// Optimal sizing (Table 2): m1 + m2 = (n1 + n2)·k / ln 2, and the probability
+// of a clear answer under uniform part hits is (2/3)(1 − 0.5^k).
+
+#ifndef SHBF_BASELINES_IBF_H_
+#define SHBF_BASELINES_IBF_H_
+
+#include <string_view>
+
+#include "baselines/bloom_filter.h"
+#include "core/set_query_types.h"
+
+namespace shbf {
+
+class IndividualBloomFilters {
+ public:
+  struct Params {
+    size_t num_bits_s1 = 0;   ///< m1
+    size_t num_bits_s2 = 0;   ///< m2
+    uint32_t num_hashes = 0;  ///< k (per filter; a query costs 2k)
+    HashAlgorithm hash_algorithm = HashAlgorithm::kMurmur3;
+    uint64_t seed = kDefaultSeed;
+
+    Status Validate() const;
+  };
+
+  /// Table 2 sizing: m1 = n1·k/ln2, m2 = n2·k/ln2.
+  static Params OptimalParams(size_t n1, size_t n2, uint32_t num_hashes);
+
+  explicit IndividualBloomFilters(const Params& params);
+
+  void AddToS1(std::string_view key) { bf1_.Add(key); }
+  void AddToS2(std::string_view key) { bf2_.Add(key); }
+
+  /// Association query for e ∈ S1 ∪ S2. Maps (1,0)→kS1Only, (0,1)→kS2Only,
+  /// (1,1)→kUnknown is wrong — iBF *declares* intersection but the answer is
+  /// not clear; we surface that as kIntersection with IsClear() == false via
+  /// QueryIsClear(). (0,0) would violate the e ∈ S1 ∪ S2 promise and is
+  /// reported as kUnknown.
+  AssociationOutcome Query(std::string_view key) const;
+  AssociationOutcome QueryWithStats(std::string_view key,
+                                    QueryStats* stats) const;
+
+  /// True iff the outcome for `key` is authoritative: iBF's declared
+  /// intersection is never clear (see header comment).
+  static bool OutcomeIsClear(AssociationOutcome outcome) {
+    return outcome == AssociationOutcome::kS1Only ||
+           outcome == AssociationOutcome::kS2Only;
+  }
+
+  size_t total_bits() const { return bf1_.num_bits() + bf2_.num_bits(); }
+  uint32_t num_hashes() const { return bf1_.num_hashes(); }
+  const BloomFilter& filter1() const { return bf1_; }
+  const BloomFilter& filter2() const { return bf2_; }
+
+ private:
+  BloomFilter bf1_;
+  BloomFilter bf2_;
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_BASELINES_IBF_H_

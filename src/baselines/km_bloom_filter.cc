@@ -1,0 +1,55 @@
+#include "baselines/km_bloom_filter.h"
+
+namespace shbf {
+
+Status KmBloomFilter::Params::Validate() const {
+  if (num_bits == 0) {
+    return Status::InvalidArgument("KmBF: num_bits must be positive");
+  }
+  if (num_hashes == 0) {
+    return Status::InvalidArgument("KmBF: num_hashes must be positive");
+  }
+  return Status::Ok();
+}
+
+KmBloomFilter::KmBloomFilter(const Params& params)
+    : family_(params.hash_algorithm, 2, params.seed),
+      num_hashes_(params.num_hashes),
+      bits_(params.num_bits, /*slack_bits=*/0) {
+  CheckOk(params.Validate());
+}
+
+void KmBloomFilter::Add(std::string_view key) {
+  const size_t m = bits_.num_bits();
+  uint64_t h1 = family_.Hash(0, key);
+  uint64_t h2 = family_.Hash(1, key);
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    bits_.SetBit((h1 + static_cast<uint64_t>(i) * h2) % m);
+  }
+}
+
+bool KmBloomFilter::Contains(std::string_view key) const {
+  const size_t m = bits_.num_bits();
+  uint64_t h1 = family_.Hash(0, key);
+  uint64_t h2 = family_.Hash(1, key);
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    if (!bits_.GetBit((h1 + static_cast<uint64_t>(i) * h2) % m)) return false;
+  }
+  return true;
+}
+
+bool KmBloomFilter::ContainsWithStats(std::string_view key,
+                                      QueryStats* stats) const {
+  const size_t m = bits_.num_bits();
+  ++stats->queries;
+  stats->hash_computations += 2;  // h1, h2; the probes are arithmetic
+  uint64_t h1 = family_.Hash(0, key);
+  uint64_t h2 = family_.Hash(1, key);
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    ++stats->memory_accesses;
+    if (!bits_.GetBit((h1 + static_cast<uint64_t>(i) * h2) % m)) return false;
+  }
+  return true;
+}
+
+}  // namespace shbf

@@ -1,0 +1,48 @@
+// Kirsch–Mitzenmacher Bloom filter (ESA 2006): simulates k hash functions
+// with two, g_i(x) = (h1(x) + i·h2(x)) mod m. Cuts hash computations to 2 at
+// the cost of a slightly increased FPR (§2.1). Included as the hash-strategy
+// ablation comparator for ShBF_M, which attacks the same cost from a
+// different angle (k/2 + 1 truly independent functions).
+
+#ifndef SHBF_BASELINES_KM_BLOOM_FILTER_H_
+#define SHBF_BASELINES_KM_BLOOM_FILTER_H_
+
+#include <string_view>
+
+#include "core/bit_array.h"
+#include "core/query_stats.h"
+#include "core/status.h"
+#include "hash/hash_family.h"
+
+namespace shbf {
+
+class KmBloomFilter {
+ public:
+  struct Params {
+    size_t num_bits = 0;      ///< m
+    uint32_t num_hashes = 0;  ///< k simulated probes
+    HashAlgorithm hash_algorithm = HashAlgorithm::kMurmur3;
+    uint64_t seed = 0x5eed5eed5eed5eedull;
+
+    Status Validate() const;
+  };
+
+  explicit KmBloomFilter(const Params& params);
+
+  void Add(std::string_view key);
+  bool Contains(std::string_view key) const;
+  bool ContainsWithStats(std::string_view key, QueryStats* stats) const;
+
+  size_t num_bits() const { return bits_.num_bits(); }
+  uint32_t num_hashes() const { return num_hashes_; }
+  void Clear() { bits_.Clear(); }
+
+ private:
+  HashFamily family_;  // exactly two real functions
+  uint32_t num_hashes_;
+  BitArray bits_;
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_BASELINES_KM_BLOOM_FILTER_H_

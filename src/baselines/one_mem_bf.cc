@@ -1,0 +1,62 @@
+#include "baselines/one_mem_bf.h"
+
+#include "core/bits.h"
+
+namespace shbf {
+
+Status OneMemBloomFilter::Params::Validate() const {
+  if (num_bits == 0) {
+    return Status::InvalidArgument("1MemBF: num_bits must be positive");
+  }
+  if (num_hashes == 0) {
+    return Status::InvalidArgument("1MemBF: num_hashes must be positive");
+  }
+  if (!IsPowerOfTwo(word_bits) || word_bits > 64 || word_bits < 8) {
+    return Status::InvalidArgument(
+        "1MemBF: word_bits must be a power of two in [8, 64]");
+  }
+  return Status::Ok();
+}
+
+OneMemBloomFilter::OneMemBloomFilter(const Params& params)
+    : family_(params.hash_algorithm, params.num_hashes + 1, params.seed),
+      num_hashes_(params.num_hashes),
+      word_bits_(params.word_bits),
+      num_words_(CeilDiv(params.num_bits, params.word_bits)) {
+  CheckOk(params.Validate());
+  words_.assign(num_words_, 0);
+}
+
+std::pair<size_t, uint64_t> OneMemBloomFilter::WordAndMask(
+    std::string_view key) const {
+  size_t word = family_.Hash(0, key) % num_words_;
+  uint64_t mask = 0;
+  for (uint32_t i = 1; i <= num_hashes_; ++i) {
+    mask |= 1ull << (family_.Hash(i, key) & (word_bits_ - 1));
+  }
+  return {word, mask};
+}
+
+void OneMemBloomFilter::Add(std::string_view key) {
+  auto [word, mask] = WordAndMask(key);
+  words_[word] |= mask;
+}
+
+bool OneMemBloomFilter::Contains(std::string_view key) const {
+  auto [word, mask] = WordAndMask(key);
+  return (words_[word] & mask) == mask;
+}
+
+bool OneMemBloomFilter::ContainsWithStats(std::string_view key,
+                                          QueryStats* stats) const {
+  ++stats->queries;
+  stats->hash_computations += num_hashes_ + 1;
+  ++stats->memory_accesses;  // the scheme's whole point: one word load
+  return Contains(key);
+}
+
+void OneMemBloomFilter::Clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+}  // namespace shbf

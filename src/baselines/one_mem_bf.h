@@ -1,0 +1,60 @@
+// One-memory-access Bloom filter ("1MemBF", Qiao et al., INFOCOM 2011) —
+// the paper's state-of-the-art membership comparator (§6.2).
+//
+// The m-bit array is partitioned into machine words. One hash picks the word
+// for an element; k further hashes pick bit positions inside that word. A
+// query thus costs exactly one memory access and k + 1 hash computations.
+// The price is a higher FPR than a standard BF: confining k bits to one word
+// "incurs serious unbalance in distributions of 1s and 0s" (§6.2.1).
+
+#ifndef SHBF_BASELINES_ONE_MEM_BF_H_
+#define SHBF_BASELINES_ONE_MEM_BF_H_
+
+#include <string_view>
+
+#include "core/bit_array.h"
+#include "core/query_stats.h"
+#include "core/status.h"
+#include "hash/hash_family.h"
+
+namespace shbf {
+
+class OneMemBloomFilter {
+ public:
+  struct Params {
+    size_t num_bits = 0;      ///< m; rounded up to a multiple of word_bits
+    uint32_t num_hashes = 0;  ///< k bits set within the chosen word
+    uint32_t word_bits = 64;  ///< word size (power of two, <= 64)
+    HashAlgorithm hash_algorithm = HashAlgorithm::kMurmur3;
+    uint64_t seed = 0x5eed5eed5eed5eedull;
+
+    Status Validate() const;
+  };
+
+  explicit OneMemBloomFilter(const Params& params);
+
+  void Add(std::string_view key);
+
+  /// Membership query: one word load, mask compare. No false negatives.
+  bool Contains(std::string_view key) const;
+  bool ContainsWithStats(std::string_view key, QueryStats* stats) const;
+
+  size_t num_bits() const { return num_words_ * word_bits_; }
+  size_t num_words() const { return num_words_; }
+  uint32_t num_hashes() const { return num_hashes_; }
+  void Clear();
+
+ private:
+  /// Word index and the k-bit in-word mask for `key`.
+  std::pair<size_t, uint64_t> WordAndMask(std::string_view key) const;
+
+  HashFamily family_;  // function 0 picks the word; 1..k pick in-word bits
+  uint32_t num_hashes_;
+  uint32_t word_bits_;
+  size_t num_words_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_BASELINES_ONE_MEM_BF_H_

@@ -1,0 +1,86 @@
+#include "baselines/spectral_bloom_filter.h"
+
+#include <algorithm>
+
+namespace shbf {
+
+Status SpectralBloomFilter::Params::Validate() const {
+  if (num_counters == 0) {
+    return Status::InvalidArgument("SpectralBF: num_counters must be > 0");
+  }
+  if (num_hashes == 0) {
+    return Status::InvalidArgument("SpectralBF: num_hashes must be > 0");
+  }
+  if (counter_bits < 1 || counter_bits > 32) {
+    return Status::InvalidArgument("SpectralBF: counter_bits must be in [1,32]");
+  }
+  return Status::Ok();
+}
+
+SpectralBloomFilter::SpectralBloomFilter(const Params& params)
+    : family_(params.hash_algorithm, params.num_hashes, params.seed),
+      counters_(params.num_counters, params.counter_bits),
+      policy_(params.policy) {
+  CheckOk(params.Validate());
+}
+
+void SpectralBloomFilter::Insert(std::string_view key) {
+  const size_t m = counters_.num_counters();
+  const uint32_t k = family_.num_functions();
+  if (policy_ == InsertPolicy::kIncrementAll) {
+    for (uint32_t i = 0; i < k; ++i) {
+      counters_.Increment(family_.Hash(i, key) % m);
+    }
+    return;
+  }
+  // Minimum increase: bump only the counters currently at the minimum.
+  uint64_t min_value = ~0ull;
+  size_t indices[64];
+  SHBF_CHECK(k <= 64) << "SpectralBF: num_hashes too large";
+  for (uint32_t i = 0; i < k; ++i) {
+    indices[i] = family_.Hash(i, key) % m;
+    min_value = std::min(min_value, counters_.Get(indices[i]));
+  }
+  for (uint32_t i = 0; i < k; ++i) {
+    // A position may be shared by two hash functions of the same key; the
+    // re-check against min_value keeps the increment idempotent per slot.
+    if (counters_.Get(indices[i]) == min_value) {
+      counters_.Increment(indices[i]);
+    }
+  }
+}
+
+void SpectralBloomFilter::Delete(std::string_view key) {
+  SHBF_CHECK(policy_ == InsertPolicy::kIncrementAll)
+      << "SpectralBF: deletes are only supported under kIncrementAll (§2.3)";
+  const size_t m = counters_.num_counters();
+  for (uint32_t i = 0; i < family_.num_functions(); ++i) {
+    counters_.Decrement(family_.Hash(i, key) % m);
+  }
+}
+
+uint64_t SpectralBloomFilter::QueryCount(std::string_view key) const {
+  const size_t m = counters_.num_counters();
+  uint64_t min_value = ~0ull;
+  for (uint32_t i = 0; i < family_.num_functions(); ++i) {
+    min_value = std::min(min_value, counters_.Get(family_.Hash(i, key) % m));
+    if (min_value == 0) return 0;  // cannot go lower; early exit
+  }
+  return min_value;
+}
+
+uint64_t SpectralBloomFilter::QueryCountWithStats(std::string_view key,
+                                                  QueryStats* stats) const {
+  const size_t m = counters_.num_counters();
+  ++stats->queries;
+  uint64_t min_value = ~0ull;
+  for (uint32_t i = 0; i < family_.num_functions(); ++i) {
+    ++stats->hash_computations;
+    ++stats->memory_accesses;
+    min_value = std::min(min_value, counters_.Get(family_.Hash(i, key) % m));
+    if (min_value == 0) return 0;
+  }
+  return min_value;
+}
+
+}  // namespace shbf

@@ -1,0 +1,73 @@
+// Spectral Bloom filter (Cohen & Matias, SIGMOD 2003) — the state-of-the-art
+// multiplicity-query comparator (§2.3, §6.4).
+//
+// An array of m small counters indexed by k hash functions. Two of the
+// paper's three versions are implemented:
+//   * kIncrementAll — insertion increments all k counters (a CBF used for
+//     counting); supports deletes.
+//   * kMinimumIncrease — insertion increments only the counter(s) currently
+//     holding the minimum value; lower error, but no deletes or updates.
+// A query returns the minimum of the k counters (the "MS" minimal-selection
+// estimator): never an underestimate, so multiplicity answers have no false
+// negatives, mirroring ShBF_X's guarantee.
+
+#ifndef SHBF_BASELINES_SPECTRAL_BLOOM_FILTER_H_
+#define SHBF_BASELINES_SPECTRAL_BLOOM_FILTER_H_
+
+#include <string_view>
+
+#include "core/packed_counter_array.h"
+#include "core/query_stats.h"
+#include "core/status.h"
+#include "hash/hash_family.h"
+
+namespace shbf {
+
+class SpectralBloomFilter {
+ public:
+  enum class InsertPolicy {
+    kIncrementAll = 0,
+    kMinimumIncrease = 1,
+  };
+
+  struct Params {
+    size_t num_counters = 0;    ///< m
+    uint32_t num_hashes = 0;    ///< k
+    uint32_t counter_bits = 6;  ///< the paper's evaluation uses 6-bit counters
+    InsertPolicy policy = InsertPolicy::kIncrementAll;
+    HashAlgorithm hash_algorithm = HashAlgorithm::kMurmur3;
+    uint64_t seed = 0x5eed5eed5eed5eedull;
+
+    Status Validate() const;
+  };
+
+  explicit SpectralBloomFilter(const Params& params);
+
+  /// Adds one occurrence of `key` (per the configured policy).
+  void Insert(std::string_view key);
+
+  /// Removes one occurrence. Only valid under kIncrementAll.
+  void Delete(std::string_view key);
+
+  /// Estimated multiplicity: min over the k counters. Zero means "not
+  /// present". Never underestimates (no false negatives).
+  uint64_t QueryCount(std::string_view key) const;
+  uint64_t QueryCountWithStats(std::string_view key, QueryStats* stats) const;
+
+  size_t num_counters() const { return counters_.num_counters(); }
+  uint32_t num_hashes() const { return family_.num_functions(); }
+  InsertPolicy policy() const { return policy_; }
+  size_t memory_bits() const {
+    return counters_.num_counters() * counters_.bits_per_counter();
+  }
+  void Clear() { counters_.Clear(); }
+
+ private:
+  HashFamily family_;
+  PackedCounterArray counters_;
+  InsertPolicy policy_;
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_BASELINES_SPECTRAL_BLOOM_FILTER_H_

@@ -1,0 +1,39 @@
+#include "bench_util/csv.h"
+
+namespace shbf {
+
+namespace {
+
+std::string EscapeCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Status CsvWriter::Open(const std::string& path,
+                       const std::vector<std::string>& headers,
+                       CsvWriter* out) {
+  out->stream_.open(path, std::ios::trunc);
+  if (!out->stream_.good()) {
+    return Status::Internal("cannot open CSV file: " + path);
+  }
+  out->AddRow(headers);
+  return Status::Ok();
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) stream_ << ',';
+    stream_ << EscapeCell(cells[i]);
+  }
+  stream_ << '\n';
+}
+
+}  // namespace shbf

@@ -1,0 +1,32 @@
+// Minimal CSV writer: every figure bench can mirror its console series into
+// results/<experiment>.csv so plots can be regenerated offline.
+
+#ifndef SHBF_BENCH_UTIL_CSV_H_
+#define SHBF_BENCH_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace shbf {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates) and emits the header row.
+  static Status Open(const std::string& path,
+                     const std::vector<std::string>& headers, CsvWriter* out);
+
+  /// Appends one row; cells are quoted only when they contain separators.
+  void AddRow(const std::vector<std::string>& cells);
+
+  bool ok() const { return stream_.good(); }
+
+ private:
+  std::ofstream stream_;
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_BENCH_UTIL_CSV_H_

@@ -1,0 +1,68 @@
+#include "bench_util/table.h"
+
+#include <cstdio>
+#include <iostream>
+
+namespace shbf {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out += cell;
+      out.append(widths[c] - cell.size(), ' ');
+      if (c + 1 < headers_.size()) out += "  ";
+    }
+    // Trim trailing padding.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+    return out;
+  };
+
+  std::string out = render_row(headers_);
+  size_t rule_len = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule_len += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(rule_len, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
+
+std::string TablePrinter::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::Sci(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+  return buf;
+}
+
+void PrintBanner(const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+}
+
+}  // namespace shbf

@@ -1,0 +1,43 @@
+// Aligned console tables for the figure/table benches: every bench prints
+// the same rows/series the paper's plots show, and these helpers keep the
+// output grep-able and diff-able across runs.
+
+#ifndef SHBF_BENCH_UTIL_TABLE_H_
+#define SHBF_BENCH_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace shbf {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; cells beyond the header count are dropped, missing cells
+  /// render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column alignment, a header rule, and a trailing newline.
+  std::string ToString() const;
+
+  /// Convenience: prints ToString() to stdout.
+  void Print() const;
+
+  /// Formats a double with `precision` significant decimal places.
+  static std::string Num(double value, int precision = 4);
+
+  /// Formats in scientific notation (for FPRs spanning decades).
+  static std::string Sci(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "== title ==" section banner.
+void PrintBanner(const std::string& title);
+
+}  // namespace shbf
+
+#endif  // SHBF_BENCH_UTIL_TABLE_H_

@@ -1,0 +1,2 @@
+// Intentionally header-only; this TU anchors the target in the build graph.
+#include "bench_util/timer.h"

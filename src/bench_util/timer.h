@@ -1,0 +1,39 @@
+// Wall-clock timing and the paper's throughput unit, Mqps (million queries
+// per second).
+
+#ifndef SHBF_BENCH_UTIL_TIMER_H_
+#define SHBF_BENCH_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace shbf {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Million operations per second.
+inline double Mops(uint64_t operations, double seconds) {
+  return seconds <= 0.0 ? 0.0 : operations / seconds / 1e6;
+}
+
+/// Defeats dead-code elimination of benchmark results.
+inline void DoNotOptimize(uint64_t value) {
+  asm volatile("" : : "r"(value) : "memory");
+}
+
+}  // namespace shbf
+
+#endif  // SHBF_BENCH_UTIL_TIMER_H_

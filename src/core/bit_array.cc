@@ -1,0 +1,37 @@
+#include "core/bit_array.h"
+
+#include <bit>
+
+namespace shbf {
+
+namespace {
+// Guard bytes after the last writable bit so LoadWindow() at the final bit
+// position still reads in-bounds memory.
+constexpr size_t kGuardBytes = 8;
+}  // namespace
+
+BitArray::BitArray(size_t num_bits, size_t slack_bits)
+    : num_bits_(num_bits), total_bits_(num_bits + slack_bits) {
+  SHBF_CHECK(num_bits > 0) << "BitArray needs at least one bit";
+  bytes_.assign(CeilDiv(total_bits_, 8) + kGuardBytes, 0);
+}
+
+void BitArray::Clear() {
+  std::fill(bytes_.begin(), bytes_.end(), 0);
+}
+
+size_t BitArray::CountOnes() const {
+  size_t ones = 0;
+  for (uint8_t b : bytes_) ones += std::popcount(b);
+  return ones;
+}
+
+void BitArray::AppendPayload(ByteWriter* writer) const {
+  writer->PutBytes(bytes_.data(), PayloadBytes());
+}
+
+bool BitArray::ReadPayload(ByteReader* reader) {
+  return reader->GetBytes(bytes_.data(), PayloadBytes());
+}
+
+}  // namespace shbf

@@ -1,0 +1,39 @@
+// Small bit-manipulation helpers shared across the library.
+
+#ifndef SHBF_CORE_BITS_H_
+#define SHBF_CORE_BITS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace shbf {
+
+/// Number of bits in the machine word the paper reasons about (w in §3.1).
+inline constexpr uint32_t kWordBits = 64;
+
+/// The paper's recommended maximum offset span for 64-bit machines: w̄ = w − 7
+/// guarantees that bits [pos, pos + w̄) are covered by one unaligned 8-byte
+/// load regardless of pos % 8 (§3.1, "we choose w̄ ≤ w − 7").
+inline constexpr uint32_t kDefaultMaxOffsetSpan = kWordBits - 7;  // 57
+
+/// Rounds `n` up to the next multiple of `mult` (mult > 0).
+constexpr size_t RoundUp(size_t n, size_t mult) {
+  return (n + mult - 1) / mult * mult;
+}
+
+/// Ceiling division for non-negative integers.
+constexpr size_t CeilDiv(size_t a, size_t b) { return (a + b - 1) / b; }
+
+/// True iff `v` is a power of two (0 is not).
+constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Smallest power of two >= v (v >= 1).
+constexpr uint64_t NextPowerOfTwo(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace shbf
+
+#endif  // SHBF_CORE_BITS_H_

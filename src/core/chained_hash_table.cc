@@ -1,0 +1,152 @@
+#include "core/chained_hash_table.h"
+
+#include "core/bits.h"
+#include "core/check.h"
+
+namespace shbf {
+
+ChainedHashTable::ChainedHashTable(size_t initial_buckets) {
+  buckets_.assign(NextPowerOfTwo(initial_buckets == 0 ? 1 : initial_buckets),
+                  nullptr);
+}
+
+ChainedHashTable::~ChainedHashTable() { FreeAll(); }
+
+ChainedHashTable::ChainedHashTable(ChainedHashTable&& other) noexcept
+    : buckets_(std::move(other.buckets_)), size_(other.size_) {
+  other.buckets_.assign(16, nullptr);
+  other.size_ = 0;
+}
+
+ChainedHashTable& ChainedHashTable::operator=(
+    ChainedHashTable&& other) noexcept {
+  if (this != &other) {
+    FreeAll();
+    buckets_ = std::move(other.buckets_);
+    size_ = other.size_;
+    other.buckets_.assign(16, nullptr);
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void ChainedHashTable::FreeAll() {
+  for (Node*& head : buckets_) {
+    while (head != nullptr) {
+      Node* next = head->next;
+      delete head;
+      head = next;
+    }
+  }
+  size_ = 0;
+}
+
+// FNV-1a, kept private to core so the table has no dependency on src/hash.
+uint64_t ChainedHashTable::HashKey(std::string_view key) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  // Finalize: FNV output has weak low bits for short keys; mix them.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+ChainedHashTable::Node** ChainedHashTable::FindSlot(std::string_view key) {
+  size_t bucket = HashKey(key) & (buckets_.size() - 1);
+  Node** slot = &buckets_[bucket];
+  while (*slot != nullptr && (*slot)->key != key) {
+    slot = &(*slot)->next;
+  }
+  return slot;
+}
+
+bool ChainedHashTable::Insert(std::string_view key, uint64_t value) {
+  Node** slot = FindSlot(key);
+  if (*slot != nullptr) return false;
+  *slot = new Node{std::string(key), value, nullptr};
+  ++size_;
+  if (size_ > buckets_.size()) Rehash(buckets_.size() * 2);
+  return true;
+}
+
+void ChainedHashTable::Upsert(std::string_view key, uint64_t value) {
+  Node** slot = FindSlot(key);
+  if (*slot != nullptr) {
+    (*slot)->value = value;
+    return;
+  }
+  *slot = new Node{std::string(key), value, nullptr};
+  ++size_;
+  if (size_ > buckets_.size()) Rehash(buckets_.size() * 2);
+}
+
+uint64_t* ChainedHashTable::Find(std::string_view key) {
+  Node** slot = FindSlot(key);
+  return *slot == nullptr ? nullptr : &(*slot)->value;
+}
+
+const uint64_t* ChainedHashTable::Find(std::string_view key) const {
+  return const_cast<ChainedHashTable*>(this)->Find(key);
+}
+
+uint64_t ChainedHashTable::AddTo(std::string_view key, uint64_t delta) {
+  Node** slot = FindSlot(key);
+  if (*slot != nullptr) {
+    (*slot)->value += delta;
+    return (*slot)->value;
+  }
+  *slot = new Node{std::string(key), delta, nullptr};
+  ++size_;
+  if (size_ > buckets_.size()) Rehash(buckets_.size() * 2);
+  return delta;
+}
+
+bool ChainedHashTable::Erase(std::string_view key) {
+  Node** slot = FindSlot(key);
+  if (*slot == nullptr) return false;
+  Node* dead = *slot;
+  *slot = dead->next;
+  delete dead;
+  --size_;
+  return true;
+}
+
+void ChainedHashTable::ForEach(
+    const std::function<void(std::string_view, uint64_t)>& fn) const {
+  for (const Node* head : buckets_) {
+    for (const Node* node = head; node != nullptr; node = node->next) {
+      fn(node->key, node->value);
+    }
+  }
+}
+
+size_t ChainedHashTable::MaxChainLength() const {
+  size_t longest = 0;
+  for (const Node* head : buckets_) {
+    size_t len = 0;
+    for (const Node* node = head; node != nullptr; node = node->next) ++len;
+    longest = std::max(longest, len);
+  }
+  return longest;
+}
+
+void ChainedHashTable::Rehash(size_t new_buckets) {
+  SHBF_DCHECK(IsPowerOfTwo(new_buckets));
+  std::vector<Node*> fresh(new_buckets, nullptr);
+  for (Node* head : buckets_) {
+    while (head != nullptr) {
+      Node* next = head->next;
+      size_t bucket = HashKey(head->key) & (new_buckets - 1);
+      head->next = fresh[bucket];
+      fresh[bucket] = head;
+      head = next;
+    }
+  }
+  buckets_ = std::move(fresh);
+}
+
+}  // namespace shbf

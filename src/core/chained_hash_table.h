@@ -1,0 +1,81 @@
+// Separate-chaining hash table from string keys to 64-bit values.
+//
+// The paper's ShBF_X stores each element's exact count "in a hash table
+// [using] the simplest collision handling method called collision chain"
+// (§5.1), and ShBF_A builds hash tables T1/T2 over the two input sets during
+// construction (§4.1). This is that substrate, built from scratch: power-of-
+// two bucket array, singly-linked chains, doubling resize at load factor 1.
+
+#ifndef SHBF_CORE_CHAINED_HASH_TABLE_H_
+#define SHBF_CORE_CHAINED_HASH_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shbf {
+
+class ChainedHashTable {
+ public:
+  explicit ChainedHashTable(size_t initial_buckets = 16);
+  ~ChainedHashTable();
+
+  ChainedHashTable(const ChainedHashTable&) = delete;
+  ChainedHashTable& operator=(const ChainedHashTable&) = delete;
+  ChainedHashTable(ChainedHashTable&& other) noexcept;
+  ChainedHashTable& operator=(ChainedHashTable&& other) noexcept;
+
+  /// Inserts `key` with `value` if absent; returns false (and leaves the
+  /// existing value untouched) if the key is already present.
+  bool Insert(std::string_view key, uint64_t value);
+
+  /// Inserts or overwrites.
+  void Upsert(std::string_view key, uint64_t value);
+
+  /// Returns a pointer to the value for `key`, or nullptr if absent. The
+  /// pointer is invalidated by any mutating call.
+  uint64_t* Find(std::string_view key);
+  const uint64_t* Find(std::string_view key) const;
+
+  /// True iff `key` is present.
+  bool Contains(std::string_view key) const { return Find(key) != nullptr; }
+
+  /// Adds `delta` to the value of `key`, inserting it at 0 first if absent.
+  /// Returns the new value.
+  uint64_t AddTo(std::string_view key, uint64_t delta);
+
+  /// Removes `key`; returns false if it was absent.
+  bool Erase(std::string_view key);
+
+  /// Calls fn(key, value) for every entry, in unspecified order.
+  void ForEach(
+      const std::function<void(std::string_view, uint64_t)>& fn) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t bucket_count() const { return buckets_.size(); }
+
+  /// Length of the longest chain — exposes the "collision chain" behaviour.
+  size_t MaxChainLength() const;
+
+ private:
+  struct Node {
+    std::string key;
+    uint64_t value;
+    Node* next;
+  };
+
+  static uint64_t HashKey(std::string_view key);
+  void Rehash(size_t new_buckets);
+  Node** FindSlot(std::string_view key);
+  void FreeAll();
+
+  std::vector<Node*> buckets_;
+  size_t size_ = 0;
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_CORE_CHAINED_HASH_TABLE_H_

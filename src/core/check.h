@@ -1,0 +1,59 @@
+// Lightweight CHECK macros (RocksDB/Abseil style, no exceptions on hot paths).
+//
+// SHBF_CHECK(cond) aborts with a message if `cond` is false, in every build
+// type. SHBF_DCHECK(cond) does the same but compiles out in NDEBUG builds;
+// use it on hot paths. Both stream extra context:
+//
+//   SHBF_CHECK(params.num_bits > 0) << "num_bits must be positive";
+
+#ifndef SHBF_CORE_CHECK_H_
+#define SHBF_CORE_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace shbf {
+namespace internal {
+
+// Collects the streamed message and aborts on destruction.
+class CheckFailure {
+ public:
+  CheckFailure(const char* cond, const char* file, int line) {
+    stream_ << "CHECK failed: " << cond << " at " << file << ":" << line << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when the check passes. Binds both the bare
+// temporary and the lvalue reference returned by operator<< chains.
+struct CheckVoidify {
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace internal
+}  // namespace shbf
+
+#define SHBF_CHECK(cond)                                    \
+  (cond) ? (void)0                                          \
+         : ::shbf::internal::CheckVoidify() &               \
+               ::shbf::internal::CheckFailure(#cond, __FILE__, __LINE__)
+
+#ifdef NDEBUG
+#define SHBF_DCHECK(cond) SHBF_CHECK(true)
+#else
+#define SHBF_DCHECK(cond) SHBF_CHECK(cond)
+#endif
+
+#endif  // SHBF_CORE_CHECK_H_

@@ -1,0 +1,83 @@
+#include "core/packed_counter_array.h"
+
+#include <algorithm>
+
+namespace shbf {
+
+PackedCounterArray::PackedCounterArray(size_t num_counters,
+                                       uint32_t bits_per_counter)
+    : num_counters_(num_counters), bits_per_counter_(bits_per_counter) {
+  SHBF_CHECK(num_counters > 0) << "need at least one counter";
+  SHBF_CHECK(bits_per_counter >= 1 && bits_per_counter <= 32)
+      << "bits_per_counter must be in [1, 32], got " << bits_per_counter;
+  max_value_ = (bits_per_counter == 64)
+                   ? ~0ull
+                   : ((1ull << bits_per_counter) - 1);
+  size_t total_bits = num_counters * static_cast<size_t>(bits_per_counter);
+  // One extra word so counters straddling the final word boundary can be
+  // read/written with the two-word fast path.
+  words_.assign(CeilDiv(total_bits, 64) + 1, 0);
+}
+
+uint64_t PackedCounterArray::Get(size_t i) const {
+  SHBF_DCHECK(i < num_counters_);
+  size_t bit = i * bits_per_counter_;
+  size_t word = bit >> 6;
+  uint32_t shift = bit & 63;
+  uint64_t value = words_[word] >> shift;
+  if (shift + bits_per_counter_ > 64) {
+    value |= words_[word + 1] << (64 - shift);
+  }
+  return value & max_value_;
+}
+
+void PackedCounterArray::Set(size_t i, uint64_t value) {
+  SHBF_DCHECK(i < num_counters_);
+  SHBF_DCHECK(value <= max_value_);
+  size_t bit = i * bits_per_counter_;
+  size_t word = bit >> 6;
+  uint32_t shift = bit & 63;
+  words_[word] &= ~(max_value_ << shift);
+  words_[word] |= value << shift;
+  if (shift + bits_per_counter_ > 64) {
+    uint32_t spill = 64 - shift;
+    words_[word + 1] &= ~(max_value_ >> spill);
+    words_[word + 1] |= value >> spill;
+  }
+}
+
+bool PackedCounterArray::Increment(size_t i) {
+  uint64_t v = Get(i);
+  if (v >= max_value_) {
+    ++saturation_events_;
+    return false;
+  }
+  Set(i, v + 1);
+  if (v + 1 == max_value_) {
+    ++saturation_events_;
+    return false;
+  }
+  return true;
+}
+
+void PackedCounterArray::Decrement(size_t i) {
+  uint64_t v = Get(i);
+  if (v == max_value_) return;  // stuck counter: deletes must not disturb it
+  SHBF_CHECK(v > 0) << "counter underflow at index " << i;
+  Set(i, v - 1);
+}
+
+void PackedCounterArray::Clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+  saturation_events_ = 0;
+}
+
+size_t PackedCounterArray::CountZero() const {
+  size_t zeros = 0;
+  for (size_t i = 0; i < num_counters_; ++i) {
+    if (Get(i) == 0) ++zeros;
+  }
+  return zeros;
+}
+
+}  // namespace shbf

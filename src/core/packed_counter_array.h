@@ -1,0 +1,71 @@
+// Fixed-width packed counters (z bits per counter, 1 <= z <= 32).
+//
+// Substrate for the counting structures: counting Bloom filters typically use
+// 4-bit counters (§3.3 "in most applications, 4 bits for a counter are
+// enough"), Spectral BF / CM sketch use 6-bit counters in the paper's
+// evaluation (§6.4), and the counting ShBF twins use whatever the caller
+// picks. Counters saturate on increment; a saturated ("stuck") counter is
+// never decremented — the standard counting-Bloom overflow policy.
+
+#ifndef SHBF_CORE_PACKED_COUNTER_ARRAY_H_
+#define SHBF_CORE_PACKED_COUNTER_ARRAY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/bits.h"
+#include "core/check.h"
+
+namespace shbf {
+
+class PackedCounterArray {
+ public:
+  /// Creates `num_counters` zeroed counters of `bits_per_counter` bits each.
+  PackedCounterArray(size_t num_counters, uint32_t bits_per_counter);
+
+  size_t num_counters() const { return num_counters_; }
+  uint32_t bits_per_counter() const { return bits_per_counter_; }
+
+  /// Largest representable value: 2^z − 1.
+  uint64_t max_value() const { return max_value_; }
+
+  /// Reads counter `i`.
+  uint64_t Get(size_t i) const;
+
+  /// Overwrites counter `i` with `value` (value <= max_value()).
+  void Set(size_t i, uint64_t value);
+
+  /// Adds one, saturating at max_value(). Returns false iff it saturated
+  /// (either was already stuck or just became stuck).
+  bool Increment(size_t i);
+
+  /// Subtracts one. No-op on a saturated (stuck) counter; CHECK-fails on an
+  /// underflow, which always indicates a caller bug (deleting an element
+  /// that was never inserted).
+  void Decrement(size_t i);
+
+  /// Number of counters that ever saturated. A nonzero value means deletes
+  /// may leave residue (stuck counters), as in any counting Bloom filter.
+  uint64_t saturation_events() const { return saturation_events_; }
+
+  /// Zeroes all counters and the saturation counter.
+  void Clear();
+
+  /// Number of counters with value zero.
+  size_t CountZero() const;
+
+  /// Allocated footprint in bytes.
+  size_t allocated_bytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  size_t num_counters_;
+  uint32_t bits_per_counter_;
+  uint64_t max_value_;
+  uint64_t saturation_events_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_CORE_PACKED_COUNTER_ARRAY_H_

@@ -1,0 +1,46 @@
+// Instrumentation counters for the paper's cost model.
+//
+// The evaluation (Figs 8, 10(b), 11(b)) reports *memory accesses per query*
+// under the paper's cost model: one unaligned word-window load = one access,
+// one isolated bit/counter probe = one access, with early termination exactly
+// as each query algorithm specifies. Filters expose `...WithStats` query
+// overloads that bump these counters; the fast paths take no stats pointer
+// and compile to the same code minus the accounting.
+
+#ifndef SHBF_CORE_QUERY_STATS_H_
+#define SHBF_CORE_QUERY_STATS_H_
+
+#include <cstdint>
+
+namespace shbf {
+
+/// Per-query (or accumulated) cost counters.
+struct QueryStats {
+  /// Word-window or single-cell reads performed.
+  uint64_t memory_accesses = 0;
+  /// Hash function evaluations performed.
+  uint64_t hash_computations = 0;
+  /// Number of queries accumulated into this object.
+  uint64_t queries = 0;
+
+  void Reset() { *this = QueryStats(); }
+
+  double AvgMemoryAccesses() const {
+    return queries == 0 ? 0.0 : static_cast<double>(memory_accesses) / queries;
+  }
+  double AvgHashComputations() const {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(hash_computations) / queries;
+  }
+
+  QueryStats& operator+=(const QueryStats& other) {
+    memory_accesses += other.memory_accesses;
+    hash_computations += other.hash_computations;
+    queries += other.queries;
+    return *this;
+  }
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_CORE_QUERY_STATS_H_

@@ -1,0 +1,76 @@
+#include "core/rng.h"
+
+#include "core/check.h"
+
+namespace shbf {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // xoshiro must not be seeded with an all-zero state; SplitMix64 expansion
+  // guarantees that with probability 1 − 2^-256 and mixes weak user seeds.
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  SHBF_DCHECK(bound > 0);
+  // Lemire's method: 128-bit multiply, reject the biased low region.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  // 53 high bits → [0, 1) with full double precision.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+std::string Rng::NextBytes(size_t len) {
+  std::string out(len, '\0');
+  size_t i = 0;
+  while (i + 8 <= len) {
+    uint64_t v = Next();
+    for (int b = 0; b < 8; ++b) out[i++] = static_cast<char>(v >> (8 * b));
+  }
+  if (i < len) {
+    uint64_t v = Next();
+    while (i < len) {
+      out[i++] = static_cast<char>(v);
+      v >>= 8;
+    }
+  }
+  return out;
+}
+
+}  // namespace shbf

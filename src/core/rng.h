@@ -1,0 +1,48 @@
+// Deterministic pseudo-random generators for workloads and seeds.
+//
+// Built from scratch (SplitMix64 for seeding, xoshiro256** for the stream)
+// so results are bit-identical across platforms and standard libraries —
+// every experiment in the bench harness prints its seed and is replayable.
+
+#ifndef SHBF_CORE_RNG_H_
+#define SHBF_CORE_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace shbf {
+
+/// SplitMix64 step: returns the next value and advances `state`. Used to
+/// expand one user seed into independent sub-seeds.
+uint64_t SplitMix64(uint64_t& state);
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed);
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ull; }
+
+  uint64_t operator()() { return Next(); }
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound > 0. Uses Lemire's multiply-shift
+  /// rejection method (unbiased).
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Fills `out` with `len` random bytes and returns it as a string.
+  std::string NextBytes(size_t len);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_CORE_RNG_H_

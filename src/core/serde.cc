@@ -1,0 +1,35 @@
+#include "core/serde.h"
+
+namespace shbf::serde {
+
+void WriteHeader(ByteWriter* writer, StructureTag tag) {
+  writer->PutU32(kMagic);
+  writer->PutU8(kFormatVersion);
+  writer->PutU8(static_cast<uint8_t>(tag));
+}
+
+Status ReadHeader(ByteReader* reader, StructureTag expected) {
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint8_t tag = 0;
+  if (!reader->GetU32(&magic) || !reader->GetU8(&version) ||
+      !reader->GetU8(&tag)) {
+    return Status::InvalidArgument("serde: input truncated in header");
+  }
+  if (magic != kMagic) {
+    return Status::InvalidArgument("serde: bad magic (not an SHBF blob)");
+  }
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("serde: unsupported format version " +
+                                   std::to_string(version));
+  }
+  if (tag != static_cast<uint8_t>(expected)) {
+    return Status::InvalidArgument(
+        "serde: structure tag mismatch (expected " +
+        std::to_string(static_cast<int>(expected)) + ", got " +
+        std::to_string(static_cast<int>(tag)) + ")");
+  }
+  return Status::Ok();
+}
+
+}  // namespace shbf::serde

@@ -1,0 +1,98 @@
+// Shared vocabulary types for the three set-query families the paper studies:
+// membership, association and multiplicity queries (§1.1).
+
+#ifndef SHBF_CORE_SET_QUERY_TYPES_H_
+#define SHBF_CORE_SET_QUERY_TYPES_H_
+
+#include <cstdint>
+
+namespace shbf {
+
+/// The seven possible answers of an association query on (S1, S2) for an
+/// element known to lie in S1 ∪ S2 (§4.2). Outcomes 1–3 are "clear": they
+/// carry complete information and are never wrong. Outcomes 4–6 are partial;
+/// outcome 7 carries no information beyond the promise e ∈ S1 ∪ S2.
+enum class AssociationOutcome : uint8_t {
+  /// None of the three bit patterns matched: definitely e ∉ S1 ∪ S2. Cannot
+  /// occur for elements honouring the query contract (no false negatives),
+  /// but real callers may query arbitrary elements.
+  kNotFound = 0,
+  kS1Only = 1,          // e ∈ S1 − S2
+  kIntersection = 2,    // e ∈ S1 ∩ S2
+  kS2Only = 3,          // e ∈ S2 − S1
+  kS1UnsureS2 = 4,      // e ∈ S1, membership in S2 unknown
+  kS2UnsureS1 = 5,      // e ∈ S2, membership in S1 unknown
+  kExclusiveEither = 6, // e ∈ (S1 − S2) ∪ (S2 − S1)
+  kUnknown = 7,         // e ∈ S1 ∪ S2 (no new information)
+};
+
+/// Short stable name for reports ("S1-only", "S1-unsure-S2", ...).
+constexpr const char* AssociationOutcomeName(AssociationOutcome o) {
+  switch (o) {
+    case AssociationOutcome::kNotFound:        return "not-found";
+    case AssociationOutcome::kS1Only:          return "S1-only";
+    case AssociationOutcome::kIntersection:    return "intersection";
+    case AssociationOutcome::kS2Only:          return "S2-only";
+    case AssociationOutcome::kS1UnsureS2:      return "S1-unsure-S2";
+    case AssociationOutcome::kS2UnsureS1:      return "S2-unsure-S1";
+    case AssociationOutcome::kExclusiveEither: return "exclusive-either";
+    case AssociationOutcome::kUnknown:         return "unknown";
+  }
+  return "invalid";
+}
+
+/// True for the fully-informative, never-wrong outcomes 1–3.
+constexpr bool IsClearAnswer(AssociationOutcome o) {
+  return o == AssociationOutcome::kS1Only ||
+         o == AssociationOutcome::kIntersection ||
+         o == AssociationOutcome::kS2Only;
+}
+
+/// Ground-truth partition of S1 ∪ S2 used by workloads and tests.
+enum class AssociationTruth : uint8_t {
+  kS1Only = 1,
+  kIntersection = 2,
+  kS2Only = 3,
+};
+
+/// True iff `outcome` is consistent with `truth` (clear outcomes must match
+/// exactly; partial outcomes must cover the truth).
+constexpr bool OutcomeConsistentWithTruth(AssociationOutcome outcome,
+                                          AssociationTruth truth) {
+  switch (outcome) {
+    case AssociationOutcome::kS1Only:
+      return truth == AssociationTruth::kS1Only;
+    case AssociationOutcome::kIntersection:
+      return truth == AssociationTruth::kIntersection;
+    case AssociationOutcome::kS2Only:
+      return truth == AssociationTruth::kS2Only;
+    case AssociationOutcome::kS1UnsureS2:
+      return truth == AssociationTruth::kS1Only ||
+             truth == AssociationTruth::kIntersection;
+    case AssociationOutcome::kS2UnsureS1:
+      return truth == AssociationTruth::kS2Only ||
+             truth == AssociationTruth::kIntersection;
+    case AssociationOutcome::kExclusiveEither:
+      return truth == AssociationTruth::kS1Only ||
+             truth == AssociationTruth::kS2Only;
+    case AssociationOutcome::kUnknown:
+      return true;
+    case AssociationOutcome::kNotFound:
+      return false;  // contradicts e ∈ S1 ∪ S2
+  }
+  return false;
+}
+
+/// How a multiplicity query condenses its candidate list into one answer
+/// (§5.2; see DESIGN.md on the paper's Eq (28) ambiguity).
+enum class MultiplicityReportPolicy : uint8_t {
+  /// Largest candidate: never underestimates (the paper's stated policy —
+  /// "we report the largest candidate ... to avoid false negatives").
+  kLargest = 0,
+  /// Smallest candidate: the policy whose correctness rate matches Eq (28).
+  kSmallest = 1,
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_CORE_SET_QUERY_TYPES_H_

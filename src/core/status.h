@@ -1,0 +1,74 @@
+// RocksDB-style Status for fallible, non-hot-path operations (parameter
+// validation, construction, file I/O in the bench utilities).
+
+#ifndef SHBF_CORE_STATUS_H_
+#define SHBF_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "core/check.h"
+
+namespace shbf {
+
+/// Outcome of a fallible operation. Cheap to copy when OK.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kOutOfRange,
+    kNotFound,
+    kAlreadyExists,
+    kResourceExhausted,
+    kFailedPrecondition,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Aborts if `s` is not OK. Use where a failure indicates a programming error.
+inline void CheckOk(const Status& s) {
+  SHBF_CHECK(s.ok()) << s.ToString();
+}
+
+}  // namespace shbf
+
+#endif  // SHBF_CORE_STATUS_H_

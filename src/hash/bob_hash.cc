@@ -1,0 +1,120 @@
+#include "hash/bob_hash.h"
+
+#include <cstring>
+
+namespace shbf {
+
+namespace {
+
+// --- lookup2 (Bob Jenkins, 1996) --------------------------------------------
+
+inline void Mix2(uint32_t& a, uint32_t& b, uint32_t& c) {
+  a -= b; a -= c; a ^= c >> 13;
+  b -= c; b -= a; b ^= a << 8;
+  c -= a; c -= b; c ^= b >> 13;
+  a -= b; a -= c; a ^= c >> 12;
+  b -= c; b -= a; b ^= a << 16;
+  c -= a; c -= b; c ^= b >> 5;
+  a -= b; a -= c; a ^= c >> 3;
+  b -= c; b -= a; b ^= a << 10;
+  c -= a; c -= b; c ^= b >> 15;
+}
+
+// --- lookup3 (Bob Jenkins, 2006) ---------------------------------------------
+
+inline uint32_t Rot(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+inline void Mix3(uint32_t& a, uint32_t& b, uint32_t& c) {
+  a -= c; a ^= Rot(c, 4);  c += b;
+  b -= a; b ^= Rot(a, 6);  a += c;
+  c -= b; c ^= Rot(b, 8);  b += a;
+  a -= c; a ^= Rot(c, 16); c += b;
+  b -= a; b ^= Rot(a, 19); a += c;
+  c -= b; c ^= Rot(b, 4);  b += a;
+}
+
+inline void Final3(uint32_t& a, uint32_t& b, uint32_t& c) {
+  c ^= b; c -= Rot(b, 14);
+  a ^= c; a -= Rot(c, 11);
+  b ^= a; b -= Rot(a, 25);
+  c ^= b; c -= Rot(b, 16);
+  a ^= c; a -= Rot(c, 4);
+  b ^= a; b -= Rot(a, 14);
+  c ^= b; c -= Rot(b, 24);
+}
+
+// Reads up to 4 bytes little-endian without over-reading.
+inline uint32_t Load32Partial(const uint8_t* p, size_t n) {
+  uint32_t v = 0;
+  for (size_t i = 0; i < n; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+uint32_t BobLookup2(const void* data, size_t len, uint32_t seed) {
+  const uint8_t* k = static_cast<const uint8_t*>(data);
+  uint32_t a = 0x9e3779b9u;
+  uint32_t b = 0x9e3779b9u;
+  uint32_t c = seed;
+  size_t remaining = len;
+
+  while (remaining >= 12) {
+    a += Load32Partial(k, 4);
+    b += Load32Partial(k + 4, 4);
+    c += Load32Partial(k + 8, 4);
+    Mix2(a, b, c);
+    k += 12;
+    remaining -= 12;
+  }
+
+  c += static_cast<uint32_t>(len);
+  // Tail: the original switch adds byte i of the tail into the matching lane,
+  // with lane c skipping its lowest byte (reserved for the length).
+  if (remaining > 0) {
+    a += Load32Partial(k, remaining < 4 ? remaining : 4);
+  }
+  if (remaining > 4) {
+    b += Load32Partial(k + 4, remaining - 4 < 4 ? remaining - 4 : 4);
+  }
+  if (remaining > 8) {
+    c += Load32Partial(k + 8, remaining - 8) << 8;
+  }
+  Mix2(a, b, c);
+  return c;
+}
+
+uint64_t BobLookup3(const void* data, size_t len, uint64_t seed) {
+  const uint8_t* k = static_cast<const uint8_t*>(data);
+  uint32_t pc = static_cast<uint32_t>(seed);
+  uint32_t pb = static_cast<uint32_t>(seed >> 32);
+
+  uint32_t a = 0xdeadbeefu + static_cast<uint32_t>(len) + pc;
+  uint32_t b = a;
+  uint32_t c = a + pb;
+  size_t remaining = len;
+
+  while (remaining > 12) {
+    a += Load32Partial(k, 4);
+    b += Load32Partial(k + 4, 4);
+    c += Load32Partial(k + 8, 4);
+    Mix3(a, b, c);
+    k += 12;
+    remaining -= 12;
+  }
+
+  // Final block: 1..12 bytes (or 0 only when len == 0).
+  if (remaining > 0) {
+    a += Load32Partial(k, remaining < 4 ? remaining : 4);
+    if (remaining > 4) {
+      b += Load32Partial(k + 4, remaining - 4 < 4 ? remaining - 4 : 4);
+    }
+    if (remaining > 8) {
+      c += Load32Partial(k + 8, remaining - 8);
+    }
+    Final3(a, b, c);
+  }
+  return static_cast<uint64_t>(c) | (static_cast<uint64_t>(b) << 32);
+}
+
+}  // namespace shbf

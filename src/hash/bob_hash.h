@@ -1,0 +1,34 @@
+// Bob Jenkins' hash functions, reimplemented from the published algorithms.
+//
+// The paper sources its hash functions from burtleburtle.net ("Hash website",
+// reference [1]) — Jenkins' lookup2 ("evahash"/"hash2") and its successor
+// lookup3. Both are implemented here from scratch: lookup2 (1996) produces a
+// 32-bit value; lookup3 (2006, hashlittle2 variant) produces two 32-bit
+// values which we combine into one 64-bit result in a single pass.
+
+#ifndef SHBF_HASH_BOB_HASH_H_
+#define SHBF_HASH_BOB_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace shbf {
+
+/// Jenkins lookup2 (a.k.a. evahash). 32-bit result seeded by `seed`.
+uint32_t BobLookup2(const void* data, size_t len, uint32_t seed);
+
+/// Jenkins lookup3 hashlittle2: two independent 32-bit results in one pass,
+/// returned as (pc | pb << 32). Seeded by the two halves of `seed`.
+uint64_t BobLookup3(const void* data, size_t len, uint64_t seed);
+
+inline uint32_t BobLookup2(std::string_view key, uint32_t seed) {
+  return BobLookup2(key.data(), key.size(), seed);
+}
+inline uint64_t BobLookup3(std::string_view key, uint64_t seed) {
+  return BobLookup3(key.data(), key.size(), seed);
+}
+
+}  // namespace shbf
+
+#endif  // SHBF_HASH_BOB_HASH_H_

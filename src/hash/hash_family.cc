@@ -1,0 +1,53 @@
+#include "hash/hash_family.h"
+
+#include "core/rng.h"
+#include "hash/bob_hash.h"
+#include "hash/fnv.h"
+#include "hash/murmur3.h"
+
+namespace shbf {
+
+const char* HashAlgorithmName(HashAlgorithm alg) {
+  switch (alg) {
+    case HashAlgorithm::kMurmur3:
+      return "murmur3";
+    case HashAlgorithm::kBobLookup3:
+      return "lookup3";
+    case HashAlgorithm::kBobLookup2:
+      return "lookup2";
+    case HashAlgorithm::kFnv1a:
+      return "fnv1a";
+  }
+  return "unknown";
+}
+
+uint32_t HashAlgorithmBits(HashAlgorithm alg) {
+  return alg == HashAlgorithm::kBobLookup2 ? 32 : 64;
+}
+
+HashFamily::HashFamily(HashAlgorithm alg, uint32_t num_functions,
+                       uint64_t master_seed)
+    : alg_(alg), master_seed_(master_seed) {
+  SHBF_CHECK(num_functions > 0) << "a hash family needs at least one function";
+  seeds_.reserve(num_functions);
+  uint64_t sm = master_seed;
+  for (uint32_t i = 0; i < num_functions; ++i) seeds_.push_back(SplitMix64(sm));
+}
+
+uint64_t HashFamily::Hash(uint32_t i, const void* data, size_t len) const {
+  SHBF_DCHECK(i < seeds_.size());
+  uint64_t seed = seeds_[i];
+  switch (alg_) {
+    case HashAlgorithm::kMurmur3:
+      return Murmur3_64(data, len, seed);
+    case HashAlgorithm::kBobLookup3:
+      return BobLookup3(data, len, seed);
+    case HashAlgorithm::kBobLookup2:
+      return BobLookup2(data, len, static_cast<uint32_t>(seed));
+    case HashAlgorithm::kFnv1a:
+      return Fnv1a64(data, len, seed);
+  }
+  return 0;
+}
+
+}  // namespace shbf

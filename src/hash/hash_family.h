@@ -1,0 +1,59 @@
+// A seeded family of k independent hash functions with uniformly distributed
+// outputs — the h_1(.), ..., h_k(.) every scheme in the paper assumes.
+//
+// One master seed is expanded into k per-function seeds via SplitMix64, so a
+// family is fully determined by (algorithm, k, master_seed) and experiments
+// are replayable. The paper drew its functions from Bob Jenkins' collection
+// and kept the 18 that passed a per-bit randomness test (§6.1); the same test
+// lives in hash/randomness.h and runs in the test suite.
+
+#ifndef SHBF_HASH_HASH_FAMILY_H_
+#define SHBF_HASH_HASH_FAMILY_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/check.h"
+
+namespace shbf {
+
+enum class HashAlgorithm {
+  kMurmur3 = 0,     // 64-bit, default
+  kBobLookup3 = 1,  // 64-bit, the paper's burtleburtle.net successor hash
+  kBobLookup2 = 2,  // 32-bit, the paper's "evahash"
+  kFnv1a = 3,       // 64-bit, cheap comparator for ablations
+};
+
+/// Short stable name for reports ("murmur3", "lookup3", ...).
+const char* HashAlgorithmName(HashAlgorithm alg);
+
+/// Output width in bits (32 for lookup2, 64 otherwise).
+uint32_t HashAlgorithmBits(HashAlgorithm alg);
+
+class HashFamily {
+ public:
+  HashFamily(HashAlgorithm alg, uint32_t num_functions, uint64_t master_seed);
+
+  uint32_t num_functions() const {
+    return static_cast<uint32_t>(seeds_.size());
+  }
+  HashAlgorithm algorithm() const { return alg_; }
+  uint64_t master_seed() const { return master_seed_; }
+
+  /// Evaluates the i-th function on `len` bytes at `data`.
+  uint64_t Hash(uint32_t i, const void* data, size_t len) const;
+
+  uint64_t Hash(uint32_t i, std::string_view key) const {
+    return Hash(i, key.data(), key.size());
+  }
+
+ private:
+  HashAlgorithm alg_;
+  uint64_t master_seed_;
+  std::vector<uint64_t> seeds_;
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_HASH_HASH_FAMILY_H_

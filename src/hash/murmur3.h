@@ -1,0 +1,28 @@
+// MurmurHash3 x64-128 (Austin Appleby, public domain algorithm),
+// reimplemented from the published finalization constants. Used as the
+// default high-quality 64-bit hash for the filters.
+
+#ifndef SHBF_HASH_MURMUR3_H_
+#define SHBF_HASH_MURMUR3_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+namespace shbf {
+
+/// Full 128-bit result as (low, high).
+std::pair<uint64_t, uint64_t> Murmur3_128(const void* data, size_t len,
+                                          uint64_t seed);
+
+/// Low 64 bits of the 128-bit result.
+uint64_t Murmur3_64(const void* data, size_t len, uint64_t seed);
+
+inline uint64_t Murmur3_64(std::string_view key, uint64_t seed) {
+  return Murmur3_64(key.data(), key.size(), seed);
+}
+
+}  // namespace shbf
+
+#endif  // SHBF_HASH_MURMUR3_H_

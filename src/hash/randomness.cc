@@ -1,0 +1,40 @@
+#include "hash/randomness.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace shbf {
+
+RandomnessReport TestBitRandomness(const HashFamily& family,
+                                   uint32_t func_index,
+                                   const std::vector<std::string>& keys,
+                                   uint32_t num_bits) {
+  SHBF_CHECK(num_bits >= 1 && num_bits <= 64);
+  SHBF_CHECK(!keys.empty());
+
+  std::vector<uint64_t> ones(num_bits, 0);
+  for (const std::string& key : keys) {
+    uint64_t h = family.Hash(func_index, key);
+    for (uint32_t b = 0; b < num_bits; ++b) {
+      ones[b] += (h >> b) & 1u;
+    }
+  }
+
+  RandomnessReport report;
+  report.num_keys = keys.size();
+  report.bits_tested = num_bits;
+  report.bit_frequency.resize(num_bits);
+  double bias_sum = 0.0;
+  for (uint32_t b = 0; b < num_bits; ++b) {
+    double freq = static_cast<double>(ones[b]) / keys.size();
+    report.bit_frequency[b] = freq;
+    double bias = std::abs(freq - 0.5);
+    bias_sum += bias;
+    report.max_bias = std::max(report.max_bias, bias);
+  }
+  report.mean_bias = bias_sum / num_bits;
+  return report;
+}
+
+}  // namespace shbf

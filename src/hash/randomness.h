@@ -1,0 +1,38 @@
+// Per-bit randomness test, replicating the paper's methodology (§6.1):
+// "the probability of seeing 1 at any bit location in the hashed value
+// should be 0.5" over a large key corpus.
+
+#ifndef SHBF_HASH_RANDOMNESS_H_
+#define SHBF_HASH_RANDOMNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "hash/hash_family.h"
+
+namespace shbf {
+
+struct RandomnessReport {
+  size_t num_keys = 0;
+  uint32_t bits_tested = 0;
+  /// Per-bit empirical frequency of a 1.
+  std::vector<double> bit_frequency;
+  /// max_i |bit_frequency[i] − 0.5|
+  double max_bias = 0.0;
+  /// mean_i |bit_frequency[i] − 0.5|
+  double mean_bias = 0.0;
+
+  /// True iff every bit's frequency is within `tolerance` of 0.5.
+  bool Passes(double tolerance) const { return max_bias <= tolerance; }
+};
+
+/// Hashes every key with function `func_index` of `family` and measures the
+/// per-bit 1-frequency over the low `num_bits` output bits.
+RandomnessReport TestBitRandomness(const HashFamily& family,
+                                   uint32_t func_index,
+                                   const std::vector<std::string>& keys,
+                                   uint32_t num_bits);
+
+}  // namespace shbf
+
+#endif  // SHBF_HASH_RANDOMNESS_H_

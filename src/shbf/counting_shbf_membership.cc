@@ -1,0 +1,102 @@
+#include "shbf/counting_shbf_membership.h"
+
+namespace shbf {
+
+Status CountingShbfM::Params::Validate() const {
+  if (num_bits == 0) {
+    return Status::InvalidArgument("CountingShbfM: num_bits must be positive");
+  }
+  if (num_hashes < 2 || num_hashes % 2 != 0) {
+    return Status::InvalidArgument(
+        "CountingShbfM: num_hashes must be even and >= 2");
+  }
+  if (counter_bits < 1 || counter_bits > 32) {
+    return Status::InvalidArgument(
+        "CountingShbfM: counter_bits must be in [1, 32]");
+  }
+  if (max_offset_span < 2 || max_offset_span > BitArray::kWindowBits) {
+    return Status::InvalidArgument(
+        "CountingShbfM: max_offset_span must be in [2, 57]");
+  }
+  return Status::Ok();
+}
+
+CountingShbfM::CountingShbfM(const Params& params)
+    : family_(params.hash_algorithm, params.num_hashes / 2 + 1, params.seed),
+      num_hashes_(params.num_hashes),
+      max_offset_span_(params.max_offset_span),
+      bits_(params.num_bits, /*slack_bits=*/params.max_offset_span),
+      counters_(params.num_bits + params.max_offset_span,
+                params.counter_bits) {
+  CheckOk(params.Validate());
+}
+
+uint64_t CountingShbfM::OffsetOf(std::string_view key) const {
+  return family_.Hash(num_hashes_ / 2, key.data(), key.size()) %
+             (max_offset_span_ - 1) +
+         1;
+}
+
+void CountingShbfM::Insert(std::string_view key) {
+  const size_t m = bits_.num_bits();
+  const uint32_t pairs = num_hashes_ / 2;
+  uint64_t offset = OffsetOf(key);
+  for (uint32_t i = 0; i < pairs; ++i) {
+    size_t base = family_.Hash(i, key.data(), key.size()) % m;
+    for (size_t pos : {base, base + offset}) {
+      counters_.Increment(pos);
+      if (counters_.Get(pos) >= 1) bits_.SetBit(pos);
+    }
+  }
+}
+
+void CountingShbfM::Delete(std::string_view key) {
+  const size_t m = bits_.num_bits();
+  const uint32_t pairs = num_hashes_ / 2;
+  uint64_t offset = OffsetOf(key);
+  for (uint32_t i = 0; i < pairs; ++i) {
+    size_t base = family_.Hash(i, key.data(), key.size()) % m;
+    for (size_t pos : {base, base + offset}) {
+      counters_.Decrement(pos);
+      if (counters_.Get(pos) == 0) bits_.ClearBit(pos);
+    }
+  }
+}
+
+bool CountingShbfM::Contains(std::string_view key) const {
+  const size_t m = bits_.num_bits();
+  const uint32_t pairs = num_hashes_ / 2;
+  uint64_t offset = OffsetOf(key);
+  const uint64_t need = 1ull | (1ull << offset);
+  for (uint32_t i = 0; i < pairs; ++i) {
+    size_t base = family_.Hash(i, key.data(), key.size()) % m;
+    if ((bits_.LoadWindow(base) & need) != need) return false;
+  }
+  return true;
+}
+
+bool CountingShbfM::ContainsWithStats(std::string_view key,
+                                      QueryStats* stats) const {
+  const size_t m = bits_.num_bits();
+  const uint32_t pairs = num_hashes_ / 2;
+  ++stats->queries;
+  ++stats->hash_computations;
+  uint64_t offset = OffsetOf(key);
+  const uint64_t need = 1ull | (1ull << offset);
+  for (uint32_t i = 0; i < pairs; ++i) {
+    ++stats->hash_computations;
+    ++stats->memory_accesses;
+    size_t base = family_.Hash(i, key.data(), key.size()) % m;
+    if ((bits_.LoadWindow(base) & need) != need) return false;
+  }
+  return true;
+}
+
+bool CountingShbfM::SynchronizedWithCounters() const {
+  for (size_t i = 0; i < counters_.num_counters(); ++i) {
+    if ((counters_.Get(i) > 0) != bits_.GetBit(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace shbf

@@ -1,0 +1,106 @@
+#include "shbf/generalized_shbf.h"
+
+namespace shbf {
+
+Status GeneralizedShbfM::Params::Validate() const {
+  if (num_bits == 0) {
+    return Status::InvalidArgument("GeneralizedShbfM: num_bits must be > 0");
+  }
+  if (num_shifts < 1) {
+    return Status::InvalidArgument("GeneralizedShbfM: num_shifts must be >= 1");
+  }
+  if (num_hashes == 0 || num_hashes % (num_shifts + 1) != 0) {
+    return Status::InvalidArgument(
+        "GeneralizedShbfM: num_hashes must be a positive multiple of t + 1");
+  }
+  if (max_offset_span < 2 || max_offset_span > BitArray::kWindowBits) {
+    return Status::InvalidArgument(
+        "GeneralizedShbfM: max_offset_span must be in [2, 57]");
+  }
+  if ((max_offset_span - 1) % num_shifts != 0) {
+    return Status::InvalidArgument(
+        "GeneralizedShbfM: (max_offset_span - 1) must be divisible by t for "
+        "equal partitions");
+  }
+  if ((max_offset_span - 1) / num_shifts < 1) {
+    return Status::InvalidArgument(
+        "GeneralizedShbfM: partitions would be empty");
+  }
+  return Status::Ok();
+}
+
+GeneralizedShbfM::GeneralizedShbfM(const Params& params)
+    : family_(params.hash_algorithm,
+              params.num_hashes / (params.num_shifts + 1) + params.num_shifts,
+              params.seed),
+      num_hashes_(params.num_hashes),
+      num_shifts_(params.num_shifts),
+      max_offset_span_(params.max_offset_span),
+      partition_width_((params.max_offset_span - 1) / params.num_shifts),
+      bits_(params.num_bits, /*slack_bits=*/params.max_offset_span) {
+  CheckOk(params.Validate());
+}
+
+std::vector<uint64_t> GeneralizedShbfM::OffsetsOf(std::string_view key) const {
+  const uint32_t groups = num_groups();
+  std::vector<uint64_t> offsets(num_shifts_);
+  for (uint32_t j = 0; j < num_shifts_; ++j) {
+    uint64_t within = family_.Hash(groups + j, key) % partition_width_ + 1;
+    offsets[j] = static_cast<uint64_t>(j) * partition_width_ + within;
+  }
+  return offsets;
+}
+
+uint64_t GeneralizedShbfM::NeedMask(std::string_view key) const {
+  const uint32_t groups = num_groups();
+  uint64_t mask = 1ull;  // the base bit
+  for (uint32_t j = 0; j < num_shifts_; ++j) {
+    uint64_t within = family_.Hash(groups + j, key) % partition_width_ + 1;
+    mask |= 1ull << (static_cast<uint64_t>(j) * partition_width_ + within);
+  }
+  return mask;
+}
+
+void GeneralizedShbfM::Add(std::string_view key) {
+  const size_t m = bits_.num_bits();
+  const uint32_t groups = num_groups();
+  uint64_t mask = NeedMask(key);
+  for (uint32_t i = 0; i < groups; ++i) {
+    size_t base = family_.Hash(i, key) % m;
+    uint64_t remaining = mask;
+    while (remaining != 0) {
+      uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(remaining));
+      bits_.SetBit(base + bit);
+      remaining &= remaining - 1;
+    }
+  }
+}
+
+bool GeneralizedShbfM::Contains(std::string_view key) const {
+  const size_t m = bits_.num_bits();
+  const uint32_t groups = num_groups();
+  uint64_t mask = NeedMask(key);
+  for (uint32_t i = 0; i < groups; ++i) {
+    size_t base = family_.Hash(i, key) % m;
+    if ((bits_.LoadWindow(base) & mask) != mask) return false;
+  }
+  return true;
+}
+
+bool GeneralizedShbfM::ContainsWithStats(std::string_view key,
+                                         QueryStats* stats) const {
+  const size_t m = bits_.num_bits();
+  const uint32_t groups = num_groups();
+  ++stats->queries;
+  stats->hash_computations += num_shifts_;  // the offset functions
+  uint64_t mask = NeedMask(key);
+  for (uint32_t i = 0; i < groups; ++i) {
+    ++stats->hash_computations;
+    ++stats->memory_accesses;
+    size_t base = family_.Hash(i, key) % m;
+    if ((bits_.LoadWindow(base) & mask) != mask) return false;
+  }
+  return true;
+}
+
+}  // namespace shbf

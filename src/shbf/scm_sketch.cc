@@ -1,0 +1,82 @@
+#include "shbf/scm_sketch.h"
+
+#include <algorithm>
+
+namespace shbf {
+
+Status ScmSketch::Params::Validate() const {
+  if (depth < 2 || depth % 2 != 0) {
+    return Status::InvalidArgument("ScmSketch: depth must be even and >= 2");
+  }
+  if (width == 0) {
+    return Status::InvalidArgument("ScmSketch: width must be positive");
+  }
+  if (counter_bits < 1 || counter_bits > 28) {
+    return Status::InvalidArgument("ScmSketch: counter_bits must be in [1,28]");
+  }
+  if (OffsetSpan() < 2) {
+    return Status::InvalidArgument(
+        "ScmSketch: counters too wide for one-access pairs; "
+        "(w - 7) / counter_bits must be >= 2 (§5.5)");
+  }
+  return Status::Ok();
+}
+
+ScmSketch::ScmSketch(const Params& params)
+    : family_(params.hash_algorithm, params.depth / 2 + 1, params.seed),
+      rows_(params.depth / 2),
+      row_width_(2 * params.width),
+      row_stride_(2 * params.width + params.OffsetSpan()),
+      offset_span_(params.OffsetSpan()),
+      counters_(static_cast<size_t>(params.depth / 2) *
+                    (2 * params.width + params.OffsetSpan()),
+                params.counter_bits) {
+  CheckOk(params.Validate());
+}
+
+uint64_t ScmSketch::OffsetOf(std::string_view key) const {
+  return family_.Hash(rows_, key) % (offset_span_ - 1) + 1;
+}
+
+void ScmSketch::Insert(std::string_view key) {
+  uint64_t offset = OffsetOf(key);
+  for (uint32_t row = 0; row < rows_; ++row) {
+    size_t col = family_.Hash(row, key) % row_width_;
+    size_t cell = row * row_stride_ + col;
+    counters_.Increment(cell);
+    counters_.Increment(cell + offset);
+  }
+}
+
+uint64_t ScmSketch::QueryCount(std::string_view key) const {
+  uint64_t offset = OffsetOf(key);
+  uint64_t min_value = ~0ull;
+  for (uint32_t row = 0; row < rows_; ++row) {
+    size_t col = family_.Hash(row, key) % row_width_;
+    size_t cell = row * row_stride_ + col;
+    min_value = std::min({min_value, counters_.Get(cell),
+                          counters_.Get(cell + offset)});
+    if (min_value == 0) return 0;
+  }
+  return min_value;
+}
+
+uint64_t ScmSketch::QueryCountWithStats(std::string_view key,
+                                        QueryStats* stats) const {
+  ++stats->queries;
+  ++stats->hash_computations;  // the offset function
+  uint64_t offset = OffsetOf(key);
+  uint64_t min_value = ~0ull;
+  for (uint32_t row = 0; row < rows_; ++row) {
+    ++stats->hash_computations;
+    ++stats->memory_accesses;  // the pair shares one word window (§5.5)
+    size_t col = family_.Hash(row, key) % row_width_;
+    size_t cell = row * row_stride_ + col;
+    min_value = std::min({min_value, counters_.Get(cell),
+                          counters_.Get(cell + offset)});
+    if (min_value == 0) return 0;
+  }
+  return min_value;
+}
+
+}  // namespace shbf

@@ -1,0 +1,282 @@
+#include "shbf/shbf_association.h"
+
+#include <cmath>
+
+namespace shbf {
+
+Status ShbfAParams::Validate() const {
+  if (num_bits == 0) {
+    return Status::InvalidArgument("ShbfA: num_bits must be positive");
+  }
+  if (num_hashes == 0) {
+    return Status::InvalidArgument("ShbfA: num_hashes must be positive");
+  }
+  if (max_offset_span < 3 || max_offset_span > BitArray::kWindowBits) {
+    return Status::InvalidArgument("ShbfA: max_offset_span must be in [3, 57]");
+  }
+  if ((max_offset_span - 1) % 2 != 0) {
+    return Status::InvalidArgument(
+        "ShbfA: max_offset_span must be odd so (w̄−1)/2 is exact");
+  }
+  return Status::Ok();
+}
+
+ShbfAParams ShbfAParams::Optimal(size_t n1, size_t n2, size_t n_intersection,
+                                 uint32_t num_hashes) {
+  SHBF_CHECK(n1 > 0 && n2 > 0 && num_hashes > 0);
+  SHBF_CHECK(n_intersection <= n1 && n_intersection <= n2);
+  ShbfAParams p;
+  // m = n'·k / ln 2 with n' = |S1 ∪ S2| = n1 + n2 − n3 (Table 2).
+  double n_union = static_cast<double>(n1 + n2 - n_intersection);
+  p.num_bits = static_cast<size_t>(std::ceil(n_union * num_hashes / std::log(2.0)));
+  p.num_hashes = num_hashes;
+  return p;
+}
+
+ShbfA::ShbfA(const ShbfAParams& params)
+    : family_(params.hash_algorithm, params.num_hashes + 2, params.seed),
+      num_hashes_(params.num_hashes),
+      max_offset_span_(params.max_offset_span),
+      half_span_((params.max_offset_span - 1) / 2),
+      // o2 can reach w̄ − 1, so shifted writes may land that far past m − 1
+      // (the paper appends w̄ − 2 bits; we keep a full span for the window).
+      bits_(params.num_bits, /*slack_bits=*/params.max_offset_span) {
+  CheckOk(params.Validate());
+}
+
+ShbfA::Offsets ShbfA::OffsetsOf(std::string_view key) const {
+  uint64_t o1 = family_.Hash(num_hashes_, key) % half_span_ + 1;
+  uint64_t o2 = o1 + family_.Hash(num_hashes_ + 1, key) % half_span_ + 1;
+  return {o1, o2};
+}
+
+void ShbfA::AddWithOffset(std::string_view key, uint64_t offset) {
+  const size_t m = bits_.num_bits();
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    bits_.SetBit(family_.Hash(i, key) % m + offset);
+  }
+}
+
+void ShbfA::Build(const std::vector<std::string>& s1,
+                  const std::vector<std::string>& s2) {
+  // §4.1: hash tables T1/T2 classify every element into its case.
+  ChainedHashTable t1;
+  ChainedHashTable t2;
+  for (const std::string& e : s1) t1.Insert(e, 0);
+  for (const std::string& e : s2) t2.Insert(e, 0);
+
+  // Elements of S1: offset 0 if exclusive, o1 if shared.
+  t1.ForEach([&](std::string_view key, uint64_t) {
+    uint64_t offset = t2.Contains(key) ? OffsetsOf(key).o1 : 0;
+    AddWithOffset(key, offset);
+  });
+  // Elements of S2 \ S1: offset o2. Shared elements are already stored.
+  t2.ForEach([&](std::string_view key, uint64_t) {
+    if (!t1.Contains(key)) AddWithOffset(key, OffsetsOf(key).o2);
+  });
+}
+
+AssociationOutcome ShbfA::Decode(bool s1_only, bool both, bool s2_only) {
+  // The seven outcomes of §4.2, in the paper's numbering.
+  if (s1_only && !both && !s2_only) return AssociationOutcome::kS1Only;
+  if (!s1_only && both && !s2_only) return AssociationOutcome::kIntersection;
+  if (!s1_only && !both && s2_only) return AssociationOutcome::kS2Only;
+  if (s1_only && both && !s2_only) return AssociationOutcome::kS1UnsureS2;
+  if (!s1_only && both && s2_only) return AssociationOutcome::kS2UnsureS1;
+  if (s1_only && !both && s2_only) return AssociationOutcome::kExclusiveEither;
+  if (s1_only && both && s2_only) return AssociationOutcome::kUnknown;
+  return AssociationOutcome::kNotFound;
+}
+
+AssociationOutcome ShbfA::Query(std::string_view key) const {
+  const size_t m = bits_.num_bits();
+  Offsets off = OffsetsOf(key);
+  const uint64_t b0 = 1ull;
+  const uint64_t b1 = 1ull << off.o1;
+  const uint64_t b2 = 1ull << off.o2;
+  bool s1_only = true;
+  bool both = true;
+  bool s2_only = true;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    uint64_t window = bits_.LoadWindow(family_.Hash(i, key) % m);
+    s1_only = s1_only && (window & b0);
+    both = both && (window & b1);
+    s2_only = s2_only && (window & b2);
+    if (!s1_only && !both && !s2_only) break;  // every pattern already dead
+  }
+  return Decode(s1_only, both, s2_only);
+}
+
+AssociationOutcome ShbfA::QueryWithStats(std::string_view key,
+                                         QueryStats* stats) const {
+  const size_t m = bits_.num_bits();
+  ++stats->queries;
+  stats->hash_computations += 2;  // o1, o2
+  Offsets off = OffsetsOf(key);
+  const uint64_t b0 = 1ull;
+  const uint64_t b1 = 1ull << off.o1;
+  const uint64_t b2 = 1ull << off.o2;
+  bool s1_only = true;
+  bool both = true;
+  bool s2_only = true;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    ++stats->hash_computations;
+    ++stats->memory_accesses;  // all three bits share one window
+    uint64_t window = bits_.LoadWindow(family_.Hash(i, key) % m);
+    s1_only = s1_only && (window & b0);
+    both = both && (window & b1);
+    s2_only = s2_only && (window & b2);
+    if (!s1_only && !both && !s2_only) break;
+  }
+  return Decode(s1_only, both, s2_only);
+}
+
+std::string ShbfA::ToBytes() const {
+  ByteWriter writer;
+  serde::WriteHeader(&writer, serde::StructureTag::kShbfA);
+  writer.PutU64(bits_.num_bits());
+  writer.PutU32(num_hashes_);
+  writer.PutU32(max_offset_span_);
+  writer.PutU8(static_cast<uint8_t>(family_.algorithm()));
+  writer.PutU64(family_.master_seed());
+  bits_.AppendPayload(&writer);
+  return writer.Take();
+}
+
+Status ShbfA::FromBytes(std::string_view bytes, std::optional<ShbfA>* out) {
+  ByteReader reader(bytes);
+  Status header = serde::ReadHeader(&reader, serde::StructureTag::kShbfA);
+  if (!header.ok()) return header;
+  uint64_t num_bits = 0;
+  uint32_t num_hashes = 0;
+  uint32_t max_offset_span = 0;
+  uint8_t alg = 0;
+  uint64_t seed = 0;
+  if (!reader.GetU64(&num_bits) || !reader.GetU32(&num_hashes) ||
+      !reader.GetU32(&max_offset_span) || !reader.GetU8(&alg) ||
+      !reader.GetU64(&seed)) {
+    return Status::InvalidArgument("ShbfA: truncated parameter block");
+  }
+  if (alg > 3) return Status::InvalidArgument("ShbfA: unknown hash id");
+  ShbfAParams params{.num_bits = num_bits,
+                     .num_hashes = num_hashes,
+                     .max_offset_span = max_offset_span,
+                     .hash_algorithm = static_cast<HashAlgorithm>(alg),
+                     .seed = seed};
+  Status valid = params.Validate();
+  if (!valid.ok()) return valid;
+  out->emplace(params);
+  if (!(*out)->bits_.ReadPayload(&reader) || !reader.AtEnd()) {
+    out->reset();
+    return Status::InvalidArgument("ShbfA: payload size mismatch");
+  }
+  return Status::Ok();
+}
+
+// --- CountingShbfA -----------------------------------------------------------
+
+Status CountingShbfA::Params::Validate() const {
+  Status s = filter.Validate();
+  if (!s.ok()) return s;
+  if (counter_bits < 1 || counter_bits > 32) {
+    return Status::InvalidArgument(
+        "CountingShbfA: counter_bits must be in [1, 32]");
+  }
+  return Status::Ok();
+}
+
+CountingShbfA::CountingShbfA(const Params& params)
+    : filter_(params.filter),
+      counters_(params.filter.num_bits + params.filter.max_offset_span,
+                params.counter_bits) {
+  CheckOk(params.Validate());
+}
+
+uint64_t CountingShbfA::CurrentOffset(bool in_s1, bool in_s2,
+                                      std::string_view key) const {
+  SHBF_DCHECK(in_s1 || in_s2);
+  if (in_s1 && in_s2) return filter_.OffsetsOf(key).o1;
+  if (in_s1) return 0;
+  return filter_.OffsetsOf(key).o2;
+}
+
+void CountingShbfA::AddCells(std::string_view key, uint64_t offset) {
+  const size_t m = filter_.bits_.num_bits();
+  for (uint32_t i = 0; i < filter_.num_hashes_; ++i) {
+    size_t pos = filter_.family_.Hash(i, key) % m + offset;
+    counters_.Increment(pos);
+    filter_.bits_.SetBit(pos);
+  }
+}
+
+void CountingShbfA::RemoveCells(std::string_view key, uint64_t offset) {
+  const size_t m = filter_.bits_.num_bits();
+  for (uint32_t i = 0; i < filter_.num_hashes_; ++i) {
+    size_t pos = filter_.family_.Hash(i, key) % m + offset;
+    counters_.Decrement(pos);
+    if (counters_.Get(pos) == 0) filter_.bits_.ClearBit(pos);
+  }
+}
+
+void CountingShbfA::InsertS1(std::string_view key) {
+  if (t1_.Contains(key)) return;  // set semantics
+  bool in_s2 = t2_.Contains(key);
+  if (in_s2) {
+    // S2-only → intersection: migrate o2 → o1.
+    RemoveCells(key, filter_.OffsetsOf(key).o2);
+    AddCells(key, filter_.OffsetsOf(key).o1);
+  } else {
+    AddCells(key, 0);
+  }
+  t1_.Insert(key, 0);
+}
+
+void CountingShbfA::InsertS2(std::string_view key) {
+  if (t2_.Contains(key)) return;
+  bool in_s1 = t1_.Contains(key);
+  if (in_s1) {
+    // S1-only → intersection: migrate 0 → o1.
+    RemoveCells(key, 0);
+    AddCells(key, filter_.OffsetsOf(key).o1);
+  } else {
+    AddCells(key, filter_.OffsetsOf(key).o2);
+  }
+  t2_.Insert(key, 0);
+}
+
+bool CountingShbfA::DeleteS1(std::string_view key) {
+  if (!t1_.Contains(key)) return false;
+  bool in_s2 = t2_.Contains(key);
+  if (in_s2) {
+    // intersection → S2-only: migrate o1 → o2.
+    RemoveCells(key, filter_.OffsetsOf(key).o1);
+    AddCells(key, filter_.OffsetsOf(key).o2);
+  } else {
+    RemoveCells(key, 0);
+  }
+  t1_.Erase(key);
+  return true;
+}
+
+bool CountingShbfA::DeleteS2(std::string_view key) {
+  if (!t2_.Contains(key)) return false;
+  bool in_s1 = t1_.Contains(key);
+  if (in_s1) {
+    // intersection → S1-only: migrate o1 → 0.
+    RemoveCells(key, filter_.OffsetsOf(key).o1);
+    AddCells(key, 0);
+  } else {
+    RemoveCells(key, filter_.OffsetsOf(key).o2);
+  }
+  t2_.Erase(key);
+  return true;
+}
+
+bool CountingShbfA::SynchronizedWithCounters() const {
+  for (size_t i = 0; i < counters_.num_counters(); ++i) {
+    if ((counters_.Get(i) > 0) != filter_.bits_.GetBit(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace shbf

@@ -1,0 +1,81 @@
+#include "trace/flow_id.h"
+
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace shbf {
+
+namespace {
+
+void PutU32(std::string& out, uint32_t v) {
+  out.push_back(static_cast<char>(v >> 24));
+  out.push_back(static_cast<char>(v >> 16));
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v));
+}
+
+uint32_t GetU32(std::string_view key, size_t at) {
+  return (static_cast<uint32_t>(static_cast<uint8_t>(key[at])) << 24) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(key[at + 1])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(key[at + 2])) << 8) |
+         static_cast<uint32_t>(static_cast<uint8_t>(key[at + 3]));
+}
+
+uint16_t GetU16(std::string_view key, size_t at) {
+  return static_cast<uint16_t>(
+      (static_cast<uint16_t>(static_cast<uint8_t>(key[at])) << 8) |
+      static_cast<uint16_t>(static_cast<uint8_t>(key[at + 1])));
+}
+
+}  // namespace
+
+std::string FlowId::ToKey() const {
+  std::string key;
+  key.reserve(kKeyBytes);
+  PutU32(key, src_ip);
+  PutU16(key, src_port);
+  PutU32(key, dst_ip);
+  PutU16(key, dst_port);
+  key.push_back(static_cast<char>(protocol));
+  return key;
+}
+
+FlowId FlowId::FromKey(std::string_view key) {
+  SHBF_CHECK(key.size() == kKeyBytes)
+      << "flow key must be " << kKeyBytes << " bytes, got " << key.size();
+  FlowId flow;
+  flow.src_ip = GetU32(key, 0);
+  flow.src_port = GetU16(key, 4);
+  flow.dst_ip = GetU32(key, 6);
+  flow.dst_port = GetU16(key, 10);
+  flow.protocol = static_cast<uint8_t>(key[12]);
+  return flow;
+}
+
+std::string FlowId::ToString() const {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u -> %u.%u.%u.%u:%u proto=%u",
+                src_ip >> 24, (src_ip >> 16) & 255, (src_ip >> 8) & 255,
+                src_ip & 255, src_port, dst_ip >> 24, (dst_ip >> 16) & 255,
+                (dst_ip >> 8) & 255, dst_ip & 255, dst_port, protocol);
+  return buf;
+}
+
+FlowId FlowId::Random(Rng& rng) {
+  static constexpr uint8_t kProtocols[] = {6, 17, 1};  // TCP, UDP, ICMP
+  FlowId flow;
+  flow.src_ip = static_cast<uint32_t>(rng.Next());
+  flow.dst_ip = static_cast<uint32_t>(rng.Next());
+  flow.src_port = static_cast<uint16_t>(rng.Next());
+  flow.dst_port = static_cast<uint16_t>(rng.Next());
+  flow.protocol = kProtocols[rng.NextBelow(3)];
+  return flow;
+}
+
+}  // namespace shbf

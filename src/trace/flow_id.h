@@ -1,0 +1,45 @@
+// 5-tuple flow identifiers, matching the paper's trace format (§6.1): each
+// captured packet was reduced to a 13-byte string — source IP, source port,
+// destination IP, destination port, protocol — and that string is the set
+// element. Our synthetic traces use the identical representation so every
+// filter hashes keys of the same length and distribution class.
+
+#ifndef SHBF_TRACE_FLOW_ID_H_
+#define SHBF_TRACE_FLOW_ID_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/rng.h"
+
+namespace shbf {
+
+struct FlowId {
+  /// Packed key length: 4 + 2 + 4 + 2 + 1 bytes.
+  static constexpr size_t kKeyBytes = 13;
+
+  uint32_t src_ip = 0;
+  uint16_t src_port = 0;
+  uint32_t dst_ip = 0;
+  uint16_t dst_port = 0;
+  uint8_t protocol = 0;
+
+  bool operator==(const FlowId&) const = default;
+
+  /// Serializes to the paper's 13-byte string (big-endian fields).
+  std::string ToKey() const;
+
+  /// Parses a 13-byte key back into fields (CHECKs the length).
+  static FlowId FromKey(std::string_view key);
+
+  /// Human-readable "1.2.3.4:80 -> 5.6.7.8:443 proto=6".
+  std::string ToString() const;
+
+  /// Uniformly random flow (IPs and ports uniform; protocol TCP/UDP/ICMP).
+  static FlowId Random(Rng& rng);
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_TRACE_FLOW_ID_H_

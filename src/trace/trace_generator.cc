@@ -1,0 +1,58 @@
+#include "trace/trace_generator.h"
+
+#include <algorithm>
+
+#include "core/chained_hash_table.h"
+#include "core/check.h"
+#include "trace/zipf.h"
+
+namespace shbf {
+
+std::vector<std::string> TraceGenerator::DistinctFlowKeys(size_t count) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  ChainedHashTable seen(count * 2 + 16);
+  while (keys.size() < count) {
+    std::string key = FlowId::Random(rng_).ToKey();
+    if (seen.Insert(key, 0)) keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+std::vector<std::string> TraceGenerator::DistinctKeys(size_t count,
+                                                      size_t key_len) {
+  SHBF_CHECK(key_len >= 1);
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  ChainedHashTable seen(count * 2 + 16);
+  while (keys.size() < count) {
+    std::string key = rng_.NextBytes(key_len);
+    if (seen.Insert(key, 0)) keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+std::vector<std::string> TraceGenerator::PacketTrace(size_t num_packets,
+                                                     size_t num_flows,
+                                                     double zipf_alpha) {
+  SHBF_CHECK(num_packets >= num_flows)
+      << "every flow must appear at least once";
+  std::vector<std::string> flows = DistinctFlowKeys(num_flows);
+
+  std::vector<std::string> packets;
+  packets.reserve(num_packets);
+  // One packet per flow guarantees the distinct-flow count...
+  for (const std::string& flow : flows) packets.push_back(flow);
+  // ...then the popularity distribution fills the rest.
+  ZipfGenerator zipf(num_flows, zipf_alpha, rng_.Next());
+  for (size_t i = num_flows; i < num_packets; ++i) {
+    packets.push_back(flows[zipf.Next()]);
+  }
+  // Fisher–Yates: interleave arrivals like a real capture.
+  for (size_t i = packets.size(); i > 1; --i) {
+    std::swap(packets[i - 1], packets[rng_.NextBelow(i)]);
+  }
+  return packets;
+}
+
+}  // namespace shbf

@@ -1,0 +1,104 @@
+#include "trace/workload.h"
+
+#include "core/check.h"
+#include "core/rng.h"
+#include "trace/trace_generator.h"
+
+namespace shbf {
+
+MembershipWorkload MakeMembershipWorkload(size_t num_members,
+                                          size_t num_non_members,
+                                          uint64_t seed) {
+  TraceGenerator gen(seed);
+  // One draw of members + non-members: distinctness across the whole pool
+  // guarantees the negative queries are true negatives.
+  std::vector<std::string> pool =
+      gen.DistinctFlowKeys(num_members + num_non_members);
+  MembershipWorkload w;
+  w.members.assign(pool.begin(),
+                   pool.begin() + static_cast<ptrdiff_t>(num_members));
+  w.non_members.assign(pool.begin() + static_cast<ptrdiff_t>(num_members),
+                       pool.end());
+  return w;
+}
+
+AssociationWorkload MakeAssociationWorkload(size_t n1, size_t n2,
+                                            size_t n_intersection,
+                                            size_t num_queries,
+                                            uint64_t seed) {
+  SHBF_CHECK(n_intersection <= n1 && n_intersection <= n2);
+  SHBF_CHECK(n1 > n_intersection || n2 > n_intersection || n_intersection > 0)
+      << "the union must be non-empty";
+  TraceGenerator gen(seed);
+  size_t n_union = n1 + n2 - n_intersection;
+  std::vector<std::string> pool = gen.DistinctFlowKeys(n_union);
+
+  // Layout: [0, n3) intersection, [n3, n1) S1-only, [n1, n_union) S2-only.
+  const size_t s1_only_begin = n_intersection;
+  const size_t s2_only_begin = n1;
+
+  AssociationWorkload w;
+  w.s1.assign(pool.begin(), pool.begin() + static_cast<ptrdiff_t>(n1));
+  w.s2.reserve(n2);
+  w.s2.insert(w.s2.end(), pool.begin(),
+              pool.begin() + static_cast<ptrdiff_t>(n_intersection));
+  w.s2.insert(w.s2.end(), pool.begin() + static_cast<ptrdiff_t>(s2_only_begin),
+              pool.end());
+
+  // Query stream: uniform over the three parts, uniform within a part
+  // (§6.3.1: "the querying elements hit the three parts with the same
+  // probability"). Parts that are empty are excluded.
+  Rng rng(seed ^ 0x9d2c5680u);
+  std::vector<std::pair<AssociationTruth, std::pair<size_t, size_t>>> parts;
+  if (n1 > n_intersection) {
+    parts.push_back({AssociationTruth::kS1Only, {s1_only_begin, s2_only_begin}});
+  }
+  if (n_intersection > 0) {
+    parts.push_back({AssociationTruth::kIntersection, {0, n_intersection}});
+  }
+  if (n2 > n_intersection) {
+    parts.push_back({AssociationTruth::kS2Only, {s2_only_begin, n_union}});
+  }
+  SHBF_CHECK(!parts.empty());
+  w.queries.reserve(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const auto& [truth, range] = parts[rng.NextBelow(parts.size())];
+    size_t index = range.first + rng.NextBelow(range.second - range.first);
+    w.queries.push_back({pool[index], truth});
+  }
+  return w;
+}
+
+std::vector<std::string> MultiplicityWorkload::ToMultiset() const {
+  std::vector<std::string> multiset;
+  size_t total = 0;
+  for (uint32_t c : counts) total += c;
+  multiset.reserve(total);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (uint32_t r = 0; r < counts[i]; ++r) multiset.push_back(keys[i]);
+  }
+  return multiset;
+}
+
+MultiplicityWorkload MakeMultiplicityWorkload(size_t num_distinct,
+                                              uint32_t max_count,
+                                              size_t num_non_members,
+                                              uint64_t seed) {
+  SHBF_CHECK(max_count >= 1);
+  TraceGenerator gen(seed);
+  std::vector<std::string> pool =
+      gen.DistinctFlowKeys(num_distinct + num_non_members);
+  MultiplicityWorkload w;
+  w.keys.assign(pool.begin(),
+                pool.begin() + static_cast<ptrdiff_t>(num_distinct));
+  w.non_members.assign(pool.begin() + static_cast<ptrdiff_t>(num_distinct),
+                       pool.end());
+  Rng rng(seed ^ 0xb5297a4du);
+  w.counts.resize(num_distinct);
+  for (size_t i = 0; i < num_distinct; ++i) {
+    w.counts[i] = static_cast<uint32_t>(rng.NextBelow(max_count)) + 1;
+  }
+  return w;
+}
+
+}  // namespace shbf

@@ -1,0 +1,63 @@
+// Pre-packaged workloads for the three query families, shared by the tests,
+// examples and every figure bench. Each mirrors the corresponding setup in
+// the paper's §6 (member/non-member query mixes, uniformly-hit set parts,
+// bounded multiplicities).
+
+#ifndef SHBF_TRACE_WORKLOAD_H_
+#define SHBF_TRACE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/set_query_types.h"
+
+namespace shbf {
+
+/// Membership experiments (Figs 7–9): n members to insert and a disjoint
+/// pool of negatives to measure FPR / query cost on.
+struct MembershipWorkload {
+  std::vector<std::string> members;
+  std::vector<std::string> non_members;
+};
+
+MembershipWorkload MakeMembershipWorkload(size_t num_members,
+                                          size_t num_non_members,
+                                          uint64_t seed);
+
+/// Association experiments (Table 2, Fig 10): two overlapping sets plus a
+/// query stream hitting the three parts S1−S2, S1∩S2, S2−S1 with equal
+/// probability (§6.3.1), each query labelled with its ground truth.
+struct AssociationWorkload {
+  std::vector<std::string> s1;  ///< all of S1 (exclusive ∪ intersection)
+  std::vector<std::string> s2;  ///< all of S2
+  struct Query {
+    std::string key;
+    AssociationTruth truth;
+  };
+  std::vector<Query> queries;
+};
+
+AssociationWorkload MakeAssociationWorkload(size_t n1, size_t n2,
+                                            size_t n_intersection,
+                                            size_t num_queries, uint64_t seed);
+
+/// Multiplicity experiments (Fig 11): distinct elements with true counts in
+/// [1, max_count] (uniform), plus a disjoint pool of non-members.
+struct MultiplicityWorkload {
+  std::vector<std::string> keys;
+  std::vector<uint32_t> counts;  ///< counts[i] is the multiplicity of keys[i]
+  std::vector<std::string> non_members;
+
+  /// Expands to the flat multiset (each key repeated counts[i] times).
+  std::vector<std::string> ToMultiset() const;
+};
+
+MultiplicityWorkload MakeMultiplicityWorkload(size_t num_distinct,
+                                              uint32_t max_count,
+                                              size_t num_non_members,
+                                              uint64_t seed);
+
+}  // namespace shbf
+
+#endif  // SHBF_TRACE_WORKLOAD_H_

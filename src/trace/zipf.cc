@@ -1,0 +1,30 @@
+#include "trace/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace shbf {
+
+ZipfGenerator::ZipfGenerator(size_t num_items, double alpha, uint64_t seed)
+    : alpha_(alpha), rng_(seed) {
+  SHBF_CHECK(num_items > 0);
+  SHBF_CHECK(alpha >= 0.0);
+  cdf_.resize(num_items);
+  double total = 0.0;
+  for (size_t r = 0; r < num_items; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfGenerator::Next() {
+  double u = rng_.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace shbf

@@ -1,0 +1,34 @@
+// Zipf(α) rank sampler over n items, used to give synthetic traces the
+// heavy-tailed flow-size profile of real backbone traffic. α = 0 degenerates
+// to the uniform distribution.
+
+#ifndef SHBF_TRACE_ZIPF_H_
+#define SHBF_TRACE_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace shbf {
+
+class ZipfGenerator {
+ public:
+  /// P(rank = r) ∝ 1 / (r + 1)^alpha for r in [0, num_items).
+  ZipfGenerator(size_t num_items, double alpha, uint64_t seed);
+
+  /// Samples a rank in [0, num_items), rank 0 most popular.
+  size_t Next();
+
+  size_t num_items() const { return cdf_.size(); }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+  Rng rng_;
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_TRACE_ZIPF_H_

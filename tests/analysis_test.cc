@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/association_theory.h"
+#include "analysis/generalized_theory.h"
+#include "analysis/membership_theory.h"
+#include "analysis/multiplicity_theory.h"
+#include "analysis/numeric.h"
+
+namespace shbf {
+namespace {
+
+using namespace shbf::theory;  // NOLINT
+
+// --- numeric -------------------------------------------------------------------
+
+TEST(NumericTest, GoldenSectionFindsParabolaMinimum) {
+  double argmin = MinimizeGoldenSection(
+      [](double x) { return (x - 3.7) * (x - 3.7) + 2; }, -10, 10);
+  EXPECT_NEAR(argmin, 3.7, 1e-6);
+}
+
+TEST(NumericTest, GoldenSectionHandlesEdgeMinimum) {
+  double argmin = MinimizeGoldenSection([](double x) { return x; }, 0, 5);
+  EXPECT_NEAR(argmin, 0.0, 1e-6);
+}
+
+// --- membership (Eqs 1, 7, 8, 9) -------------------------------------------------
+
+TEST(MembershipTheoryTest, ZeroBitProbBasics) {
+  EXPECT_NEAR(ZeroBitProb(1000, 0, 5), 1.0, 1e-12);  // empty filter
+  EXPECT_NEAR(ZeroBitProb(1000, 1000, 1), std::exp(-1.0), 1e-12);
+}
+
+TEST(MembershipTheoryTest, BloomFprMatchesHandComputedValues) {
+  // m=100000, n=10000, k=7: p=e^{-0.7}, f=(1−p)^7 ≈ 0.00819.
+  EXPECT_NEAR(BloomFpr(100000, 10000, 7), 0.00819, 0.0001);
+}
+
+TEST(MembershipTheoryTest, BloomOptimalKAndMinFpr) {
+  EXPECT_NEAR(BloomOptimalK(100000, 10000), 6.931, 0.001);
+  // Eq (9): 0.6185^{m/n}.
+  EXPECT_NEAR(BloomMinFpr(100000, 10000), std::pow(0.6185, 10.0), 2e-5);
+  EXPECT_NEAR(BloomMinFprBase(), 0.6185, 0.0001);
+}
+
+TEST(MembershipTheoryTest, ShbfMFprApproachesBloomAsSpanGrows) {
+  // Fig 3: beyond w̄ ≈ 20 the curves coincide; in the limit they are equal.
+  double bloom = BloomFpr(100000, 10000, 8);
+  EXPECT_NEAR(ShbfMFpr(100000, 10000, 8, 1000000), bloom, 1e-6);
+  // At w̄ = 57 the excess is negligible (paper: "almost the same"; the
+  // measured gap at these parameters is ~2.6%).
+  EXPECT_NEAR(ShbfMFpr(100000, 10000, 8, 57), bloom, 0.04 * bloom);
+  // At tiny w̄ the penalty is visible.
+  EXPECT_GT(ShbfMFpr(100000, 10000, 8, 4), bloom);
+}
+
+TEST(MembershipTheoryTest, ShbfMFprDecreasesInSpan) {
+  double prev = ShbfMFpr(100000, 10000, 8, 3);
+  for (uint32_t span : {5u, 9u, 17u, 33u, 57u}) {
+    double f = ShbfMFpr(100000, 10000, 8, span);
+    EXPECT_LT(f, prev) << "span " << span;
+    prev = f;
+  }
+}
+
+TEST(MembershipTheoryTest, OptimalKMatchesPaperConstant) {
+  // §3.4.2: for w̄ = 57, k_opt = 0.7009·(m/n).
+  double k_opt = ShbfMOptimalK(100000, 10000, 57);
+  EXPECT_NEAR(k_opt, 0.7009 * 10.0, 0.01);
+}
+
+TEST(MembershipTheoryTest, MinFprBaseMatchesEq7) {
+  // Eq (7): f_min = 0.6204^{m/n} for w̄ = 57.
+  EXPECT_NEAR(ShbfMMinFprBase(57), 0.6204, 0.0005);
+  // And the ShBF_M minimum is (slightly) above the BF minimum: the paper's
+  // "negligible sacrifice".
+  double shbf_min = ShbfMMinFpr(100000, 10000, 57);
+  double bloom_min = BloomMinFpr(100000, 10000);
+  EXPECT_GT(shbf_min, bloom_min);
+  EXPECT_LT(shbf_min, 1.1 * bloom_min);
+}
+
+TEST(MembershipTheoryTest, FprIsUnimodalInK) {
+  // Sanity for the golden-section use: decreasing then increasing around
+  // the optimum.
+  double k_opt = ShbfMOptimalK(100000, 10000, 57);
+  double at_opt = ShbfMFpr(100000, 10000, k_opt, 57);
+  EXPECT_LT(at_opt, ShbfMFpr(100000, 10000, k_opt - 2, 57));
+  EXPECT_LT(at_opt, ShbfMFpr(100000, 10000, k_opt + 2, 57));
+}
+
+// --- generalized (Eqs 11/12) ----------------------------------------------------
+
+TEST(GeneralizedTheoryTest, TEquals1ReducesToEq1) {
+  for (double k : {4.0, 8.0, 12.0}) {
+    EXPECT_NEAR(GeneralizedShbfFpr(100000, 10000, k, 57, 1),
+                ShbfMFpr(100000, 10000, k, 57), 1e-12)
+        << "k=" << k;
+  }
+}
+
+TEST(GeneralizedTheoryTest, LargeSpanReducesToBloom) {
+  for (uint32_t t : {1u, 2u, 4u}) {
+    EXPECT_NEAR(GeneralizedShbfFpr(100000, 10000, 8, 10000000, t),
+                BloomFpr(100000, 10000, 8), 1e-5)
+        << "t=" << t;
+  }
+}
+
+TEST(GeneralizedTheoryTest, FprGrowsWithT) {
+  // More shifts pack more correlated bits into one window: FPR rises in t
+  // at fixed k, m, n, w̄.
+  double prev = GeneralizedShbfFpr(50000, 5000, 8, 57, 1);
+  for (uint32_t t : {2u, 4u, 7u}) {
+    double f = GeneralizedShbfFpr(50000, 5000, 8, 57, t);
+    EXPECT_GE(f, prev) << "t=" << t;
+    prev = f;
+  }
+}
+
+// --- association (Eq 25, Table 2) ----------------------------------------------
+
+TEST(AssociationTheoryTest, OutcomeProbabilitiesMatchPaperExample) {
+  // §4.4's worked example at k = 10.
+  EXPECT_NEAR(ShbfAOutcomeProb(1, 10), 0.998, 0.001);
+  EXPECT_NEAR(ShbfAOutcomeProb(4, 10), 9.756e-4, 1e-5);
+  EXPECT_NEAR(ShbfAOutcomeProb(7, 10), 9.54e-7, 1e-8);
+}
+
+TEST(AssociationTheoryTest, TotalProbabilityIsOne) {
+  // §4.4: P1 + 2·P4 + P7 = 1 (one combination each for the exclusive parts,
+  // two for the intersection).
+  for (double k : {2.0, 6.0, 10.0, 16.0}) {
+    double total = ShbfAOutcomeProb(1, k) + 2 * ShbfAOutcomeProb(4, k) +
+                   ShbfAOutcomeProb(7, k);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(AssociationTheoryTest, ClearAnswerComparisonMatchesTable2) {
+  // Table 2 / Fig 10(a): at k = 8, ShBF_A ≈ 99%, iBF ≈ 66%.
+  EXPECT_NEAR(ShbfAClearAnswerProb(8), 0.992, 0.001);
+  EXPECT_NEAR(IbfClearAnswerProb(8), 0.664, 0.001);
+  // The paper's headline: 1.47x higher probability of a clear answer.
+  EXPECT_NEAR(ShbfAClearAnswerProb(8) / IbfClearAnswerProb(8), 1.49, 0.05);
+}
+
+TEST(AssociationTheoryTest, GeneralFormConvergesToOptimalForm) {
+  // With m = n'·k/ln2 the general expression approaches (1 − 0.5^k)².
+  size_t n_union = 100000;
+  uint32_t k = 8;
+  size_t m = static_cast<size_t>(n_union * k / std::log(2.0));
+  EXPECT_NEAR(ShbfAClearAnswerProbGeneral(m, n_union, k),
+              ShbfAClearAnswerProb(k), 0.002);
+}
+
+TEST(AssociationTheoryTest, IbfGeneralFormUsesBothFprs) {
+  EXPECT_NEAR(IbfClearAnswerProbGeneral(0.0, 0.0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(IbfClearAnswerProbGeneral(1.0, 1.0), 0.0, 1e-12);
+}
+
+// --- multiplicity (Eqs 26–28) ----------------------------------------------------
+
+TEST(MultiplicityTheoryTest, FalseCandidateProbMatchesBloomForm) {
+  EXPECT_NEAR(FalseCandidateProb(100000, 10000, 7),
+              BloomFpr(100000, 10000, 7), 1e-12);
+}
+
+TEST(MultiplicityTheoryTest, NonMemberCorrectnessDecaysWithC) {
+  double cr10 = CorrectnessRateNonMember(200000, 10000, 8, 10);
+  double cr57 = CorrectnessRateNonMember(200000, 10000, 8, 57);
+  EXPECT_GT(cr10, cr57);
+  EXPECT_GT(cr57, 0.0);
+  EXPECT_LT(cr57, 1.0);
+}
+
+TEST(MultiplicityTheoryTest, MemberCorrectnessBoundaries) {
+  // j = 1: no positions below the truth can be spurious ⇒ CR' = 1.
+  EXPECT_DOUBLE_EQ(CorrectnessRateMember(100000, 10000, 8, 1), 1.0);
+  // Largest-policy mirror: j = c ⇒ CR = 1.
+  EXPECT_DOUBLE_EQ(CorrectnessRateMemberLargest(100000, 10000, 8, 57, 57),
+                   1.0);
+  // Monotone in j (for the smallest policy: larger true count exposes more
+  // spurious slots below it).
+  EXPECT_GT(CorrectnessRateMember(100000, 10000, 8, 2),
+            CorrectnessRateMember(100000, 10000, 8, 30));
+}
+
+TEST(MultiplicityTheoryTest, UniformAverageLiesBetweenExtremes) {
+  double avg = ExpectedCorrectnessRateUniform(200000, 10000, 8, 57);
+  EXPECT_LT(avg, CorrectnessRateMember(200000, 10000, 8, 1));
+  EXPECT_GT(avg, CorrectnessRateMember(200000, 10000, 8, 57));
+}
+
+TEST(MultiplicityTheoryTest, MoreMemoryImprovesCorrectness) {
+  double tight = ExpectedCorrectnessRateUniform(100000, 10000, 8, 57);
+  double roomy = ExpectedCorrectnessRateUniform(400000, 10000, 8, 57);
+  EXPECT_GT(roomy, tight);
+}
+
+}  // namespace
+}  // namespace shbf

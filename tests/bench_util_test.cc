@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "bench_util/csv.h"
+#include "bench_util/table.h"
+#include "bench_util/timer.h"
+
+namespace shbf {
+namespace {
+
+// --- TablePrinter --------------------------------------------------------------
+
+TEST(TablePrinterTest, AlignsColumnsAndDrawsRule) {
+  TablePrinter table({"k", "value"});
+  table.AddRow({"1", "short"});
+  table.AddRow({"100", "x"});
+  std::string out = table.ToString();
+  EXPECT_EQ(out,
+            "k    value\n"
+            "----------\n"
+            "1    short\n"
+            "100  x\n");
+}
+
+TEST(TablePrinterTest, MissingCellsRenderEmptyExtrasDropped) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1"});
+  table.AddRow({"1", "2", "3"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("1  2"), std::string::npos);
+  EXPECT_EQ(out.find("3"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumAndSciFormatting) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Sci(0.000123, 2), "1.23e-04");
+}
+
+// --- CsvWriter -----------------------------------------------------------------
+
+TEST(CsvWriterTest, WritesHeaderAndEscapedRows) {
+  std::string path = ::testing::TempDir() + "/shbf_csv_test.csv";
+  {
+    CsvWriter csv;
+    ASSERT_TRUE(CsvWriter::Open(path, {"k", "name"}, &csv).ok());
+    csv.AddRow({"1", "plain"});
+    csv.AddRow({"2", "with,comma"});
+    csv.AddRow({"3", "with\"quote"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,name");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,plain");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,\"with,comma\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,\"with\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, OpenFailsOnBadPath) {
+  CsvWriter csv;
+  EXPECT_FALSE(
+      CsvWriter::Open("/nonexistent-dir/x.csv", {"a"}, &csv).ok());
+}
+
+// --- timers ---------------------------------------------------------------------
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  volatile uint64_t spin = 0;
+  for (int i = 0; i < 2000000; ++i) spin += i;
+  double elapsed = timer.ElapsedSeconds();
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_LT(elapsed, 10.0);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), elapsed + 1.0);
+}
+
+TEST(MopsTest, ComputesMillionsPerSecond) {
+  EXPECT_DOUBLE_EQ(Mops(2000000, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(Mops(500000, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Mops(100, 0.0), 0.0);  // guards divide-by-zero
+}
+
+}  // namespace
+}  // namespace shbf

@@ -1,0 +1,137 @@
+#include "core/bit_array.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace shbf {
+namespace {
+
+TEST(BitArrayTest, StartsAllZero) {
+  BitArray bits(1000);
+  for (size_t i = 0; i < bits.total_bits(); ++i) {
+    EXPECT_FALSE(bits.GetBit(i)) << "bit " << i;
+  }
+  EXPECT_EQ(bits.CountOnes(), 0u);
+  EXPECT_DOUBLE_EQ(bits.FillRatio(), 0.0);
+}
+
+TEST(BitArrayTest, SetGetClearSingleBit) {
+  BitArray bits(128, /*slack_bits=*/0);
+  bits.SetBit(77);
+  EXPECT_TRUE(bits.GetBit(77));
+  EXPECT_FALSE(bits.GetBit(76));
+  EXPECT_FALSE(bits.GetBit(78));
+  bits.ClearBit(77);
+  EXPECT_FALSE(bits.GetBit(77));
+}
+
+TEST(BitArrayTest, SetBitIsIdempotent) {
+  BitArray bits(64, 0);
+  bits.SetBit(10);
+  bits.SetBit(10);
+  EXPECT_EQ(bits.CountOnes(), 1u);
+}
+
+TEST(BitArrayTest, GeometryAccessors) {
+  BitArray bits(1000, 57);
+  EXPECT_EQ(bits.num_bits(), 1000u);
+  EXPECT_EQ(bits.total_bits(), 1057u);
+  // ceil(1057 / 8) + 8 guard bytes.
+  EXPECT_EQ(bits.allocated_bytes(), 133u + 8u);
+}
+
+TEST(BitArrayTest, SlackBitsAreWritable) {
+  BitArray bits(100, 57);
+  // The shifted-write region beyond the logical size must accept bits.
+  bits.SetBit(100 + 56);
+  EXPECT_TRUE(bits.GetBit(156));
+  EXPECT_EQ(bits.CountOnes(), 1u);
+}
+
+TEST(BitArrayTest, CountOnesAndFillRatio) {
+  BitArray bits(100, 0);
+  for (size_t i = 0; i < 100; i += 2) bits.SetBit(i);
+  EXPECT_EQ(bits.CountOnes(), 50u);
+  EXPECT_DOUBLE_EQ(bits.FillRatio(), 0.5);
+}
+
+TEST(BitArrayTest, ClearZeroesEverything) {
+  BitArray bits(500);
+  for (size_t i = 0; i < 500; i += 7) bits.SetBit(i);
+  ASSERT_GT(bits.CountOnes(), 0u);
+  bits.Clear();
+  EXPECT_EQ(bits.CountOnes(), 0u);
+}
+
+TEST(BitArrayTest, WindowConstantsMatchPaper) {
+  // w̄ = w − 7 (§3.1): the window must deliver at least 57 bits on 64-bit
+  // machines regardless of starting alignment.
+  EXPECT_EQ(BitArray::kWindowBits, 57u);
+  EXPECT_EQ(kDefaultMaxOffsetSpan, 57u);
+}
+
+TEST(BitArrayTest, LoadWindowMatchesGetBitAtEveryAlignment) {
+  // Property: for any start position (all 8 byte-alignments covered), bit i
+  // of LoadWindow(pos) equals GetBit(pos + i) for i < kWindowBits.
+  BitArray bits(512, 64);
+  Rng rng(42);
+  for (int setbits = 0; setbits < 200; ++setbits) {
+    bits.SetBit(rng.NextBelow(512 + 57));
+  }
+  for (size_t pos = 0; pos < 512; ++pos) {
+    uint64_t window = bits.LoadWindow(pos);
+    for (uint32_t i = 0; i < BitArray::kWindowBits; ++i) {
+      ASSERT_EQ((window >> i) & 1u, bits.GetBit(pos + i) ? 1u : 0u)
+          << "pos=" << pos << " i=" << i;
+    }
+  }
+}
+
+TEST(BitArrayTest, LoadWindowAtFinalBitIsSafe) {
+  BitArray bits(64, 0);
+  bits.SetBit(63);
+  // Reading a window at the very last logical bit must not crash (guard
+  // bytes) and must report the bit.
+  EXPECT_EQ(bits.LoadWindow(63) & 1u, 1u);
+}
+
+TEST(BitArrayTest, PairReadWithinOneWindow) {
+  // The paper's core trick: base and base+o visible in one load for o <= 56.
+  BitArray bits(10000, 57);
+  size_t base = 4321;
+  for (uint64_t offset = 1; offset <= 56; ++offset) {
+    bits.Clear();
+    bits.SetBit(base);
+    bits.SetBit(base + offset);
+    uint64_t need = 1ull | (1ull << offset);
+    EXPECT_EQ(bits.LoadWindow(base) & need, need) << "offset " << offset;
+  }
+}
+
+class BitArraySizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitArraySizeTest, RandomSetThenVerifyAll) {
+  size_t num_bits = GetParam();
+  BitArray bits(num_bits, 57);
+  Rng rng(1234 + num_bits);
+  std::vector<bool> shadow(bits.total_bits(), false);
+  for (size_t i = 0; i < num_bits / 2; ++i) {
+    size_t pos = rng.NextBelow(bits.total_bits());
+    bits.SetBit(pos);
+    shadow[pos] = true;
+  }
+  size_t expected_ones = 0;
+  for (size_t pos = 0; pos < bits.total_bits(); ++pos) {
+    ASSERT_EQ(bits.GetBit(pos), shadow[pos]) << "pos " << pos;
+    expected_ones += shadow[pos] ? 1 : 0;
+  }
+  EXPECT_EQ(bits.CountOnes(), expected_ones);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitArraySizeTest,
+                         ::testing::Values(1, 7, 8, 9, 63, 64, 65, 1000, 4096,
+                                           100003));
+
+}  // namespace
+}  // namespace shbf

@@ -1,0 +1,147 @@
+#include "core/chained_hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/rng.h"
+
+namespace shbf {
+namespace {
+
+TEST(ChainedHashTableTest, EmptyTable) {
+  ChainedHashTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.Contains("missing"));
+  EXPECT_EQ(table.Find("missing"), nullptr);
+}
+
+TEST(ChainedHashTableTest, InsertAndFind) {
+  ChainedHashTable table;
+  EXPECT_TRUE(table.Insert("alpha", 1));
+  EXPECT_TRUE(table.Insert("beta", 2));
+  EXPECT_EQ(table.size(), 2u);
+  ASSERT_NE(table.Find("alpha"), nullptr);
+  EXPECT_EQ(*table.Find("alpha"), 1u);
+  EXPECT_EQ(*table.Find("beta"), 2u);
+}
+
+TEST(ChainedHashTableTest, InsertDuplicateKeepsOriginal) {
+  ChainedHashTable table;
+  EXPECT_TRUE(table.Insert("key", 10));
+  EXPECT_FALSE(table.Insert("key", 99));
+  EXPECT_EQ(*table.Find("key"), 10u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(ChainedHashTableTest, UpsertOverwrites) {
+  ChainedHashTable table;
+  table.Upsert("key", 10);
+  table.Upsert("key", 99);
+  EXPECT_EQ(*table.Find("key"), 99u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(ChainedHashTableTest, AddToAccumulates) {
+  ChainedHashTable table;
+  EXPECT_EQ(table.AddTo("flow", 1), 1u);
+  EXPECT_EQ(table.AddTo("flow", 1), 2u);
+  EXPECT_EQ(table.AddTo("flow", 5), 7u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(ChainedHashTableTest, EraseRemoves) {
+  ChainedHashTable table;
+  table.Insert("a", 1);
+  table.Insert("b", 2);
+  EXPECT_TRUE(table.Erase("a"));
+  EXPECT_FALSE(table.Contains("a"));
+  EXPECT_TRUE(table.Contains("b"));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_FALSE(table.Erase("a"));  // already gone
+}
+
+TEST(ChainedHashTableTest, BinaryKeysWithEmbeddedNulAndEmptyKey) {
+  ChainedHashTable table;
+  std::string key1("\0\0x", 3);
+  std::string key2("\0\0y", 3);
+  table.Insert(key1, 1);
+  table.Insert(key2, 2);
+  table.Insert("", 3);
+  EXPECT_EQ(*table.Find(key1), 1u);
+  EXPECT_EQ(*table.Find(key2), 2u);
+  EXPECT_EQ(*table.Find(""), 3u);
+}
+
+TEST(ChainedHashTableTest, GrowsPastInitialBuckets) {
+  ChainedHashTable table(4);
+  for (int i = 0; i < 1000; ++i) {
+    table.Insert("key" + std::to_string(i), static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(table.size(), 1000u);
+  EXPECT_GT(table.bucket_count(), 4u);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_NE(table.Find("key" + std::to_string(i)), nullptr) << i;
+    EXPECT_EQ(*table.Find("key" + std::to_string(i)),
+              static_cast<uint64_t>(i));
+  }
+  // Resize at load factor 1 keeps chains short.
+  EXPECT_LE(table.MaxChainLength(), 8u);
+}
+
+TEST(ChainedHashTableTest, ForEachVisitsEveryEntryOnce) {
+  ChainedHashTable table;
+  for (int i = 0; i < 100; ++i) {
+    table.Insert("k" + std::to_string(i), static_cast<uint64_t>(i));
+  }
+  std::set<std::string> seen;
+  uint64_t value_sum = 0;
+  table.ForEach([&](std::string_view key, uint64_t value) {
+    EXPECT_TRUE(seen.insert(std::string(key)).second) << "duplicate " << key;
+    value_sum += value;
+  });
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(value_sum, 99u * 100u / 2);
+}
+
+TEST(ChainedHashTableTest, MoveConstructionTransfersEntries) {
+  ChainedHashTable source;
+  source.Insert("x", 7);
+  ChainedHashTable dest(std::move(source));
+  EXPECT_EQ(*dest.Find("x"), 7u);
+  EXPECT_EQ(dest.size(), 1u);
+  EXPECT_EQ(source.size(), 0u);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(ChainedHashTableTest, MoveAssignmentReplacesContents) {
+  ChainedHashTable a;
+  a.Insert("old", 1);
+  ChainedHashTable b;
+  b.Insert("new", 2);
+  a = std::move(b);
+  EXPECT_FALSE(a.Contains("old"));
+  EXPECT_EQ(*a.Find("new"), 2u);
+}
+
+TEST(ChainedHashTableTest, RandomInsertEraseAgainstReference) {
+  ChainedHashTable table;
+  std::set<std::string> reference;
+  Rng rng(2024);
+  for (int step = 0; step < 20000; ++step) {
+    std::string key = "k" + std::to_string(rng.NextBelow(500));
+    if (rng.Next() & 1) {
+      EXPECT_EQ(table.Insert(key, 0), reference.insert(key).second);
+    } else {
+      EXPECT_EQ(table.Erase(key), reference.erase(key) > 0);
+    }
+  }
+  EXPECT_EQ(table.size(), reference.size());
+  for (const std::string& key : reference) {
+    EXPECT_TRUE(table.Contains(key)) << key;
+  }
+}
+
+}  // namespace
+}  // namespace shbf

@@ -1,0 +1,120 @@
+#include "baselines/cm_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/workload.h"
+
+namespace shbf {
+namespace {
+
+CmSketch::Params BaseParams(bool conservative = false) {
+  return {.depth = 4,
+          .width = 4000,
+          .counter_bits = 16,
+          .conservative_update = conservative};
+}
+
+TEST(CmSketchTest, ParamsValidation) {
+  auto p = BaseParams();
+  EXPECT_TRUE(p.Validate().ok());
+  p.depth = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = BaseParams();
+  p.width = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = BaseParams();
+  p.counter_bits = 0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(CmSketchTest, AbsentKeyUsuallyZeroInSparseSketch) {
+  CmSketch cm(BaseParams());
+  cm.Insert("only-key");
+  EXPECT_EQ(cm.QueryCount("some-other-key"), 0u);
+}
+
+TEST(CmSketchTest, SingleKeyExact) {
+  CmSketch cm(BaseParams());
+  for (int i = 0; i < 9; ++i) cm.Insert("flow");
+  EXPECT_EQ(cm.QueryCount("flow"), 9u);
+}
+
+class CmSketchModeTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CmSketchModeTest, NeverUnderestimates) {
+  auto w = MakeMultiplicityWorkload(5000, 25, 0, 61);
+  CmSketch cm(BaseParams(GetParam()));
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    for (uint32_t r = 0; r < w.counts[i]; ++r) cm.Insert(w.keys[i]);
+  }
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    ASSERT_GE(cm.QueryCount(w.keys[i]), w.counts[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, CmSketchModeTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "conservative" : "plain";
+                         });
+
+TEST(CmSketchTest, ConservativeUpdateIsAtLeastAsAccurate) {
+  auto w = MakeMultiplicityWorkload(8000, 20, 0, 67);
+  CmSketch plain(BaseParams(false));
+  CmSketch conservative(BaseParams(true));
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    for (uint32_t r = 0; r < w.counts[i]; ++r) {
+      plain.Insert(w.keys[i]);
+      conservative.Insert(w.keys[i]);
+    }
+  }
+  uint64_t error_plain = 0;
+  uint64_t error_cons = 0;
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    error_plain += plain.QueryCount(w.keys[i]) - w.counts[i];
+    error_cons += conservative.QueryCount(w.keys[i]) - w.counts[i];
+  }
+  EXPECT_LE(error_cons, error_plain);
+}
+
+TEST(CmSketchTest, ErrorBoundedByClassicGuarantee) {
+  // CM guarantee: estimate <= true + ε·N w.p. 1 − δ, ε = e/width. Check the
+  // aggregate: the average overestimate should be well under e/width · N.
+  auto w = MakeMultiplicityWorkload(10000, 10, 0, 71);
+  CmSketch cm(BaseParams());
+  uint64_t total = 0;
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    for (uint32_t r = 0; r < w.counts[i]; ++r) cm.Insert(w.keys[i]);
+    total += w.counts[i];
+  }
+  double over_sum = 0;
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    over_sum += static_cast<double>(cm.QueryCount(w.keys[i]) - w.counts[i]);
+  }
+  double avg_over = over_sum / w.keys.size();
+  double epsilon_n = 2.718281828 / BaseParams().width * total;
+  EXPECT_LE(avg_over, epsilon_n);
+}
+
+TEST(CmSketchTest, StatsCountDepthAccesses) {
+  CmSketch cm(BaseParams());
+  cm.Insert("member");
+  QueryStats stats;
+  cm.QueryCountWithStats("member", &stats);
+  EXPECT_EQ(stats.memory_accesses, 4u);  // d rows
+  EXPECT_EQ(stats.hash_computations, 4u);
+}
+
+TEST(CmSketchTest, MemoryBitsReflectsGeometry) {
+  CmSketch cm(BaseParams());
+  EXPECT_EQ(cm.memory_bits(), 4u * 4000u * 16u);
+}
+
+TEST(CmSketchTest, ClearResets) {
+  CmSketch cm(BaseParams());
+  cm.Insert("x");
+  cm.Clear();
+  EXPECT_EQ(cm.QueryCount("x"), 0u);
+}
+
+}  // namespace
+}  // namespace shbf

@@ -1,0 +1,140 @@
+#include "shbf/counting_shbf_membership.h"
+
+#include <gtest/gtest.h>
+
+#include "shbf/shbf_membership.h"
+#include "trace/workload.h"
+
+namespace shbf {
+namespace {
+
+CountingShbfM::Params BaseParams() {
+  return {.num_bits = 20000, .num_hashes = 8, .counter_bits = 8};
+}
+
+TEST(CountingShbfMTest, ParamsValidation) {
+  auto p = BaseParams();
+  EXPECT_TRUE(p.Validate().ok());
+  p.num_hashes = 5;
+  EXPECT_FALSE(p.Validate().ok());
+  p = BaseParams();
+  p.counter_bits = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = BaseParams();
+  p.max_offset_span = 100;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(CountingShbfMTest, InsertThenContains) {
+  CountingShbfM filter(BaseParams());
+  auto w = MakeMembershipWorkload(1000, 0, 3);
+  for (const auto& key : w.members) filter.Insert(key);
+  for (const auto& key : w.members) ASSERT_TRUE(filter.Contains(key));
+}
+
+TEST(CountingShbfMTest, DeleteRestoresEmptyState) {
+  CountingShbfM filter(BaseParams());
+  auto w = MakeMembershipWorkload(1000, 0, 5);
+  for (const auto& key : w.members) filter.Insert(key);
+  for (const auto& key : w.members) filter.Delete(key);
+  for (const auto& key : w.members) EXPECT_FALSE(filter.Contains(key));
+  EXPECT_EQ(filter.bits().CountOnes(), 0u);
+  EXPECT_EQ(filter.counters().CountZero(), filter.counters().num_counters());
+}
+
+TEST(CountingShbfMTest, DeleteOneKeepsOthers) {
+  CountingShbfM filter(BaseParams());
+  filter.Insert("keep");
+  filter.Insert("drop");
+  filter.Delete("drop");
+  EXPECT_TRUE(filter.Contains("keep"));
+  EXPECT_FALSE(filter.Contains("drop"));
+}
+
+TEST(CountingShbfMTest, MultisetInsertDeleteSequence) {
+  CountingShbfM filter(BaseParams());
+  filter.Insert("dup");
+  filter.Insert("dup");
+  filter.Delete("dup");
+  EXPECT_TRUE(filter.Contains("dup"));
+  filter.Delete("dup");
+  EXPECT_FALSE(filter.Contains("dup"));
+}
+
+TEST(CountingShbfMTest, BitArrayStaysSynchronizedUnderChurn) {
+  // §3.3: "after each update, we synchronize array C with array B". The
+  // invariant must hold at every point of an insert/delete storm.
+  CountingShbfM filter(BaseParams());
+  auto w = MakeMembershipWorkload(300, 0, 7);
+  for (size_t round = 0; round < 3; ++round) {
+    for (const auto& key : w.members) filter.Insert(key);
+    ASSERT_TRUE(filter.SynchronizedWithCounters());
+    for (size_t i = 0; i < w.members.size(); i += 2) {
+      filter.Delete(w.members[i]);
+    }
+    ASSERT_TRUE(filter.SynchronizedWithCounters());
+    for (size_t i = 0; i < w.members.size(); i += 2) {
+      filter.Insert(w.members[i]);
+    }
+    for (const auto& key : w.members) filter.Delete(key);
+    ASSERT_TRUE(filter.SynchronizedWithCounters());
+  }
+}
+
+TEST(CountingShbfMTest, MatchesPlainShbfMAfterSameInserts) {
+  // With identical seed/geometry, the projected bit array must equal the
+  // plain filter's, so queries agree bit-for-bit.
+  auto w = MakeMembershipWorkload(1000, 20000, 9);
+  ShbfM plain({.num_bits = 20000, .num_hashes = 8, .seed = 99});
+  CountingShbfM counting(
+      {.num_bits = 20000, .num_hashes = 8, .counter_bits = 8, .seed = 99});
+  for (const auto& key : w.members) {
+    plain.Add(key);
+    counting.Insert(key);
+  }
+  for (const auto& key : w.members) {
+    ASSERT_EQ(plain.Contains(key), counting.Contains(key));
+  }
+  for (const auto& key : w.non_members) {
+    ASSERT_EQ(plain.Contains(key), counting.Contains(key)) << "FP mismatch";
+  }
+}
+
+TEST(CountingShbfMTest, QueryCostMatchesShbfM) {
+  CountingShbfM filter(BaseParams());
+  filter.Insert("member");
+  QueryStats stats;
+  filter.ContainsWithStats("member", &stats);
+  EXPECT_EQ(stats.memory_accesses, 4u);      // k/2
+  EXPECT_EQ(stats.hash_computations, 5u);    // k/2 + 1
+}
+
+TEST(CountingShbfMTest, OneAccessUpdateSpanFollowsSection33) {
+  // w̄ <= (w − 7)/z: 4-bit counters → 14, 8-bit → 7, 1-bit → 57.
+  EXPECT_EQ(CountingShbfM::OneAccessUpdateOffsetSpan(4), 14u);
+  EXPECT_EQ(CountingShbfM::OneAccessUpdateOffsetSpan(8), 7u);
+  EXPECT_EQ(CountingShbfM::OneAccessUpdateOffsetSpan(1), 57u);
+  // Extremely wide counters still yield a usable (nonzero-offset) span.
+  EXPECT_EQ(CountingShbfM::OneAccessUpdateOffsetSpan(32), 2u);
+}
+
+TEST(CountingShbfMTest, UpdateOptimizedSpanStillRoundTrips) {
+  CountingShbfM filter(
+      {.num_bits = 20000,
+       .num_hashes = 8,
+       .counter_bits = 4,
+       .max_offset_span = CountingShbfM::OneAccessUpdateOffsetSpan(4)});
+  auto w = MakeMembershipWorkload(800, 0, 11);
+  for (const auto& key : w.members) filter.Insert(key);
+  for (const auto& key : w.members) ASSERT_TRUE(filter.Contains(key));
+  for (const auto& key : w.members) filter.Delete(key);
+  EXPECT_EQ(filter.bits().CountOnes(), 0u);
+}
+
+TEST(CountingShbfMDeathTest, DeletingAbsentKeyUnderflows) {
+  CountingShbfM filter(BaseParams());
+  EXPECT_DEATH(filter.Delete("never"), "underflow");
+}
+
+}  // namespace
+}  // namespace shbf

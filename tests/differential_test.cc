@@ -1,0 +1,277 @@
+// Differential tests: every membership structure is driven with the same
+// randomized operation streams across many seeds and checked against an
+// exact reference set. This is the strongest no-false-negative guarantee in
+// the suite — whatever the op interleaving, a present element is never
+// denied — plus FPR sanity at the end of each stream.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baselines/bloom_filter.h"
+#include "baselines/counting_bloom_filter.h"
+#include "baselines/cuckoo_filter.h"
+#include "baselines/km_bloom_filter.h"
+#include "baselines/one_mem_bf.h"
+#include "core/chained_hash_table.h"
+#include "core/rng.h"
+#include "shbf/counting_shbf_membership.h"
+#include "shbf/generalized_shbf.h"
+#include "shbf/shbf_association.h"
+#include "shbf/shbf_membership.h"
+#include "shbf/shbf_multiplicity.h"
+#include "trace/trace_generator.h"
+
+namespace shbf {
+namespace {
+
+constexpr size_t kUniverse = 4000;
+constexpr size_t kOps = 20000;
+
+std::vector<std::string> Universe(uint64_t seed) {
+  TraceGenerator gen(seed);
+  return gen.DistinctFlowKeys(kUniverse);
+}
+
+// Insert-only structures: random inserts interleaved with queries.
+template <typename Filter, typename AddFn>
+void RunInsertOnlyDifferential(Filter& filter, AddFn add, uint64_t seed) {
+  auto universe = Universe(seed);
+  std::set<std::string> reference;
+  Rng rng(seed ^ 0xd1ff);
+  for (size_t op = 0; op < kOps; ++op) {
+    const std::string& key = universe[rng.NextBelow(kUniverse)];
+    if (rng.NextBelow(3) == 0) {
+      add(filter, key);
+      reference.insert(key);
+    } else if (reference.count(key)) {
+      // Present elements must always be reported present.
+      ASSERT_TRUE(filter.Contains(key)) << "false negative at op " << op;
+    }
+  }
+  // End-of-stream FPR sanity: absent elements mostly read absent.
+  size_t false_positives = 0;
+  size_t absent = 0;
+  for (const auto& key : universe) {
+    if (!reference.count(key)) {
+      ++absent;
+      false_positives += filter.Contains(key);
+    }
+  }
+  ASSERT_GT(absent, 0u);
+  EXPECT_LT(static_cast<double>(false_positives) / absent, 0.10);
+}
+
+class DifferentialSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialSeedTest, BloomFilter) {
+  BloomFilter filter({.num_bits = 40000, .num_hashes = 8,
+                      .seed = GetParam()});
+  RunInsertOnlyDifferential(
+      filter, [](BloomFilter& f, const std::string& k) { f.Add(k); },
+      GetParam());
+}
+
+TEST_P(DifferentialSeedTest, ShbfM) {
+  ShbfM filter({.num_bits = 40000, .num_hashes = 8, .seed = GetParam()});
+  RunInsertOnlyDifferential(
+      filter, [](ShbfM& f, const std::string& k) { f.Add(k); }, GetParam());
+}
+
+TEST_P(DifferentialSeedTest, GeneralizedShbfT2) {
+  GeneralizedShbfM filter({.num_bits = 40000, .num_hashes = 9,
+                           .num_shifts = 2, .seed = GetParam()});
+  RunInsertOnlyDifferential(
+      filter, [](GeneralizedShbfM& f, const std::string& k) { f.Add(k); },
+      GetParam());
+}
+
+TEST_P(DifferentialSeedTest, OneMemBf) {
+  OneMemBloomFilter filter({.num_bits = 40000, .num_hashes = 8,
+                            .seed = GetParam()});
+  RunInsertOnlyDifferential(
+      filter, [](OneMemBloomFilter& f, const std::string& k) { f.Add(k); },
+      GetParam());
+}
+
+TEST_P(DifferentialSeedTest, KmBloomFilter) {
+  KmBloomFilter filter({.num_bits = 40000, .num_hashes = 8,
+                        .seed = GetParam()});
+  RunInsertOnlyDifferential(
+      filter, [](KmBloomFilter& f, const std::string& k) { f.Add(k); },
+      GetParam());
+}
+
+// Deletion-capable structures: full insert/delete churn against a multiset
+// reference; no false negatives at any point and exact emptiness at the end.
+template <typename Filter, typename InsertFn, typename DeleteFn>
+void RunChurnDifferential(Filter& filter, InsertFn insert, DeleteFn del,
+                          uint64_t seed) {
+  auto universe = Universe(seed);
+  std::multiset<std::string> reference;
+  Rng rng(seed ^ 0xc4u);
+  for (size_t op = 0; op < kOps; ++op) {
+    const std::string& key = universe[rng.NextBelow(kUniverse)];
+    uint64_t dice = rng.NextBelow(4);
+    if (dice == 0) {
+      insert(filter, key);
+      reference.insert(key);
+    } else if (dice == 1 && reference.count(key) > 0) {
+      del(filter, key);
+      reference.erase(reference.find(key));
+    } else if (reference.count(key) > 0) {
+      ASSERT_TRUE(filter.Contains(key)) << "false negative at op " << op;
+    }
+  }
+  // Drain and verify emptiness.
+  for (const auto& key : reference) del(filter, key);
+  size_t still_present = 0;
+  for (const auto& key : universe) still_present += filter.Contains(key);
+  EXPECT_EQ(still_present, 0u) << "drained filter must read empty";
+}
+
+TEST_P(DifferentialSeedTest, CountingBloomChurn) {
+  CountingBloomFilter filter({.num_counters = 40000, .num_hashes = 8,
+                              .counter_bits = 8, .seed = GetParam()});
+  RunChurnDifferential(
+      filter,
+      [](CountingBloomFilter& f, const std::string& k) { f.Insert(k); },
+      [](CountingBloomFilter& f, const std::string& k) { f.Delete(k); },
+      GetParam());
+}
+
+TEST_P(DifferentialSeedTest, CountingShbfMChurn) {
+  CountingShbfM filter({.num_bits = 40000, .num_hashes = 8,
+                        .counter_bits = 8, .seed = GetParam()});
+  RunChurnDifferential(
+      filter, [](CountingShbfM& f, const std::string& k) { f.Insert(k); },
+      [](CountingShbfM& f, const std::string& k) { f.Delete(k); },
+      GetParam());
+}
+
+TEST_P(DifferentialSeedTest, CuckooChurn) {
+  // Generous sizing so inserts never fail; cuckoo Delete requires the key to
+  // be present, which the reference guarantees.
+  CuckooFilter filter({.num_buckets = 4096, .bucket_size = 4,
+                       .fingerprint_bits = 16, .seed = GetParam()});
+  auto universe = Universe(GetParam());
+  std::multiset<std::string> reference;
+  Rng rng(GetParam() ^ 0xcc);
+  for (size_t op = 0; op < kOps; ++op) {
+    const std::string& key = universe[rng.NextBelow(kUniverse)];
+    uint64_t dice = rng.NextBelow(4);
+    if (dice == 0) {
+      if (filter.Insert(key)) reference.insert(key);
+    } else if (dice == 1 && reference.count(key) > 0) {
+      ASSERT_TRUE(filter.Delete(key));
+      reference.erase(reference.find(key));
+    } else if (reference.count(key) > 0) {
+      ASSERT_TRUE(filter.Contains(key)) << "false negative at op " << op;
+    }
+  }
+}
+
+TEST_P(DifferentialSeedTest, CountingShbfAChurn) {
+  // Random InsertS1/InsertS2/DeleteS1/DeleteS2 program against two exact
+  // reference sets: at every query the filter's outcome must be consistent
+  // with the reference truth for elements in the union, and clear answers
+  // must be exactly right (the §4.2 zero-FP guarantee, under churn).
+  CountingShbfA filter({.filter = {.num_bits = 60000, .num_hashes = 8,
+                                   .seed = GetParam()},
+                        .counter_bits = 8});
+  auto universe = Universe(GetParam());
+  std::set<std::string> s1;
+  std::set<std::string> s2;
+  Rng rng(GetParam() ^ 0xa550c1a7e);
+  for (size_t op = 0; op < kOps; ++op) {
+    const std::string& key = universe[rng.NextBelow(kUniverse)];
+    switch (rng.NextBelow(6)) {
+      case 0:
+        filter.InsertS1(key);
+        s1.insert(key);
+        break;
+      case 1:
+        filter.InsertS2(key);
+        s2.insert(key);
+        break;
+      case 2:
+        ASSERT_EQ(filter.DeleteS1(key), s1.erase(key) > 0);
+        break;
+      case 3:
+        ASSERT_EQ(filter.DeleteS2(key), s2.erase(key) > 0);
+        break;
+      default: {
+        bool in1 = s1.count(key) > 0;
+        bool in2 = s2.count(key) > 0;
+        if (!in1 && !in2) break;  // outside the union: no contract
+        AssociationTruth truth =
+            in1 && in2 ? AssociationTruth::kIntersection
+                       : (in1 ? AssociationTruth::kS1Only
+                              : AssociationTruth::kS2Only);
+        AssociationOutcome outcome = filter.Query(key);
+        ASSERT_NE(outcome, AssociationOutcome::kNotFound)
+            << "false negative at op " << op;
+        ASSERT_TRUE(OutcomeConsistentWithTruth(outcome, truth))
+            << AssociationOutcomeName(outcome) << " at op " << op;
+        break;
+      }
+    }
+  }
+  // Exact-membership side tables must mirror the references.
+  for (const auto& key : s1) ASSERT_TRUE(filter.InS1(key));
+  for (const auto& key : s2) ASSERT_TRUE(filter.InS2(key));
+  EXPECT_EQ(filter.size_s1(), s1.size());
+  EXPECT_EQ(filter.size_s2(), s2.size());
+  EXPECT_TRUE(filter.SynchronizedWithCounters());
+}
+
+TEST_P(DifferentialSeedTest, CountingShbfXChurn) {
+  // Random multiset program in the exact (table-backed) mode: the reported
+  // count must never undershoot the reference, candidates must contain it,
+  // and draining must restore emptiness.
+  CountingShbfX filter({.filter = {.num_bits = 60000, .num_hashes = 6,
+                                   .max_count = 32, .seed = GetParam()},
+                        .counter_bits = 8,
+                        .mode = CountingShbfX::UpdateMode::kTableBacked});
+  auto universe = Universe(GetParam());
+  ChainedHashTable reference;
+  Rng rng(GetParam() ^ 0x5eedu);
+  for (size_t op = 0; op < kOps; ++op) {
+    const std::string& key = universe[rng.NextBelow(kUniverse)];
+    uint64_t dice = rng.NextBelow(4);
+    const uint64_t* current = reference.Find(key);
+    uint64_t count = current == nullptr ? 0 : *current;
+    if (dice == 0 && count < 32) {
+      filter.Insert(key);
+      reference.AddTo(key, 1);
+    } else if (dice == 1 && count > 0) {
+      ASSERT_TRUE(filter.Delete(key));
+      if (count == 1) {
+        reference.Erase(key);
+      } else {
+        reference.Upsert(key, count - 1);
+      }
+    } else if (count > 0) {
+      ASSERT_EQ(filter.ExactCount(key), count);
+      ASSERT_GE(filter.QueryCount(key), count) << "undershoot at op " << op;
+    }
+  }
+  std::vector<std::pair<std::string, uint64_t>> to_drain;
+  reference.ForEach([&](std::string_view key, uint64_t count) {
+    to_drain.emplace_back(std::string(key), count);
+  });
+  for (const auto& [key, count] : to_drain) {
+    for (uint64_t i = 0; i < count; ++i) ASSERT_TRUE(filter.Delete(key));
+  }
+  EXPECT_TRUE(filter.SynchronizedWithCounters());
+  for (const auto& key : universe) EXPECT_EQ(filter.QueryCount(key), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSeedTest,
+                         ::testing::Values(1ull, 42ull, 0xdeadbeefull,
+                                           0x123456789abcdefull, 77777ull));
+
+}  // namespace
+}  // namespace shbf

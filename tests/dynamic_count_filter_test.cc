@@ -1,0 +1,130 @@
+#include "baselines/dynamic_count_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/workload.h"
+
+namespace shbf {
+namespace {
+
+DynamicCountFilter::Params BaseParams() {
+  return {.num_counters = 10000, .num_hashes = 5, .base_bits = 4};
+}
+
+TEST(DynamicCountFilterTest, ParamsValidation) {
+  EXPECT_TRUE(BaseParams().Validate().ok());
+  DynamicCountFilter::Params p = BaseParams();
+  p.num_counters = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = BaseParams();
+  p.num_hashes = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = BaseParams();
+  p.base_bits = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p.base_bits = 17;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(DynamicCountFilterTest, StartsEmptyWithNoOverflowVector) {
+  DynamicCountFilter dcf(BaseParams());
+  EXPECT_EQ(dcf.QueryCount("anything"), 0u);
+  EXPECT_EQ(dcf.overflow_bits(), 0u);
+  EXPECT_EQ(dcf.memory_bits(), 10000u * 4u);
+}
+
+TEST(DynamicCountFilterTest, CountsSingleKeyExactly) {
+  DynamicCountFilter dcf(BaseParams());
+  for (int i = 0; i < 9; ++i) dcf.Insert("flow");
+  EXPECT_EQ(dcf.QueryCount("flow"), 9u);
+  EXPECT_TRUE(dcf.Contains("flow"));
+}
+
+TEST(DynamicCountFilterTest, OverflowVectorGrowsOnDemand) {
+  // base_bits = 4 holds counts up to 15; count 16 must spill into OFV.
+  DynamicCountFilter dcf(BaseParams());
+  for (int i = 0; i < 15; ++i) dcf.Insert("hot");
+  EXPECT_EQ(dcf.overflow_bits(), 0u);
+  dcf.Insert("hot");
+  EXPECT_EQ(dcf.QueryCount("hot"), 16u);
+  EXPECT_GE(dcf.overflow_bits(), 1u);
+  EXPECT_GE(dcf.rebuilds(), 1u);
+  // Counts far past the base width keep working (OFV widens as needed).
+  for (int i = 0; i < 200; ++i) dcf.Insert("hot");
+  EXPECT_EQ(dcf.QueryCount("hot"), 216u);
+}
+
+TEST(DynamicCountFilterTest, DeleteBorrowsAcrossTheVectors) {
+  DynamicCountFilter dcf(BaseParams());
+  for (int i = 0; i < 20; ++i) dcf.Insert("x");  // 20 = OFV 1, CBFV 4
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(dcf.QueryCount("x"), static_cast<uint64_t>(20 - i));
+    dcf.Delete("x");
+  }
+  EXPECT_EQ(dcf.QueryCount("x"), 0u);
+}
+
+TEST(DynamicCountFilterDeathTest, UnderflowIsACallerBug) {
+  DynamicCountFilter dcf(BaseParams());
+  EXPECT_DEATH(dcf.Delete("never"), "underflow");
+}
+
+TEST(DynamicCountFilterTest, NeverUnderestimates) {
+  auto w = MakeMultiplicityWorkload(3000, 30, 500, 71);
+  DynamicCountFilter dcf(BaseParams());
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    for (uint32_t r = 0; r < w.counts[i]; ++r) dcf.Insert(w.keys[i]);
+  }
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    ASSERT_GE(dcf.QueryCount(w.keys[i]), w.counts[i]);
+  }
+}
+
+TEST(DynamicCountFilterTest, MatchesSpectralSemanticsOnSharedWorkload) {
+  // DCF is a CBF-with-dynamic-width; at identical (m, k, seed) its combined
+  // counters equal a plain wide-counter CBF's, so min-selection answers
+  // match counter-for-counter.
+  auto w = MakeMultiplicityWorkload(2000, 20, 0, 73);
+  DynamicCountFilter dcf(BaseParams());
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    for (uint32_t r = 0; r < w.counts[i]; ++r) dcf.Insert(w.keys[i]);
+  }
+  // Drain everything: structure must return to empty (and eventually shed
+  // its overflow vector via the shrink scan).
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    for (uint32_t r = 0; r < w.counts[i]; ++r) dcf.Delete(w.keys[i]);
+  }
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(dcf.QueryCount(w.keys[i]), 0u);
+  }
+}
+
+TEST(DynamicCountFilterTest, ShrinkEventuallyDropsTheOverflowVector) {
+  DynamicCountFilter dcf(
+      {.num_counters = 64, .num_hashes = 2, .base_bits = 2});
+  for (int i = 0; i < 10; ++i) dcf.Insert("spike");
+  ASSERT_GE(dcf.overflow_bits(), 1u);
+  for (int i = 0; i < 10; ++i) dcf.Delete("spike");
+  // The shrink check runs every m deletions; trigger it via churn.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 8; ++i) dcf.Insert("churn" + std::to_string(i));
+    for (int i = 0; i < 8; ++i) dcf.Delete("churn" + std::to_string(i));
+  }
+  EXPECT_EQ(dcf.overflow_bits(), 0u);
+  EXPECT_EQ(dcf.memory_bits(), 64u * 2u);
+}
+
+TEST(DynamicCountFilterTest, StatsChargeTwoAccessesWithOverflowPresent) {
+  DynamicCountFilter dcf(BaseParams());
+  dcf.Insert("member");
+  QueryStats before;
+  dcf.QueryCountWithStats("member", &before);
+  EXPECT_EQ(before.memory_accesses, 5u);  // no OFV yet: 1 access per probe
+  for (int i = 0; i < 30; ++i) dcf.Insert("heavy");
+  QueryStats after;
+  dcf.QueryCountWithStats("member", &after);
+  EXPECT_EQ(after.memory_accesses, 10u);  // the "two filters" penalty
+}
+
+}  // namespace
+}  // namespace shbf

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "hash/bob_hash.h"
+#include "hash/fnv.h"
+#include "hash/hash_family.h"
+#include "hash/murmur3.h"
+
+namespace shbf {
+namespace {
+
+std::vector<std::string> SampleKeys(size_t count, size_t len, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (size_t i = 0; i < count; ++i) keys.push_back(rng.NextBytes(len));
+  return keys;
+}
+
+// --- determinism / seed sensitivity, one suite per algorithm -----------------
+
+class HashAlgorithmTest : public ::testing::TestWithParam<HashAlgorithm> {};
+
+TEST_P(HashAlgorithmTest, DeterministicForSameInput) {
+  HashFamily family(GetParam(), 4, 99);
+  for (const std::string& key : SampleKeys(50, 13, 7)) {
+    EXPECT_EQ(family.Hash(0, key), family.Hash(0, key));
+  }
+}
+
+TEST_P(HashAlgorithmTest, FunctionIndicesAreIndependent) {
+  HashFamily family(GetParam(), 8, 99);
+  std::string key = "independence-check";
+  std::set<uint64_t> values;
+  for (uint32_t i = 0; i < 8; ++i) values.insert(family.Hash(i, key));
+  // All 8 functions should produce distinct values on one key.
+  EXPECT_EQ(values.size(), 8u);
+}
+
+TEST_P(HashAlgorithmTest, SeedChangesOutput) {
+  HashFamily a(GetParam(), 1, 1);
+  HashFamily b(GetParam(), 1, 2);
+  int collisions = 0;
+  for (const std::string& key : SampleKeys(100, 13, 11)) {
+    collisions += (a.Hash(0, key) == b.Hash(0, key));
+  }
+  EXPECT_LE(collisions, 1);
+}
+
+TEST_P(HashAlgorithmTest, AllKeyLengthsHashWithoutCrashing) {
+  HashFamily family(GetParam(), 1, 5);
+  Rng rng(3);
+  for (size_t len = 0; len <= 64; ++len) {
+    std::string key = rng.NextBytes(len);
+    family.Hash(0, key);  // must not over-read; ASAN-able
+  }
+}
+
+TEST_P(HashAlgorithmTest, SingleBitFlipChangesHash) {
+  HashFamily family(GetParam(), 1, 5);
+  std::string key(13, '\0');
+  uint64_t base = family.Hash(0, key);
+  int unchanged = 0;
+  for (size_t byte = 0; byte < key.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = key;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      unchanged += (family.Hash(0, flipped) == base);
+    }
+  }
+  EXPECT_EQ(unchanged, 0);
+}
+
+TEST_P(HashAlgorithmTest, FewCollisionsOnDistinctKeys) {
+  HashFamily family(GetParam(), 1, 77);
+  std::set<uint64_t> values;
+  auto keys = SampleKeys(20000, 13, 13);
+  for (const std::string& key : keys) values.insert(family.Hash(0, key));
+  // 32-bit algorithms may see a handful of birthday collisions at 20k keys;
+  // 64-bit ones essentially none.
+  size_t min_distinct =
+      HashAlgorithmBits(GetParam()) == 32 ? keys.size() - 10 : keys.size();
+  EXPECT_GE(values.size(), min_distinct);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, HashAlgorithmTest,
+    ::testing::Values(HashAlgorithm::kMurmur3, HashAlgorithm::kBobLookup3,
+                      HashAlgorithm::kBobLookup2, HashAlgorithm::kFnv1a),
+    [](const auto& info) { return HashAlgorithmName(info.param); });
+
+// --- algorithm-specific checks ------------------------------------------------
+
+TEST(HashFamilyTest, NamesAndBits) {
+  EXPECT_STREQ(HashAlgorithmName(HashAlgorithm::kMurmur3), "murmur3");
+  EXPECT_STREQ(HashAlgorithmName(HashAlgorithm::kBobLookup2), "lookup2");
+  EXPECT_STREQ(HashAlgorithmName(HashAlgorithm::kBobLookup3), "lookup3");
+  EXPECT_STREQ(HashAlgorithmName(HashAlgorithm::kFnv1a), "fnv1a");
+  EXPECT_EQ(HashAlgorithmBits(HashAlgorithm::kBobLookup2), 32u);
+  EXPECT_EQ(HashAlgorithmBits(HashAlgorithm::kMurmur3), 64u);
+}
+
+TEST(HashFamilyTest, MasterSeedExpansionIsStable) {
+  HashFamily a(HashAlgorithm::kMurmur3, 3, 42);
+  HashFamily b(HashAlgorithm::kMurmur3, 3, 42);
+  EXPECT_EQ(a.Hash(2, "stable"), b.Hash(2, "stable"));
+  EXPECT_EQ(a.master_seed(), 42u);
+  EXPECT_EQ(a.num_functions(), 3u);
+}
+
+TEST(Murmur3Test, MatchesReferenceVector) {
+  // Reference: MurmurHash3_x64_128("hello", seed=0) =
+  // cbd8a7b341bd9b02 5b1e906a48ae1d19 (high/low from Appleby's smhasher).
+  auto [low, high] = Murmur3_128("hello", 5, 0);
+  EXPECT_EQ(low, 0xcbd8a7b341bd9b02ull);
+  EXPECT_EQ(high, 0x5b1e906a48ae1d19ull);
+}
+
+TEST(Murmur3Test, EmptyInputSeedZero) {
+  auto [low, high] = Murmur3_128("", 0, 0);
+  EXPECT_EQ(low, 0u);
+  EXPECT_EQ(high, 0u);
+}
+
+TEST(Murmur3Test, HalvesAreIndependent) {
+  Rng rng(8);
+  size_t equal = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = rng.NextBytes(13);
+    auto [low, high] = Murmur3_128(key.data(), key.size(), 7);
+    equal += (low == high);
+  }
+  EXPECT_EQ(equal, 0u);
+}
+
+TEST(Murmur3Test, AllTailLengthsChangeTheHash) {
+  // The 15-way tail switch: appending one byte must change the result for
+  // every residue of len mod 16.
+  std::string key;
+  uint64_t prev = Murmur3_64(key.data(), key.size(), 1);
+  for (int i = 1; i <= 33; ++i) {
+    key.push_back('a');
+    uint64_t h = Murmur3_64(key.data(), key.size(), 1);
+    EXPECT_NE(h, prev) << "length " << i;
+    prev = h;
+  }
+}
+
+TEST(BobHashTest, Lookup2MatchesSelfAcrossChunkBoundaries) {
+  // 12-byte blocks: lengths 11, 12, 13 exercise the tail switch.
+  for (size_t len : {0u, 1u, 4u, 8u, 11u, 12u, 13u, 23u, 24u, 25u}) {
+    std::string key(len, 'x');
+    uint32_t h1 = BobLookup2(key, 1);
+    uint32_t h2 = BobLookup2(key, 1);
+    EXPECT_EQ(h1, h2) << len;
+  }
+}
+
+TEST(BobHashTest, Lookup3ProducesTwoIndependentHalves) {
+  auto keys = SampleKeys(5000, 13, 21);
+  size_t equal_halves = 0;
+  for (const std::string& key : keys) {
+    uint64_t h = BobLookup3(key, 9);
+    equal_halves += (static_cast<uint32_t>(h) == static_cast<uint32_t>(h >> 32));
+  }
+  EXPECT_LE(equal_halves, 2u);
+}
+
+TEST(FnvTest, MatchesUnseededFnvPrefixProperty) {
+  // Same input, same seed → equal; differing final byte → different.
+  EXPECT_EQ(Fnv1a64("abc", 3, 0), Fnv1a64("abc", 3, 0));
+  EXPECT_NE(Fnv1a64("abc", 3, 0), Fnv1a64("abd", 3, 0));
+}
+
+}  // namespace
+}  // namespace shbf

@@ -1,0 +1,110 @@
+#include "baselines/ibf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/association_theory.h"
+#include "trace/workload.h"
+
+namespace shbf {
+namespace {
+
+IndividualBloomFilters BuildFromWorkload(const AssociationWorkload& w,
+                                         uint32_t k) {
+  auto params =
+      IndividualBloomFilters::OptimalParams(w.s1.size(), w.s2.size(), k);
+  IndividualBloomFilters ibf(params);
+  for (const auto& key : w.s1) ibf.AddToS1(key);
+  for (const auto& key : w.s2) ibf.AddToS2(key);
+  return ibf;
+}
+
+TEST(IbfTest, ParamsValidation) {
+  IndividualBloomFilters::Params p{
+      .num_bits_s1 = 100, .num_bits_s2 = 100, .num_hashes = 4};
+  EXPECT_TRUE(p.Validate().ok());
+  p.num_bits_s1 = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = {.num_bits_s1 = 100, .num_bits_s2 = 100, .num_hashes = 0};
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(IbfTest, OptimalParamsMatchTable2) {
+  auto p = IndividualBloomFilters::OptimalParams(1000, 2000, 10);
+  // m_i = n_i · k / ln 2.
+  EXPECT_NEAR(static_cast<double>(p.num_bits_s1), 1000 * 10 / std::log(2.0), 2);
+  EXPECT_NEAR(static_cast<double>(p.num_bits_s2), 2000 * 10 / std::log(2.0), 2);
+}
+
+TEST(IbfTest, ClearAnswersAreAlwaysCorrect) {
+  auto w = MakeAssociationWorkload(4000, 4000, 1000, 20000, 11);
+  auto ibf = BuildFromWorkload(w, 8);
+  for (const auto& q : w.queries) {
+    AssociationOutcome outcome = ibf.Query(q.key);
+    if (IndividualBloomFilters::OutcomeIsClear(outcome)) {
+      // (1,0)/(0,1) answers are authoritative.
+      EXPECT_TRUE(OutcomeConsistentWithTruth(outcome, q.truth))
+          << AssociationOutcomeName(outcome);
+    }
+  }
+}
+
+TEST(IbfTest, NoFalseNegativesForUnionElements) {
+  auto w = MakeAssociationWorkload(2000, 2000, 500, 10000, 13);
+  auto ibf = BuildFromWorkload(w, 8);
+  for (const auto& q : w.queries) {
+    EXPECT_NE(ibf.Query(q.key), AssociationOutcome::kUnknown)
+        << "a union element must fire at least its own filter";
+  }
+}
+
+TEST(IbfTest, IntersectionElementsAlwaysAnswerIntersection) {
+  auto w = MakeAssociationWorkload(2000, 2000, 1000, 0, 17);
+  auto ibf = BuildFromWorkload(w, 8);
+  // True intersection members set both filters; no FNs ⇒ always (1,1).
+  for (size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(ibf.Query(w.s1[i]), AssociationOutcome::kIntersection);
+  }
+}
+
+TEST(IbfTest, DeclaredIntersectionIsSometimesWrong) {
+  // The paper's criticism: iBF "is prone to false positives whenever it
+  // declares an element to be in S1 ∩ S2". With small k the FP rate is
+  // large enough to observe on exclusive elements.
+  auto w = MakeAssociationWorkload(3000, 3000, 0, 0, 19);
+  auto ibf = BuildFromWorkload(w, 3);
+  size_t wrong_intersections = 0;
+  for (const auto& key : w.s1) {
+    wrong_intersections += (ibf.Query(key) == AssociationOutcome::kIntersection);
+  }
+  EXPECT_GT(wrong_intersections, 0u);
+}
+
+TEST(IbfTest, QueryCosts2kAccessesAnd2kHashes) {
+  auto w = MakeAssociationWorkload(500, 500, 100, 1000, 23);
+  auto ibf = BuildFromWorkload(w, 6);
+  QueryStats stats;
+  for (const auto& q : w.queries) ibf.QueryWithStats(q.key, &stats);
+  // Both filters are always evaluated; positives probe all k bits, and at
+  // least one side is a true member, so the average sits in (k, 2k].
+  EXPECT_GT(stats.AvgMemoryAccesses(), 6.0);
+  EXPECT_LE(stats.AvgMemoryAccesses(), 12.0);
+  EXPECT_LE(stats.AvgHashComputations(), 12.0);
+}
+
+TEST(IbfTest, ClearAnswerProbabilityTracksTheory) {
+  const uint32_t k = 8;
+  auto w = MakeAssociationWorkload(30000, 30000, 7500, 60000, 29);
+  auto ibf = BuildFromWorkload(w, k);
+  size_t clear = 0;
+  for (const auto& q : w.queries) {
+    clear += IndividualBloomFilters::OutcomeIsClear(ibf.Query(q.key));
+  }
+  double simulated = static_cast<double>(clear) / w.queries.size();
+  double predicted = theory::IbfClearAnswerProb(k);  // (2/3)(1 − 0.5^k)
+  EXPECT_NEAR(simulated, predicted, 0.02);
+}
+
+}  // namespace
+}  // namespace shbf

@@ -1,0 +1,61 @@
+#include "baselines/km_bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/membership_theory.h"
+#include "trace/workload.h"
+
+namespace shbf {
+namespace {
+
+TEST(KmBloomFilterTest, ParamsValidation) {
+  KmBloomFilter::Params good{.num_bits = 100, .num_hashes = 4};
+  EXPECT_TRUE(good.Validate().ok());
+  KmBloomFilter::Params no_bits{.num_bits = 0, .num_hashes = 4};
+  EXPECT_FALSE(no_bits.Validate().ok());
+  KmBloomFilter::Params no_hashes{.num_bits = 100, .num_hashes = 0};
+  EXPECT_FALSE(no_hashes.Validate().ok());
+}
+
+TEST(KmBloomFilterTest, NoFalseNegatives) {
+  auto w = MakeMembershipWorkload(2000, 0, 3);
+  KmBloomFilter bf({.num_bits = 20000, .num_hashes = 7});
+  for (const auto& key : w.members) bf.Add(key);
+  for (const auto& key : w.members) ASSERT_TRUE(bf.Contains(key));
+}
+
+TEST(KmBloomFilterTest, OnlyTwoHashComputationsPerQuery) {
+  KmBloomFilter bf({.num_bits = 20000, .num_hashes = 10});
+  bf.Add("member");
+  QueryStats stats;
+  bf.ContainsWithStats("member", &stats);
+  EXPECT_EQ(stats.hash_computations, 2u);   // the KM trick
+  EXPECT_EQ(stats.memory_accesses, 10u);    // still k probes
+}
+
+TEST(KmBloomFilterTest, FprWithinModestFactorOfTheory) {
+  // Kirsch–Mitzenmacher: asymptotically the same FPR as k independent
+  // hashes; at finite sizes slightly above. Allow a 2x envelope.
+  const size_t m = 20000;
+  const size_t n = 2000;
+  const uint32_t k = 6;
+  auto w = MakeMembershipWorkload(n, 200000, 29);
+  KmBloomFilter bf({.num_bits = m, .num_hashes = k});
+  for (const auto& key : w.members) bf.Add(key);
+  size_t fp = 0;
+  for (const auto& key : w.non_members) fp += bf.Contains(key);
+  double simulated = static_cast<double>(fp) / w.non_members.size();
+  double predicted = theory::BloomFpr(m, n, k);
+  EXPECT_LT(simulated, 2.0 * predicted);
+  EXPECT_GT(simulated, 0.5 * predicted);
+}
+
+TEST(KmBloomFilterTest, ClearEmptiesFilter) {
+  KmBloomFilter bf({.num_bits = 1000, .num_hashes = 4});
+  bf.Add("x");
+  bf.Clear();
+  EXPECT_FALSE(bf.Contains("x"));
+}
+
+}  // namespace
+}  // namespace shbf

@@ -1,0 +1,99 @@
+#include "baselines/one_mem_bf.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/membership_theory.h"
+#include "baselines/bloom_filter.h"
+#include "trace/workload.h"
+
+namespace shbf {
+namespace {
+
+TEST(OneMemBfTest, ParamsValidation) {
+  OneMemBloomFilter::Params p{.num_bits = 1024, .num_hashes = 6};
+  EXPECT_TRUE(p.Validate().ok());
+  p.word_bits = 48;  // not a power of two
+  EXPECT_FALSE(p.Validate().ok());
+  p.word_bits = 128;  // too wide
+  EXPECT_FALSE(p.Validate().ok());
+  p = {.num_bits = 0, .num_hashes = 6};
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(OneMemBfTest, RoundsSizeUpToWords) {
+  OneMemBloomFilter bf({.num_bits = 1000, .num_hashes = 4});
+  EXPECT_EQ(bf.num_words(), 16u);  // ceil(1000/64)
+  EXPECT_EQ(bf.num_bits(), 1024u);
+}
+
+TEST(OneMemBfTest, NoFalseNegatives) {
+  auto w = MakeMembershipWorkload(1500, 0, 31);
+  OneMemBloomFilter bf({.num_bits = 22008, .num_hashes = 8});
+  for (const auto& key : w.members) bf.Add(key);
+  for (const auto& key : w.members) ASSERT_TRUE(bf.Contains(key));
+}
+
+TEST(OneMemBfTest, ExactlyOneMemoryAccessPerQuery) {
+  auto w = MakeMembershipWorkload(500, 500, 5);
+  OneMemBloomFilter bf({.num_bits = 22008, .num_hashes = 8});
+  for (const auto& key : w.members) bf.Add(key);
+  QueryStats stats;
+  for (const auto& key : w.members) bf.ContainsWithStats(key, &stats);
+  for (const auto& key : w.non_members) bf.ContainsWithStats(key, &stats);
+  EXPECT_DOUBLE_EQ(stats.AvgMemoryAccesses(), 1.0);  // the scheme's raison d'être
+  EXPECT_DOUBLE_EQ(stats.AvgHashComputations(), 9.0);  // k + 1
+}
+
+TEST(OneMemBfTest, FprHigherThanStandardBloomAtEqualMemory) {
+  // §6.2.1: confining k bits to one word skews the 1s distribution and
+  // costs FPR. Same m, n, k for both filters.
+  const size_t m = 22008;
+  const size_t n = 1400;
+  const uint32_t k = 8;
+  auto w = MakeMembershipWorkload(n, 300000, 77);
+  OneMemBloomFilter one_mem({.num_bits = m, .num_hashes = k});
+  BloomFilter bloom({.num_bits = m, .num_hashes = k});
+  for (const auto& key : w.members) {
+    one_mem.Add(key);
+    bloom.Add(key);
+  }
+  size_t fp_one_mem = 0;
+  size_t fp_bloom = 0;
+  for (const auto& key : w.non_members) {
+    fp_one_mem += one_mem.Contains(key);
+    fp_bloom += bloom.Contains(key);
+  }
+  EXPECT_GT(fp_one_mem, fp_bloom)
+      << "1MemBF should pay FPR for its single access (paper Fig 7)";
+}
+
+TEST(OneMemBfTest, ClearEmptiesFilter) {
+  OneMemBloomFilter bf({.num_bits = 1024, .num_hashes = 4});
+  bf.Add("x");
+  ASSERT_TRUE(bf.Contains("x"));
+  bf.Clear();
+  EXPECT_FALSE(bf.Contains("x"));
+}
+
+TEST(OneMemBfTest, SmallerWordsRaiseFpr) {
+  // Narrower words concentrate the k bits more → worse FPR.
+  const size_t n = 1000;
+  auto w = MakeMembershipWorkload(n, 100000, 13);
+  OneMemBloomFilter wide({.num_bits = 16384, .num_hashes = 6, .word_bits = 64});
+  OneMemBloomFilter narrow(
+      {.num_bits = 16384, .num_hashes = 6, .word_bits = 16});
+  for (const auto& key : w.members) {
+    wide.Add(key);
+    narrow.Add(key);
+  }
+  size_t fp_wide = 0;
+  size_t fp_narrow = 0;
+  for (const auto& key : w.non_members) {
+    fp_wide += wide.Contains(key);
+    fp_narrow += narrow.Contains(key);
+  }
+  EXPECT_GT(fp_narrow, fp_wide);
+}
+
+}  // namespace
+}  // namespace shbf

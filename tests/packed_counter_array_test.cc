@@ -1,0 +1,127 @@
+#include "core/packed_counter_array.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace shbf {
+namespace {
+
+TEST(PackedCounterArrayTest, StartsZero) {
+  PackedCounterArray counters(100, 4);
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(counters.Get(i), 0u);
+  EXPECT_EQ(counters.CountZero(), 100u);
+}
+
+TEST(PackedCounterArrayTest, MaxValueByWidth) {
+  EXPECT_EQ(PackedCounterArray(10, 1).max_value(), 1u);
+  EXPECT_EQ(PackedCounterArray(10, 4).max_value(), 15u);
+  EXPECT_EQ(PackedCounterArray(10, 6).max_value(), 63u);
+  EXPECT_EQ(PackedCounterArray(10, 32).max_value(), 0xffffffffull);
+}
+
+TEST(PackedCounterArrayTest, SetGetRoundTrip) {
+  PackedCounterArray counters(64, 6);
+  counters.Set(0, 63);
+  counters.Set(1, 1);
+  counters.Set(63, 42);
+  EXPECT_EQ(counters.Get(0), 63u);
+  EXPECT_EQ(counters.Get(1), 1u);
+  EXPECT_EQ(counters.Get(63), 42u);
+  // Neighbors untouched.
+  EXPECT_EQ(counters.Get(2), 0u);
+  EXPECT_EQ(counters.Get(62), 0u);
+}
+
+TEST(PackedCounterArrayTest, IncrementAndDecrement) {
+  PackedCounterArray counters(8, 4);
+  EXPECT_TRUE(counters.Increment(3));
+  EXPECT_TRUE(counters.Increment(3));
+  EXPECT_EQ(counters.Get(3), 2u);
+  counters.Decrement(3);
+  EXPECT_EQ(counters.Get(3), 1u);
+  counters.Decrement(3);
+  EXPECT_EQ(counters.Get(3), 0u);
+}
+
+TEST(PackedCounterArrayTest, SaturationSticksAndDecrementIgnoresStuck) {
+  PackedCounterArray counters(4, 2);  // max value 3
+  EXPECT_TRUE(counters.Increment(0));
+  EXPECT_TRUE(counters.Increment(0));
+  EXPECT_FALSE(counters.Increment(0));  // reaches 3 = saturated
+  EXPECT_EQ(counters.Get(0), 3u);
+  EXPECT_FALSE(counters.Increment(0));  // still stuck
+  EXPECT_EQ(counters.Get(0), 3u);
+  counters.Decrement(0);  // stuck counters are never decremented
+  EXPECT_EQ(counters.Get(0), 3u);
+  EXPECT_GE(counters.saturation_events(), 2u);
+}
+
+TEST(PackedCounterArrayDeathTest, UnderflowIsACallerBug) {
+  PackedCounterArray counters(4, 4);
+  EXPECT_DEATH(counters.Decrement(0), "underflow");
+}
+
+TEST(PackedCounterArrayTest, ClearResets) {
+  PackedCounterArray counters(16, 5);
+  counters.Set(7, 31);
+  counters.Clear();
+  EXPECT_EQ(counters.Get(7), 0u);
+  EXPECT_EQ(counters.saturation_events(), 0u);
+}
+
+// Counters whose bit ranges straddle 64-bit word boundaries must still
+// read/write exactly.
+TEST(PackedCounterArrayTest, WordStraddlingCounters) {
+  // 6-bit counters: counter 10 occupies bits [60, 66) — straddles words.
+  PackedCounterArray counters(24, 6);
+  counters.Set(10, 0x2a);
+  EXPECT_EQ(counters.Get(10), 0x2au);
+  EXPECT_EQ(counters.Get(9), 0u);
+  EXPECT_EQ(counters.Get(11), 0u);
+  counters.Set(9, 63);
+  counters.Set(11, 63);
+  EXPECT_EQ(counters.Get(10), 0x2au);
+}
+
+class PackedCounterWidthTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PackedCounterWidthTest, RandomRoundTripAgainstShadow) {
+  const uint32_t bits = GetParam();
+  const size_t n = 257;  // odd size exercises the final partial word
+  PackedCounterArray counters(n, bits);
+  std::vector<uint64_t> shadow(n, 0);
+  Rng rng(bits * 7919);
+  for (int step = 0; step < 5000; ++step) {
+    size_t i = rng.NextBelow(n);
+    uint64_t v = rng.NextBelow(counters.max_value() + 1);
+    counters.Set(i, v);
+    shadow[i] = v;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(counters.Get(i), shadow[i]) << "counter " << i;
+  }
+}
+
+TEST_P(PackedCounterWidthTest, IncrementMatchesShadow) {
+  const uint32_t bits = GetParam();
+  const size_t n = 100;
+  PackedCounterArray counters(n, bits);
+  std::vector<uint64_t> shadow(n, 0);
+  Rng rng(bits * 104729);
+  for (int step = 0; step < 3000; ++step) {
+    size_t i = rng.NextBelow(n);
+    counters.Increment(i);
+    if (shadow[i] < counters.max_value()) ++shadow[i];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(counters.Get(i), shadow[i]) << "counter " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PackedCounterWidthTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 17,
+                                           24, 31, 32));
+
+}  // namespace
+}  // namespace shbf

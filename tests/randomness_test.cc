@@ -1,0 +1,69 @@
+#include "hash/randomness.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_generator.h"
+
+namespace shbf {
+namespace {
+
+std::vector<std::string> FlowCorpus(size_t count) {
+  TraceGenerator gen(0xace0fbaceull);
+  return gen.DistinctFlowKeys(count);
+}
+
+TEST(RandomnessTest, ReportShapeIsConsistent) {
+  HashFamily family(HashAlgorithm::kMurmur3, 1, 1);
+  auto report = TestBitRandomness(family, 0, FlowCorpus(1000), 64);
+  EXPECT_EQ(report.num_keys, 1000u);
+  EXPECT_EQ(report.bits_tested, 64u);
+  EXPECT_EQ(report.bit_frequency.size(), 64u);
+  EXPECT_GE(report.max_bias, report.mean_bias);
+  for (double freq : report.bit_frequency) {
+    EXPECT_GE(freq, 0.0);
+    EXPECT_LE(freq, 1.0);
+  }
+}
+
+// The paper's §6.1 selection criterion: every output bit is 1 with
+// probability ≈ 0.5 over the trace corpus. With 50k keys, a fair bit
+// deviates by more than 0.01 with probability < 10^-5 (per bit).
+class HashRandomnessTest : public ::testing::TestWithParam<HashAlgorithm> {};
+
+TEST_P(HashRandomnessTest, PassesPaperBitBalanceCriterion) {
+  HashFamily family(GetParam(), 2, 0x1234);
+  auto corpus = FlowCorpus(50000);
+  uint32_t bits = HashAlgorithmBits(GetParam());
+  for (uint32_t func = 0; func < 2; ++func) {
+    auto report = TestBitRandomness(family, func, corpus, bits);
+    EXPECT_TRUE(report.Passes(0.012))
+        << HashAlgorithmName(GetParam()) << " func " << func
+        << " max_bias=" << report.max_bias;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, HashRandomnessTest,
+    ::testing::Values(HashAlgorithm::kMurmur3, HashAlgorithm::kBobLookup3,
+                      HashAlgorithm::kBobLookup2, HashAlgorithm::kFnv1a),
+    [](const auto& info) { return HashAlgorithmName(info.param); });
+
+TEST(RandomnessTest, DetectsABiasedFunction) {
+  // lookup2 yields a 32-bit value; testing 64 bits means bits 32..63 are
+  // constant zero — the report must flag that as maximal bias.
+  HashFamily family(HashAlgorithm::kBobLookup2, 1, 7);
+  auto report = TestBitRandomness(family, 0, FlowCorpus(2000), 64);
+  EXPECT_FALSE(report.Passes(0.012));
+  EXPECT_DOUBLE_EQ(report.bit_frequency[63], 0.0);
+  EXPECT_DOUBLE_EQ(report.max_bias, 0.5);
+}
+
+TEST(RandomnessTest, MeanBiasShrinksWithCorpusSize) {
+  HashFamily family(HashAlgorithm::kMurmur3, 1, 3);
+  auto small = TestBitRandomness(family, 0, FlowCorpus(500), 64);
+  auto large = TestBitRandomness(family, 0, FlowCorpus(50000), 64);
+  EXPECT_LT(large.mean_bias, small.mean_bias);
+}
+
+}  // namespace
+}  // namespace shbf

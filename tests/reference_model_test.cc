@@ -1,0 +1,175 @@
+// Reference-model tests: each shifting query algorithm is re-implemented
+// here in the most naive way possible — per-bit GetBit() probes, no window
+// loads, no masks, no early exits — and the production fast paths must agree
+// with it on every query, across randomized parameters. This pins down the
+// unaligned-window arithmetic (LoadWindow shifts, multi-word candidate
+// masks) against an implementation too simple to be wrong.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "hash/hash_family.h"
+#include "shbf/shbf_association.h"
+#include "shbf/shbf_membership.h"
+#include "shbf/shbf_multiplicity.h"
+#include "trace/trace_generator.h"
+#include "trace/workload.h"
+
+namespace shbf {
+namespace {
+
+// --- ShbfM ----------------------------------------------------------------------
+
+// Naive ShBF_M membership: probes the 2·(k/2) bits one by one.
+bool NaiveShbfMContains(const ShbfM& filter, std::string_view key,
+                        const HashFamily& family) {
+  const size_t m = filter.num_bits();
+  uint64_t offset = filter.OffsetOf(key);
+  for (uint32_t i = 0; i < filter.num_pairs(); ++i) {
+    size_t base = family.Hash(i, key) % m;
+    if (!filter.bits().GetBit(base)) return false;
+    if (!filter.bits().GetBit(base + offset)) return false;
+  }
+  return true;
+}
+
+struct MembershipCase {
+  size_t num_bits;
+  uint32_t num_hashes;
+  uint32_t max_offset_span;
+};
+
+class ShbfMReferenceTest : public ::testing::TestWithParam<MembershipCase> {};
+
+TEST_P(ShbfMReferenceTest, FastPathMatchesNaiveBitProbes) {
+  const auto& c = GetParam();
+  ShbfM::Params params{.num_bits = c.num_bits,
+                       .num_hashes = c.num_hashes,
+                       .max_offset_span = c.max_offset_span,
+                       .seed = 0xfeed + c.num_bits};
+  ShbfM filter(params);
+  // The same family the filter uses internally (same algorithm/count/seed).
+  HashFamily family(params.hash_algorithm, c.num_hashes / 2 + 1, params.seed);
+
+  TraceGenerator gen(c.num_bits * 31 + c.num_hashes);
+  auto keys = gen.DistinctFlowKeys(3000);
+  for (size_t i = 0; i < 1000; ++i) filter.Add(keys[i]);
+  for (const auto& key : keys) {
+    ASSERT_EQ(filter.Contains(key), NaiveShbfMContains(filter, key, family))
+        << "window fast path diverged from per-bit reference";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShbfMReferenceTest,
+    ::testing::Values(MembershipCase{8191, 2, 57},    // non-power geometry
+                      MembershipCase{10000, 8, 57},
+                      MembershipCase{10007, 8, 25},   // prime m, 32-bit span
+                      MembershipCase{4096, 12, 9},    // tiny span
+                      MembershipCase{65536, 6, 2}));  // degenerate span (o=1)
+
+// --- ShbfA ----------------------------------------------------------------------
+
+// Naive ShBF_A: evaluates the three patterns with per-bit probes.
+AssociationOutcome NaiveShbfAQuery(const ShbfA& filter, std::string_view key,
+                                   const HashFamily& family) {
+  const size_t m = filter.num_bits();
+  auto off = filter.OffsetsOf(key);
+  bool s1_only = true;
+  bool both = true;
+  bool s2_only = true;
+  for (uint32_t i = 0; i < filter.num_hashes(); ++i) {
+    size_t base = family.Hash(i, key) % m;
+    s1_only = s1_only && filter.bits().GetBit(base);
+    both = both && filter.bits().GetBit(base + off.o1);
+    s2_only = s2_only && filter.bits().GetBit(base + off.o2);
+  }
+  if (s1_only && !both && !s2_only) return AssociationOutcome::kS1Only;
+  if (!s1_only && both && !s2_only) return AssociationOutcome::kIntersection;
+  if (!s1_only && !both && s2_only) return AssociationOutcome::kS2Only;
+  if (s1_only && both && !s2_only) return AssociationOutcome::kS1UnsureS2;
+  if (!s1_only && both && s2_only) return AssociationOutcome::kS2UnsureS1;
+  if (s1_only && !both && s2_only) return AssociationOutcome::kExclusiveEither;
+  if (s1_only && both && s2_only) return AssociationOutcome::kUnknown;
+  return AssociationOutcome::kNotFound;
+}
+
+class ShbfAReferenceTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ShbfAReferenceTest, FastPathMatchesNaiveBitProbes) {
+  const uint32_t span = GetParam();
+  ShbfAParams params{.num_bits = 30000,
+                     .num_hashes = 6,  // small k: plenty of partial outcomes
+                     .max_offset_span = span,
+                     .seed = 0xabcd00 + span};
+  auto w = MakeAssociationWorkload(1200, 1200, 300, 0, 91 + span);
+  ShbfA filter(params);
+  filter.Build(w.s1, w.s2);
+  HashFamily family(params.hash_algorithm, params.num_hashes + 2, params.seed);
+
+  TraceGenerator gen(span * 7919);
+  std::vector<std::string> probes = w.s1;
+  auto outsiders = gen.DistinctKeys(2000, 16);
+  probes.insert(probes.end(), outsiders.begin(), outsiders.end());
+  for (const auto& key : probes) {
+    ASSERT_EQ(filter.Query(key), NaiveShbfAQuery(filter, key, family))
+        << "triple-pattern fast path diverged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Spans, ShbfAReferenceTest,
+                         ::testing::Values(5, 9, 25, 41, 57));
+
+// --- ShbfX ----------------------------------------------------------------------
+
+// Naive ShBF_X: for each j, probes the k bits at offset j−1 one by one.
+std::vector<uint32_t> NaiveShbfXCandidates(const ShbfX& filter,
+                                           std::string_view key,
+                                           const HashFamily& family) {
+  const size_t m = filter.num_bits();
+  std::vector<uint32_t> candidates;
+  for (uint32_t j = 1; j <= filter.max_count(); ++j) {
+    bool all_set = true;
+    for (uint32_t i = 0; i < filter.num_hashes() && all_set; ++i) {
+      all_set = filter.bits().GetBit(family.Hash(i, key) % m + j - 1);
+    }
+    if (all_set) candidates.push_back(j);
+  }
+  return candidates;
+}
+
+class ShbfXReferenceTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ShbfXReferenceTest, CandidateMasksMatchNaiveBitProbes) {
+  const uint32_t max_count = GetParam();
+  ShbfXParams params{.num_bits = 20000,
+                     .num_hashes = 4,  // small k + tight m: many candidates
+                     .max_count = max_count,
+                     .seed = 0xc0de00 + max_count};
+  ShbfX filter(params);
+  HashFamily family(params.hash_algorithm, params.num_hashes, params.seed);
+
+  auto w = MakeMultiplicityWorkload(2500, max_count, 1500, 17 + max_count);
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    filter.InsertWithCount(w.keys[i], w.counts[i]);
+  }
+  std::vector<std::string> probes = w.keys;
+  probes.insert(probes.end(), w.non_members.begin(), w.non_members.end());
+  for (const auto& key : probes) {
+    ASSERT_EQ(filter.QueryCandidates(key),
+              NaiveShbfXCandidates(filter, key, family))
+        << "multi-window candidate mask diverged (c=" << max_count << ")";
+  }
+}
+
+// Window-boundary geometry: c below/at/above one 57-bit window, at the
+// 64-bit mask-word boundary, and spanning several of both.
+INSTANTIATE_TEST_SUITE_P(Counts, ShbfXReferenceTest,
+                         ::testing::Values(1, 2, 56, 57, 58, 63, 64, 65, 113,
+                                           114, 115, 128, 300, 511, 512));
+
+}  // namespace
+}  // namespace shbf

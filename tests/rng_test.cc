@@ -1,0 +1,96 @@
+#include "core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace shbf {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceFromSeedZero) {
+  // Reference values of the canonical SplitMix64 for state = 0.
+  uint64_t state = 0;
+  EXPECT_EQ(SplitMix64(state), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(SplitMix64(state), 0x6e789e6aa1b965f4ull);
+  EXPECT_EQ(SplitMix64(state), 0x06c45d188009454full);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, NextBelowStaysInBounds) {
+  Rng rng(99);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextBelowIsRoughlyUniform) {
+  Rng rng(31337);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> histogram(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.NextBelow(kBuckets)];
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    // Expected 10000 per bucket; 5σ ≈ 475.
+    EXPECT_NEAR(histogram[b], kDraws / kBuckets, 500) << "bucket " << b;
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(555);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBytesLengthAndDeterminism) {
+  Rng a(4242);
+  Rng b(4242);
+  for (size_t len : {0u, 1u, 7u, 8u, 13u, 64u, 100u}) {
+    std::string bytes_a = a.NextBytes(len);
+    std::string bytes_b = b.NextBytes(len);
+    EXPECT_EQ(bytes_a.size(), len);
+    EXPECT_EQ(bytes_a, bytes_b);
+  }
+}
+
+TEST(RngTest, BitBalance) {
+  // Each output bit of xoshiro256** should be ~50% ones.
+  Rng rng(777);
+  constexpr int kDraws = 20000;
+  std::vector<int> ones(64, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t v = rng.Next();
+    for (int b = 0; b < 64; ++b) ones[b] += (v >> b) & 1;
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(ones[b], kDraws / 2, 700) << "bit " << b;
+  }
+}
+
+}  // namespace
+}  // namespace shbf

@@ -1,0 +1,112 @@
+#include "shbf/scm_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/cm_sketch.h"
+#include "trace/workload.h"
+
+namespace shbf {
+namespace {
+
+ScmSketch::Params BaseParams() {
+  return {.depth = 4, .width = 4000, .counter_bits = 8};
+}
+
+TEST(ScmSketchTest, ParamsValidation) {
+  EXPECT_TRUE(BaseParams().Validate().ok());
+  ScmSketch::Params p = BaseParams();
+  p.depth = 3;  // odd depth cannot halve
+  EXPECT_FALSE(p.Validate().ok());
+  p = BaseParams();
+  p.width = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = BaseParams();
+  p.counter_bits = 32;  // (64−7)/32 = 1 < 2: offsets impossible (§5.5)
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ScmSketchTest, OffsetSpanFollowsSection55) {
+  // w̄_c = (w − 7) / z.
+  ScmSketch::Params eight_bit{.depth = 4, .width = 10, .counter_bits = 8};
+  EXPECT_EQ(eight_bit.OffsetSpan(), 7u);
+  ScmSketch::Params six_bit{.depth = 4, .width = 10, .counter_bits = 6};
+  EXPECT_EQ(six_bit.OffsetSpan(), 9u);
+}
+
+TEST(ScmSketchTest, GeometryHalvesRowsDoublesWidth) {
+  ScmSketch scm(BaseParams());
+  EXPECT_EQ(scm.rows(), 2u);          // d/2
+  EXPECT_EQ(scm.row_width(), 8000u);  // 2r
+}
+
+TEST(ScmSketchTest, SingleKeyExact) {
+  ScmSketch scm(BaseParams());
+  for (int i = 0; i < 12; ++i) scm.Insert("flow");
+  EXPECT_EQ(scm.QueryCount("flow"), 12u);
+  EXPECT_EQ(scm.QueryCount("other"), 0u);
+}
+
+TEST(ScmSketchTest, NeverUnderestimates) {
+  auto w = MakeMultiplicityWorkload(5000, 20, 0, 41);
+  ScmSketch scm(BaseParams());
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    for (uint32_t r = 0; r < w.counts[i]; ++r) scm.Insert(w.keys[i]);
+  }
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    ASSERT_GE(scm.QueryCount(w.keys[i]), w.counts[i]);
+  }
+}
+
+TEST(ScmSketchTest, HalfTheAccessesOfCmAtEqualMemory) {
+  // §5.5's claim: same total memory (d·r counters), half the accesses and
+  // nearly half the hashes per query.
+  ScmSketch scm(BaseParams());
+  CmSketch cm({.depth = 4, .width = 4000, .counter_bits = 8});
+  scm.Insert("member");
+  cm.Insert("member");
+  QueryStats scm_stats;
+  QueryStats cm_stats;
+  scm.QueryCountWithStats("member", &scm_stats);
+  cm.QueryCountWithStats("member", &cm_stats);
+  EXPECT_EQ(scm_stats.memory_accesses, 2u);  // d/2
+  EXPECT_EQ(cm_stats.memory_accesses, 4u);   // d
+  EXPECT_EQ(scm_stats.hash_computations, 3u);  // d/2 + 1
+  EXPECT_EQ(cm_stats.hash_computations, 4u);   // d
+}
+
+TEST(ScmSketchTest, AccuracyComparableToCmAtEqualMemory) {
+  auto w = MakeMultiplicityWorkload(20000, 10, 0, 43);
+  ScmSketch scm(BaseParams());
+  CmSketch cm({.depth = 4, .width = 4000, .counter_bits = 8});
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    for (uint32_t r = 0; r < w.counts[i]; ++r) {
+      scm.Insert(w.keys[i]);
+      cm.Insert(w.keys[i]);
+    }
+  }
+  double scm_error = 0;
+  double cm_error = 0;
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    scm_error += static_cast<double>(scm.QueryCount(w.keys[i]) - w.counts[i]);
+    cm_error += static_cast<double>(cm.QueryCount(w.keys[i]) - w.counts[i]);
+  }
+  // The shifted pairs are slightly correlated, so allow SCM up to 2x CM's
+  // average overestimate — the trade documented in DESIGN.md.
+  EXPECT_LE(scm_error, 2.0 * cm_error + 0.02 * w.keys.size());
+}
+
+TEST(ScmSketchTest, ClearResets) {
+  ScmSketch scm(BaseParams());
+  scm.Insert("x");
+  scm.Clear();
+  EXPECT_EQ(scm.QueryCount("x"), 0u);
+}
+
+TEST(ScmSketchTest, MemoryAccountingIncludesSlack) {
+  ScmSketch scm(BaseParams());
+  // 2 rows × (8000 + w̄_c) counters × 8 bits.
+  EXPECT_EQ(scm.memory_bits(), 2u * (8000u + 7u) * 8u);
+}
+
+}  // namespace
+}  // namespace shbf

@@ -1,0 +1,84 @@
+#include "core/set_query_types.h"
+
+#include <gtest/gtest.h>
+
+namespace shbf {
+namespace {
+
+TEST(AssociationOutcomeTest, ClearAnswersAreExactlyOutcomes1To3) {
+  EXPECT_TRUE(IsClearAnswer(AssociationOutcome::kS1Only));
+  EXPECT_TRUE(IsClearAnswer(AssociationOutcome::kIntersection));
+  EXPECT_TRUE(IsClearAnswer(AssociationOutcome::kS2Only));
+  EXPECT_FALSE(IsClearAnswer(AssociationOutcome::kS1UnsureS2));
+  EXPECT_FALSE(IsClearAnswer(AssociationOutcome::kS2UnsureS1));
+  EXPECT_FALSE(IsClearAnswer(AssociationOutcome::kExclusiveEither));
+  EXPECT_FALSE(IsClearAnswer(AssociationOutcome::kUnknown));
+  EXPECT_FALSE(IsClearAnswer(AssociationOutcome::kNotFound));
+}
+
+TEST(AssociationOutcomeTest, ClearOutcomesMatchOnlyTheirTruth) {
+  for (auto truth :
+       {AssociationTruth::kS1Only, AssociationTruth::kIntersection,
+        AssociationTruth::kS2Only}) {
+    EXPECT_EQ(
+        OutcomeConsistentWithTruth(AssociationOutcome::kS1Only, truth),
+        truth == AssociationTruth::kS1Only);
+    EXPECT_EQ(
+        OutcomeConsistentWithTruth(AssociationOutcome::kIntersection, truth),
+        truth == AssociationTruth::kIntersection);
+    EXPECT_EQ(
+        OutcomeConsistentWithTruth(AssociationOutcome::kS2Only, truth),
+        truth == AssociationTruth::kS2Only);
+  }
+}
+
+TEST(AssociationOutcomeTest, PartialOutcomesCoverTheirTwoCases) {
+  // Outcome 4: "in S1, unsure about S2" — consistent with S1-only and both.
+  EXPECT_TRUE(OutcomeConsistentWithTruth(AssociationOutcome::kS1UnsureS2,
+                                         AssociationTruth::kS1Only));
+  EXPECT_TRUE(OutcomeConsistentWithTruth(AssociationOutcome::kS1UnsureS2,
+                                         AssociationTruth::kIntersection));
+  EXPECT_FALSE(OutcomeConsistentWithTruth(AssociationOutcome::kS1UnsureS2,
+                                          AssociationTruth::kS2Only));
+  // Outcome 6: "one of the exclusive parts".
+  EXPECT_TRUE(OutcomeConsistentWithTruth(AssociationOutcome::kExclusiveEither,
+                                         AssociationTruth::kS1Only));
+  EXPECT_FALSE(OutcomeConsistentWithTruth(
+      AssociationOutcome::kExclusiveEither, AssociationTruth::kIntersection));
+}
+
+TEST(AssociationOutcomeTest, UnknownConsistentWithEverythingNotFoundWithNothing) {
+  for (auto truth :
+       {AssociationTruth::kS1Only, AssociationTruth::kIntersection,
+        AssociationTruth::kS2Only}) {
+    EXPECT_TRUE(
+        OutcomeConsistentWithTruth(AssociationOutcome::kUnknown, truth));
+    EXPECT_FALSE(
+        OutcomeConsistentWithTruth(AssociationOutcome::kNotFound, truth));
+  }
+}
+
+TEST(AssociationOutcomeTest, NamesAreStableAndDistinct) {
+  EXPECT_STREQ(AssociationOutcomeName(AssociationOutcome::kS1Only),
+               "S1-only");
+  EXPECT_STREQ(AssociationOutcomeName(AssociationOutcome::kIntersection),
+               "intersection");
+  EXPECT_STREQ(AssociationOutcomeName(AssociationOutcome::kNotFound),
+               "not-found");
+  EXPECT_STRNE(AssociationOutcomeName(AssociationOutcome::kS1UnsureS2),
+               AssociationOutcomeName(AssociationOutcome::kS2UnsureS1));
+}
+
+TEST(AssociationOutcomeTest, EnumValuesFollowThePapersNumbering) {
+  // §4.2 numbers the outcomes 1..7; the enum must track that for reports.
+  EXPECT_EQ(static_cast<int>(AssociationOutcome::kS1Only), 1);
+  EXPECT_EQ(static_cast<int>(AssociationOutcome::kIntersection), 2);
+  EXPECT_EQ(static_cast<int>(AssociationOutcome::kS2Only), 3);
+  EXPECT_EQ(static_cast<int>(AssociationOutcome::kS1UnsureS2), 4);
+  EXPECT_EQ(static_cast<int>(AssociationOutcome::kS2UnsureS1), 5);
+  EXPECT_EQ(static_cast<int>(AssociationOutcome::kExclusiveEither), 6);
+  EXPECT_EQ(static_cast<int>(AssociationOutcome::kUnknown), 7);
+}
+
+}  // namespace
+}  // namespace shbf

@@ -1,0 +1,260 @@
+#include "shbf/shbf_association.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/association_theory.h"
+#include "trace/trace_generator.h"
+#include "trace/workload.h"
+
+namespace shbf {
+namespace {
+
+ShbfA BuildFromWorkload(const AssociationWorkload& w, uint32_t k,
+                        size_t n_intersection) {
+  // |S1 ∩ S2| is needed for Table 2 sizing.
+  auto params = ShbfAParams::Optimal(w.s1.size(), w.s2.size(), n_intersection, k);
+  ShbfA filter(params);
+  filter.Build(w.s1, w.s2);
+  return filter;
+}
+
+TEST(ShbfAParamsTest, Validation) {
+  ShbfAParams p{.num_bits = 1000, .num_hashes = 8};
+  EXPECT_TRUE(p.Validate().ok());
+  p.max_offset_span = 56;  // even span has no exact half
+  EXPECT_FALSE(p.Validate().ok());
+  p = {.num_bits = 0, .num_hashes = 8};
+  EXPECT_FALSE(p.Validate().ok());
+  p = {.num_bits = 1000, .num_hashes = 0};
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ShbfAParamsTest, OptimalSizingMatchesTable2) {
+  auto p = ShbfAParams::Optimal(1000, 800, 300, 10);
+  // m = (n1 + n2 − n3)·k/ln2 = 1500·10/0.6931 ≈ 21640.
+  EXPECT_NEAR(static_cast<double>(p.num_bits), 1500 * 10 / std::log(2.0), 2);
+}
+
+TEST(ShbfATest, OffsetRangesMatchSection41) {
+  ShbfA filter({.num_bits = 10000, .num_hashes = 8});
+  auto w = MakeAssociationWorkload(2000, 2000, 500, 0, 3);
+  for (const auto& key : w.s1) {
+    auto off = filter.OffsetsOf(key);
+    ASSERT_GE(off.o1, 1u);
+    ASSERT_LE(off.o1, 28u);  // (w̄−1)/2
+    ASSERT_GE(off.o2, off.o1 + 1);
+    ASSERT_LE(off.o2, 56u);  // o1 + (w̄−1)/2
+  }
+}
+
+TEST(ShbfATest, CleanSeparationWithoutOverlap) {
+  auto w = MakeAssociationWorkload(1000, 1000, 0, 3000, 5);
+  ShbfA filter = BuildFromWorkload(w, 10, 0);
+  for (const auto& q : w.queries) {
+    AssociationOutcome outcome = filter.Query(q.key);
+    EXPECT_TRUE(OutcomeConsistentWithTruth(outcome, q.truth))
+        << AssociationOutcomeName(outcome);
+  }
+}
+
+TEST(ShbfATest, ClearAnswersAreNeverWrong) {
+  // The paper's central accuracy claim (§4.2): "for all these seven
+  // outcomes, the decisions of ShBF_A do not suffer from false positives or
+  // false negatives" — clear answers must match the ground truth exactly.
+  auto w = MakeAssociationWorkload(5000, 5000, 1250, 30000, 7);
+  ShbfA filter = BuildFromWorkload(w, 8, 1250);
+  for (const auto& q : w.queries) {
+    AssociationOutcome outcome = filter.Query(q.key);
+    ASSERT_NE(outcome, AssociationOutcome::kNotFound)
+        << "no false negatives for union elements";
+    ASSERT_TRUE(OutcomeConsistentWithTruth(outcome, q.truth))
+        << AssociationOutcomeName(outcome) << " truth "
+        << static_cast<int>(q.truth);
+  }
+}
+
+TEST(ShbfATest, NonUnionElementsMostlyReportNotFound) {
+  auto w = MakeAssociationWorkload(2000, 2000, 500, 0, 9);
+  ShbfA filter = BuildFromWorkload(w, 10, 500);
+  TraceGenerator outsider_gen(777777);
+  size_t not_found = 0;
+  auto outsiders = outsider_gen.DistinctKeys(5000, 16);  // distinct key space
+  for (const auto& key : outsiders) {
+    not_found += (filter.Query(key) == AssociationOutcome::kNotFound);
+  }
+  EXPECT_GT(not_found, 4900u);  // k=10 ⇒ FPR per pattern ~0.1%
+}
+
+TEST(ShbfATest, BuildIgnoresDuplicateKeysWithinASet) {
+  ShbfA once({.num_bits = 4096, .num_hashes = 6, .seed = 5});
+  ShbfA twice({.num_bits = 4096, .num_hashes = 6, .seed = 5});
+  std::vector<std::string> s1{"a", "b", "c"};
+  std::vector<std::string> s1_dup{"a", "a", "b", "b", "c", "c"};
+  std::vector<std::string> s2{"b", "d"};
+  once.Build(s1, s2);
+  twice.Build(s1_dup, s2);
+  EXPECT_EQ(once.bits().CountOnes(), twice.bits().CountOnes());
+}
+
+TEST(ShbfATest, OutcomeDistributionMatchesEq25) {
+  const uint32_t k = 6;  // small k so partial outcomes actually occur
+  auto w = MakeAssociationWorkload(20000, 20000, 5000, 120000, 11);
+  ShbfA filter = BuildFromWorkload(w, k, 5000);
+  size_t clear = 0;
+  size_t partial = 0;
+  size_t unknown = 0;
+  for (const auto& q : w.queries) {
+    AssociationOutcome outcome = filter.Query(q.key);
+    if (IsClearAnswer(outcome)) {
+      ++clear;
+    } else if (outcome == AssociationOutcome::kUnknown) {
+      ++unknown;
+    } else {
+      ++partial;
+    }
+  }
+  double n = static_cast<double>(w.queries.size());
+  // Eq (25): P(clear) = (1−0.5^k)², P(partial) = 2·0.5^k(1−0.5^k)... per
+  // true part exactly two of the six partial outcomes are reachable.
+  double x = std::pow(0.5, k);
+  EXPECT_NEAR(clear / n, (1 - x) * (1 - x), 0.01);
+  EXPECT_NEAR(partial / n, 2 * x * (1 - x), 0.01);
+  EXPECT_NEAR(unknown / n, x * x, 0.002);
+}
+
+TEST(ShbfATest, ClearAnswerProbabilityTracksTable2) {
+  const uint32_t k = 8;
+  auto w = MakeAssociationWorkload(30000, 30000, 7500, 60000, 13);
+  ShbfA filter = BuildFromWorkload(w, k, 7500);
+  size_t clear = 0;
+  for (const auto& q : w.queries) clear += IsClearAnswer(filter.Query(q.key));
+  double simulated = static_cast<double>(clear) / w.queries.size();
+  double predicted = theory::ShbfAClearAnswerProb(k);  // (1−0.5^k)²
+  EXPECT_NEAR(simulated, predicted, 0.01);
+}
+
+TEST(ShbfATest, QueryCostsKAccessesAndKPlus2Hashes) {
+  auto w = MakeAssociationWorkload(1000, 1000, 250, 5000, 15);
+  ShbfA filter = BuildFromWorkload(w, 8, 250);
+  QueryStats stats;
+  for (const auto& q : w.queries) filter.QueryWithStats(q.key, &stats);
+  // Union elements keep at least one pattern alive through all k rounds.
+  EXPECT_DOUBLE_EQ(stats.AvgMemoryAccesses(), 8.0);
+  EXPECT_DOUBLE_EQ(stats.AvgHashComputations(), 10.0);
+}
+
+TEST(ShbfATest, StatsShowEarlyExitForNonUnionElements) {
+  // Elements outside S1 ∪ S2 usually kill all three patterns within the
+  // first couple of rounds; the access count must reflect the early break.
+  auto w = MakeAssociationWorkload(2000, 2000, 500, 0, 21);
+  ShbfA filter = BuildFromWorkload(w, 12, 500);
+  TraceGenerator outsiders(31415);
+  QueryStats stats;
+  for (const auto& key : outsiders.DistinctKeys(2000, 16)) {
+    filter.QueryWithStats(key, &stats);
+  }
+  EXPECT_LT(stats.AvgMemoryAccesses(), 4.0);
+  EXPECT_GE(stats.AvgMemoryAccesses(), 1.0);
+}
+
+TEST(ShbfATest, SmallerOffsetSpansStillGiveExactClearAnswers) {
+  // The zero-FP property of clear answers is structural, not a consequence
+  // of w̄ = 57; verify at the 32-bit machine setting w̄ = 25 (§3.4.2).
+  auto w = MakeAssociationWorkload(2000, 2000, 500, 10000, 23);
+  ShbfAParams params = ShbfAParams::Optimal(2000, 2000, 500, 8);
+  params.max_offset_span = 25;
+  ShbfA filter(params);
+  filter.Build(w.s1, w.s2);
+  for (const auto& q : w.queries) {
+    AssociationOutcome outcome = filter.Query(q.key);
+    ASSERT_NE(outcome, AssociationOutcome::kNotFound);
+    ASSERT_TRUE(OutcomeConsistentWithTruth(outcome, q.truth));
+  }
+}
+
+// --- CountingShbfA ------------------------------------------------------------
+
+CountingShbfA::Params CountingParams() {
+  return {.filter = {.num_bits = 20000, .num_hashes = 8}, .counter_bits = 8};
+}
+
+TEST(CountingShbfATest, InsertBothWaysYieldsIntersection) {
+  CountingShbfA filter(CountingParams());
+  filter.InsertS1("shared");
+  EXPECT_EQ(filter.Query("shared"), AssociationOutcome::kS1Only);
+  filter.InsertS2("shared");
+  EXPECT_EQ(filter.Query("shared"), AssociationOutcome::kIntersection);
+  EXPECT_TRUE(filter.InS1("shared"));
+  EXPECT_TRUE(filter.InS2("shared"));
+}
+
+TEST(CountingShbfATest, InsertOrderDoesNotMatter) {
+  CountingShbfA a(CountingParams());
+  CountingShbfA b(CountingParams());
+  a.InsertS1("e");
+  a.InsertS2("e");
+  b.InsertS2("e");
+  b.InsertS1("e");
+  EXPECT_EQ(a.Query("e"), b.Query("e"));
+}
+
+TEST(CountingShbfATest, DeleteMigratesBackToExclusive) {
+  CountingShbfA filter(CountingParams());
+  filter.InsertS1("e");
+  filter.InsertS2("e");
+  ASSERT_EQ(filter.Query("e"), AssociationOutcome::kIntersection);
+  EXPECT_TRUE(filter.DeleteS2("e"));
+  EXPECT_EQ(filter.Query("e"), AssociationOutcome::kS1Only);
+  EXPECT_TRUE(filter.DeleteS1("e"));
+  EXPECT_EQ(filter.Query("e"), AssociationOutcome::kNotFound);
+}
+
+TEST(CountingShbfATest, DeleteFromWrongSetFails) {
+  CountingShbfA filter(CountingParams());
+  filter.InsertS1("only-s1");
+  EXPECT_FALSE(filter.DeleteS2("only-s1"));
+  EXPECT_FALSE(filter.DeleteS1("never-seen"));
+  EXPECT_TRUE(filter.DeleteS1("only-s1"));
+}
+
+TEST(CountingShbfATest, ReinsertionIsIdempotent) {
+  CountingShbfA filter(CountingParams());
+  filter.InsertS1("e");
+  filter.InsertS1("e");
+  EXPECT_EQ(filter.size_s1(), 1u);
+  EXPECT_TRUE(filter.DeleteS1("e"));
+  EXPECT_EQ(filter.Query("e"), AssociationOutcome::kNotFound);
+}
+
+TEST(CountingShbfATest, ChurnKeepsBitsSynchronized) {
+  CountingShbfA filter(CountingParams());
+  auto w = MakeAssociationWorkload(400, 400, 100, 0, 17);
+  for (const auto& key : w.s1) filter.InsertS1(key);
+  ASSERT_TRUE(filter.SynchronizedWithCounters());
+  for (const auto& key : w.s2) filter.InsertS2(key);
+  ASSERT_TRUE(filter.SynchronizedWithCounters());
+  for (const auto& key : w.s1) filter.DeleteS1(key);
+  ASSERT_TRUE(filter.SynchronizedWithCounters());
+  for (const auto& key : w.s2) filter.DeleteS2(key);
+  ASSERT_TRUE(filter.SynchronizedWithCounters());
+  EXPECT_EQ(filter.size_s1(), 0u);
+  EXPECT_EQ(filter.size_s2(), 0u);
+}
+
+TEST(CountingShbfATest, IncrementalMatchesBulkBuild) {
+  auto w = MakeAssociationWorkload(2000, 2000, 500, 10000, 19);
+  ShbfAParams params{.num_bits = 60000, .num_hashes = 8, .seed = 4242};
+  ShbfA bulk(params);
+  bulk.Build(w.s1, w.s2);
+  CountingShbfA incremental({.filter = params, .counter_bits = 8});
+  for (const auto& key : w.s1) incremental.InsertS1(key);
+  for (const auto& key : w.s2) incremental.InsertS2(key);
+  for (const auto& q : w.queries) {
+    ASSERT_EQ(bulk.Query(q.key), incremental.Query(q.key));
+  }
+}
+
+}  // namespace
+}  // namespace shbf

@@ -1,0 +1,309 @@
+#include "shbf/shbf_multiplicity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "analysis/multiplicity_theory.h"
+#include "trace/workload.h"
+
+namespace shbf {
+namespace {
+
+ShbfXParams BaseParams(uint32_t max_count = 57) {
+  return {.num_bits = 40000, .num_hashes = 8, .max_count = max_count};
+}
+
+TEST(ShbfXParamsTest, Validation) {
+  EXPECT_TRUE(BaseParams().Validate().ok());
+  ShbfXParams p = BaseParams();
+  p.max_count = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = BaseParams();
+  p.max_count = 513;
+  EXPECT_FALSE(p.Validate().ok());
+  p = BaseParams();
+  p.num_bits = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = BaseParams();
+  p.num_hashes = 0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ShbfXTest, SingleElementRoundTrip) {
+  ShbfX filter(BaseParams());
+  filter.InsertWithCount("flow", 23);
+  auto candidates = filter.QueryCandidates("flow");
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(), 23u),
+            candidates.end());
+  EXPECT_EQ(filter.QueryCount("flow"), 23u);
+}
+
+TEST(ShbfXTest, AbsentKeyReportsZeroInSparseFilter) {
+  ShbfX filter(BaseParams());
+  filter.InsertWithCount("present", 5);
+  EXPECT_EQ(filter.QueryCount("absent"), 0u);
+  EXPECT_TRUE(filter.QueryCandidates("absent").empty());
+}
+
+TEST(ShbfXDeathTest, CountOutsideRangeIsACallerBug) {
+  ShbfX filter(BaseParams(10));
+  EXPECT_DEATH(filter.InsertWithCount("x", 0), "outside");
+  EXPECT_DEATH(filter.InsertWithCount("x", 11), "outside");
+}
+
+TEST(ShbfXTest, BuildTalliesTheMultiset) {
+  ShbfX filter(BaseParams());
+  std::vector<std::string> multiset{"a", "b", "a", "c", "a", "b"};
+  filter.Build(multiset);
+  EXPECT_EQ(filter.num_distinct(), 3u);
+  EXPECT_EQ(filter.QueryCount("a"), 3u);
+  EXPECT_EQ(filter.QueryCount("b"), 2u);
+  EXPECT_EQ(filter.QueryCount("c"), 1u);
+}
+
+TEST(ShbfXTest, CandidatesAlwaysContainTheTruth) {
+  // §5.2's no-false-negative property: the true multiplicity is always a
+  // candidate, so largest-policy answers never underestimate.
+  auto w = MakeMultiplicityWorkload(4000, 57, 0, 21);
+  ShbfX filter(BaseParams());
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    filter.InsertWithCount(w.keys[i], w.counts[i]);
+  }
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    auto candidates = filter.QueryCandidates(w.keys[i]);
+    ASSERT_TRUE(std::find(candidates.begin(), candidates.end(),
+                          w.counts[i]) != candidates.end())
+        << "true count " << w.counts[i] << " missing";
+    ASSERT_GE(filter.QueryCount(w.keys[i], MultiplicityReportPolicy::kLargest),
+              w.counts[i]);
+    ASSERT_LE(filter.QueryCount(w.keys[i], MultiplicityReportPolicy::kSmallest),
+              w.counts[i]);
+  }
+}
+
+TEST(ShbfXTest, CandidatesAreSortedAndWithinRange) {
+  auto w = MakeMultiplicityWorkload(3000, 57, 0, 23);
+  ShbfX filter(BaseParams());
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    filter.InsertWithCount(w.keys[i], w.counts[i]);
+  }
+  for (size_t i = 0; i < 200; ++i) {
+    auto candidates = filter.QueryCandidates(w.keys[i]);
+    ASSERT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+    for (uint32_t c : candidates) {
+      ASSERT_GE(c, 1u);
+      ASSERT_LE(c, 57u);
+    }
+  }
+}
+
+TEST(ShbfXTest, LargeMaxCountSpansMultipleWindows) {
+  // c = 300 > 57 forces multi-window gathers and multi-word masks.
+  ShbfXParams p{.num_bits = 60000, .num_hashes = 6, .max_count = 300};
+  ShbfX filter(p);
+  auto w = MakeMultiplicityWorkload(1000, 300, 0, 27);
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    filter.InsertWithCount(w.keys[i], w.counts[i]);
+  }
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    auto candidates = filter.QueryCandidates(w.keys[i]);
+    ASSERT_TRUE(std::find(candidates.begin(), candidates.end(),
+                          w.counts[i]) != candidates.end());
+  }
+  QueryStats stats;
+  filter.QueryCountWithStats(w.keys[0], MultiplicityReportPolicy::kLargest,
+                             &stats);
+  // ⌈300/57⌉ = 6 loads per hash evaluated.
+  EXPECT_EQ(stats.memory_accesses % 6, 0u);
+}
+
+TEST(ShbfXTest, AccessCountFlattensWithEarlyTermination) {
+  // The Fig 11(b) mechanism: intersection shrinks candidates geometrically,
+  // so members need ~log(fill)/log(c) rounds, far below k for large k.
+  auto w = MakeMultiplicityWorkload(10000, 57, 0, 29);
+  ShbfXParams p{.num_bits = static_cast<size_t>(1.5 * 10000 * 16 / std::log(2.0)),
+                .num_hashes = 16,
+                .max_count = 57};
+  ShbfX filter(p);
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    filter.InsertWithCount(w.keys[i], w.counts[i]);
+  }
+  QueryStats stats;
+  for (size_t i = 0; i < 2000; ++i) {
+    filter.QueryCountWithStats(w.keys[i], MultiplicityReportPolicy::kLargest,
+                               &stats);
+  }
+  EXPECT_LT(stats.AvgMemoryAccesses(), 8.0)
+      << "early termination should use far fewer than k = 16 accesses";
+  EXPECT_GE(stats.AvgMemoryAccesses(), 1.0);
+}
+
+TEST(ShbfXTest, CorrectnessRateTracksEq27ForNonMembers) {
+  const size_t n = 20000;
+  const uint32_t k = 10;
+  const uint32_t c = 57;
+  size_t m = static_cast<size_t>(1.5 * n * k / std::log(2.0));
+  auto w = MakeMultiplicityWorkload(n, c, 100000, 31);
+  ShbfX filter({.num_bits = m, .num_hashes = k, .max_count = c});
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    filter.InsertWithCount(w.keys[i], w.counts[i]);
+  }
+  size_t correct = 0;
+  for (const auto& key : w.non_members) {
+    correct += filter.QueryCandidates(key).empty();
+  }
+  double simulated = static_cast<double>(correct) / w.non_members.size();
+  double predicted = theory::CorrectnessRateNonMember(m, n, k, c);
+  EXPECT_NEAR(simulated, predicted, 0.01);
+}
+
+TEST(ShbfXTest, MemberCorrectnessTracksEq28UnderSmallestPolicy) {
+  // Eq (28) counts spurious candidates below the true count (DESIGN.md);
+  // verify against the matching (smallest-candidate) policy, full scan.
+  const size_t n = 20000;
+  const uint32_t k = 8;
+  const uint32_t c = 57;
+  size_t m = static_cast<size_t>(1.5 * n * k / std::log(2.0));
+  auto w = MakeMultiplicityWorkload(n, c, 0, 33);
+  ShbfX filter({.num_bits = m, .num_hashes = k, .max_count = c});
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    filter.InsertWithCount(w.keys[i], w.counts[i]);
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    auto candidates = filter.QueryCandidates(w.keys[i]);
+    correct += (!candidates.empty() && candidates.front() == w.counts[i]);
+  }
+  double simulated = static_cast<double>(correct) / w.keys.size();
+  double predicted =
+      theory::ExpectedCorrectnessRateUniform(m, n, k, c);
+  EXPECT_NEAR(simulated, predicted, 0.015);
+}
+
+// --- CountingShbfX ------------------------------------------------------------
+
+CountingShbfX::Params CountingParams(
+    CountingShbfX::UpdateMode mode = CountingShbfX::UpdateMode::kTableBacked) {
+  return {.filter = BaseParams(), .counter_bits = 8, .mode = mode};
+}
+
+TEST(CountingShbfXTest, InsertIncrementsMultiplicity) {
+  CountingShbfX filter(CountingParams());
+  for (int i = 1; i <= 5; ++i) {
+    filter.Insert("flow");
+    EXPECT_EQ(filter.ExactCount("flow"), static_cast<uint64_t>(i));
+    EXPECT_EQ(filter.QueryCount("flow"), static_cast<uint32_t>(i));
+  }
+}
+
+TEST(CountingShbfXTest, DeleteDecrementsMultiplicity) {
+  CountingShbfX filter(CountingParams());
+  for (int i = 0; i < 4; ++i) filter.Insert("flow");
+  EXPECT_TRUE(filter.Delete("flow"));
+  EXPECT_EQ(filter.QueryCount("flow"), 3u);
+  EXPECT_TRUE(filter.Delete("flow"));
+  EXPECT_TRUE(filter.Delete("flow"));
+  EXPECT_TRUE(filter.Delete("flow"));
+  EXPECT_EQ(filter.QueryCount("flow"), 0u);
+  EXPECT_FALSE(filter.Delete("flow"));  // nothing left
+}
+
+TEST(CountingShbfXTest, TableBackedModeIsExactUnderChurn) {
+  CountingShbfX filter(CountingParams());
+  auto w = MakeMultiplicityWorkload(500, 10, 0, 35);
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    for (uint32_t r = 0; r < w.counts[i]; ++r) filter.Insert(w.keys[i]);
+  }
+  ASSERT_TRUE(filter.SynchronizedWithCounters());
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    ASSERT_EQ(filter.ExactCount(w.keys[i]), w.counts[i]);
+    // Largest-policy never underestimates; candidates contain the truth.
+    ASSERT_GE(filter.QueryCount(w.keys[i]), w.counts[i]);
+  }
+  // Drain everything; the structure must return to empty.
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    for (uint32_t r = 0; r < w.counts[i]; ++r) {
+      ASSERT_TRUE(filter.Delete(w.keys[i]));
+    }
+  }
+  ASSERT_TRUE(filter.SynchronizedWithCounters());
+  for (const auto& key : w.keys) EXPECT_EQ(filter.QueryCount(key), 0u);
+}
+
+TEST(CountingShbfXTest, FilterQueriedModeWorksWhenSparse) {
+  // With a nearly-empty filter the §5.3.1 mode sees no false positives and
+  // behaves exactly.
+  CountingShbfX filter(
+      CountingParams(CountingShbfX::UpdateMode::kFilterQueried));
+  for (int i = 0; i < 3; ++i) filter.Insert("solo");
+  EXPECT_EQ(filter.QueryCount("solo"), 3u);
+  EXPECT_TRUE(filter.Delete("solo"));
+  EXPECT_EQ(filter.QueryCount("solo"), 2u);
+}
+
+TEST(CountingShbfXDeathTest, ExactCountRequiresTableBackedMode) {
+  CountingShbfX filter(
+      CountingParams(CountingShbfX::UpdateMode::kFilterQueried));
+  EXPECT_DEATH(filter.ExactCount("x"), "kTableBacked");
+}
+
+TEST(CountingShbfXDeathTest, InsertPastMaxCountIsACallerBug) {
+  CountingShbfX::Params p = CountingParams();
+  p.filter.max_count = 3;
+  CountingShbfX filter(p);
+  filter.Insert("x");
+  filter.Insert("x");
+  filter.Insert("x");
+  EXPECT_DEATH(filter.Insert("x"), "max_count");
+}
+
+TEST(CountingShbfXTest, FilterQueriedModeLeaksFalseNegativesUnderLoad) {
+  // §5.3.1's documented failure mode, demonstrated: when the current
+  // multiplicity is read from the filter itself, a false positive in that
+  // read decrements cells belonging to OTHER elements, which can clear
+  // their bits — false negatives. Drive a small, heavily loaded filter and
+  // count them; the table-backed mode on the same stream stays exact.
+  ShbfXParams tight{.num_bits = 3000, .num_hashes = 4, .max_count = 16};
+  CountingShbfX fn_prone(
+      {.filter = tight, .counter_bits = 8,
+       .mode = CountingShbfX::UpdateMode::kFilterQueried});
+  CountingShbfX fn_free(
+      {.filter = tight, .counter_bits = 8,
+       .mode = CountingShbfX::UpdateMode::kTableBacked});
+  auto w = MakeMultiplicityWorkload(600, 8, 0, 39);
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    for (uint32_t r = 0; r < w.counts[i]; ++r) {
+      fn_prone.Insert(w.keys[i]);
+      fn_free.Insert(w.keys[i]);
+    }
+  }
+  size_t missing_prone = 0;
+  size_t missing_free = 0;
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    missing_prone += (fn_prone.QueryCount(w.keys[i]) < w.counts[i]);
+    missing_free += (fn_free.QueryCount(w.keys[i]) < w.counts[i]);
+  }
+  EXPECT_GT(missing_prone, 0u)
+      << "expected §5.3.1 false negatives at this load";
+  EXPECT_EQ(missing_free, 0u) << "table-backed mode must stay FN-free";
+}
+
+TEST(CountingShbfXTest, UpdateMovesTheElementNotCopiesIt) {
+  // §5.3's key discipline: "one element with multiple multiplicities is
+  // always inserted into the filter one time" — after an update only the
+  // new count survives as a candidate; the old one is fully erased.
+  CountingShbfX filter(CountingParams());
+  filter.Insert("e");  // count 1: k cells at offset 0
+  filter.Insert("e");  // count 2: offset-0 cells removed, offset-1 cells set
+  EXPECT_EQ(filter.QueryCount("e"), 2u);
+  auto candidates = filter.QueryCandidates("e");
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates.front(), 2u);
+}
+
+}  // namespace
+}  // namespace shbf

@@ -1,0 +1,124 @@
+#include "baselines/spectral_bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/workload.h"
+
+namespace shbf {
+namespace {
+
+SpectralBloomFilter::Params BaseParams(
+    SpectralBloomFilter::InsertPolicy policy =
+        SpectralBloomFilter::InsertPolicy::kIncrementAll) {
+  return {.num_counters = 20000,
+          .num_hashes = 5,
+          .counter_bits = 8,
+          .policy = policy};
+}
+
+TEST(SpectralBloomFilterTest, ParamsValidation) {
+  auto p = BaseParams();
+  EXPECT_TRUE(p.Validate().ok());
+  p.num_counters = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = BaseParams();
+  p.counter_bits = 33;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(SpectralBloomFilterTest, AbsentKeyReportsZero) {
+  SpectralBloomFilter sbf(BaseParams());
+  EXPECT_EQ(sbf.QueryCount("ghost"), 0u);
+}
+
+TEST(SpectralBloomFilterTest, CountsSingleKeyExactlyWhenAlone) {
+  SpectralBloomFilter sbf(BaseParams());
+  for (int i = 0; i < 7; ++i) sbf.Insert("flow");
+  EXPECT_EQ(sbf.QueryCount("flow"), 7u);
+}
+
+class SpectralPolicyTest
+    : public ::testing::TestWithParam<SpectralBloomFilter::InsertPolicy> {};
+
+TEST_P(SpectralPolicyTest, NeverUnderestimates) {
+  auto w = MakeMultiplicityWorkload(3000, 20, 500, 47);
+  SpectralBloomFilter sbf(BaseParams(GetParam()));
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    for (uint32_t r = 0; r < w.counts[i]; ++r) sbf.Insert(w.keys[i]);
+  }
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    ASSERT_GE(sbf.QueryCount(w.keys[i]), w.counts[i])
+        << "minimal selection must not underestimate";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SpectralPolicyTest,
+    ::testing::Values(SpectralBloomFilter::InsertPolicy::kIncrementAll,
+                      SpectralBloomFilter::InsertPolicy::kMinimumIncrease));
+
+TEST(SpectralBloomFilterTest, MinimumIncreaseIsAtLeastAsAccurate) {
+  // §2.3: the second spectral version reduces FPR at the cost of updates.
+  auto w = MakeMultiplicityWorkload(6000, 15, 0, 53);
+  SpectralBloomFilter plain(BaseParams());
+  SpectralBloomFilter mi(
+      BaseParams(SpectralBloomFilter::InsertPolicy::kMinimumIncrease));
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    for (uint32_t r = 0; r < w.counts[i]; ++r) {
+      plain.Insert(w.keys[i]);
+      mi.Insert(w.keys[i]);
+    }
+  }
+  uint64_t error_plain = 0;
+  uint64_t error_mi = 0;
+  for (size_t i = 0; i < w.keys.size(); ++i) {
+    error_plain += plain.QueryCount(w.keys[i]) - w.counts[i];
+    error_mi += mi.QueryCount(w.keys[i]) - w.counts[i];
+  }
+  EXPECT_LE(error_mi, error_plain);
+}
+
+TEST(SpectralBloomFilterTest, DeleteUndoesInsertUnderIncrementAll) {
+  SpectralBloomFilter sbf(BaseParams());
+  for (int i = 0; i < 3; ++i) sbf.Insert("x");
+  sbf.Delete("x");
+  EXPECT_EQ(sbf.QueryCount("x"), 2u);
+  sbf.Delete("x");
+  sbf.Delete("x");
+  EXPECT_EQ(sbf.QueryCount("x"), 0u);
+}
+
+TEST(SpectralBloomFilterDeathTest, DeleteForbiddenUnderMinimumIncrease) {
+  SpectralBloomFilter sbf(
+      BaseParams(SpectralBloomFilter::InsertPolicy::kMinimumIncrease));
+  sbf.Insert("x");
+  EXPECT_DEATH(sbf.Delete("x"), "kIncrementAll");
+}
+
+TEST(SpectralBloomFilterTest, StatsCountOneAccessPerCounter) {
+  SpectralBloomFilter sbf(BaseParams());
+  sbf.Insert("member");
+  QueryStats stats;
+  sbf.QueryCountWithStats("member", &stats);
+  EXPECT_EQ(stats.memory_accesses, 5u);  // k probes, no early exit (min > 0)
+  QueryStats miss_stats;
+  sbf.QueryCountWithStats("definitely-a-miss", &miss_stats);
+  EXPECT_LE(miss_stats.memory_accesses, 5u);  // early exit on a zero counter
+}
+
+TEST(SpectralBloomFilterTest, SixBitCountersSaturateAtPaperSetting) {
+  SpectralBloomFilter sbf({.num_counters = 1000,
+                           .num_hashes = 4,
+                           .counter_bits = 6});
+  for (int i = 0; i < 100; ++i) sbf.Insert("elephant");
+  EXPECT_EQ(sbf.QueryCount("elephant"), 63u);  // 2^6 − 1 ceiling
+}
+
+TEST(SpectralBloomFilterTest, MemoryBitsAccountsCounterWidth) {
+  SpectralBloomFilter sbf(
+      {.num_counters = 1000, .num_hashes = 4, .counter_bits = 6});
+  EXPECT_EQ(sbf.memory_bits(), 6000u);
+}
+
+}  // namespace
+}  // namespace shbf

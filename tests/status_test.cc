@@ -1,0 +1,58 @@
+#include "core/status.h"
+
+#include <gtest/gtest.h>
+
+namespace shbf {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad k");
+}
+
+TEST(StatusTest, AllCodesRoundTripThroughToString) {
+  EXPECT_EQ(Status::OutOfRange("x").ToString(), "OUT_OF_RANGE: x");
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NOT_FOUND: x");
+  EXPECT_EQ(Status::AlreadyExists("x").ToString(), "ALREADY_EXISTS: x");
+  EXPECT_EQ(Status::ResourceExhausted("x").ToString(),
+            "RESOURCE_EXHAUSTED: x");
+  EXPECT_EQ(Status::FailedPrecondition("x").ToString(),
+            "FAILED_PRECONDITION: x");
+  EXPECT_EQ(Status::Internal("x").ToString(), "INTERNAL: x");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::NotFound("key");
+  Status t = s;
+  EXPECT_EQ(t.code(), Status::Code::kNotFound);
+  EXPECT_EQ(t.message(), "key");
+}
+
+TEST(StatusTest, CheckOkPassesOnOk) { CheckOk(Status::Ok()); }
+
+TEST(StatusDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(CheckOk(Status::Internal("boom")), "INTERNAL: boom");
+}
+
+TEST(CheckDeathTest, CheckStreamsContext) {
+  EXPECT_DEATH(SHBF_CHECK(1 == 2) << "context " << 42, "context 42");
+}
+
+TEST(CheckTest, PassingCheckHasNoSideEffects) {
+  int touched = 0;
+  SHBF_CHECK(true) << ++touched;  // must not evaluate the stream
+  EXPECT_EQ(touched, 0);
+}
+
+}  // namespace
+}  // namespace shbf

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/chained_hash_table.h"
+#include "trace/flow_id.h"
+#include "trace/trace_generator.h"
+#include "trace/workload.h"
+#include "trace/zipf.h"
+
+namespace shbf {
+namespace {
+
+// --- FlowId -------------------------------------------------------------------
+
+TEST(FlowIdTest, KeyRoundTrip) {
+  FlowId flow{.src_ip = 0x0a000001,
+              .src_port = 443,
+              .dst_ip = 0xc0a80102,
+              .dst_port = 51724,
+              .protocol = 6};
+  std::string key = flow.ToKey();
+  EXPECT_EQ(key.size(), FlowId::kKeyBytes);
+  EXPECT_EQ(FlowId::FromKey(key), flow);
+}
+
+TEST(FlowIdTest, KeyIs13BytesLikeThePaperTrace) {
+  EXPECT_EQ(FlowId::kKeyBytes, 13u);
+  Rng rng(1);
+  EXPECT_EQ(FlowId::Random(rng).ToKey().size(), 13u);
+}
+
+TEST(FlowIdTest, ToStringIsHumanReadable) {
+  FlowId flow{.src_ip = 0x01020304,
+              .src_port = 80,
+              .dst_ip = 0x05060708,
+              .dst_port = 443,
+              .protocol = 17};
+  EXPECT_EQ(flow.ToString(), "1.2.3.4:80 -> 5.6.7.8:443 proto=17");
+}
+
+TEST(FlowIdDeathTest, FromKeyRejectsWrongLength) {
+  EXPECT_DEATH(FlowId::FromKey("short"), "13");
+}
+
+TEST(FlowIdTest, RandomFlowsUseRealProtocols) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    uint8_t proto = FlowId::Random(rng).protocol;
+    EXPECT_TRUE(proto == 6 || proto == 17 || proto == 1) << int{proto};
+  }
+}
+
+// --- Zipf ---------------------------------------------------------------------
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  ZipfGenerator zipf(10, 0.0, 33);
+  std::vector<int> histogram(10, 0);
+  for (int i = 0; i < 100000; ++i) ++histogram[zipf.Next()];
+  for (int r = 0; r < 10; ++r) {
+    EXPECT_NEAR(histogram[r], 10000, 500) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, PositiveAlphaFavoursLowRanks) {
+  ZipfGenerator zipf(1000, 1.0, 35);
+  std::vector<int> histogram(1000, 0);
+  for (int i = 0; i < 200000; ++i) ++histogram[zipf.Next()];
+  EXPECT_GT(histogram[0], histogram[9] * 5);   // ~10x expected
+  EXPECT_GT(histogram[0], histogram[99] * 50); // ~100x expected
+}
+
+TEST(ZipfTest, RanksStayInBounds) {
+  ZipfGenerator zipf(7, 1.2, 37);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Next(), 7u);
+}
+
+TEST(ZipfTest, DeterministicUnderSeed) {
+  ZipfGenerator a(100, 0.8, 39);
+  ZipfGenerator b(100, 0.8, 39);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+// --- TraceGenerator -----------------------------------------------------------
+
+TEST(TraceGeneratorTest, DistinctFlowKeysAreDistinct) {
+  TraceGenerator gen(41);
+  auto keys = gen.DistinctFlowKeys(20000);
+  EXPECT_EQ(keys.size(), 20000u);
+  std::set<std::string> unique(keys.begin(), keys.end());
+  EXPECT_EQ(unique.size(), keys.size());
+  for (const auto& key : keys) EXPECT_EQ(key.size(), 13u);
+}
+
+TEST(TraceGeneratorTest, DistinctKeysHonourLength) {
+  TraceGenerator gen(43);
+  auto keys = gen.DistinctKeys(1000, 8);
+  std::set<std::string> unique(keys.begin(), keys.end());
+  EXPECT_EQ(unique.size(), 1000u);
+  for (const auto& key : keys) EXPECT_EQ(key.size(), 8u);
+}
+
+TEST(TraceGeneratorTest, PacketTraceShape) {
+  // Scaled-down version of the paper's capture: every flow appears >= once,
+  // total packet count is exact.
+  TraceGenerator gen(45);
+  auto packets = gen.PacketTrace(50000, 10000, 1.0);
+  EXPECT_EQ(packets.size(), 50000u);
+  ChainedHashTable counts;
+  for (const auto& p : packets) counts.AddTo(p, 1);
+  EXPECT_EQ(counts.size(), 10000u);  // all flows present, none extra
+}
+
+TEST(TraceGeneratorTest, ZipfTraceIsSkewed) {
+  TraceGenerator gen(47);
+  auto packets = gen.PacketTrace(100000, 5000, 1.0);
+  ChainedHashTable counts;
+  for (const auto& p : packets) counts.AddTo(p, 1);
+  uint64_t max_count = 0;
+  counts.ForEach([&](std::string_view, uint64_t c) {
+    max_count = std::max(max_count, c);
+  });
+  // Uniform would put ~20 packets/flow; Zipf(1) concentrates thousands on
+  // the top flow.
+  EXPECT_GT(max_count, 200u);
+}
+
+TEST(TraceGeneratorTest, DeterministicUnderSeed) {
+  TraceGenerator a(49);
+  TraceGenerator b(49);
+  EXPECT_EQ(a.PacketTrace(1000, 100, 0.5), b.PacketTrace(1000, 100, 0.5));
+}
+
+// --- workloads ----------------------------------------------------------------
+
+TEST(WorkloadTest, MembershipPartsAreDisjoint) {
+  auto w = MakeMembershipWorkload(1000, 2000, 51);
+  EXPECT_EQ(w.members.size(), 1000u);
+  EXPECT_EQ(w.non_members.size(), 2000u);
+  std::set<std::string> members(w.members.begin(), w.members.end());
+  for (const auto& key : w.non_members) {
+    ASSERT_FALSE(members.count(key)) << "non-member collides with member";
+  }
+}
+
+TEST(WorkloadTest, AssociationSetSizesAndOverlap) {
+  auto w = MakeAssociationWorkload(1000, 800, 300, 5000, 53);
+  EXPECT_EQ(w.s1.size(), 1000u);
+  EXPECT_EQ(w.s2.size(), 800u);
+  std::set<std::string> s1(w.s1.begin(), w.s1.end());
+  std::set<std::string> s2(w.s2.begin(), w.s2.end());
+  EXPECT_EQ(s1.size(), 1000u);
+  EXPECT_EQ(s2.size(), 800u);
+  size_t overlap = 0;
+  for (const auto& key : s2) overlap += s1.count(key);
+  EXPECT_EQ(overlap, 300u);
+}
+
+TEST(WorkloadTest, AssociationQueryTruthLabelsAreCorrect) {
+  auto w = MakeAssociationWorkload(500, 500, 100, 3000, 55);
+  std::set<std::string> s1(w.s1.begin(), w.s1.end());
+  std::set<std::string> s2(w.s2.begin(), w.s2.end());
+  for (const auto& q : w.queries) {
+    bool in1 = s1.count(q.key) > 0;
+    bool in2 = s2.count(q.key) > 0;
+    switch (q.truth) {
+      case AssociationTruth::kS1Only:
+        EXPECT_TRUE(in1 && !in2);
+        break;
+      case AssociationTruth::kIntersection:
+        EXPECT_TRUE(in1 && in2);
+        break;
+      case AssociationTruth::kS2Only:
+        EXPECT_TRUE(!in1 && in2);
+        break;
+    }
+  }
+}
+
+TEST(WorkloadTest, AssociationQueriesHitPartsUniformly) {
+  auto w = MakeAssociationWorkload(5000, 5000, 1000, 30000, 57);
+  std::map<AssociationTruth, int> histogram;
+  for (const auto& q : w.queries) ++histogram[q.truth];
+  for (const auto& [truth, count] : histogram) {
+    EXPECT_NEAR(count, 10000, 450) << static_cast<int>(truth);
+  }
+}
+
+TEST(WorkloadTest, AssociationHandlesDisjointAndNestedCases) {
+  auto disjoint = MakeAssociationWorkload(100, 100, 0, 600, 59);
+  for (const auto& q : disjoint.queries) {
+    EXPECT_NE(q.truth, AssociationTruth::kIntersection);
+  }
+  auto nested = MakeAssociationWorkload(100, 100, 100, 600, 61);  // S1 == S2
+  for (const auto& q : nested.queries) {
+    EXPECT_EQ(q.truth, AssociationTruth::kIntersection);
+  }
+}
+
+TEST(WorkloadTest, MultiplicityCountsInRangeAndMultisetExpands) {
+  auto w = MakeMultiplicityWorkload(1000, 57, 100, 63);
+  EXPECT_EQ(w.keys.size(), 1000u);
+  EXPECT_EQ(w.counts.size(), 1000u);
+  size_t total = 0;
+  for (uint32_t c : w.counts) {
+    EXPECT_GE(c, 1u);
+    EXPECT_LE(c, 57u);
+    total += c;
+  }
+  EXPECT_EQ(w.ToMultiset().size(), total);
+}
+
+TEST(WorkloadTest, MultiplicityCountsRoughlyUniform) {
+  auto w = MakeMultiplicityWorkload(57000, 57, 0, 65);
+  std::vector<int> histogram(58, 0);
+  for (uint32_t c : w.counts) ++histogram[c];
+  for (int c = 1; c <= 57; ++c) {
+    EXPECT_NEAR(histogram[c], 1000, 200) << "count " << c;
+  }
+}
+
+}  // namespace
+}  // namespace shbf

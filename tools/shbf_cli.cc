@@ -1,0 +1,252 @@
+// shbf_cli — command-line front end for building, shipping and querying
+// shifting Bloom filters from key files (one key per line).
+//
+//   shbf_cli build  <keys.txt> <filter.shbf> [--bits-per-key=12] [--k=8]
+//                   [--type=shbf|bloom] [--seed=N]
+//       builds a membership filter over the keys and writes the wire blob.
+//   shbf_cli query  <filter.shbf> <keys.txt>
+//       prints "<key>\t<0|1>" per line plus a positives summary.
+//   shbf_cli info   <filter.shbf>
+//       prints the filter's parameters and fill ratio.
+//   shbf_cli selftest
+//       end-to-end round trip through a temp file (used by ctest).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/bloom_filter.h"
+#include "shbf/shbf_membership.h"
+
+namespace shbf {
+namespace {
+
+struct Options {
+  double bits_per_key = 12.0;
+  uint32_t num_hashes = 8;
+  std::string type = "shbf";
+  uint64_t seed = kDefaultSeed;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  shbf_cli build <keys.txt> <filter.shbf> [--bits-per-key=12] "
+      "[--k=8] [--type=shbf|bloom] [--seed=N]\n"
+      "  shbf_cli query <filter.shbf> <keys.txt>\n"
+      "  shbf_cli info  <filter.shbf>\n"
+      "  shbf_cli selftest\n");
+  return 2;
+}
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* value) {
+  std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+Status ReadLines(const std::string& path, std::vector<std::string>* lines) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::NotFound("cannot open " + path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) lines->push_back(line);
+  }
+  return Status::Ok();
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return Status::Ok();
+}
+
+Status WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) return Status::Internal("cannot write " + path);
+  return Status::Ok();
+}
+
+int Build(const std::string& keys_path, const std::string& filter_path,
+          const Options& options) {
+  std::vector<std::string> keys;
+  Status s = ReadLines(keys_path, &keys);
+  if (!s.ok() || keys.empty()) {
+    std::fprintf(stderr, "error: %s\n",
+                 s.ok() ? "no keys in input" : s.ToString().c_str());
+    return 1;
+  }
+  size_t num_bits =
+      static_cast<size_t>(options.bits_per_key * static_cast<double>(keys.size()));
+  std::string blob;
+  if (options.type == "bloom") {
+    BloomFilter filter({.num_bits = num_bits,
+                        .num_hashes = options.num_hashes,
+                        .seed = options.seed});
+    for (const auto& key : keys) filter.Add(key);
+    blob = filter.ToBytes();
+  } else if (options.type == "shbf") {
+    ShbfM filter({.num_bits = num_bits,
+                  .num_hashes = options.num_hashes,
+                  .seed = options.seed});
+    for (const auto& key : keys) filter.Add(key);
+    blob = filter.ToBytes();
+  } else {
+    std::fprintf(stderr, "error: unknown --type=%s\n", options.type.c_str());
+    return 2;
+  }
+  s = WriteFile(filter_path, blob);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("built %s filter: %zu keys, %zu bits, k=%u -> %s (%zu bytes)\n",
+              options.type.c_str(), keys.size(), num_bits, options.num_hashes,
+              filter_path.c_str(), blob.size());
+  return 0;
+}
+
+// Loads either filter type from a blob; exactly one optional engages.
+struct LoadedFilter {
+  std::optional<ShbfM> shbf;
+  std::optional<BloomFilter> bloom;
+
+  bool Contains(const std::string& key) const {
+    return shbf.has_value() ? shbf->Contains(key) : bloom->Contains(key);
+  }
+};
+
+Status Load(const std::string& path, LoadedFilter* out) {
+  std::string blob;
+  Status s = ReadFile(path, &blob);
+  if (!s.ok()) return s;
+  if (ShbfM::FromBytes(blob, &out->shbf).ok()) return Status::Ok();
+  if (BloomFilter::FromBytes(blob, &out->bloom).ok()) return Status::Ok();
+  return Status::InvalidArgument(path + " is not a recognized filter blob");
+}
+
+int Query(const std::string& filter_path, const std::string& keys_path) {
+  LoadedFilter filter;
+  Status s = Load(filter_path, &filter);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::vector<std::string> keys;
+  s = ReadLines(keys_path, &keys);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  size_t positives = 0;
+  for (const auto& key : keys) {
+    bool hit = filter.Contains(key);
+    positives += hit;
+    std::printf("%s\t%d\n", key.c_str(), hit ? 1 : 0);
+  }
+  std::fprintf(stderr, "%zu/%zu keys positive\n", positives, keys.size());
+  return 0;
+}
+
+int Info(const std::string& filter_path) {
+  LoadedFilter filter;
+  Status s = Load(filter_path, &filter);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (filter.shbf.has_value()) {
+    std::printf("type:          ShBF_M (shifting Bloom filter, membership)\n");
+    std::printf("bits (m):      %zu\n", filter.shbf->num_bits());
+    std::printf("hashes (k):    %u (computes k/2+1 = %u)\n",
+                filter.shbf->num_hashes(), filter.shbf->num_pairs() + 1);
+    std::printf("offset span:   %u\n", filter.shbf->max_offset_span());
+    std::printf("elements:      %zu\n", filter.shbf->num_elements());
+    std::printf("fill ratio:    %.4f\n", filter.shbf->bits().FillRatio());
+  } else {
+    std::printf("type:          standard Bloom filter\n");
+    std::printf("bits (m):      %zu\n", filter.bloom->num_bits());
+    std::printf("hashes (k):    %u\n", filter.bloom->num_hashes());
+    std::printf("elements:      %zu\n", filter.bloom->num_elements());
+    std::printf("fill ratio:    %.4f\n", filter.bloom->bits().FillRatio());
+  }
+  return 0;
+}
+
+int SelfTest() {
+  std::string dir = "/tmp";
+  if (const char* env = getenv("TMPDIR"); env != nullptr) dir = env;
+  std::string keys_path = dir + "/shbf_cli_selftest_keys.txt";
+  std::string filter_path = dir + "/shbf_cli_selftest.shbf";
+  {
+    std::ofstream keys(keys_path, std::ios::trunc);
+    for (int i = 0; i < 1000; ++i) keys << "key-" << i << "\n";
+  }
+  Options options;
+  if (Build(keys_path, filter_path, options) != 0) return 1;
+  LoadedFilter filter;
+  if (!Load(filter_path, &filter).ok()) return 1;
+  for (int i = 0; i < 1000; ++i) {
+    if (!filter.Contains("key-" + std::to_string(i))) {
+      std::fprintf(stderr, "selftest FAILED: false negative at %d\n", i);
+      return 1;
+    }
+  }
+  size_t false_positives = 0;
+  for (int i = 0; i < 10000; ++i) {
+    false_positives += filter.Contains("absent-" + std::to_string(i));
+  }
+  if (false_positives > 300) {  // expect ~0.5% at 12 bits/key
+    std::fprintf(stderr, "selftest FAILED: FPR too high (%zu/10000)\n",
+                 false_positives);
+    return 1;
+  }
+  std::remove(keys_path.c_str());
+  std::remove(filter_path.c_str());
+  std::printf("selftest OK (FPR %zu/10000)\n", false_positives);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  if (command == "selftest") return SelfTest();
+  if (command == "info" && argc == 3) return Info(argv[2]);
+  if (command == "query" && argc == 4) return Query(argv[2], argv[3]);
+  if (command == "build" && argc >= 4) {
+    Options options;
+    for (int i = 4; i < argc; ++i) {
+      std::string value;
+      if (ParseFlag(argv[i], "bits-per-key", &value)) {
+        options.bits_per_key = std::atof(value.c_str());
+      } else if (ParseFlag(argv[i], "k", &value)) {
+        options.num_hashes = static_cast<uint32_t>(std::atoi(value.c_str()));
+      } else if (ParseFlag(argv[i], "type", &value)) {
+        options.type = value;
+      } else if (ParseFlag(argv[i], "seed", &value)) {
+        options.seed = std::strtoull(value.c_str(), nullptr, 0);
+      } else {
+        std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+        return Usage();
+      }
+    }
+    return Build(argv[2], argv[3], options);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace shbf
+
+int main(int argc, char** argv) { return shbf::Main(argc, argv); }
