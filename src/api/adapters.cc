@@ -1,0 +1,1334 @@
+// Adapters binding every concrete filter to the unified SetQueryFilter
+// interfaces, plus the built-in FilterRegistry entries.
+//
+// Each adapter is a thin wrapper: it owns the concrete filter by value,
+// forwards the hot calls, and adds only what the interface needs (a name, an
+// add counter, spec-derived construction, envelope-free serde). The concrete
+// classes stay available for inlined hot paths; these adapters exist so
+// registry-driven drivers (tests, benches, the CLI, future sharded front
+// ends) can treat all fifteen schemes as one family.
+//
+// Factory derivations from FilterSpec are documented entry by entry in
+// RegisterBuiltinFilters at the bottom of this file.
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "api/filter_registry.h"
+#include "api/filter_spec.h"
+#include "api/set_query_filter.h"
+#include "baselines/bloom_filter.h"
+#include "baselines/cm_sketch.h"
+#include "baselines/counting_bloom_filter.h"
+#include "baselines/cuckoo_filter.h"
+#include "baselines/dynamic_count_filter.h"
+#include "baselines/ibf.h"
+#include "baselines/km_bloom_filter.h"
+#include "baselines/one_mem_bf.h"
+#include "baselines/spectral_bloom_filter.h"
+#include "core/serde.h"
+#include "shbf/counting_shbf_membership.h"
+#include "shbf/generalized_shbf.h"
+#include "shbf/scm_sketch.h"
+#include "shbf/shbf_association.h"
+#include "shbf/shbf_membership.h"
+#include "shbf/shbf_multiplicity.h"
+
+namespace shbf {
+namespace {
+
+// ------------------------------------------------------------------------
+// Shared adapter plumbing
+// ------------------------------------------------------------------------
+
+/// Name + add-counter + by-value impl shared by most adapters. `Base` is the
+/// interface being implemented, `Impl` the wrapped concrete filter.
+template <typename Base, typename Impl>
+class AdapterCore : public Base {
+ public:
+  AdapterCore(std::string name, Impl impl)
+      : name_(std::move(name)), impl_(std::move(impl)) {}
+
+  std::string_view name() const override { return name_; }
+  size_t num_elements() const override { return adds_; }
+  void Clear() override {
+    impl_.Clear();
+    adds_ = 0;
+  }
+
+  /// Direct access to the wrapped filter (inlined-hot-path escape hatch).
+  const Impl& impl() const { return impl_; }
+
+  /// Restores the interface-level add counter after deserialization.
+  void RestoreAddCount(size_t adds) { adds_ = adds; }
+
+ protected:
+  /// Adapter payload for native-serde filters: the add counter (which only
+  /// the adapter tracks) followed by the concrete filter's own blob.
+  std::string WrapNative(const std::string& native_blob) const {
+    ByteWriter writer;
+    writer.PutU64(adds_);
+    writer.PutBytes(native_blob.data(), native_blob.size());
+    return writer.Take();
+  }
+
+  std::string name_;
+  Impl impl_;
+  size_t adds_ = 0;
+};
+
+/// Deserializer wrapper for filters with native FromBytes: payload is the
+/// add counter followed by the concrete filter's own versioned blob.
+template <typename Adapter, typename Impl>
+FilterRegistry::Deserializer NativeDeserializer(std::string name) {
+  return [name](std::string_view payload,
+                std::unique_ptr<MembershipFilter>* out) -> Status {
+    ByteReader reader(payload);
+    uint64_t adds = 0;
+    if (!reader.GetU64(&adds)) {
+      return Status::InvalidArgument(name + ": truncated adapter payload");
+    }
+    std::optional<Impl> impl;
+    Status s = Impl::FromBytes(payload.substr(8), &impl);
+    if (!s.ok()) return s;
+    auto adapter = std::make_unique<Adapter>(name, std::move(*impl));
+    adapter->RestoreAddCount(adds);
+    *out = std::move(adapter);
+    return Status::Ok();
+  };
+}
+
+/// Length-prefixed key list helpers for replay-style adapter serde.
+void WriteKeys(ByteWriter* writer, const std::vector<std::string>& keys) {
+  writer->PutU64(keys.size());
+  for (const auto& key : keys) {
+    writer->PutU32(static_cast<uint32_t>(key.size()));
+    writer->PutBytes(key.data(), key.size());
+  }
+}
+
+bool ReadKeys(ByteReader* reader, std::vector<std::string>* keys) {
+  uint64_t count = 0;
+  if (!reader->GetU64(&count)) return false;
+  // Each key costs at least its 4-byte length prefix, so a count beyond
+  // remaining/4 is unsatisfiable — reject before reserve() can amplify a
+  // small crafted blob into a huge allocation.
+  if (count > reader->remaining() / 4) return false;
+  keys->clear();
+  keys->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t length = 0;
+    if (!reader->GetU32(&length) || length > reader->remaining()) return false;
+    std::string key(length, '\0');
+    if (!reader->GetBytes(key.data(), length)) return false;
+    keys->push_back(std::move(key));
+  }
+  return true;
+}
+
+/// Length-prefixed (key, count) table helpers — the multiplicity-replay
+/// sibling of WriteKeys/ReadKeys.
+void WriteKeyCounts(
+    ByteWriter* writer,
+    const std::vector<std::pair<std::string, uint64_t>>& entries) {
+  writer->PutU64(entries.size());
+  for (const auto& [key, count] : entries) {
+    writer->PutU32(static_cast<uint32_t>(key.size()));
+    writer->PutBytes(key.data(), key.size());
+    writer->PutU64(count);
+  }
+}
+
+bool ReadKeyCounts(ByteReader* reader,
+                   std::vector<std::pair<std::string, uint64_t>>* entries) {
+  uint64_t count = 0;
+  if (!reader->GetU64(&count)) return false;
+  // Each entry costs at least 12 bytes (length prefix + count).
+  if (count > reader->remaining() / 12) return false;
+  entries->clear();
+  entries->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t length = 0;
+    if (!reader->GetU32(&length) || length > reader->remaining()) return false;
+    std::string key(length, '\0');
+    uint64_t value = 0;
+    if (!reader->GetBytes(key.data(), length) || !reader->GetU64(&value)) {
+      return false;
+    }
+    entries->emplace_back(std::move(key), value);
+  }
+  return true;
+}
+
+// ------------------------------------------------------------------------
+// Membership adapters
+// ------------------------------------------------------------------------
+
+class BloomAdapter : public AdapterCore<MembershipFilter, BloomFilter> {
+ public:
+  using AdapterCore::AdapterCore;
+  void Add(std::string_view key) override {
+    impl_.Add(key);
+    ++adds_;
+  }
+  bool Contains(std::string_view key) const override {
+    return impl_.Contains(key);
+  }
+  bool ContainsWithStats(std::string_view key,
+                         QueryStats* stats) const override {
+    return impl_.ContainsWithStats(key, stats);
+  }
+  void ContainsBatch(const std::vector<std::string>& keys,
+                     std::vector<uint8_t>* results) const override {
+    impl_.ContainsBatch(keys, results);
+  }
+  size_t num_elements() const override { return impl_.num_elements(); }
+  size_t memory_bytes() const override {
+    return impl_.bits().allocated_bytes();
+  }
+  std::string ToBytes() const override { return WrapNative(impl_.ToBytes()); }
+};
+
+class ShbfMAdapter : public AdapterCore<MembershipFilter, ShbfM> {
+ public:
+  using AdapterCore::AdapterCore;
+  void Add(std::string_view key) override {
+    impl_.Add(key);
+    ++adds_;
+  }
+  bool Contains(std::string_view key) const override {
+    return impl_.Contains(key);
+  }
+  bool ContainsWithStats(std::string_view key,
+                         QueryStats* stats) const override {
+    return impl_.ContainsWithStats(key, stats);
+  }
+  void ContainsBatch(const std::vector<std::string>& keys,
+                     std::vector<uint8_t>* results) const override {
+    impl_.ContainsBatch(keys, results);
+  }
+  size_t num_elements() const override { return impl_.num_elements(); }
+  size_t memory_bytes() const override {
+    return impl_.bits().allocated_bytes();
+  }
+  std::string ToBytes() const override { return WrapNative(impl_.ToBytes()); }
+};
+
+class KmBloomAdapter : public AdapterCore<MembershipFilter, KmBloomFilter> {
+ public:
+  using AdapterCore::AdapterCore;
+  void Add(std::string_view key) override {
+    impl_.Add(key);
+    ++adds_;
+  }
+  bool Contains(std::string_view key) const override {
+    return impl_.Contains(key);
+  }
+  bool ContainsWithStats(std::string_view key,
+                         QueryStats* stats) const override {
+    return impl_.ContainsWithStats(key, stats);
+  }
+  size_t memory_bytes() const override { return impl_.num_bits() / 8; }
+  std::string ToBytes() const override { return WrapNative(impl_.ToBytes()); }
+};
+
+class OneMemBfAdapter
+    : public AdapterCore<MembershipFilter, OneMemBloomFilter> {
+ public:
+  using AdapterCore::AdapterCore;
+  void Add(std::string_view key) override {
+    impl_.Add(key);
+    ++adds_;
+  }
+  bool Contains(std::string_view key) const override {
+    return impl_.Contains(key);
+  }
+  bool ContainsWithStats(std::string_view key,
+                         QueryStats* stats) const override {
+    return impl_.ContainsWithStats(key, stats);
+  }
+  size_t memory_bytes() const override { return impl_.num_bits() / 8; }
+  std::string ToBytes() const override { return WrapNative(impl_.ToBytes()); }
+};
+
+class CountingBloomAdapter
+    : public AdapterCore<MembershipFilter, CountingBloomFilter> {
+ public:
+  using AdapterCore::AdapterCore;
+  void Add(std::string_view key) override {
+    impl_.Insert(key);
+    ++adds_;
+  }
+  bool Contains(std::string_view key) const override {
+    return impl_.Contains(key);
+  }
+  bool ContainsWithStats(std::string_view key,
+                         QueryStats* stats) const override {
+    return impl_.ContainsWithStats(key, stats);
+  }
+  size_t memory_bytes() const override {
+    return impl_.counters().num_counters() *
+           impl_.counters().bits_per_counter() / 8;
+  }
+  std::string ToBytes() const override { return WrapNative(impl_.ToBytes()); }
+};
+
+class CuckooAdapter : public AdapterCore<MembershipFilter, CuckooFilter> {
+ public:
+  using AdapterCore::AdapterCore;
+  void Add(std::string_view key) override {
+    // Set semantics: re-adding a key whose fingerprint is already visible
+    // would store a duplicate copy and eventually fill the table (cuckoo
+    // filters bound duplicate insertions). Skipping is safe for the
+    // membership contract — Contains(key) is already true and stays true
+    // under the add-only interface. A genuinely failed insert (table full
+    // past the victim stash) would silently drop the key and break the
+    // no-false-negative contract, so overfull keys go to an exact side
+    // list the queries consult — degraded capacity, never a lost key.
+    // A failed Insert usually leaves the key findable anyway (its
+    // fingerprint was placed during the kick loop or parked in the victim
+    // stash), so re-check before side-listing to keep num_elements and the
+    // serde payload exact.
+    if (!impl_.Contains(key) && !impl_.Insert(key) && !impl_.Contains(key)) {
+      overfull_.emplace_back(key);
+    }
+    ++adds_;
+  }
+  bool Contains(std::string_view key) const override {
+    if (impl_.Contains(key)) return true;
+    return std::find(overfull_.begin(), overfull_.end(), key) !=
+           overfull_.end();
+  }
+  bool ContainsWithStats(std::string_view key,
+                         QueryStats* stats) const override {
+    if (impl_.ContainsWithStats(key, stats)) return true;
+    return std::find(overfull_.begin(), overfull_.end(), key) !=
+           overfull_.end();
+  }
+  // Stored fingerprints + overfull stash, which survives deserialization
+  // (unlike the adapter add counter).
+  size_t num_elements() const override {
+    return impl_.num_items() + overfull_.size();
+  }
+  void Clear() override {
+    impl_.Clear();
+    overfull_.clear();
+    adds_ = 0;
+  }
+  size_t memory_bytes() const override { return impl_.memory_bits() / 8; }
+  std::string ToBytes() const override {
+    ByteWriter writer;
+    std::string native = impl_.ToBytes();
+    writer.PutU64(native.size());
+    writer.PutBytes(native.data(), native.size());
+    WriteKeys(&writer, overfull_);
+    return writer.Take();
+  }
+
+  void RestoreOverfull(std::vector<std::string> keys) {
+    overfull_ = std::move(keys);
+  }
+
+ private:
+  std::vector<std::string> overfull_;
+};
+
+class CountingShbfMAdapter
+    : public AdapterCore<MembershipFilter, CountingShbfM> {
+ public:
+  using AdapterCore::AdapterCore;
+  void Add(std::string_view key) override {
+    impl_.Insert(key);
+    ++adds_;
+  }
+  bool Contains(std::string_view key) const override {
+    return impl_.Contains(key);
+  }
+  bool ContainsWithStats(std::string_view key,
+                         QueryStats* stats) const override {
+    return impl_.ContainsWithStats(key, stats);
+  }
+  size_t memory_bytes() const override {
+    return impl_.num_bits() / 8 + impl_.counters().num_counters() *
+                                      impl_.counters().bits_per_counter() / 8;
+  }
+  std::string ToBytes() const override { return WrapNative(impl_.ToBytes()); }
+};
+
+class GeneralizedShbfAdapter
+    : public AdapterCore<MembershipFilter, GeneralizedShbfM> {
+ public:
+  using AdapterCore::AdapterCore;
+  void Add(std::string_view key) override {
+    impl_.Add(key);
+    ++adds_;
+  }
+  bool Contains(std::string_view key) const override {
+    return impl_.Contains(key);
+  }
+  bool ContainsWithStats(std::string_view key,
+                         QueryStats* stats) const override {
+    return impl_.ContainsWithStats(key, stats);
+  }
+  size_t memory_bytes() const override { return impl_.num_bits() / 8; }
+  std::string ToBytes() const override { return WrapNative(impl_.ToBytes()); }
+};
+
+// ------------------------------------------------------------------------
+// Multiplicity adapters
+// ------------------------------------------------------------------------
+
+class SpectralAdapter
+    : public AdapterCore<MultiplicityFilter, SpectralBloomFilter> {
+ public:
+  using AdapterCore::AdapterCore;
+  void Add(std::string_view key) override {
+    impl_.Insert(key);
+    ++adds_;
+  }
+  uint64_t QueryCount(std::string_view key) const override {
+    return impl_.QueryCount(key);
+  }
+  bool ContainsWithStats(std::string_view key,
+                         QueryStats* stats) const override {
+    return impl_.QueryCountWithStats(key, stats) > 0;
+  }
+  size_t memory_bytes() const override { return impl_.memory_bits() / 8; }
+  std::string ToBytes() const override { return WrapNative(impl_.ToBytes()); }
+};
+
+class CmSketchAdapter : public AdapterCore<MultiplicityFilter, CmSketch> {
+ public:
+  using AdapterCore::AdapterCore;
+  void Add(std::string_view key) override {
+    impl_.Insert(key);
+    ++adds_;
+  }
+  uint64_t QueryCount(std::string_view key) const override {
+    return impl_.QueryCount(key);
+  }
+  bool ContainsWithStats(std::string_view key,
+                         QueryStats* stats) const override {
+    return impl_.QueryCountWithStats(key, stats) > 0;
+  }
+  size_t memory_bytes() const override { return impl_.memory_bits() / 8; }
+  std::string ToBytes() const override { return WrapNative(impl_.ToBytes()); }
+};
+
+class ScmSketchAdapter : public AdapterCore<MultiplicityFilter, ScmSketch> {
+ public:
+  using AdapterCore::AdapterCore;
+  void Add(std::string_view key) override {
+    impl_.Insert(key);
+    ++adds_;
+  }
+  uint64_t QueryCount(std::string_view key) const override {
+    return impl_.QueryCount(key);
+  }
+  bool ContainsWithStats(std::string_view key,
+                         QueryStats* stats) const override {
+    return impl_.QueryCountWithStats(key, stats) > 0;
+  }
+  size_t memory_bytes() const override { return impl_.memory_bits() / 8; }
+  std::string ToBytes() const override { return WrapNative(impl_.ToBytes()); }
+};
+
+class DynamicCountAdapter
+    : public AdapterCore<MultiplicityFilter, DynamicCountFilter> {
+ public:
+  using AdapterCore::AdapterCore;
+  void Add(std::string_view key) override {
+    impl_.Insert(key);
+    ++adds_;
+  }
+  uint64_t QueryCount(std::string_view key) const override {
+    return impl_.QueryCount(key);
+  }
+  bool ContainsWithStats(std::string_view key,
+                         QueryStats* stats) const override {
+    return impl_.QueryCountWithStats(key, stats) > 0;
+  }
+  size_t memory_bytes() const override { return impl_.memory_bits() / 8; }
+  std::string ToBytes() const override { return WrapNative(impl_.ToBytes()); }
+};
+
+/// CountingShbfX (§5.3, table-backed): incremental multiplicity updates.
+/// Serde is replay-based: the structure's state is a deterministic function
+/// of (spec, exact key→count table), so the payload is the spec plus the
+/// table and deserialization re-inserts every occurrence.
+class CountingShbfXAdapter : public MultiplicityFilter {
+ public:
+  CountingShbfXAdapter(std::string name, FilterSpec spec,
+                       CountingShbfX::Params params)
+      : name_(std::move(name)),
+        spec_(spec),
+        params_(params),
+        impl_(params) {}
+
+  std::string_view name() const override { return name_; }
+  size_t num_elements() const override { return adds_; }
+  void Add(std::string_view key) override {
+    // Saturate at max_count instead of tripping the concrete class's CHECK:
+    // through the uniform interface a caller cannot know every scheme's cap,
+    // and the library's counting structures already saturate rather than
+    // abort (PackedCounterArray). Counts at the cap stop growing, mirroring
+    // "max_count is the largest representable multiplicity".
+    if (impl_.ExactCount(key) < params_.filter.max_count) impl_.Insert(key);
+    ++adds_;
+  }
+  uint64_t QueryCount(std::string_view key) const override {
+    return impl_.QueryCount(key);
+  }
+  void Clear() override {
+    impl_.Clear();
+    adds_ = 0;
+  }
+  size_t memory_bytes() const override {
+    // Bit array + mirror counters; the exact table is off-structure in the
+    // paper's architecture (§5.3.2) and not counted.
+    return spec_.num_cells * (1 + spec_.counter_bits) / 8;
+  }
+  std::string ToBytes() const override {
+    ByteWriter writer;
+    spec_serde::WriteSpec(&writer, spec_);
+    std::vector<std::pair<std::string, uint64_t>> entries;
+    impl_.ForEachExactCount([&entries](std::string_view key, uint64_t count) {
+      entries.emplace_back(std::string(key), count);
+    });
+    WriteKeyCounts(&writer, entries);
+    return writer.Take();
+  }
+
+  const CountingShbfX& impl() const { return impl_; }
+  CountingShbfX& impl() { return impl_; }
+
+ private:
+  std::string name_;
+  FilterSpec spec_;
+  CountingShbfX::Params params_;
+  CountingShbfX impl_;
+  size_t adds_ = 0;
+};
+
+/// ShbfX (§5): bulk-built — Add buffers the occurrence and the filter is
+/// rebuilt lazily on the next query.
+class ShbfXLazyAdapter : public MultiplicityFilter {
+ public:
+  ShbfXLazyAdapter(std::string name, FilterSpec spec, ShbfXParams params)
+      : name_(std::move(name)), spec_(spec), params_(params), impl_(params) {}
+
+  std::string_view name() const override { return name_; }
+  size_t num_elements() const override { return multiset_.size(); }
+  bool IncrementalAdd() const override { return false; }
+
+  void Add(std::string_view key) override {
+    multiset_.emplace_back(key);
+    dirty_ = true;
+  }
+  uint64_t QueryCount(std::string_view key) const override {
+    EnsureBuilt();
+    return impl_.QueryCount(key);
+  }
+  void Clear() override {
+    multiset_.clear();
+    impl_ = ShbfX(params_);
+    dirty_ = false;
+  }
+  size_t memory_bytes() const override { return impl_.num_bits() / 8; }
+  std::string ToBytes() const override {
+    ByteWriter writer;
+    spec_serde::WriteSpec(&writer, spec_);
+    WriteKeys(&writer, multiset_);
+    return writer.Take();
+  }
+
+  void SetKeys(std::vector<std::string> multiset) {
+    multiset_ = std::move(multiset);
+    dirty_ = true;
+  }
+
+ private:
+  void EnsureBuilt() const {
+    if (!dirty_) return;
+    impl_ = ShbfX(params_);
+    // Tally here instead of ShbfX::Build so multiplicities past max_count
+    // saturate at the cap (Build CHECK-fails on them; through the uniform
+    // interface a caller cannot know the cap).
+    std::unordered_map<std::string, uint32_t> tallies;
+    for (const auto& key : multiset_) ++tallies[key];
+    for (const auto& [key, count] : tallies) {
+      impl_.InsertWithCount(key, std::min(count, params_.max_count));
+    }
+    dirty_ = false;
+  }
+
+  std::string name_;
+  FilterSpec spec_;
+  ShbfXParams params_;
+  mutable ShbfX impl_;
+  mutable bool dirty_ = false;
+  std::vector<std::string> multiset_;
+};
+
+// ------------------------------------------------------------------------
+// Association adapters
+// ------------------------------------------------------------------------
+
+/// ShbfA (§4): bulk-built over (S1, S2); Add buffers and rebuilds lazily.
+class ShbfALazyAdapter : public AssociationFilter {
+ public:
+  ShbfALazyAdapter(std::string name, FilterSpec spec, ShbfAParams params)
+      : name_(std::move(name)), spec_(spec), params_(params), impl_(params) {}
+
+  std::string_view name() const override { return name_; }
+  size_t num_elements() const override { return s1_.size() + s2_.size(); }
+  bool IncrementalAdd() const override { return false; }
+
+  void AddToS1(std::string_view key) override {
+    s1_.emplace_back(key);
+    dirty_ = true;
+  }
+  void AddToS2(std::string_view key) override {
+    s2_.emplace_back(key);
+    dirty_ = true;
+  }
+  AssociationOutcome Query(std::string_view key) const override {
+    EnsureBuilt();
+    return impl_.Query(key);
+  }
+  AssociationOutcome QueryWithStats(std::string_view key,
+                                    QueryStats* stats) const override {
+    EnsureBuilt();
+    return impl_.QueryWithStats(key, stats);
+  }
+  void Clear() override {
+    s1_.clear();
+    s2_.clear();
+    impl_ = ShbfA(params_);
+    dirty_ = false;
+  }
+  size_t memory_bytes() const override { return impl_.num_bits() / 8; }
+  std::string ToBytes() const override {
+    ByteWriter writer;
+    spec_serde::WriteSpec(&writer, spec_);
+    WriteKeys(&writer, s1_);
+    WriteKeys(&writer, s2_);
+    return writer.Take();
+  }
+
+  void SetKeys(std::vector<std::string> s1, std::vector<std::string> s2) {
+    s1_ = std::move(s1);
+    s2_ = std::move(s2);
+    dirty_ = true;
+  }
+
+ private:
+  void EnsureBuilt() const {
+    if (!dirty_) return;
+    impl_ = ShbfA(params_);
+    impl_.Build(s1_, s2_);
+    dirty_ = false;
+  }
+
+  std::string name_;
+  FilterSpec spec_;
+  ShbfAParams params_;
+  mutable ShbfA impl_;
+  mutable bool dirty_ = false;
+  std::vector<std::string> s1_;
+  std::vector<std::string> s2_;
+};
+
+/// CountingShbfA (§4.4): incremental association updates. Replay serde, as
+/// the state is a deterministic function of (spec, S1, S2).
+class CountingShbfAAdapter : public AssociationFilter {
+ public:
+  CountingShbfAAdapter(std::string name, FilterSpec spec,
+                       CountingShbfA::Params params)
+      : name_(std::move(name)),
+        spec_(spec),
+        params_(params),
+        impl_(params) {}
+
+  std::string_view name() const override { return name_; }
+  size_t num_elements() const override {
+    return impl_.size_s1() + impl_.size_s2();
+  }
+  void AddToS1(std::string_view key) override { impl_.InsertS1(key); }
+  void AddToS2(std::string_view key) override { impl_.InsertS2(key); }
+  AssociationOutcome Query(std::string_view key) const override {
+    return impl_.Query(key);
+  }
+  AssociationOutcome QueryWithStats(std::string_view key,
+                                    QueryStats* stats) const override {
+    return impl_.QueryWithStats(key, stats);
+  }
+  void Clear() override { impl_.Clear(); }
+  size_t memory_bytes() const override {
+    return spec_.num_cells * (1 + spec_.counter_bits) / 8;
+  }
+  std::string ToBytes() const override {
+    ByteWriter writer;
+    spec_serde::WriteSpec(&writer, spec_);
+    std::vector<std::string> s1;
+    std::vector<std::string> s2;
+    impl_.ForEachS1([&s1](std::string_view key) { s1.emplace_back(key); });
+    impl_.ForEachS2([&s2](std::string_view key) { s2.emplace_back(key); });
+    WriteKeys(&writer, s1);
+    WriteKeys(&writer, s2);
+    return writer.Take();
+  }
+
+  const CountingShbfA& impl() const { return impl_; }
+  CountingShbfA& impl() { return impl_; }
+
+ private:
+  std::string name_;
+  FilterSpec spec_;
+  CountingShbfA::Params params_;
+  CountingShbfA impl_;
+};
+
+/// iBF (§4.5): one Bloom filter per set. Serde concatenates the two native
+/// Bloom blobs.
+class IbfAdapter : public AssociationFilter {
+ public:
+  IbfAdapter(std::string name, IndividualBloomFilters impl)
+      : name_(std::move(name)), impl_(std::move(impl)) {}
+
+  std::string_view name() const override { return name_; }
+  size_t num_elements() const override { return adds_; }
+  void AddToS1(std::string_view key) override {
+    impl_.AddToS1(key);
+    ++adds_;
+  }
+  void AddToS2(std::string_view key) override {
+    impl_.AddToS2(key);
+    ++adds_;
+  }
+  AssociationOutcome Query(std::string_view key) const override {
+    return impl_.Query(key);
+  }
+  AssociationOutcome QueryWithStats(std::string_view key,
+                                    QueryStats* stats) const override {
+    return impl_.QueryWithStats(key, stats);
+  }
+  bool Contains(std::string_view key) const override {
+    // iBF's Query never reports kNotFound (a (0,0) pattern is mapped to
+    // kUnknown because it breaks the e ∈ S1 ∪ S2 promise), so union
+    // membership must consult the two filters directly.
+    return impl_.filter1().Contains(key) || impl_.filter2().Contains(key);
+  }
+  void Clear() override {
+    impl_.Clear();
+    adds_ = 0;
+  }
+  size_t memory_bytes() const override { return impl_.total_bits() / 8; }
+  std::string ToBytes() const override {
+    ByteWriter writer;
+    writer.PutU64(adds_);
+    std::string blob1 = impl_.filter1().ToBytes();
+    std::string blob2 = impl_.filter2().ToBytes();
+    writer.PutU64(blob1.size());
+    writer.PutBytes(blob1.data(), blob1.size());
+    writer.PutBytes(blob2.data(), blob2.size());
+    return writer.Take();
+  }
+
+  void RestoreAddCount(size_t adds) { adds_ = adds; }
+
+  const IndividualBloomFilters& impl() const { return impl_; }
+
+ private:
+  std::string name_;
+  IndividualBloomFilters impl_;
+  size_t adds_ = 0;
+};
+
+// ------------------------------------------------------------------------
+// Spec → Params derivations + registration
+// ------------------------------------------------------------------------
+
+uint32_t RoundUpToMultiple(uint32_t value, uint32_t divisor) {
+  uint32_t remainder = value % divisor;
+  return remainder == 0 ? value : value + divisor - remainder;
+}
+
+template <typename Adapter, typename Params>
+Status MakeAdapter(const std::string& name, const Params& params,
+                   std::unique_ptr<MembershipFilter>* out) {
+  Status valid = params.Validate();
+  if (!valid.ok()) return valid;
+  using Impl = decltype(std::declval<Adapter>().impl());
+  *out = std::make_unique<Adapter>(
+      name, std::remove_cvref_t<Impl>(params));
+  return Status::Ok();
+}
+
+Status RegisterAll(FilterRegistry* r) {
+  Status s;
+
+  // --- membership ------------------------------------------------------
+  // bloom: num_cells bits, num_hashes probes.
+  s = r->Register(
+      {.name = "bloom",
+       .family = FilterFamily::kMembership,
+       .description = "standard Bloom filter (Bloom 1970; paper §2.1, Eq 8)",
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             return MakeAdapter<BloomAdapter>(
+                 "bloom",
+                 BloomFilter::Params{.num_bits = spec.num_cells,
+                                     .num_hashes = spec.num_hashes,
+                                     .hash_algorithm = spec.hash_algorithm,
+                                     .seed = spec.seed},
+                 out);
+           },
+       .deserializer = NativeDeserializer<BloomAdapter, BloomFilter>("bloom")});
+  if (!s.ok()) return s;
+
+  // shbf_m: num_hashes rounded up to even (k/2 base-offset pairs).
+  s = r->Register(
+      {.name = "shbf_m",
+       .family = FilterFamily::kMembership,
+       .description = "shifting Bloom filter, membership (paper §3)",
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             uint32_t k = RoundUpToMultiple(spec.num_hashes < 2 ? 2
+                                                                : spec.num_hashes,
+                                            2);
+             return MakeAdapter<ShbfMAdapter>(
+                 "shbf_m",
+                 ShbfM::Params{.num_bits = spec.num_cells,
+                               .num_hashes = k,
+                               .hash_algorithm = spec.hash_algorithm,
+                               .seed = spec.seed},
+                 out);
+           },
+       .deserializer = NativeDeserializer<ShbfMAdapter, ShbfM>("shbf_m")});
+  if (!s.ok()) return s;
+
+  // shbf_g: t = num_shifts (must divide 56); k rounded up to a multiple of
+  // t + 1.
+  s = r->Register(
+      {.name = "shbf_g",
+       .family = FilterFamily::kMembership,
+       .description =
+           "generalized shifting Bloom filter, t shifts (paper §3.6)",
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             uint32_t t = spec.num_shifts;
+             uint32_t k = RoundUpToMultiple(spec.num_hashes, t + 1);
+             return MakeAdapter<GeneralizedShbfAdapter>(
+                 "shbf_g",
+                 GeneralizedShbfM::Params{.num_bits = spec.num_cells,
+                                          .num_hashes = k,
+                                          .num_shifts = t,
+                                          .hash_algorithm = spec.hash_algorithm,
+                                          .seed = spec.seed},
+                 out);
+           },
+       .deserializer = NativeDeserializer<GeneralizedShbfAdapter,
+                                          GeneralizedShbfM>("shbf_g")});
+  if (!s.ok()) return s;
+
+  // counting_shbf_m: same geometry as shbf_m plus counter_bits counters.
+  s = r->Register(
+      {.name = "counting_shbf_m",
+       .family = FilterFamily::kMembership,
+       .description = "counting shifting Bloom filter (paper §3.3)",
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             uint32_t k = RoundUpToMultiple(spec.num_hashes < 2 ? 2
+                                                                : spec.num_hashes,
+                                            2);
+             return MakeAdapter<CountingShbfMAdapter>(
+                 "counting_shbf_m",
+                 CountingShbfM::Params{.num_bits = spec.num_cells,
+                                       .num_hashes = k,
+                                       .counter_bits = spec.counter_bits,
+                                       .hash_algorithm = spec.hash_algorithm,
+                                       .seed = spec.seed},
+                 out);
+           },
+       .deserializer = NativeDeserializer<CountingShbfMAdapter, CountingShbfM>(
+           "counting_shbf_m")});
+  if (!s.ok()) return s;
+
+  // km_bloom: num_cells bits, k simulated probes from two real hashes.
+  s = r->Register(
+      {.name = "km_bloom",
+       .family = FilterFamily::kMembership,
+       .description = "Kirsch-Mitzenmacher two-hash Bloom filter (paper §2.1)",
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             return MakeAdapter<KmBloomAdapter>(
+                 "km_bloom",
+                 KmBloomFilter::Params{.num_bits = spec.num_cells,
+                                       .num_hashes = spec.num_hashes,
+                                       .hash_algorithm = spec.hash_algorithm,
+                                       .seed = spec.seed},
+                 out);
+           },
+       .deserializer =
+           NativeDeserializer<KmBloomAdapter, KmBloomFilter>("km_bloom")});
+  if (!s.ok()) return s;
+
+  // one_mem_bf: num_cells bits partitioned into word_bits words.
+  s = r->Register(
+      {.name = "one_mem_bf",
+       .family = FilterFamily::kMembership,
+       .description = "one-memory-access Bloom filter (Qiao 2011; paper §6.2)",
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             return MakeAdapter<OneMemBfAdapter>(
+                 "one_mem_bf",
+                 OneMemBloomFilter::Params{.num_bits = spec.num_cells,
+                                           .num_hashes = spec.num_hashes,
+                                           .word_bits = spec.word_bits,
+                                           .hash_algorithm =
+                                               spec.hash_algorithm,
+                                           .seed = spec.seed},
+                 out);
+           },
+       .deserializer = NativeDeserializer<OneMemBfAdapter, OneMemBloomFilter>(
+           "one_mem_bf")});
+  if (!s.ok()) return s;
+
+  // counting_bloom: num_cells counters of counter_bits each.
+  s = r->Register(
+      {.name = "counting_bloom",
+       .family = FilterFamily::kMembership,
+       .description = "counting Bloom filter (Fan 2000; paper §1.1)",
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             return MakeAdapter<CountingBloomAdapter>(
+                 "counting_bloom",
+                 CountingBloomFilter::Params{.num_counters = spec.num_cells,
+                                             .num_hashes = spec.num_hashes,
+                                             .counter_bits = spec.counter_bits,
+                                             .hash_algorithm =
+                                                 spec.hash_algorithm,
+                                             .seed = spec.seed},
+                 out);
+           },
+       .deserializer = NativeDeserializer<CountingBloomAdapter,
+                                          CountingBloomFilter>(
+           "counting_bloom")});
+  if (!s.ok()) return s;
+
+  // cuckoo: buckets from expected_keys at ~84% load when given, otherwise
+  // from num_cells interpreted as a bit budget for fingerprints.
+  s = r->Register(
+      {.name = "cuckoo",
+       .family = FilterFamily::kMembership,
+       .description = "cuckoo filter (Fan 2014; paper §2.1)",
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             size_t buckets;
+             if (spec.expected_keys > 0) {
+               buckets = static_cast<size_t>(
+                   static_cast<double>(spec.expected_keys) /
+                       (0.84 * spec.bucket_size) +
+                   1.0);
+             } else {
+               buckets = spec.num_cells /
+                         (static_cast<size_t>(spec.fingerprint_bits) *
+                          spec.bucket_size);
+             }
+             if (buckets == 0) buckets = 1;
+             return MakeAdapter<CuckooAdapter>(
+                 "cuckoo",
+                 CuckooFilter::Params{.num_buckets = buckets,
+                                      .bucket_size = spec.bucket_size,
+                                      .fingerprint_bits = spec.fingerprint_bits,
+                                      .hash_algorithm = spec.hash_algorithm,
+                                      .seed = spec.seed},
+                 out);
+           },
+       .deserializer =
+           [](std::string_view payload,
+              std::unique_ptr<MembershipFilter>* out) -> Status {
+             ByteReader reader(payload);
+             uint64_t native_size = 0;
+             if (!reader.GetU64(&native_size) ||
+                 native_size > reader.remaining()) {
+               return Status::InvalidArgument("cuckoo: bad payload framing");
+             }
+             std::string native(native_size, '\0');
+             if (!reader.GetBytes(native.data(), native_size)) {
+               return Status::InvalidArgument("cuckoo: truncated payload");
+             }
+             std::vector<std::string> overfull;
+             if (!ReadKeys(&reader, &overfull) || !reader.AtEnd()) {
+               return Status::InvalidArgument("cuckoo: bad overfull list");
+             }
+             std::optional<CuckooFilter> impl;
+             Status s = CuckooFilter::FromBytes(native, &impl);
+             if (!s.ok()) return s;
+             auto adapter =
+                 std::make_unique<CuckooAdapter>("cuckoo", std::move(*impl));
+             adapter->RestoreOverfull(std::move(overfull));
+             *out = std::move(adapter);
+             return Status::Ok();
+           }});
+  if (!s.ok()) return s;
+
+  // --- multiplicity ----------------------------------------------------
+  // spectral: num_cells counters, increment-all policy (delete-capable).
+  s = r->Register(
+      {.name = "spectral",
+       .family = FilterFamily::kMultiplicity,
+       .description = "spectral Bloom filter (Cohen 2003; paper §2.3, §6.4)",
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             return MakeAdapter<SpectralAdapter>(
+                 "spectral",
+                 SpectralBloomFilter::Params{.num_counters = spec.num_cells,
+                                             .num_hashes = spec.num_hashes,
+                                             .counter_bits = spec.counter_bits,
+                                             .hash_algorithm =
+                                                 spec.hash_algorithm,
+                                             .seed = spec.seed},
+                 out);
+           },
+       .deserializer = NativeDeserializer<SpectralAdapter, SpectralBloomFilter>(
+           "spectral")});
+  if (!s.ok()) return s;
+
+  // cm: depth = num_hashes rows, width = num_cells / depth counters per row.
+  s = r->Register(
+      {.name = "cm",
+       .family = FilterFamily::kMultiplicity,
+       .description = "count-min sketch (Cormode 2005; paper §2.3, §5.5)",
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             size_t width = spec.num_cells / spec.num_hashes;
+             return MakeAdapter<CmSketchAdapter>(
+                 "cm",
+                 CmSketch::Params{.depth = spec.num_hashes,
+                                  .width = width == 0 ? 1 : width,
+                                  .counter_bits = spec.counter_bits,
+                                  .hash_algorithm = spec.hash_algorithm,
+                                  .seed = spec.seed},
+                 out);
+           },
+       .deserializer = NativeDeserializer<CmSketchAdapter, CmSketch>("cm")});
+  if (!s.ok()) return s;
+
+  // scm: depth rounded up to even; width = num_cells / depth; counter_bits
+  // clamped to 28 so pairs stay one-access (§5.5).
+  s = r->Register(
+      {.name = "scm",
+       .family = FilterFamily::kMultiplicity,
+       .description = "shifting count-min sketch (paper §5.5)",
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             uint32_t depth = RoundUpToMultiple(
+                 spec.num_hashes < 2 ? 2 : spec.num_hashes, 2);
+             size_t width = spec.num_cells / depth;
+             return MakeAdapter<ScmSketchAdapter>(
+                 "scm",
+                 ScmSketch::Params{.depth = depth,
+                                   .width = width == 0 ? 1 : width,
+                                   .counter_bits =
+                                       spec.counter_bits > 28
+                                           ? 28u
+                                           : spec.counter_bits,
+                                   .hash_algorithm = spec.hash_algorithm,
+                                   .seed = spec.seed},
+                 out);
+           },
+       .deserializer =
+           NativeDeserializer<ScmSketchAdapter, ScmSketch>("scm")});
+  if (!s.ok()) return s;
+
+  // dynamic_count: num_cells counters; base width clamped to the scheme's
+  // [1, 16] range.
+  s = r->Register(
+      {.name = "dynamic_count",
+       .family = FilterFamily::kMultiplicity,
+       .description = "dynamic count filter (Aguilar-Saborit 2006; paper §2.3)",
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             return MakeAdapter<DynamicCountAdapter>(
+                 "dynamic_count",
+                 DynamicCountFilter::Params{.num_counters = spec.num_cells,
+                                            .num_hashes = spec.num_hashes,
+                                            .base_bits =
+                                                spec.counter_bits > 16
+                                                    ? 16u
+                                                    : spec.counter_bits,
+                                            .hash_algorithm =
+                                                spec.hash_algorithm,
+                                            .seed = spec.seed},
+                 out);
+           },
+       .deserializer = NativeDeserializer<DynamicCountAdapter,
+                                          DynamicCountFilter>(
+           "dynamic_count")});
+  if (!s.ok()) return s;
+
+  // shbf_x: bulk-built multiplicity filter; max_count clamped to the
+  // implementation cap.
+  s = r->Register(
+      {.name = "shbf_x",
+       .family = FilterFamily::kMultiplicity,
+       .description = "shifting Bloom filter, multiplicity (paper §5)",
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             ShbfXParams params{
+                 .num_bits = spec.num_cells,
+                 .num_hashes = spec.num_hashes,
+                 .max_count = spec.max_count > ShbfXParams::kMaxSupportedCount
+                                  ? ShbfXParams::kMaxSupportedCount
+                                  : spec.max_count,
+                 .hash_algorithm = spec.hash_algorithm,
+                 .seed = spec.seed};
+             Status valid = params.Validate();
+             if (!valid.ok()) return valid;
+             *out = std::make_unique<ShbfXLazyAdapter>("shbf_x", spec, params);
+             return Status::Ok();
+           },
+       .deserializer =
+           [](std::string_view payload,
+              std::unique_ptr<MembershipFilter>* out) -> Status {
+             ByteReader reader(payload);
+             FilterSpec spec;
+             std::vector<std::string> multiset;
+             if (!spec_serde::ReadSpec(&reader, &spec) ||
+                 !ReadKeys(&reader, &multiset) || !reader.AtEnd()) {
+               return Status::InvalidArgument("shbf_x: bad replay payload");
+             }
+             // Occurrences past max_count are legal here: the adapter's
+             // lazy build saturates them at the cap, exactly as the live
+             // filter the blob was written from did.
+             std::unique_ptr<MembershipFilter> base;
+             Status s = FilterRegistry::Global().Create("shbf_x", spec, &base);
+             if (!s.ok()) return s;
+             static_cast<ShbfXLazyAdapter*>(base.get())
+                 ->SetKeys(std::move(multiset));
+             *out = std::move(base);
+             return Status::Ok();
+           }});
+  if (!s.ok()) return s;
+
+  // counting_shbf_x: incremental twin, exact-table-backed (§5.3.2).
+  s = r->Register(
+      {.name = "counting_shbf_x",
+       .family = FilterFamily::kMultiplicity,
+       .description =
+           "counting shifting Bloom filter, multiplicity (paper §5.3)",
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             CountingShbfX::Params params{
+                 .filter = {.num_bits = spec.num_cells,
+                            .num_hashes = spec.num_hashes,
+                            .max_count =
+                                spec.max_count > ShbfXParams::kMaxSupportedCount
+                                    ? ShbfXParams::kMaxSupportedCount
+                                    : spec.max_count,
+                            .hash_algorithm = spec.hash_algorithm,
+                            .seed = spec.seed},
+                 .counter_bits = spec.counter_bits,
+                 .mode = CountingShbfX::UpdateMode::kTableBacked};
+             Status valid = params.Validate();
+             if (!valid.ok()) return valid;
+             *out = std::make_unique<CountingShbfXAdapter>("counting_shbf_x",
+                                                           spec, params);
+             return Status::Ok();
+           },
+       .deserializer =
+           [](std::string_view payload,
+              std::unique_ptr<MembershipFilter>* out) -> Status {
+             ByteReader reader(payload);
+             FilterSpec spec;
+             if (!spec_serde::ReadSpec(&reader, &spec)) {
+               return Status::InvalidArgument(
+                   "counting_shbf_x: bad replay payload");
+             }
+             std::vector<std::pair<std::string, uint64_t>> entries;
+             if (!ReadKeyCounts(&reader, &entries) || !reader.AtEnd()) {
+               return Status::InvalidArgument(
+                   "counting_shbf_x: bad replay table");
+             }
+             // The exact table can never legally hold counts outside
+             // [1, max_count]; reject corruption here, where a Status is
+             // possible, instead of replaying it.
+             const uint64_t effective_max =
+                 std::min(spec.max_count, ShbfXParams::kMaxSupportedCount);
+             for (const auto& [key, count] : entries) {
+               if (count == 0 || count > effective_max) {
+                 return Status::InvalidArgument(
+                     "counting_shbf_x: table count out of range");
+               }
+             }
+             std::unique_ptr<MembershipFilter> base;
+             Status s = FilterRegistry::Global().Create("counting_shbf_x",
+                                                        spec, &base);
+             if (!s.ok()) return s;
+             auto* adapter = static_cast<CountingShbfXAdapter*>(base.get());
+             for (const auto& [key, count] : entries) {
+               for (uint64_t occurrence = 0; occurrence < count;
+                    ++occurrence) {
+                 adapter->Add(key);
+               }
+             }
+             *out = std::move(base);
+             return Status::Ok();
+           }});
+  if (!s.ok()) return s;
+
+  // --- association -----------------------------------------------------
+  // shbf_a: bulk-built single-array association filter.
+  s = r->Register(
+      {.name = "shbf_a",
+       .family = FilterFamily::kAssociation,
+       .description = "shifting Bloom filter, association (paper §4)",
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             ShbfAParams params{.num_bits = spec.num_cells,
+                                .num_hashes = spec.num_hashes,
+                                .hash_algorithm = spec.hash_algorithm,
+                                .seed = spec.seed};
+             Status valid = params.Validate();
+             if (!valid.ok()) return valid;
+             *out = std::make_unique<ShbfALazyAdapter>("shbf_a", spec, params);
+             return Status::Ok();
+           },
+       .deserializer =
+           [](std::string_view payload,
+              std::unique_ptr<MembershipFilter>* out) -> Status {
+             ByteReader reader(payload);
+             FilterSpec spec;
+             std::vector<std::string> s1;
+             std::vector<std::string> s2;
+             if (!spec_serde::ReadSpec(&reader, &spec) ||
+                 !ReadKeys(&reader, &s1) || !ReadKeys(&reader, &s2) ||
+                 !reader.AtEnd()) {
+               return Status::InvalidArgument("shbf_a: bad replay payload");
+             }
+             std::unique_ptr<MembershipFilter> base;
+             Status s = FilterRegistry::Global().Create("shbf_a", spec, &base);
+             if (!s.ok()) return s;
+             static_cast<ShbfALazyAdapter*>(base.get())
+                 ->SetKeys(std::move(s1), std::move(s2));
+             *out = std::move(base);
+             return Status::Ok();
+           }});
+  if (!s.ok()) return s;
+
+  // counting_shbf_a: incremental association twin (§4.4).
+  s = r->Register(
+      {.name = "counting_shbf_a",
+       .family = FilterFamily::kAssociation,
+       .description =
+           "counting shifting Bloom filter, association (paper §4.4)",
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             CountingShbfA::Params params{
+                 .filter = {.num_bits = spec.num_cells,
+                            .num_hashes = spec.num_hashes,
+                            .hash_algorithm = spec.hash_algorithm,
+                            .seed = spec.seed},
+                 .counter_bits = spec.counter_bits};
+             Status valid = params.Validate();
+             if (!valid.ok()) return valid;
+             *out = std::make_unique<CountingShbfAAdapter>("counting_shbf_a",
+                                                           spec, params);
+             return Status::Ok();
+           },
+       .deserializer =
+           [](std::string_view payload,
+              std::unique_ptr<MembershipFilter>* out) -> Status {
+             ByteReader reader(payload);
+             FilterSpec spec;
+             std::vector<std::string> s1;
+             std::vector<std::string> s2;
+             if (!spec_serde::ReadSpec(&reader, &spec) ||
+                 !ReadKeys(&reader, &s1) || !ReadKeys(&reader, &s2) ||
+                 !reader.AtEnd()) {
+               return Status::InvalidArgument(
+                   "counting_shbf_a: bad replay payload");
+             }
+             std::unique_ptr<MembershipFilter> base;
+             Status s = FilterRegistry::Global().Create("counting_shbf_a",
+                                                        spec, &base);
+             if (!s.ok()) return s;
+             auto* adapter = static_cast<CountingShbfAAdapter*>(base.get());
+             for (const auto& key : s1) adapter->AddToS1(key);
+             for (const auto& key : s2) adapter->AddToS2(key);
+             *out = std::move(base);
+             return Status::Ok();
+           }});
+  if (!s.ok()) return s;
+
+  // ibf: num_cells split evenly between the two per-set Bloom filters.
+  s = r->Register(
+      {.name = "ibf",
+       .family = FilterFamily::kAssociation,
+       .description = "individual Bloom filters baseline (paper §4.5)",
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             size_t half = spec.num_cells / 2;
+             if (half == 0) half = 1;
+             IndividualBloomFilters::Params params{
+                 .num_bits_s1 = half,
+                 .num_bits_s2 = half,
+                 .num_hashes = spec.num_hashes,
+                 .hash_algorithm = spec.hash_algorithm,
+                 .seed = spec.seed};
+             Status valid = params.Validate();
+             if (!valid.ok()) return valid;
+             *out = std::make_unique<IbfAdapter>(
+                 "ibf", IndividualBloomFilters(params));
+             return Status::Ok();
+           },
+       .deserializer =
+           [](std::string_view payload,
+              std::unique_ptr<MembershipFilter>* out) -> Status {
+             ByteReader reader(payload);
+             uint64_t adds = 0;
+             uint64_t blob1_size = 0;
+             if (!reader.GetU64(&adds) || !reader.GetU64(&blob1_size) ||
+                 blob1_size > reader.remaining()) {
+               return Status::InvalidArgument("ibf: bad payload framing");
+             }
+             std::string blob1(blob1_size, '\0');
+             if (!reader.GetBytes(blob1.data(), blob1_size)) {
+               return Status::InvalidArgument("ibf: truncated payload");
+             }
+             std::string blob2(reader.remaining(), '\0');
+             if (!blob2.empty() &&
+                 !reader.GetBytes(blob2.data(), blob2.size())) {
+               return Status::InvalidArgument("ibf: truncated payload");
+             }
+             std::optional<BloomFilter> bf1;
+             std::optional<BloomFilter> bf2;
+             Status s1 = BloomFilter::FromBytes(blob1, &bf1);
+             if (!s1.ok()) return s1;
+             Status s2 = BloomFilter::FromBytes(blob2, &bf2);
+             if (!s2.ok()) return s2;
+             auto adapter = std::make_unique<IbfAdapter>(
+                 "ibf", IndividualBloomFilters(std::move(*bf1),
+                                               std::move(*bf2)));
+             adapter->RestoreAddCount(adds);
+             *out = std::move(adapter);
+             return Status::Ok();
+           }});
+  return s;
+}
+
+}  // namespace
+
+void RegisterBuiltinFilters(FilterRegistry* registry) {
+  CheckOk(RegisterAll(registry));
+}
+
+}  // namespace shbf

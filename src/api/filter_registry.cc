@@ -1,0 +1,176 @@
+#include "api/filter_registry.h"
+
+#include <algorithm>
+
+#include "core/serde.h"
+
+namespace shbf {
+namespace {
+
+/// Registry envelope: "SHBR" magic, one version byte, a length-prefixed
+/// registry name, then the entry-defined payload.
+constexpr uint32_t kEnvelopeMagic = 0x52424853;  // "SHBR" little-endian
+constexpr uint8_t kEnvelopeVersion = 1;
+constexpr size_t kMaxNameLength = 256;
+
+}  // namespace
+
+const char* FilterFamilyName(FilterFamily family) {
+  switch (family) {
+    case FilterFamily::kMembership:   return "membership";
+    case FilterFamily::kMultiplicity: return "multiplicity";
+    case FilterFamily::kAssociation:  return "association";
+  }
+  return "invalid";
+}
+
+FilterRegistry& FilterRegistry::Global() {
+  static FilterRegistry* registry = [] {
+    auto* r = new FilterRegistry();
+    RegisterBuiltinFilters(r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status FilterRegistry::Register(Entry entry) {
+  if (entry.name.empty() || entry.name.size() > kMaxNameLength) {
+    return Status::InvalidArgument("FilterRegistry: bad entry name");
+  }
+  if (entry.factory == nullptr) {
+    return Status::InvalidArgument("FilterRegistry: entry needs a factory");
+  }
+  auto [it, inserted] = entries_.emplace(entry.name, std::move(entry));
+  if (!inserted) {
+    return Status::AlreadyExists("FilterRegistry: duplicate name " +
+                                 it->first);
+  }
+  return Status::Ok();
+}
+
+bool FilterRegistry::Has(std::string_view name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+const FilterRegistry::Entry* FilterRegistry::Find(std::string_view name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> FilterRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+std::vector<std::string> FilterRegistry::Names(FilterFamily family) const {
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.family == family) names.push_back(name);
+  }
+  return names;
+}
+
+Status FilterRegistry::Create(std::string_view name, const FilterSpec& spec,
+                              std::unique_ptr<MembershipFilter>* out) const {
+  const Entry* entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("FilterRegistry: no filter named \"" +
+                            std::string(name) + "\"");
+  }
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+  return entry->factory(spec, out);
+}
+
+Status FilterRegistry::CreateMultiplicity(
+    std::string_view name, const FilterSpec& spec,
+    std::unique_ptr<MultiplicityFilter>* out) const {
+  const Entry* entry = Find(name);
+  if (entry != nullptr && entry->family != FilterFamily::kMultiplicity) {
+    return Status::FailedPrecondition("FilterRegistry: \"" +
+                                      std::string(name) +
+                                      "\" is not a multiplicity filter");
+  }
+  std::unique_ptr<MembershipFilter> base;
+  Status s = Create(name, spec, &base);
+  if (!s.ok()) return s;
+  auto* cast = dynamic_cast<MultiplicityFilter*>(base.get());
+  if (cast == nullptr) {
+    return Status::Internal("FilterRegistry: family/interface mismatch for " +
+                            std::string(name));
+  }
+  base.release();
+  out->reset(cast);
+  return Status::Ok();
+}
+
+Status FilterRegistry::CreateAssociation(
+    std::string_view name, const FilterSpec& spec,
+    std::unique_ptr<AssociationFilter>* out) const {
+  const Entry* entry = Find(name);
+  if (entry != nullptr && entry->family != FilterFamily::kAssociation) {
+    return Status::FailedPrecondition("FilterRegistry: \"" +
+                                      std::string(name) +
+                                      "\" is not an association filter");
+  }
+  std::unique_ptr<MembershipFilter> base;
+  Status s = Create(name, spec, &base);
+  if (!s.ok()) return s;
+  auto* cast = dynamic_cast<AssociationFilter*>(base.get());
+  if (cast == nullptr) {
+    return Status::Internal("FilterRegistry: family/interface mismatch for " +
+                            std::string(name));
+  }
+  base.release();
+  out->reset(cast);
+  return Status::Ok();
+}
+
+std::string FilterRegistry::Serialize(const MembershipFilter& filter) {
+  ByteWriter writer;
+  writer.PutU32(kEnvelopeMagic);
+  writer.PutU8(kEnvelopeVersion);
+  std::string_view name = filter.name();
+  writer.PutU32(static_cast<uint32_t>(name.size()));
+  writer.PutBytes(name.data(), name.size());
+  std::string payload = filter.ToBytes();
+  writer.PutBytes(payload.data(), payload.size());
+  return writer.Take();
+}
+
+Status FilterRegistry::Deserialize(
+    std::string_view bytes, std::unique_ptr<MembershipFilter>* out) const {
+  ByteReader reader(bytes);
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint32_t name_length = 0;
+  if (!reader.GetU32(&magic) || magic != kEnvelopeMagic) {
+    return Status::InvalidArgument("FilterRegistry: bad envelope magic");
+  }
+  if (!reader.GetU8(&version) || version != kEnvelopeVersion) {
+    return Status::InvalidArgument("FilterRegistry: unsupported version");
+  }
+  if (!reader.GetU32(&name_length) || name_length == 0 ||
+      name_length > kMaxNameLength || name_length > reader.remaining()) {
+    return Status::InvalidArgument("FilterRegistry: bad envelope name");
+  }
+  std::string name(name_length, '\0');
+  if (!reader.GetBytes(name.data(), name_length)) {
+    return Status::InvalidArgument("FilterRegistry: truncated envelope");
+  }
+  const Entry* entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("FilterRegistry: blob names unknown filter \"" +
+                            name + "\"");
+  }
+  if (entry->deserializer == nullptr) {
+    return Status::FailedPrecondition("FilterRegistry: \"" + name +
+                                      "\" does not support deserialization");
+  }
+  return entry->deserializer(bytes.substr(bytes.size() - reader.remaining()),
+                             out);
+}
+
+}  // namespace shbf

@@ -1,0 +1,100 @@
+// FilterRegistry — string-keyed factories over the unified interface.
+//
+// Every filter in the library registers under a stable name ("shbf_m",
+// "bloom", "cuckoo", ...) with a factory mapping a FilterSpec to a live
+// MembershipFilter and a deserializer reversing ToBytes(). Drivers iterate
+// Names() instead of hand-wiring each scheme — the registry is what turns
+// fifteen ad-hoc classes into one framework (cf. gpdb's bloom_set registry
+// and Boost.Bloom's single configurable filter template).
+//
+// Serialized blobs carry a self-describing envelope (magic + version + the
+// registry name), so FilterRegistry::Deserialize can reconstruct a filter
+// of the right type from bytes alone.
+
+#ifndef SHBF_API_FILTER_REGISTRY_H_
+#define SHBF_API_FILTER_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/filter_spec.h"
+#include "api/set_query_filter.h"
+#include "core/status.h"
+
+namespace shbf {
+
+/// The three query families of the paper (§1.1). Every entry is usable as a
+/// MembershipFilter; multiplicity/association entries additionally implement
+/// the wider interfaces.
+enum class FilterFamily : uint8_t {
+  kMembership = 0,
+  kMultiplicity = 1,
+  kAssociation = 2,
+};
+
+const char* FilterFamilyName(FilterFamily family);
+
+class FilterRegistry {
+ public:
+  using Factory = std::function<Status(const FilterSpec& spec,
+                                       std::unique_ptr<MembershipFilter>* out)>;
+  using Deserializer =
+      std::function<Status(std::string_view payload,
+                           std::unique_ptr<MembershipFilter>* out)>;
+
+  struct Entry {
+    std::string name;
+    FilterFamily family = FilterFamily::kMembership;
+    /// One line for `shbf_cli list`: scheme + paper section.
+    std::string description;
+    Factory factory;
+    Deserializer deserializer;
+  };
+
+  /// The process-wide registry, pre-populated with every built-in filter.
+  static FilterRegistry& Global();
+
+  /// Adds an entry; fails on a duplicate or empty name.
+  Status Register(Entry entry);
+
+  bool Has(std::string_view name) const;
+  const Entry* Find(std::string_view name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+  std::vector<std::string> Names(FilterFamily family) const;
+
+  /// Constructs the filter registered under `name` from `spec`.
+  Status Create(std::string_view name, const FilterSpec& spec,
+                std::unique_ptr<MembershipFilter>* out) const;
+
+  /// Create + downcast for the wider interfaces; fails with
+  /// kFailedPrecondition if the entry is not of the requested family.
+  Status CreateMultiplicity(std::string_view name, const FilterSpec& spec,
+                            std::unique_ptr<MultiplicityFilter>* out) const;
+  Status CreateAssociation(std::string_view name, const FilterSpec& spec,
+                           std::unique_ptr<AssociationFilter>* out) const;
+
+  /// Wraps filter.ToBytes() in the self-describing registry envelope.
+  static std::string Serialize(const MembershipFilter& filter);
+
+  /// Reconstructs a filter from a Serialize() blob, dispatching on the name
+  /// stored in the envelope.
+  Status Deserialize(std::string_view bytes,
+                     std::unique_ptr<MembershipFilter>* out) const;
+
+ private:
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// Registers the built-in filters (defined in adapters.cc); called once by
+/// FilterRegistry::Global(). Exposed for tests that build private registries.
+void RegisterBuiltinFilters(FilterRegistry* registry);
+
+}  // namespace shbf
+
+#endif  // SHBF_API_FILTER_REGISTRY_H_

@@ -1,0 +1,76 @@
+#include "api/filter_spec.h"
+
+#include <cmath>
+
+namespace shbf {
+
+FilterSpec FilterSpec::ForKeys(size_t expected_keys, double bits_per_key,
+                               uint32_t num_hashes) {
+  FilterSpec spec;
+  spec.num_cells = static_cast<size_t>(
+      std::ceil(bits_per_key * static_cast<double>(expected_keys)));
+  if (spec.num_cells == 0) spec.num_cells = 1;
+  spec.num_hashes = num_hashes;
+  spec.expected_keys = expected_keys;
+  return spec;
+}
+
+Status FilterSpec::Validate() const {
+  if (num_cells == 0) {
+    return Status::InvalidArgument("FilterSpec: num_cells must be positive");
+  }
+  if (num_hashes == 0) {
+    return Status::InvalidArgument("FilterSpec: num_hashes must be positive");
+  }
+  if (counter_bits < 1 || counter_bits > 32) {
+    return Status::InvalidArgument(
+        "FilterSpec: counter_bits must be in [1, 32]");
+  }
+  if (max_count == 0) {
+    return Status::InvalidArgument("FilterSpec: max_count must be positive");
+  }
+  if (num_shifts == 0) {
+    return Status::InvalidArgument("FilterSpec: num_shifts must be positive");
+  }
+  return Status::Ok();
+}
+
+namespace spec_serde {
+
+void WriteSpec(ByteWriter* writer, const FilterSpec& spec) {
+  writer->PutU64(spec.num_cells);
+  writer->PutU32(spec.num_hashes);
+  writer->PutU32(spec.counter_bits);
+  writer->PutU32(spec.max_count);
+  writer->PutU32(spec.num_shifts);
+  writer->PutU32(spec.bucket_size);
+  writer->PutU32(spec.fingerprint_bits);
+  writer->PutU32(spec.word_bits);
+  writer->PutU64(spec.expected_keys);
+  writer->PutU8(static_cast<uint8_t>(spec.hash_algorithm));
+  writer->PutU64(spec.seed);
+}
+
+bool ReadSpec(ByteReader* reader, FilterSpec* spec) {
+  uint64_t num_cells = 0;
+  uint64_t expected_keys = 0;
+  uint8_t alg = 0;
+  if (!reader->GetU64(&num_cells) || !reader->GetU32(&spec->num_hashes) ||
+      !reader->GetU32(&spec->counter_bits) ||
+      !reader->GetU32(&spec->max_count) ||
+      !reader->GetU32(&spec->num_shifts) ||
+      !reader->GetU32(&spec->bucket_size) ||
+      !reader->GetU32(&spec->fingerprint_bits) ||
+      !reader->GetU32(&spec->word_bits) || !reader->GetU64(&expected_keys) ||
+      !reader->GetU8(&alg) || !reader->GetU64(&spec->seed)) {
+    return false;
+  }
+  if (alg > 3) return false;
+  spec->num_cells = num_cells;
+  spec->expected_keys = expected_keys;
+  spec->hash_algorithm = static_cast<HashAlgorithm>(alg);
+  return true;
+}
+
+}  // namespace spec_serde
+}  // namespace shbf

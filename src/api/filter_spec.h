@@ -1,0 +1,71 @@
+// FilterSpec — one parameter struct every registry factory understands.
+//
+// Each concrete filter has its own Params with scheme-specific knobs; a
+// uniform driver loop cannot fill in fifteen different structs. FilterSpec
+// names the shared vocabulary (cells, hashes, counter width, seed, ...) and
+// each factory derives the nearest valid concrete Params from it: shbf_m
+// rounds num_hashes up to even, shbf_g to a multiple of t + 1, the sketches
+// split num_cells into depth × width, the cuckoo filter converts it into a
+// bucket count, and so on. Derivations are documented per entry in
+// adapters.cc.
+
+#ifndef SHBF_API_FILTER_SPEC_H_
+#define SHBF_API_FILTER_SPEC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/serde.h"
+#include "core/status.h"
+#include "hash/hash_family.h"
+
+namespace shbf {
+
+struct FilterSpec {
+  /// m: the number of logical cells — bits for bit-array filters, counters
+  /// for counting structures and sketches. The primary size knob.
+  size_t num_cells = 0;
+
+  /// k: hash functions / probes per element (factories round to validity).
+  uint32_t num_hashes = 8;
+
+  /// Counter width for counting structures (clamped per scheme).
+  uint32_t counter_bits = 8;
+
+  /// Largest representable multiplicity (shbf_x family).
+  uint32_t max_count = 64;
+
+  /// t: shifting operations for the generalized ShBF (shbf_g).
+  uint32_t num_shifts = 2;
+
+  /// Cuckoo-filter geometry.
+  uint32_t bucket_size = 4;
+  uint32_t fingerprint_bits = 12;
+
+  /// Word size for the one-memory-access BF.
+  uint32_t word_bits = 64;
+
+  /// Optional capacity hint; when nonzero the cuckoo factory sizes buckets
+  /// from it instead of num_cells.
+  size_t expected_keys = 0;
+
+  HashAlgorithm hash_algorithm = HashAlgorithm::kMurmur3;
+  uint64_t seed = 0x5eed5eed5eed5eedull;
+
+  /// Spec sized for `expected_keys` keys at `bits_per_key` bits each.
+  static FilterSpec ForKeys(size_t expected_keys, double bits_per_key,
+                            uint32_t num_hashes);
+
+  Status Validate() const;
+};
+
+namespace spec_serde {
+
+/// Fixed-layout FilterSpec codec used by adapter-level (replay) serde.
+void WriteSpec(ByteWriter* writer, const FilterSpec& spec);
+bool ReadSpec(ByteReader* reader, FilterSpec* spec);
+
+}  // namespace spec_serde
+}  // namespace shbf
+
+#endif  // SHBF_API_FILTER_SPEC_H_

@@ -1,0 +1,126 @@
+// The unified set-query interface layer (the paper's "framework" made
+// literal). The paper presents ShBF as ONE framework answering three kinds
+// of set queries — membership (§3), association (§4) and multiplicity (§5) —
+// yet implementations naturally grow one bespoke class per scheme. This
+// header is the seam that lets a single driver loop (bench, differential
+// test, CLI, future sharded/async front ends) serve every variant:
+//
+//   SetQueryFilter                 — identity + lifecycle + serialization
+//     └─ MembershipFilter          — Add / Contains (+ batch, + cost model)
+//          ├─ MultiplicityFilter   — QueryCount; Contains == count > 0
+//          └─ AssociationFilter    — AddToS1/S2, Query; Contains == in union
+//
+// Virtual dispatch costs a few ns per query, which the hot-path benches must
+// not pay: the concrete classes (ShbfM, BloomFilter, ...) remain intact and
+// fully usable with inlined calls; the adapters in adapters.cc wrap them
+// thinly for registry-driven code. Both views share the same underlying
+// filter state.
+
+#ifndef SHBF_API_SET_QUERY_FILTER_H_
+#define SHBF_API_SET_QUERY_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/query_stats.h"
+#include "core/set_query_types.h"
+#include "core/status.h"
+
+namespace shbf {
+
+/// Abstract base for every query-side structure in the library.
+class SetQueryFilter {
+ public:
+  virtual ~SetQueryFilter() = default;
+
+  /// The registry name this instance was constructed under ("shbf_m", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Elements added through this interface since construction / Clear().
+  virtual size_t num_elements() const = 0;
+
+  /// Approximate live footprint of the filter state in bytes.
+  virtual size_t memory_bytes() const = 0;
+
+  /// Resets to the empty filter.
+  virtual void Clear() = 0;
+
+  /// Serializes the filter state (without the registry envelope; use
+  /// FilterRegistry::Serialize for a self-describing blob).
+  virtual std::string ToBytes() const = 0;
+};
+
+/// A filter answering "is e in S?" with no false negatives.
+class MembershipFilter : public SetQueryFilter {
+ public:
+  virtual void Add(std::string_view key) = 0;
+  virtual bool Contains(std::string_view key) const = 0;
+
+  /// Same answer, accumulating the paper's cost model (memory accesses and
+  /// hash computations) into `stats`. The default fallback counts only the
+  /// query itself; adapters override it with the structure's real cost.
+  virtual bool ContainsWithStats(std::string_view key,
+                                 QueryStats* stats) const {
+    ++stats->queries;
+    return Contains(key);
+  }
+
+  /// Batched membership query. `results` is resized to keys.size(); entry i
+  /// receives Contains(keys[i]). Implementations with software-prefetching
+  /// batch paths override this; the default is a scalar loop.
+  virtual void ContainsBatch(const std::vector<std::string>& keys,
+                             std::vector<uint8_t>* results) const {
+    results->resize(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      (*results)[i] = Contains(keys[i]) ? 1 : 0;
+    }
+  }
+
+  /// True if Add takes effect immediately. False for bulk-built structures
+  /// (shbf_x, shbf_a): their Add buffers the key and the filter is rebuilt
+  /// lazily on the next query, which is correct but costly under heavy
+  /// add/query interleaving.
+  virtual bool IncrementalAdd() const { return true; }
+};
+
+/// A filter answering "how many times does e appear in the multi-set S?".
+/// Estimates never underestimate; 0 means "definitely absent". Add() adds
+/// one occurrence, so the membership view of a multiplicity filter is
+/// "count > 0".
+class MultiplicityFilter : public MembershipFilter {
+ public:
+  virtual uint64_t QueryCount(std::string_view key) const = 0;
+
+  bool Contains(std::string_view key) const override {
+    return QueryCount(key) > 0;
+  }
+};
+
+/// A filter answering "which of S1/S2 does e belong to?" for e ∈ S1 ∪ S2.
+/// The membership view is membership in the union: Add() inserts into S1 and
+/// Contains() is "definitely-maybe in S1 ∪ S2" (kNotFound means definitely
+/// absent; anything else preserves no-false-negatives for inserted keys).
+class AssociationFilter : public MembershipFilter {
+ public:
+  virtual void AddToS1(std::string_view key) = 0;
+  virtual void AddToS2(std::string_view key) = 0;
+  virtual AssociationOutcome Query(std::string_view key) const = 0;
+
+  virtual AssociationOutcome QueryWithStats(std::string_view key,
+                                            QueryStats* stats) const {
+    ++stats->queries;
+    return Query(key);
+  }
+
+  void Add(std::string_view key) override { AddToS1(key); }
+
+  bool Contains(std::string_view key) const override {
+    return Query(key) != AssociationOutcome::kNotFound;
+  }
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_API_SET_QUERY_FILTER_H_

@@ -74,8 +74,8 @@ void BloomFilter::Clear() {
 
 void BloomFilter::ContainsBatch(const std::vector<std::string>& keys,
                                 std::vector<uint8_t>* results) const {
-  SHBF_CHECK(results->size() >= keys.size())
-      << "results buffer too small for batch";
+  results->resize(keys.size());
+  if (keys.empty()) return;
   constexpr size_t kGroup = 16;
   constexpr uint32_t kMaxHashes = 64;
   const size_t m = bits_.num_bits();

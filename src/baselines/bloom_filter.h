@@ -59,7 +59,7 @@ class BloomFilter {
   bool ContainsWithStats(std::string_view key, QueryStats* stats) const;
 
   /// Batched membership query with software prefetching (see
-  /// ShbfM::ContainsBatch). results must hold keys.size() entries.
+  /// ShbfM::ContainsBatch). `results` is resized to keys.size().
   void ContainsBatch(const std::vector<std::string>& keys,
                      std::vector<uint8_t>* results) const;
 

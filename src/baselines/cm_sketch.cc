@@ -74,4 +74,50 @@ uint64_t CmSketch::QueryCountWithStats(std::string_view key,
   return min_value;
 }
 
+std::string CmSketch::ToBytes() const {
+  ByteWriter writer;
+  serde::WriteHeader(&writer, serde::StructureTag::kCmSketch);
+  writer.PutU32(depth_);
+  writer.PutU64(width_);
+  writer.PutU32(counters_.bits_per_counter());
+  writer.PutU8(conservative_ ? 1 : 0);
+  writer.PutU8(static_cast<uint8_t>(family_.algorithm()));
+  writer.PutU64(family_.master_seed());
+  counters_.AppendPayload(&writer);
+  return writer.Take();
+}
+
+Status CmSketch::FromBytes(std::string_view bytes,
+                           std::optional<CmSketch>* out) {
+  ByteReader reader(bytes);
+  Status header = serde::ReadHeader(&reader, serde::StructureTag::kCmSketch);
+  if (!header.ok()) return header;
+  uint32_t depth = 0;
+  uint64_t width = 0;
+  uint32_t counter_bits = 0;
+  uint8_t conservative = 0;
+  uint8_t alg = 0;
+  uint64_t seed = 0;
+  if (!reader.GetU32(&depth) || !reader.GetU64(&width) ||
+      !reader.GetU32(&counter_bits) || !reader.GetU8(&conservative) ||
+      !reader.GetU8(&alg) || !reader.GetU64(&seed)) {
+    return Status::InvalidArgument("CmSketch: truncated parameter block");
+  }
+  if (alg > 3) return Status::InvalidArgument("CmSketch: unknown hash id");
+  Params params{.depth = depth,
+                .width = width,
+                .counter_bits = counter_bits,
+                .conservative_update = conservative != 0,
+                .hash_algorithm = static_cast<HashAlgorithm>(alg),
+                .seed = seed};
+  Status valid = params.Validate();
+  if (!valid.ok()) return valid;
+  out->emplace(params);
+  if (!(*out)->counters_.ReadPayload(&reader) || !reader.AtEnd()) {
+    out->reset();
+    return Status::InvalidArgument("CmSketch: payload size mismatch");
+  }
+  return Status::Ok();
+}
+
 }  // namespace shbf

@@ -11,10 +11,13 @@
 #ifndef SHBF_BASELINES_CM_SKETCH_H_
 #define SHBF_BASELINES_CM_SKETCH_H_
 
+#include <optional>
+#include <string>
 #include <string_view>
 
 #include "core/packed_counter_array.h"
 #include "core/query_stats.h"
+#include "core/serde.h"
 #include "core/status.h"
 #include "hash/hash_family.h"
 
@@ -48,6 +51,13 @@ class CmSketch {
     return counters_.num_counters() * counters_.bits_per_counter();
   }
   void Clear() { counters_.Clear(); }
+
+  /// Serializes parameters + counter payload to a versioned byte blob.
+  std::string ToBytes() const;
+
+  /// Reconstructs a sketch that answers identically to the serialized one.
+  static Status FromBytes(std::string_view bytes,
+                          std::optional<CmSketch>* out);
 
  private:
   size_t CellIndex(uint32_t row, std::string_view key) const {

@@ -5,10 +5,13 @@
 #ifndef SHBF_BASELINES_COUNTING_BLOOM_FILTER_H_
 #define SHBF_BASELINES_COUNTING_BLOOM_FILTER_H_
 
+#include <optional>
+#include <string>
 #include <string_view>
 
 #include "core/packed_counter_array.h"
 #include "core/query_stats.h"
+#include "core/serde.h"
 #include "core/status.h"
 #include "hash/hash_family.h"
 
@@ -44,6 +47,13 @@ class CountingBloomFilter {
   uint32_t num_hashes() const { return family_.num_functions(); }
   const PackedCounterArray& counters() const { return counters_; }
   void Clear() { counters_.Clear(); }
+
+  /// Serializes parameters + counter payload to a versioned byte blob.
+  std::string ToBytes() const;
+
+  /// Reconstructs a filter that answers identically to the serialized one.
+  static Status FromBytes(std::string_view bytes,
+                          std::optional<CountingBloomFilter>* out);
 
  private:
   HashFamily family_;

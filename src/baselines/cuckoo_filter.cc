@@ -119,6 +119,13 @@ bool CuckooFilter::ContainsWithStats(std::string_view key,
   ++stats->queries;
   stats->hash_computations += 3;
   IndexPair loc = Locate(key);
+  // The victim stash must be consulted exactly as in Contains(): skipping
+  // it would let the stats path report a false negative for a key whose
+  // fingerprint was displaced into the stash.
+  if (victim_.used && victim_.fingerprint == loc.fingerprint &&
+      (victim_.index == loc.i1 || victim_.index == loc.i2)) {
+    return true;
+  }
   ++stats->memory_accesses;  // bucket 1
   if (BucketContains(loc.i1, loc.fingerprint)) return true;
   ++stats->memory_accesses;  // bucket 2
@@ -147,6 +154,82 @@ bool CuckooFilter::Delete(std::string_view key) {
     return true;
   }
   return false;
+}
+
+void CuckooFilter::Clear() {
+  slots_.Clear();
+  victim_ = Victim{};
+  num_items_ = 0;
+}
+
+std::string CuckooFilter::ToBytes() const {
+  ByteWriter writer;
+  serde::WriteHeader(&writer, serde::StructureTag::kCuckooFilter);
+  writer.PutU64(num_buckets_);
+  writer.PutU32(bucket_size_);
+  writer.PutU32(fingerprint_bits_);
+  writer.PutU32(max_kicks_);
+  writer.PutU8(static_cast<uint8_t>(family_.algorithm()));
+  writer.PutU64(family_.master_seed());
+  writer.PutU64(num_items_);
+  writer.PutU8(victim_.used ? 1 : 0);
+  writer.PutU64(victim_.index);
+  writer.PutU64(victim_.fingerprint);
+  slots_.AppendPayload(&writer);
+  return writer.Take();
+}
+
+Status CuckooFilter::FromBytes(std::string_view bytes,
+                               std::optional<CuckooFilter>* out) {
+  ByteReader reader(bytes);
+  Status header =
+      serde::ReadHeader(&reader, serde::StructureTag::kCuckooFilter);
+  if (!header.ok()) return header;
+  uint64_t num_buckets = 0;
+  uint32_t bucket_size = 0;
+  uint32_t fingerprint_bits = 0;
+  uint32_t max_kicks = 0;
+  uint8_t alg = 0;
+  uint64_t seed = 0;
+  uint64_t num_items = 0;
+  uint8_t victim_used = 0;
+  uint64_t victim_index = 0;
+  uint64_t victim_fingerprint = 0;
+  if (!reader.GetU64(&num_buckets) || !reader.GetU32(&bucket_size) ||
+      !reader.GetU32(&fingerprint_bits) || !reader.GetU32(&max_kicks) ||
+      !reader.GetU8(&alg) || !reader.GetU64(&seed) ||
+      !reader.GetU64(&num_items) || !reader.GetU8(&victim_used) ||
+      !reader.GetU64(&victim_index) || !reader.GetU64(&victim_fingerprint)) {
+    return Status::InvalidArgument("CuckooFilter: truncated parameter block");
+  }
+  if (alg > 3) return Status::InvalidArgument("CuckooFilter: unknown hash id");
+  if (!IsPowerOfTwo(num_buckets)) {
+    return Status::InvalidArgument("CuckooFilter: num_buckets not a power of 2");
+  }
+  Params params{.num_buckets = num_buckets,
+                .bucket_size = bucket_size,
+                .fingerprint_bits = fingerprint_bits,
+                .max_kicks = max_kicks,
+                .hash_algorithm = static_cast<HashAlgorithm>(alg),
+                .seed = seed};
+  Status valid = params.Validate();
+  if (!valid.ok()) return valid;
+  if (victim_used != 0) {
+    uint64_t fingerprint_mask = (1ull << fingerprint_bits) - 1;
+    if (victim_index >= num_buckets || victim_fingerprint == 0 ||
+        victim_fingerprint > fingerprint_mask) {
+      return Status::InvalidArgument("CuckooFilter: victim out of range");
+    }
+  }
+  out->emplace(params);
+  (*out)->num_items_ = num_items;
+  (*out)->victim_ = {victim_used != 0, static_cast<size_t>(victim_index),
+                     victim_fingerprint};
+  if (!(*out)->slots_.ReadPayload(&reader) || !reader.AtEnd()) {
+    out->reset();
+    return Status::InvalidArgument("CuckooFilter: payload size mismatch");
+  }
+  return Status::Ok();
 }
 
 }  // namespace shbf

@@ -12,11 +12,14 @@
 #ifndef SHBF_BASELINES_CUCKOO_FILTER_H_
 #define SHBF_BASELINES_CUCKOO_FILTER_H_
 
+#include <optional>
+#include <string>
 #include <string_view>
 
 #include "core/packed_counter_array.h"
 #include "core/query_stats.h"
 #include "core/rng.h"
+#include "core/serde.h"
 #include "core/status.h"
 #include "hash/hash_family.h"
 
@@ -63,6 +66,16 @@ class CuckooFilter {
 
   /// True iff an insertion failure parked a fingerprint in the stash.
   bool HasVictim() const { return victim_.used; }
+
+  /// Clears to the empty filter (all slots free, stash emptied).
+  void Clear();
+
+  /// Serializes parameters + slot payload to a versioned byte blob.
+  std::string ToBytes() const;
+
+  /// Reconstructs a filter that answers identically to the serialized one.
+  static Status FromBytes(std::string_view bytes,
+                          std::optional<CuckooFilter>* out);
 
  private:
   struct IndexPair {

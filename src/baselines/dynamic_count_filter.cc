@@ -145,4 +145,74 @@ size_t DynamicCountFilter::memory_bits() const {
   return bits;
 }
 
+std::string DynamicCountFilter::ToBytes() const {
+  ByteWriter writer;
+  serde::WriteHeader(&writer, serde::StructureTag::kDynamicCountFilter);
+  writer.PutU64(base_.num_counters());
+  writer.PutU32(family_.num_functions());
+  writer.PutU32(base_.bits_per_counter());
+  writer.PutU8(static_cast<uint8_t>(family_.algorithm()));
+  writer.PutU64(family_.master_seed());
+  writer.PutU64(rebuilds_);
+  writer.PutU64(deletes_since_shrink_check_);
+  // 0 = no overflow vector; otherwise its current counter width.
+  writer.PutU32(overflow_ == nullptr ? 0 : overflow_->bits_per_counter());
+  base_.AppendPayload(&writer);
+  if (overflow_ != nullptr) overflow_->AppendPayload(&writer);
+  return writer.Take();
+}
+
+Status DynamicCountFilter::FromBytes(std::string_view bytes,
+                                     std::optional<DynamicCountFilter>* out) {
+  ByteReader reader(bytes);
+  Status header =
+      serde::ReadHeader(&reader, serde::StructureTag::kDynamicCountFilter);
+  if (!header.ok()) return header;
+  uint64_t num_counters = 0;
+  uint32_t num_hashes = 0;
+  uint32_t base_bits = 0;
+  uint8_t alg = 0;
+  uint64_t seed = 0;
+  uint64_t rebuilds = 0;
+  uint64_t deletes_since = 0;
+  uint32_t overflow_bits = 0;
+  if (!reader.GetU64(&num_counters) || !reader.GetU32(&num_hashes) ||
+      !reader.GetU32(&base_bits) || !reader.GetU8(&alg) ||
+      !reader.GetU64(&seed) || !reader.GetU64(&rebuilds) ||
+      !reader.GetU64(&deletes_since) || !reader.GetU32(&overflow_bits)) {
+    return Status::InvalidArgument("DCF: truncated parameter block");
+  }
+  if (alg > 3) return Status::InvalidArgument("DCF: unknown hash id");
+  if (overflow_bits > 32) {
+    return Status::InvalidArgument("DCF: overflow width out of range");
+  }
+  Params params{.num_counters = num_counters,
+                .num_hashes = num_hashes,
+                .base_bits = base_bits,
+                .hash_algorithm = static_cast<HashAlgorithm>(alg),
+                .seed = seed};
+  Status valid = params.Validate();
+  if (!valid.ok()) return valid;
+  out->emplace(params);
+  (*out)->rebuilds_ = rebuilds;
+  (*out)->deletes_since_shrink_check_ = deletes_since;
+  if (!(*out)->base_.ReadPayload(&reader)) {
+    out->reset();
+    return Status::InvalidArgument("DCF: truncated base payload");
+  }
+  if (overflow_bits > 0) {
+    (*out)->overflow_ =
+        std::make_unique<PackedCounterArray>(num_counters, overflow_bits);
+    if (!(*out)->overflow_->ReadPayload(&reader)) {
+      out->reset();
+      return Status::InvalidArgument("DCF: truncated overflow payload");
+    }
+  }
+  if (!reader.AtEnd()) {
+    out->reset();
+    return Status::InvalidArgument("DCF: payload size mismatch");
+  }
+  return Status::Ok();
+}
+
 }  // namespace shbf

@@ -13,10 +13,13 @@
 #define SHBF_BASELINES_DYNAMIC_COUNT_FILTER_H_
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <string_view>
 
 #include "core/packed_counter_array.h"
 #include "core/query_stats.h"
+#include "core/serde.h"
 #include "core/status.h"
 #include "hash/hash_family.h"
 
@@ -68,6 +71,20 @@ class DynamicCountFilter {
 
   /// Live footprint: CBFV plus the current OFV.
   size_t memory_bits() const;
+
+  /// Clears to the empty filter; the overflow vector is released.
+  void Clear() {
+    base_.Clear();
+    overflow_.reset();
+    deletes_since_shrink_check_ = 0;
+  }
+
+  /// Serializes parameters + both vector payloads to a versioned byte blob.
+  std::string ToBytes() const;
+
+  /// Reconstructs a filter that answers identically to the serialized one.
+  static Status FromBytes(std::string_view bytes,
+                          std::optional<DynamicCountFilter>* out);
 
  private:
   uint64_t Combined(size_t i) const;

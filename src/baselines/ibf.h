@@ -16,6 +16,7 @@
 #define SHBF_BASELINES_IBF_H_
 
 #include <string_view>
+#include <utility>
 
 #include "baselines/bloom_filter.h"
 #include "core/set_query_types.h"
@@ -39,6 +40,10 @@ class IndividualBloomFilters {
 
   explicit IndividualBloomFilters(const Params& params);
 
+  /// Assembles the pair from two existing filters (deserialization path).
+  IndividualBloomFilters(BloomFilter bf1, BloomFilter bf2)
+      : bf1_(std::move(bf1)), bf2_(std::move(bf2)) {}
+
   void AddToS1(std::string_view key) { bf1_.Add(key); }
   void AddToS2(std::string_view key) { bf2_.Add(key); }
 
@@ -60,6 +65,12 @@ class IndividualBloomFilters {
 
   size_t total_bits() const { return bf1_.num_bits() + bf2_.num_bits(); }
   uint32_t num_hashes() const { return bf1_.num_hashes(); }
+
+  /// Clears both per-set filters.
+  void Clear() {
+    bf1_.Clear();
+    bf2_.Clear();
+  }
   const BloomFilter& filter1() const { return bf1_; }
   const BloomFilter& filter2() const { return bf2_; }
 

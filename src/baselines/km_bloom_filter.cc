@@ -52,4 +52,44 @@ bool KmBloomFilter::ContainsWithStats(std::string_view key,
   return true;
 }
 
+std::string KmBloomFilter::ToBytes() const {
+  ByteWriter writer;
+  serde::WriteHeader(&writer, serde::StructureTag::kKmBloomFilter);
+  writer.PutU64(bits_.num_bits());
+  writer.PutU32(num_hashes_);
+  writer.PutU8(static_cast<uint8_t>(family_.algorithm()));
+  writer.PutU64(family_.master_seed());
+  bits_.AppendPayload(&writer);
+  return writer.Take();
+}
+
+Status KmBloomFilter::FromBytes(std::string_view bytes,
+                                std::optional<KmBloomFilter>* out) {
+  ByteReader reader(bytes);
+  Status header =
+      serde::ReadHeader(&reader, serde::StructureTag::kKmBloomFilter);
+  if (!header.ok()) return header;
+  uint64_t num_bits = 0;
+  uint32_t num_hashes = 0;
+  uint8_t alg = 0;
+  uint64_t seed = 0;
+  if (!reader.GetU64(&num_bits) || !reader.GetU32(&num_hashes) ||
+      !reader.GetU8(&alg) || !reader.GetU64(&seed)) {
+    return Status::InvalidArgument("KmBF: truncated parameter block");
+  }
+  if (alg > 3) return Status::InvalidArgument("KmBF: unknown hash id");
+  Params params{.num_bits = num_bits,
+                .num_hashes = num_hashes,
+                .hash_algorithm = static_cast<HashAlgorithm>(alg),
+                .seed = seed};
+  Status valid = params.Validate();
+  if (!valid.ok()) return valid;
+  out->emplace(params);
+  if (!(*out)->bits_.ReadPayload(&reader) || !reader.AtEnd()) {
+    out->reset();
+    return Status::InvalidArgument("KmBF: payload size mismatch");
+  }
+  return Status::Ok();
+}
+
 }  // namespace shbf

@@ -7,10 +7,13 @@
 #ifndef SHBF_BASELINES_KM_BLOOM_FILTER_H_
 #define SHBF_BASELINES_KM_BLOOM_FILTER_H_
 
+#include <optional>
+#include <string>
 #include <string_view>
 
 #include "core/bit_array.h"
 #include "core/query_stats.h"
+#include "core/serde.h"
 #include "core/status.h"
 #include "hash/hash_family.h"
 
@@ -36,6 +39,13 @@ class KmBloomFilter {
   size_t num_bits() const { return bits_.num_bits(); }
   uint32_t num_hashes() const { return num_hashes_; }
   void Clear() { bits_.Clear(); }
+
+  /// Serializes parameters + bit payload to a versioned byte blob.
+  std::string ToBytes() const;
+
+  /// Reconstructs a filter that answers identically to the serialized one.
+  static Status FromBytes(std::string_view bytes,
+                          std::optional<KmBloomFilter>* out);
 
  private:
   HashFamily family_;  // exactly two real functions

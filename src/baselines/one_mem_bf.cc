@@ -59,4 +59,54 @@ void OneMemBloomFilter::Clear() {
   std::fill(words_.begin(), words_.end(), 0);
 }
 
+std::string OneMemBloomFilter::ToBytes() const {
+  ByteWriter writer;
+  serde::WriteHeader(&writer, serde::StructureTag::kOneMemBloomFilter);
+  writer.PutU64(num_words_ * word_bits_);
+  writer.PutU32(num_hashes_);
+  writer.PutU32(word_bits_);
+  writer.PutU8(static_cast<uint8_t>(family_.algorithm()));
+  writer.PutU64(family_.master_seed());
+  for (uint64_t word : words_) writer.PutU64(word);
+  return writer.Take();
+}
+
+Status OneMemBloomFilter::FromBytes(std::string_view bytes,
+                                    std::optional<OneMemBloomFilter>* out) {
+  ByteReader reader(bytes);
+  Status header =
+      serde::ReadHeader(&reader, serde::StructureTag::kOneMemBloomFilter);
+  if (!header.ok()) return header;
+  uint64_t num_bits = 0;
+  uint32_t num_hashes = 0;
+  uint32_t word_bits = 0;
+  uint8_t alg = 0;
+  uint64_t seed = 0;
+  if (!reader.GetU64(&num_bits) || !reader.GetU32(&num_hashes) ||
+      !reader.GetU32(&word_bits) || !reader.GetU8(&alg) ||
+      !reader.GetU64(&seed)) {
+    return Status::InvalidArgument("1MemBF: truncated parameter block");
+  }
+  if (alg > 3) return Status::InvalidArgument("1MemBF: unknown hash id");
+  Params params{.num_bits = num_bits,
+                .num_hashes = num_hashes,
+                .word_bits = word_bits,
+                .hash_algorithm = static_cast<HashAlgorithm>(alg),
+                .seed = seed};
+  Status valid = params.Validate();
+  if (!valid.ok()) return valid;
+  out->emplace(params);
+  for (uint64_t& word : (*out)->words_) {
+    if (!reader.GetU64(&word)) {
+      out->reset();
+      return Status::InvalidArgument("1MemBF: truncated word payload");
+    }
+  }
+  if (!reader.AtEnd()) {
+    out->reset();
+    return Status::InvalidArgument("1MemBF: payload size mismatch");
+  }
+  return Status::Ok();
+}
+
 }  // namespace shbf

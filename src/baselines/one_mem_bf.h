@@ -10,10 +10,14 @@
 #ifndef SHBF_BASELINES_ONE_MEM_BF_H_
 #define SHBF_BASELINES_ONE_MEM_BF_H_
 
+#include <optional>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/bit_array.h"
 #include "core/query_stats.h"
+#include "core/serde.h"
 #include "core/status.h"
 #include "hash/hash_family.h"
 
@@ -43,6 +47,13 @@ class OneMemBloomFilter {
   size_t num_words() const { return num_words_; }
   uint32_t num_hashes() const { return num_hashes_; }
   void Clear();
+
+  /// Serializes parameters + word payload to a versioned byte blob.
+  std::string ToBytes() const;
+
+  /// Reconstructs a filter that answers identically to the serialized one.
+  static Status FromBytes(std::string_view bytes,
+                          std::optional<OneMemBloomFilter>* out);
 
  private:
   /// Word index and the k-bit in-word mask for `key`.

@@ -83,4 +83,52 @@ uint64_t SpectralBloomFilter::QueryCountWithStats(std::string_view key,
   return min_value;
 }
 
+std::string SpectralBloomFilter::ToBytes() const {
+  ByteWriter writer;
+  serde::WriteHeader(&writer, serde::StructureTag::kSpectralBloomFilter);
+  writer.PutU64(counters_.num_counters());
+  writer.PutU32(family_.num_functions());
+  writer.PutU32(counters_.bits_per_counter());
+  writer.PutU8(static_cast<uint8_t>(policy_));
+  writer.PutU8(static_cast<uint8_t>(family_.algorithm()));
+  writer.PutU64(family_.master_seed());
+  counters_.AppendPayload(&writer);
+  return writer.Take();
+}
+
+Status SpectralBloomFilter::FromBytes(
+    std::string_view bytes, std::optional<SpectralBloomFilter>* out) {
+  ByteReader reader(bytes);
+  Status header =
+      serde::ReadHeader(&reader, serde::StructureTag::kSpectralBloomFilter);
+  if (!header.ok()) return header;
+  uint64_t num_counters = 0;
+  uint32_t num_hashes = 0;
+  uint32_t counter_bits = 0;
+  uint8_t policy = 0;
+  uint8_t alg = 0;
+  uint64_t seed = 0;
+  if (!reader.GetU64(&num_counters) || !reader.GetU32(&num_hashes) ||
+      !reader.GetU32(&counter_bits) || !reader.GetU8(&policy) ||
+      !reader.GetU8(&alg) || !reader.GetU64(&seed)) {
+    return Status::InvalidArgument("SpectralBF: truncated parameter block");
+  }
+  if (alg > 3) return Status::InvalidArgument("SpectralBF: unknown hash id");
+  if (policy > 1) return Status::InvalidArgument("SpectralBF: unknown policy");
+  Params params{.num_counters = num_counters,
+                .num_hashes = num_hashes,
+                .counter_bits = counter_bits,
+                .policy = static_cast<InsertPolicy>(policy),
+                .hash_algorithm = static_cast<HashAlgorithm>(alg),
+                .seed = seed};
+  Status valid = params.Validate();
+  if (!valid.ok()) return valid;
+  out->emplace(params);
+  if (!(*out)->counters_.ReadPayload(&reader) || !reader.AtEnd()) {
+    out->reset();
+    return Status::InvalidArgument("SpectralBF: payload size mismatch");
+  }
+  return Status::Ok();
+}
+
 }  // namespace shbf

@@ -14,10 +14,13 @@
 #ifndef SHBF_BASELINES_SPECTRAL_BLOOM_FILTER_H_
 #define SHBF_BASELINES_SPECTRAL_BLOOM_FILTER_H_
 
+#include <optional>
+#include <string>
 #include <string_view>
 
 #include "core/packed_counter_array.h"
 #include "core/query_stats.h"
+#include "core/serde.h"
 #include "core/status.h"
 #include "hash/hash_family.h"
 
@@ -61,6 +64,13 @@ class SpectralBloomFilter {
     return counters_.num_counters() * counters_.bits_per_counter();
   }
   void Clear() { counters_.Clear(); }
+
+  /// Serializes parameters + counter payload to a versioned byte blob.
+  std::string ToBytes() const;
+
+  /// Reconstructs a filter that answers identically to the serialized one.
+  static Status FromBytes(std::string_view bytes,
+                          std::optional<SpectralBloomFilter>* out);
 
  private:
   HashFamily family_;

@@ -57,6 +57,9 @@ class ChainedHashTable {
   bool empty() const { return size_ == 0; }
   size_t bucket_count() const { return buckets_.size(); }
 
+  /// Removes every entry; the bucket array keeps its current size.
+  void Clear() { FreeAll(); }
+
   /// Length of the longest chain — exposes the "collision chain" behaviour.
   size_t MaxChainLength() const;
 

@@ -72,6 +72,19 @@ void PackedCounterArray::Clear() {
   saturation_events_ = 0;
 }
 
+void PackedCounterArray::AppendPayload(ByteWriter* writer) const {
+  writer->PutU64(saturation_events_);
+  for (uint64_t word : words_) writer->PutU64(word);
+}
+
+bool PackedCounterArray::ReadPayload(ByteReader* reader) {
+  if (!reader->GetU64(&saturation_events_)) return false;
+  for (uint64_t& word : words_) {
+    if (!reader->GetU64(&word)) return false;
+  }
+  return true;
+}
+
 size_t PackedCounterArray::CountZero() const {
   size_t zeros = 0;
   for (size_t i = 0; i < num_counters_; ++i) {

@@ -16,6 +16,7 @@
 
 #include "core/bits.h"
 #include "core/check.h"
+#include "core/serde.h"
 
 namespace shbf {
 
@@ -57,6 +58,13 @@ class PackedCounterArray {
 
   /// Allocated footprint in bytes.
   size_t allocated_bytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// Appends the raw payload (saturation counter + packed words) to `writer`.
+  void AppendPayload(ByteWriter* writer) const;
+
+  /// Overwrites the payload from `reader`; the array's geometry must already
+  /// match the writer's. Returns false on truncated input.
+  bool ReadPayload(ByteReader* reader);
 
  private:
   size_t num_counters_;

@@ -110,6 +110,16 @@ enum class StructureTag : uint8_t {
   kShbfM = 2,
   kShbfA = 3,
   kShbfX = 4,
+  kKmBloomFilter = 5,
+  kOneMemBloomFilter = 6,
+  kCountingBloomFilter = 7,
+  kCuckooFilter = 8,
+  kSpectralBloomFilter = 9,
+  kCmSketch = 10,
+  kScmSketch = 11,
+  kDynamicCountFilter = 12,
+  kGeneralizedShbfM = 13,
+  kCountingShbfM = 14,
 };
 
 /// Writes the common header.

@@ -99,4 +99,53 @@ bool CountingShbfM::SynchronizedWithCounters() const {
   return true;
 }
 
+std::string CountingShbfM::ToBytes() const {
+  ByteWriter writer;
+  serde::WriteHeader(&writer, serde::StructureTag::kCountingShbfM);
+  writer.PutU64(bits_.num_bits());
+  writer.PutU32(num_hashes_);
+  writer.PutU32(counters_.bits_per_counter());
+  writer.PutU32(max_offset_span_);
+  writer.PutU8(static_cast<uint8_t>(family_.algorithm()));
+  writer.PutU64(family_.master_seed());
+  bits_.AppendPayload(&writer);
+  counters_.AppendPayload(&writer);
+  return writer.Take();
+}
+
+Status CountingShbfM::FromBytes(std::string_view bytes,
+                                std::optional<CountingShbfM>* out) {
+  ByteReader reader(bytes);
+  Status header =
+      serde::ReadHeader(&reader, serde::StructureTag::kCountingShbfM);
+  if (!header.ok()) return header;
+  uint64_t num_bits = 0;
+  uint32_t num_hashes = 0;
+  uint32_t counter_bits = 0;
+  uint32_t max_offset_span = 0;
+  uint8_t alg = 0;
+  uint64_t seed = 0;
+  if (!reader.GetU64(&num_bits) || !reader.GetU32(&num_hashes) ||
+      !reader.GetU32(&counter_bits) || !reader.GetU32(&max_offset_span) ||
+      !reader.GetU8(&alg) || !reader.GetU64(&seed)) {
+    return Status::InvalidArgument("CountingShbfM: truncated parameter block");
+  }
+  if (alg > 3) return Status::InvalidArgument("CountingShbfM: unknown hash id");
+  Params params{.num_bits = num_bits,
+                .num_hashes = num_hashes,
+                .counter_bits = counter_bits,
+                .max_offset_span = max_offset_span,
+                .hash_algorithm = static_cast<HashAlgorithm>(alg),
+                .seed = seed};
+  Status valid = params.Validate();
+  if (!valid.ok()) return valid;
+  out->emplace(params);
+  if (!(*out)->bits_.ReadPayload(&reader) ||
+      !(*out)->counters_.ReadPayload(&reader) || !reader.AtEnd()) {
+    out->reset();
+    return Status::InvalidArgument("CountingShbfM: payload size mismatch");
+  }
+  return Status::Ok();
+}
+
 }  // namespace shbf

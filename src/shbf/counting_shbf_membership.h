@@ -8,12 +8,15 @@
 #ifndef SHBF_SHBF_COUNTING_SHBF_MEMBERSHIP_H_
 #define SHBF_SHBF_COUNTING_SHBF_MEMBERSHIP_H_
 
+#include <optional>
+#include <string>
 #include <string_view>
 
 #include "core/bit_array.h"
 #include "core/bits.h"
 #include "core/packed_counter_array.h"
 #include "core/query_stats.h"
+#include "core/serde.h"
 #include "core/status.h"
 #include "hash/hash_family.h"
 
@@ -63,6 +66,19 @@ class CountingShbfM {
 
   /// True iff B equals the bitwise projection of C (test hook).
   bool SynchronizedWithCounters() const;
+
+  /// Clears to the empty filter (bits and counters).
+  void Clear() {
+    bits_.Clear();
+    counters_.Clear();
+  }
+
+  /// Serializes parameters + bit and counter payloads to a byte blob.
+  std::string ToBytes() const;
+
+  /// Reconstructs a filter that answers identically to the serialized one.
+  static Status FromBytes(std::string_view bytes,
+                          std::optional<CountingShbfM>* out);
 
  private:
   uint64_t OffsetOf(std::string_view key) const;

@@ -12,11 +12,15 @@
 #ifndef SHBF_SHBF_GENERALIZED_SHBF_H_
 #define SHBF_SHBF_GENERALIZED_SHBF_H_
 
+#include <optional>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/bit_array.h"
 #include "core/bits.h"
 #include "core/query_stats.h"
+#include "core/serde.h"
 #include "core/status.h"
 #include "hash/hash_family.h"
 
@@ -53,6 +57,13 @@ class GeneralizedShbfM {
   uint32_t num_shifts() const { return num_shifts_; }
   uint32_t num_groups() const { return num_hashes_ / (num_shifts_ + 1); }
   void Clear() { bits_.Clear(); }
+
+  /// Serializes parameters + bit payload to a versioned byte blob.
+  std::string ToBytes() const;
+
+  /// Reconstructs a filter that answers identically to the serialized one.
+  static Status FromBytes(std::string_view bytes,
+                          std::optional<GeneralizedShbfM>* out);
 
  private:
   /// Builds the (t+1)-bit window mask {bit 0} ∪ {bit o_j}.

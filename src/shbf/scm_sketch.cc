@@ -79,4 +79,47 @@ uint64_t ScmSketch::QueryCountWithStats(std::string_view key,
   return min_value;
 }
 
+std::string ScmSketch::ToBytes() const {
+  ByteWriter writer;
+  serde::WriteHeader(&writer, serde::StructureTag::kScmSketch);
+  writer.PutU32(rows_ * 2);           // d of the equivalent CM sketch
+  writer.PutU64(row_width_ / 2);      // r of the equivalent CM sketch
+  writer.PutU32(counters_.bits_per_counter());
+  writer.PutU8(static_cast<uint8_t>(family_.algorithm()));
+  writer.PutU64(family_.master_seed());
+  counters_.AppendPayload(&writer);
+  return writer.Take();
+}
+
+Status ScmSketch::FromBytes(std::string_view bytes,
+                            std::optional<ScmSketch>* out) {
+  ByteReader reader(bytes);
+  Status header = serde::ReadHeader(&reader, serde::StructureTag::kScmSketch);
+  if (!header.ok()) return header;
+  uint32_t depth = 0;
+  uint64_t width = 0;
+  uint32_t counter_bits = 0;
+  uint8_t alg = 0;
+  uint64_t seed = 0;
+  if (!reader.GetU32(&depth) || !reader.GetU64(&width) ||
+      !reader.GetU32(&counter_bits) || !reader.GetU8(&alg) ||
+      !reader.GetU64(&seed)) {
+    return Status::InvalidArgument("ScmSketch: truncated parameter block");
+  }
+  if (alg > 3) return Status::InvalidArgument("ScmSketch: unknown hash id");
+  Params params{.depth = depth,
+                .width = width,
+                .counter_bits = counter_bits,
+                .hash_algorithm = static_cast<HashAlgorithm>(alg),
+                .seed = seed};
+  Status valid = params.Validate();
+  if (!valid.ok()) return valid;
+  out->emplace(params);
+  if (!(*out)->counters_.ReadPayload(&reader) || !reader.AtEnd()) {
+    out->reset();
+    return Status::InvalidArgument("ScmSketch: payload size mismatch");
+  }
+  return Status::Ok();
+}
+
 }  // namespace shbf

@@ -11,11 +11,14 @@
 #ifndef SHBF_SHBF_SCM_SKETCH_H_
 #define SHBF_SHBF_SCM_SKETCH_H_
 
+#include <optional>
+#include <string>
 #include <string_view>
 
 #include "core/bits.h"
 #include "core/packed_counter_array.h"
 #include "core/query_stats.h"
+#include "core/serde.h"
 #include "core/status.h"
 #include "hash/hash_family.h"
 
@@ -54,6 +57,13 @@ class ScmSketch {
     return counters_.num_counters() * counters_.bits_per_counter();
   }
   void Clear() { counters_.Clear(); }
+
+  /// Serializes parameters + counter payload to a versioned byte blob.
+  std::string ToBytes() const;
+
+  /// Reconstructs a sketch that answers identically to the serialized one.
+  static Status FromBytes(std::string_view bytes,
+                          std::optional<ScmSketch>* out);
 
  private:
   uint64_t OffsetOf(std::string_view key) const;

@@ -140,8 +140,25 @@ class CountingShbfA {
   size_t size_s1() const { return t1_.size(); }
   size_t size_s2() const { return t2_.size(); }
 
+  /// Enumerates the exact side tables (serde/replication hook): the state of
+  /// this structure is a deterministic function of (params, S1, S2).
+  void ForEachS1(const std::function<void(std::string_view)>& fn) const {
+    t1_.ForEach([&fn](std::string_view key, uint64_t) { fn(key); });
+  }
+  void ForEachS2(const std::function<void(std::string_view)>& fn) const {
+    t2_.ForEach([&fn](std::string_view key, uint64_t) { fn(key); });
+  }
+
   /// True iff the bit array equals the projection of the counters (test hook).
   bool SynchronizedWithCounters() const;
+
+  /// Clears to the empty structure (bits, counters and side tables).
+  void Clear() {
+    filter_.Clear();
+    counters_.Clear();
+    t1_.Clear();
+    t2_.Clear();
+  }
 
  private:
   /// Offset under which `key` is currently stored, derived from (inS1, inS2).

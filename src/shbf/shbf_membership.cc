@@ -92,8 +92,8 @@ void ShbfM::Clear() {
 
 void ShbfM::ContainsBatch(const std::vector<std::string>& keys,
                           std::vector<uint8_t>* results) const {
-  SHBF_CHECK(results->size() >= keys.size())
-      << "results buffer too small for batch";
+  results->resize(keys.size());
+  if (keys.empty()) return;
   constexpr size_t kGroup = 16;
   constexpr uint32_t kMaxPairs = 32;
   const size_t m = bits_.num_bits();

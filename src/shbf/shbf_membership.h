@@ -61,8 +61,8 @@ class ShbfM {
 
   /// Batched membership query: computes all probe positions for a group of
   /// keys first, prefetches their cache lines, then tests — overlapping
-  /// hash computation with memory latency. `results[i]` receives
-  /// Contains(keys[i]); results must hold keys.size() entries.
+  /// hash computation with memory latency. `results` is resized to
+  /// keys.size(); entry i receives Contains(keys[i]).
   void ContainsBatch(const std::vector<std::string>& keys,
                      std::vector<uint8_t>* results) const;
 

@@ -152,11 +152,24 @@ uint32_t ShbfX::QueryCountWithStats(std::string_view key,
     stats->memory_accesses += GatherWindows(base, mask);
     uint32_t alive = MaskPopcount(mask, words);
     if (alive == 0) return 0;
-    // ≤ 1 candidate: for stored keys the true count always survives every
-    // intersection, so a singleton IS the answer — stop scanning. This early
-    // exit is what keeps the per-query access count nearly flat in k
-    // (Fig 11(b)); for non-members it trades a little FPR for speed.
-    if (alive == 1) return MaskLowest(mask, words);
+    // One candidate left: for stored keys the true count always survives
+    // every intersection, so the singleton is the answer once it passes the
+    // remaining hashes. Verifying it with single-bit probes (one access per
+    // remaining hash, instead of a ⌈c/w̄⌉-load gather) is what keeps the
+    // per-query access count nearly flat in k (Fig 11(b)). The probes are
+    // mandatory: returning the singleton unverified would accept any
+    // non-member whose intersection ever narrows to one candidate, which
+    // multiplies the FPR by orders of magnitude.
+    if (alive == 1) {
+      uint32_t candidate = MaskLowest(mask, words);
+      for (uint32_t j = i + 1; j < num_hashes_; ++j) {
+        ++stats->hash_computations;
+        ++stats->memory_accesses;
+        size_t probe = family_.Hash(j, key) % m;
+        if (!bits_.GetBit(probe + candidate - 1)) return 0;
+      }
+      return candidate;
+    }
   }
   return policy == MultiplicityReportPolicy::kLargest
              ? MaskHighest(mask, words)

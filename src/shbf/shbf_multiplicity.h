@@ -154,8 +154,22 @@ class CountingShbfX {
   /// Exact count from the backing table (kTableBacked only).
   uint64_t ExactCount(std::string_view key) const;
 
+  /// Enumerates (key, exact count) pairs from the backing table
+  /// (serde/replication hook; kTableBacked mode only).
+  void ForEachExactCount(
+      const std::function<void(std::string_view, uint64_t)>& fn) const {
+    exact_counts_.ForEach(fn);
+  }
+
   UpdateMode mode() const { return mode_; }
   bool SynchronizedWithCounters() const;
+
+  /// Clears to the empty structure (filter, counters and exact table).
+  void Clear() {
+    filter_.Clear();
+    counters_.Clear();
+    exact_counts_.Clear();
+  }
 
  private:
   /// The structure's belief about `key`'s current multiplicity.

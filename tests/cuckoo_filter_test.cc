@@ -130,5 +130,38 @@ TEST(CuckooFilterTest, NumItemsTracksInsertsAndDeletes) {
   EXPECT_EQ(cf.num_items(), 1u);
 }
 
+TEST(CuckooFilterTest, SerdeRoundTripPreservesAnswers) {
+  CuckooFilter cf({.num_buckets = 256, .fingerprint_bits = 12});
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(cf.Insert("key-" + std::to_string(i)));
+  }
+  std::optional<CuckooFilter> restored;
+  ASSERT_TRUE(CuckooFilter::FromBytes(cf.ToBytes(), &restored).ok());
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(restored->Contains("key-" + std::to_string(i)));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    std::string probe = "absent-" + std::to_string(i);
+    EXPECT_EQ(cf.Contains(probe), restored->Contains(probe));
+  }
+  EXPECT_EQ(restored->num_items(), cf.num_items());
+}
+
+TEST(CuckooFilterTest, FromBytesRejectsOutOfRangeVictim) {
+  CuckooFilter cf({.num_buckets = 256, .fingerprint_bits = 12});
+  cf.Insert("payload");
+  std::string blob = cf.ToBytes();
+  // Blob layout: 6-byte header, num_buckets u64, bucket_size u32,
+  // fingerprint_bits u32, max_kicks u32, alg u8, seed u64, num_items u64
+  // → victim_used at offset 43, victim_index at 44..51.
+  ASSERT_GT(blob.size(), 60u);
+  blob[43] = 1;                                      // victim_used = true
+  for (int i = 44; i < 52; ++i) blob[i] = '\xff';    // index = 2^64 − 1
+  blob[52] = 1;                                      // fingerprint = 1
+  std::optional<CuckooFilter> restored;
+  EXPECT_FALSE(CuckooFilter::FromBytes(blob, &restored).ok())
+      << "accepted a victim index far past the bucket array";
+}
+
 }  // namespace
 }  // namespace shbf

@@ -1,0 +1,234 @@
+// Registry + FilterSpec + unified-interface behaviour: every registered
+// filter must be constructible by name from one spec, usable through the
+// MembershipFilter interface, and clearable back to empty.
+
+#include "api/filter_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace_generator.h"
+
+namespace shbf {
+namespace {
+
+FilterSpec TestSpec() {
+  FilterSpec spec;
+  spec.num_cells = 40000;
+  spec.num_hashes = 8;
+  spec.expected_keys = 2000;
+  return spec;
+}
+
+std::vector<std::string> TestKeys(size_t count, uint64_t seed = 0x9e3e) {
+  TraceGenerator gen(seed);
+  return gen.DistinctFlowKeys(count);
+}
+
+TEST(FilterRegistryTest, HasAtLeastTwelveFilters) {
+  const auto names = FilterRegistry::Global().Names();
+  EXPECT_GE(names.size(), 12u);
+  for (const char* expected :
+       {"bloom", "km_bloom", "one_mem_bf", "cuckoo", "counting_bloom",
+        "shbf_m", "shbf_g", "counting_shbf_m", "spectral", "cm", "scm",
+        "dynamic_count", "shbf_x", "counting_shbf_x", "shbf_a",
+        "counting_shbf_a", "ibf"}) {
+    EXPECT_TRUE(FilterRegistry::Global().Has(expected))
+        << "missing registry entry: " << expected;
+  }
+}
+
+TEST(FilterRegistryTest, NamesAreSortedAndPartitionedByFamily) {
+  const auto& registry = FilterRegistry::Global();
+  auto names = registry.Names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  size_t total = registry.Names(FilterFamily::kMembership).size() +
+                 registry.Names(FilterFamily::kMultiplicity).size() +
+                 registry.Names(FilterFamily::kAssociation).size();
+  EXPECT_EQ(total, names.size());
+}
+
+TEST(FilterRegistryTest, EveryEntryHasDescriptionAndDeserializer) {
+  const auto& registry = FilterRegistry::Global();
+  for (const auto& name : registry.Names()) {
+    const auto* entry = registry.Find(name);
+    ASSERT_NE(entry, nullptr) << name;
+    EXPECT_FALSE(entry->description.empty()) << name;
+    EXPECT_NE(entry->deserializer, nullptr) << name;
+  }
+}
+
+TEST(FilterRegistryTest, UnknownNameIsNotFound) {
+  std::unique_ptr<MembershipFilter> filter;
+  Status s =
+      FilterRegistry::Global().Create("no_such_filter", TestSpec(), &filter);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(filter, nullptr);
+}
+
+TEST(FilterRegistryTest, InvalidSpecIsRejected) {
+  std::unique_ptr<MembershipFilter> filter;
+  FilterSpec empty;
+  empty.num_cells = 0;
+  EXPECT_FALSE(FilterRegistry::Global().Create("bloom", empty, &filter).ok());
+}
+
+TEST(FilterRegistryTest, EveryFilterConstructsAddsAndAnswers) {
+  const auto& registry = FilterRegistry::Global();
+  const auto keys = TestKeys(500);
+  for (const auto& name : registry.Names()) {
+    std::unique_ptr<MembershipFilter> filter;
+    ASSERT_TRUE(registry.Create(name, TestSpec(), &filter).ok()) << name;
+    ASSERT_NE(filter, nullptr) << name;
+    EXPECT_EQ(filter->name(), name);
+    for (const auto& key : keys) filter->Add(key);
+    EXPECT_EQ(filter->num_elements(), keys.size()) << name;
+    EXPECT_GT(filter->memory_bytes(), 0u) << name;
+    for (const auto& key : keys) {
+      ASSERT_TRUE(filter->Contains(key)) << name << ": false negative";
+    }
+  }
+}
+
+TEST(FilterRegistryTest, ClearRestoresEmptiness) {
+  const auto& registry = FilterRegistry::Global();
+  const auto keys = TestKeys(200);
+  for (const auto& name : registry.Names()) {
+    std::unique_ptr<MembershipFilter> filter;
+    ASSERT_TRUE(registry.Create(name, TestSpec(), &filter).ok()) << name;
+    for (const auto& key : keys) filter->Add(key);
+    filter->Clear();
+    EXPECT_EQ(filter->num_elements(), 0u) << name;
+    size_t still_present = 0;
+    for (const auto& key : keys) still_present += filter->Contains(key);
+    EXPECT_EQ(still_present, 0u) << name << ": clear left residue";
+  }
+}
+
+TEST(FilterRegistryTest, ContainsWithStatsAgreesWithContains) {
+  const auto& registry = FilterRegistry::Global();
+  const auto keys = TestKeys(300);
+  for (const auto& name : registry.Names()) {
+    std::unique_ptr<MembershipFilter> filter;
+    ASSERT_TRUE(registry.Create(name, TestSpec(), &filter).ok()) << name;
+    for (size_t i = 0; i < keys.size() / 2; ++i) filter->Add(keys[i]);
+    QueryStats stats;
+    for (const auto& key : keys) {
+      EXPECT_EQ(filter->ContainsWithStats(key, &stats), filter->Contains(key))
+          << name;
+    }
+    EXPECT_EQ(stats.queries, keys.size()) << name;
+  }
+}
+
+TEST(FilterRegistryTest, ContainsBatchAgreesWithScalarQueries) {
+  const auto& registry = FilterRegistry::Global();
+  const auto keys = TestKeys(300);
+  for (const auto& name : registry.Names()) {
+    std::unique_ptr<MembershipFilter> filter;
+    ASSERT_TRUE(registry.Create(name, TestSpec(), &filter).ok()) << name;
+    for (size_t i = 0; i < keys.size() / 2; ++i) filter->Add(keys[i]);
+    std::vector<uint8_t> results;
+    filter->ContainsBatch(keys, &results);
+    ASSERT_EQ(results.size(), keys.size()) << name;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(results[i] != 0, filter->Contains(keys[i])) << name;
+    }
+  }
+}
+
+TEST(FilterRegistryTest, MultiplicityInterfaceCountsOccurrences) {
+  const auto& registry = FilterRegistry::Global();
+  const auto keys = TestKeys(200);
+  for (const auto& name : registry.Names(FilterFamily::kMultiplicity)) {
+    std::unique_ptr<MultiplicityFilter> filter;
+    ASSERT_TRUE(
+        registry.CreateMultiplicity(name, TestSpec(), &filter).ok())
+        << name;
+    for (const auto& key : keys) {
+      filter->Add(key);
+      filter->Add(key);
+    }
+    for (const auto& key : keys) {
+      // Estimates never underestimate (§5.2; min-selection for sketches).
+      EXPECT_GE(filter->QueryCount(key), 2u) << name;
+    }
+  }
+}
+
+TEST(FilterRegistryTest, AssociationInterfaceSeparatesSets) {
+  const auto& registry = FilterRegistry::Global();
+  const auto keys = TestKeys(300);
+  for (const auto& name : registry.Names(FilterFamily::kAssociation)) {
+    std::unique_ptr<AssociationFilter> filter;
+    ASSERT_TRUE(registry.CreateAssociation(name, TestSpec(), &filter).ok())
+        << name;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (i % 2 == 0) {
+        filter->AddToS1(keys[i]);
+      } else {
+        filter->AddToS2(keys[i]);
+      }
+    }
+    for (size_t i = 0; i < keys.size(); ++i) {
+      AssociationOutcome outcome = filter->Query(keys[i]);
+      ASSERT_NE(outcome, AssociationOutcome::kNotFound)
+          << name << ": false negative in the union";
+      AssociationTruth truth = i % 2 == 0 ? AssociationTruth::kS1Only
+                                          : AssociationTruth::kS2Only;
+      EXPECT_TRUE(OutcomeConsistentWithTruth(outcome, truth))
+          << name << ": " << AssociationOutcomeName(outcome);
+    }
+  }
+}
+
+TEST(FilterRegistryTest, FamilyMismatchIsRejected) {
+  const auto& registry = FilterRegistry::Global();
+  std::unique_ptr<MultiplicityFilter> mult;
+  EXPECT_FALSE(registry.CreateMultiplicity("bloom", TestSpec(), &mult).ok());
+  std::unique_ptr<AssociationFilter> assoc;
+  EXPECT_FALSE(registry.CreateAssociation("shbf_m", TestSpec(), &assoc).ok());
+}
+
+TEST(FilterSpecTest, ValidationCatchesBadFields) {
+  FilterSpec spec = TestSpec();
+  EXPECT_TRUE(spec.Validate().ok());
+  spec.num_cells = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = TestSpec();
+  spec.num_hashes = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = TestSpec();
+  spec.counter_bits = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = TestSpec();
+  spec.max_count = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(FilterSpecTest, ForKeysSizesTheSpec) {
+  FilterSpec spec = FilterSpec::ForKeys(1000, 12.0, 8);
+  EXPECT_EQ(spec.num_cells, 12000u);
+  EXPECT_EQ(spec.num_hashes, 8u);
+  EXPECT_EQ(spec.expected_keys, 1000u);
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+TEST(FilterRegistryTest, PrivateRegistryRejectsDuplicates) {
+  FilterRegistry registry;
+  RegisterBuiltinFilters(&registry);
+  Status dup = registry.Register(
+      {.name = "bloom",
+       .family = FilterFamily::kMembership,
+       .description = "dup",
+       .factory = [](const FilterSpec&, std::unique_ptr<MembershipFilter>*) {
+         return Status::Ok();
+       }});
+  EXPECT_FALSE(dup.ok());
+}
+
+}  // namespace
+}  // namespace shbf

@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <memory>
 
 #include "analysis/association_theory.h"
+#include "api/filter_registry.h"
 #include "analysis/membership_theory.h"
 #include "analysis/multiplicity_theory.h"
 #include "baselines/bloom_filter.h"
@@ -26,31 +29,68 @@ namespace {
 // --- Fig 7 story: ShBF_M ≈ BF « 1MemBF on FPR ----------------------------------
 
 TEST(IntegrationTest, MembershipFprOrdering) {
+  // Registry-driven: one spec, one driver loop, three schemes — the
+  // framework view of the paper's Fig 7 comparison.
   const size_t m = 22008;
   const size_t n = 1200;
   const uint32_t k = 8;
   auto w = MakeMembershipWorkload(n, 400000, 1001);
-  ShbfM shbf({.num_bits = m, .num_hashes = k});
-  BloomFilter bloom({.num_bits = m, .num_hashes = k});
-  OneMemBloomFilter one_mem({.num_bits = m, .num_hashes = k});
-  for (const auto& key : w.members) {
-    shbf.Add(key);
-    bloom.Add(key);
-    one_mem.Add(key);
+  FilterSpec spec;
+  spec.num_cells = m;
+  spec.num_hashes = k;
+  std::map<std::string, size_t> false_positives;
+  for (const char* name : {"shbf_m", "bloom", "one_mem_bf"}) {
+    std::unique_ptr<MembershipFilter> filter;
+    ASSERT_TRUE(
+        FilterRegistry::Global().Create(name, spec, &filter).ok())
+        << name;
+    for (const auto& key : w.members) filter->Add(key);
+    size_t fp = 0;
+    for (const auto& key : w.non_members) fp += filter->Contains(key);
+    false_positives[name] = fp;
   }
-  size_t fp_shbf = 0;
-  size_t fp_bloom = 0;
-  size_t fp_one_mem = 0;
-  for (const auto& key : w.non_members) {
-    fp_shbf += shbf.Contains(key);
-    fp_bloom += bloom.Contains(key);
-    fp_one_mem += one_mem.Contains(key);
-  }
+  size_t fp_shbf = false_positives["shbf_m"];
+  size_t fp_bloom = false_positives["bloom"];
+  size_t fp_one_mem = false_positives["one_mem_bf"];
   // §6.2.1: "the FPR of 1MemBF is over 5 ∼ 10 times that of ShBF_M".
   EXPECT_GT(fp_one_mem, 3 * fp_shbf);
   // ShBF_M within a whisker of BF.
   EXPECT_LT(std::abs(static_cast<double>(fp_shbf) - fp_bloom),
             0.35 * fp_bloom + 30);
+}
+
+TEST(IntegrationTest, RegistryServesAllThreeQueryFamilies) {
+  // The framework claim end to end: one registry, one spec, membership +
+  // association + multiplicity answers from their paper-side structures.
+  const auto& registry = FilterRegistry::Global();
+  FilterSpec spec;
+  spec.num_cells = 30000;
+  spec.num_hashes = 8;
+  spec.expected_keys = 1000;
+  spec.max_count = 8;
+  auto w = MakeMembershipWorkload(1000, 0, 1013);
+
+  std::unique_ptr<MembershipFilter> membership;
+  ASSERT_TRUE(registry.Create("shbf_m", spec, &membership).ok());
+  std::unique_ptr<AssociationFilter> association;
+  ASSERT_TRUE(
+      registry.CreateAssociation("counting_shbf_a", spec, &association).ok());
+  std::unique_ptr<MultiplicityFilter> multiplicity;
+  ASSERT_TRUE(
+      registry.CreateMultiplicity("counting_shbf_x", spec, &multiplicity)
+          .ok());
+
+  for (const auto& key : w.members) {
+    membership->Add(key);
+    association->AddToS1(key);
+    multiplicity->Add(key);
+    multiplicity->Add(key);
+  }
+  for (const auto& key : w.members) {
+    ASSERT_TRUE(membership->Contains(key));
+    ASSERT_EQ(association->Query(key), AssociationOutcome::kS1Only);
+    ASSERT_GE(multiplicity->QueryCount(key), 2u);
+  }
 }
 
 // --- Fig 8 story: ShBF_M halves memory accesses --------------------------------

@@ -1,0 +1,275 @@
+// Registry-driven serde round trips: for EVERY registered filter name,
+// build → insert → Serialize → Deserialize must reproduce a filter that
+// answers identically — membership answers for all entries, counts for
+// multiplicity entries, outcomes for association entries.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/filter_registry.h"
+#include "trace/trace_generator.h"
+
+namespace shbf {
+namespace {
+
+FilterSpec TestSpec() {
+  FilterSpec spec;
+  spec.num_cells = 30000;
+  spec.num_hashes = 6;
+  spec.expected_keys = 1000;
+  spec.seed = 0xfeedf00d;
+  return spec;
+}
+
+struct Workload {
+  std::vector<std::string> members;  // inserted
+  std::vector<std::string> probes;   // never inserted
+};
+
+Workload MakeWorkload() {
+  TraceGenerator gen(0x5e44);
+  auto keys = gen.DistinctFlowKeys(3000);
+  Workload w;
+  w.members.assign(keys.begin(), keys.begin() + 1000);
+  w.probes.assign(keys.begin() + 1000, keys.end());
+  return w;
+}
+
+/// Populates `filter` according to its family: association splits members
+/// between S1/S2, multiplicity inserts every third key twice.
+void Populate(const FilterRegistry::Entry& entry, MembershipFilter* filter,
+              const std::vector<std::string>& members) {
+  if (entry.family == FilterFamily::kAssociation) {
+    auto* assoc = dynamic_cast<AssociationFilter*>(filter);
+    ASSERT_NE(assoc, nullptr);
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (i % 3 == 0) {
+        assoc->AddToS1(members[i]);
+      } else if (i % 3 == 1) {
+        assoc->AddToS2(members[i]);
+      } else {
+        assoc->AddToS1(members[i]);
+        assoc->AddToS2(members[i]);
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < members.size(); ++i) {
+    filter->Add(members[i]);
+    if (entry.family == FilterFamily::kMultiplicity && i % 3 == 0) {
+      filter->Add(members[i]);
+    }
+  }
+}
+
+TEST(RegistrySerdeTest, EveryFilterRoundTripsThroughBytes) {
+  const auto& registry = FilterRegistry::Global();
+  const Workload w = MakeWorkload();
+  for (const auto& name : registry.Names()) {
+    SCOPED_TRACE(name);
+    const auto* entry = registry.Find(name);
+    ASSERT_NE(entry, nullptr);
+
+    std::unique_ptr<MembershipFilter> original;
+    ASSERT_TRUE(registry.Create(name, TestSpec(), &original).ok());
+    Populate(*entry, original.get(), w.members);
+
+    std::string blob = FilterRegistry::Serialize(*original);
+    ASSERT_FALSE(blob.empty());
+
+    std::unique_ptr<MembershipFilter> restored;
+    Status s = registry.Deserialize(blob, &restored);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->name(), name);
+
+    // Identical membership answers on members (all true) and probes
+    // (identical false-positive pattern, not merely a similar rate).
+    for (const auto& key : w.members) {
+      ASSERT_TRUE(restored->Contains(key)) << "false negative after reload";
+    }
+    for (const auto& key : w.probes) {
+      ASSERT_EQ(original->Contains(key), restored->Contains(key))
+          << "answer drift on probe key";
+    }
+
+    if (entry->family == FilterFamily::kMultiplicity) {
+      auto* original_counts = dynamic_cast<MultiplicityFilter*>(original.get());
+      auto* restored_counts = dynamic_cast<MultiplicityFilter*>(restored.get());
+      ASSERT_NE(original_counts, nullptr);
+      ASSERT_NE(restored_counts, nullptr);
+      for (const auto& key : w.members) {
+        ASSERT_EQ(original_counts->QueryCount(key),
+                  restored_counts->QueryCount(key));
+      }
+    }
+
+    if (entry->family == FilterFamily::kAssociation) {
+      auto* original_assoc = dynamic_cast<AssociationFilter*>(original.get());
+      auto* restored_assoc = dynamic_cast<AssociationFilter*>(restored.get());
+      ASSERT_NE(original_assoc, nullptr);
+      ASSERT_NE(restored_assoc, nullptr);
+      for (const auto& key : w.members) {
+        ASSERT_EQ(original_assoc->Query(key), restored_assoc->Query(key));
+      }
+    }
+  }
+}
+
+TEST(RegistrySerdeTest, RestoredFilterKeepsAccepting) {
+  // Add-after-reload must keep working for incremental filters.
+  const auto& registry = FilterRegistry::Global();
+  const Workload w = MakeWorkload();
+  for (const auto& name : registry.Names()) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<MembershipFilter> filter;
+    ASSERT_TRUE(registry.Create(name, TestSpec(), &filter).ok());
+    for (size_t i = 0; i < 100; ++i) filter->Add(w.members[i]);
+
+    std::unique_ptr<MembershipFilter> restored;
+    ASSERT_TRUE(
+        registry.Deserialize(FilterRegistry::Serialize(*filter), &restored)
+            .ok());
+    for (size_t i = 100; i < 200; ++i) restored->Add(w.members[i]);
+    for (size_t i = 0; i < 200; ++i) {
+      ASSERT_TRUE(restored->Contains(w.members[i]))
+          << "lost key " << i << " after reload+add";
+    }
+  }
+}
+
+TEST(RegistrySerdeTest, GarbageAndTruncationAreRejected) {
+  const auto& registry = FilterRegistry::Global();
+  std::unique_ptr<MembershipFilter> out;
+  EXPECT_FALSE(registry.Deserialize("", &out).ok());
+  EXPECT_FALSE(registry.Deserialize("not a filter blob", &out).ok());
+
+  std::unique_ptr<MembershipFilter> filter;
+  ASSERT_TRUE(registry.Create("shbf_m", TestSpec(), &filter).ok());
+  filter->Add("payload");
+  std::string blob = FilterRegistry::Serialize(*filter);
+  for (size_t cut : {blob.size() / 4, blob.size() / 2, blob.size() - 1}) {
+    EXPECT_FALSE(registry.Deserialize(blob.substr(0, cut), &out).ok())
+        << "accepted a blob truncated to " << cut << " bytes";
+  }
+}
+
+TEST(RegistrySerdeTest, NumElementsSurvivesRoundTrip) {
+  const auto& registry = FilterRegistry::Global();
+  const Workload w = MakeWorkload();
+  for (const auto& name : registry.Names()) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<MembershipFilter> filter;
+    ASSERT_TRUE(registry.Create(name, TestSpec(), &filter).ok());
+    for (size_t i = 0; i < 100; ++i) filter->Add(w.members[i]);
+    std::unique_ptr<MembershipFilter> restored;
+    ASSERT_TRUE(
+        registry.Deserialize(FilterRegistry::Serialize(*filter), &restored)
+            .ok());
+    EXPECT_EQ(restored->num_elements(), filter->num_elements());
+  }
+}
+
+TEST(RegistrySerdeTest, ReplayPayloadWithOversizedCountIsRejected) {
+  // A counting_shbf_x table entry above max_count must yield a Status, not
+  // a CHECK abort during replay.
+  const auto& registry = FilterRegistry::Global();
+  const auto* entry = registry.Find("counting_shbf_x");
+  ASSERT_NE(entry, nullptr);
+  FilterSpec spec = TestSpec();
+  spec.max_count = 8;
+  ByteWriter writer;
+  spec_serde::WriteSpec(&writer, spec);
+  writer.PutU64(1);  // one table entry
+  writer.PutU32(3);
+  writer.PutBytes("key", 3);
+  writer.PutU64(100000);  // way past max_count
+  std::unique_ptr<MembershipFilter> out;
+  Status s = entry->deserializer(writer.Take(), &out);
+  EXPECT_FALSE(s.ok());
+
+  // A shbf_x multiset repeating one key past max_count is legal state (the
+  // live adapter saturates at the cap); it must round-trip, not abort.
+  const auto* lazy_entry = registry.Find("shbf_x");
+  ASSERT_NE(lazy_entry, nullptr);
+  ByteWriter lazy_writer;
+  spec_serde::WriteSpec(&lazy_writer, spec);
+  lazy_writer.PutU64(spec.max_count + 1);
+  for (uint32_t i = 0; i <= spec.max_count; ++i) {
+    lazy_writer.PutU32(3);
+    lazy_writer.PutBytes("key", 3);
+  }
+  ASSERT_TRUE(lazy_entry->deserializer(lazy_writer.Take(), &out).ok());
+  auto* counts = dynamic_cast<MultiplicityFilter*>(out.get());
+  ASSERT_NE(counts, nullptr);
+  EXPECT_EQ(counts->QueryCount("key"), spec.max_count);
+}
+
+TEST(RegistrySerdeTest, MultiplicityAddSaturatesAtMaxCount) {
+  // Adding one key past max_count through the uniform interface must
+  // saturate (like every counting structure here), never abort.
+  const auto& registry = FilterRegistry::Global();
+  FilterSpec spec = TestSpec();
+  spec.max_count = 4;
+  for (const char* name : {"counting_shbf_x", "shbf_x"}) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<MultiplicityFilter> filter;
+    ASSERT_TRUE(registry.CreateMultiplicity(name, spec, &filter).ok());
+    for (int i = 0; i < 20; ++i) filter->Add("hot-key");
+    EXPECT_EQ(filter->QueryCount("hot-key"), 4u);
+    // And the saturated state round-trips.
+    std::unique_ptr<MembershipFilter> restored;
+    ASSERT_TRUE(
+        registry.Deserialize(FilterRegistry::Serialize(*filter), &restored)
+            .ok());
+    auto* restored_counts = dynamic_cast<MultiplicityFilter*>(restored.get());
+    ASSERT_NE(restored_counts, nullptr);
+    EXPECT_EQ(restored_counts->QueryCount("hot-key"), 4u);
+  }
+}
+
+TEST(RegistrySerdeTest, OverfullCuckooKeepsNoFalseNegativesAcrossReload) {
+  // A cuckoo filter sized far below the key count must spill to the exact
+  // side list rather than silently dropping keys, and the spill must
+  // survive serialization.
+  const auto& registry = FilterRegistry::Global();
+  FilterSpec spec;
+  spec.num_cells = 96;  // 2 buckets × 4 slots of 12-bit fingerprints
+  spec.num_hashes = 8;
+  std::unique_ptr<MembershipFilter> filter;
+  ASSERT_TRUE(registry.Create("cuckoo", spec, &filter).ok());
+  TraceGenerator gen(0xcafe);
+  const auto keys = gen.DistinctFlowKeys(50);
+  for (const auto& key : keys) filter->Add(key);
+  for (const auto& key : keys) {
+    ASSERT_TRUE(filter->Contains(key)) << "overfull cuckoo lost a key";
+  }
+  std::unique_ptr<MembershipFilter> restored;
+  ASSERT_TRUE(
+      registry.Deserialize(FilterRegistry::Serialize(*filter), &restored)
+          .ok());
+  for (const auto& key : keys) {
+    ASSERT_TRUE(restored->Contains(key)) << "reload dropped a spilled key";
+  }
+}
+
+TEST(RegistrySerdeTest, EnvelopeNamesUnknownFilter) {
+  // An envelope naming an unregistered filter must fail cleanly, not crash.
+  const auto& registry = FilterRegistry::Global();
+  std::unique_ptr<MembershipFilter> filter;
+  ASSERT_TRUE(registry.Create("bloom", TestSpec(), &filter).ok());
+  std::string blob = FilterRegistry::Serialize(*filter);
+  // Rewrite the embedded name "bloom" → "blooz".
+  size_t pos = blob.find("bloom");
+  ASSERT_NE(pos, std::string::npos);
+  blob[pos + 4] = 'z';
+  std::unique_ptr<MembershipFilter> out;
+  Status s = registry.Deserialize(blob, &out);
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace shbf

@@ -238,11 +238,32 @@ TEST(ShbfMTest, BatchQueryHandlesOddSizes) {
   }
 }
 
-TEST(ShbfMDeathTest, BatchRejectsShortResultsBuffer) {
+TEST(ShbfMTest, BatchResizesShortResultsBuffer) {
+  // A short (or empty) results vector is resized to keys.size() internally.
   ShbfM filter(BaseParams());
+  filter.Add("x");
   std::vector<std::string> queries(10, "x");
   std::vector<uint8_t> too_small(5);
-  EXPECT_DEATH(filter.ContainsBatch(queries, &too_small), "too small");
+  filter.ContainsBatch(queries, &too_small);
+  ASSERT_EQ(too_small.size(), queries.size());
+  for (uint8_t hit : too_small) EXPECT_EQ(hit, 1);
+}
+
+TEST(ShbfMTest, BatchShrinksOversizedResultsBuffer) {
+  ShbfM filter(BaseParams());
+  std::vector<std::string> queries(4, "absent");
+  std::vector<uint8_t> oversized(64, 0xaa);
+  filter.ContainsBatch(queries, &oversized);
+  ASSERT_EQ(oversized.size(), queries.size());
+  for (uint8_t hit : oversized) EXPECT_EQ(hit, 0);
+}
+
+TEST(ShbfMTest, BatchHandlesEmptyKeyList) {
+  ShbfM filter(BaseParams());
+  std::vector<std::string> no_queries;
+  std::vector<uint8_t> results(7, 1);
+  filter.ContainsBatch(no_queries, &results);
+  EXPECT_TRUE(results.empty());
 }
 
 TEST(ShbfMTest, WorksWithEveryHashAlgorithm) {
