@@ -1,0 +1,241 @@
+// batch_throughput — single-key vs engine-batched vs sharded-multithreaded
+// membership throughput (Mops/s), the acceptance bench for the batched
+// query engine (docs/benchmarks.md describes the output).
+//
+// Three modes per filter:
+//   per_key     one virtual Contains call per key — what registry-driven
+//               code did before the engine existed
+//   batched     BatchQueryEngine::ContainsBatch — hash pre-compute +
+//               software prefetch + two-pass resolve
+//   sharded_mt  a shards-way ShardedMembershipFilter queried from
+//               `threads` threads, each batching its slice
+//
+// usage: bench_batch_throughput [--filter=<name>] [--build-keys=N]
+//          [--query-keys=N] [--bits-per-key=B] [--k=K] [--batch=N]
+//          [--shards=S] [--threads=T] [--smoke]
+//
+// Defaults (8M build keys at 12 bits/key ≈ 12 MB of filter) size the filter
+// past L2 so the memory-level parallelism the engine extracts is visible;
+// --smoke shrinks everything for CI, skips nothing, and verifies the
+// batched answers against the per-key path instead of chasing Mops.
+//
+// CSV on stdout: filter,mode,threads,batch_size,keys,seconds,mops,speedup.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/filter_registry.h"
+#include "bench_util/timer.h"
+#include "engine/batch_query_engine.h"
+#include "engine/sharded_filter.h"
+
+namespace shbf {
+namespace {
+
+struct Config {
+  std::string filter_name;  // empty = the default pair {shbf_m, bloom}
+  size_t build_keys = 8000000;
+  size_t query_keys = 1000000;
+  double bits_per_key = 12.0;
+  uint32_t num_hashes = 8;
+  uint32_t batch_size = 32;
+  uint32_t shards = 8;
+  uint32_t threads = 4;
+  bool smoke = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *value = arg + prefix.size();
+  return true;
+}
+
+FilterSpec SpecFor(const Config& config) {
+  FilterSpec spec = FilterSpec::ForKeys(config.build_keys,
+                                        config.bits_per_key,
+                                        config.num_hashes);
+  spec.max_count = 8;
+  spec.batch_size = config.batch_size;
+  return spec;
+}
+
+void EmitRow(const std::string& filter, const char* mode, uint32_t threads,
+             uint32_t batch, size_t keys, double seconds, double per_key_mops) {
+  const double mops = Mops(keys, seconds);
+  std::printf("%s,%s,%u,%u,%zu,%.4f,%.2f,%.2f\n", filter.c_str(), mode,
+              threads, batch, keys, seconds, mops,
+              per_key_mops > 0 ? mops / per_key_mops : 1.0);
+}
+
+/// Benchmarks one registered filter through the three modes. Returns false
+/// on a smoke-mode correctness divergence.
+bool RunFilter(const std::string& name, const Config& config,
+               const std::vector<std::string>& build_keys,
+               const std::vector<std::string>& query_keys) {
+  const auto& registry = FilterRegistry::Global();
+  std::unique_ptr<MembershipFilter> filter;
+  Status s = registry.Create(name, SpecFor(config), &filter);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return false;
+  }
+  for (const auto& key : build_keys) filter->Add(key);
+  filter->Contains(query_keys.front());  // force lazy builds out of the loop
+
+  // -- per_key: the scalar virtual baseline --------------------------------
+  WallTimer timer;
+  uint64_t hits = 0;
+  for (const auto& key : query_keys) hits += filter->Contains(key);
+  DoNotOptimize(hits);
+  const double per_key_seconds = timer.ElapsedSeconds();
+  const double per_key_mops = Mops(query_keys.size(), per_key_seconds);
+  EmitRow(name, "per_key", 1, 1, query_keys.size(), per_key_seconds, 0);
+
+  // -- batched: the engine's two-pass prefetching path ---------------------
+  BatchQueryEngine engine({.batch_size = config.batch_size});
+  std::vector<uint8_t> results;
+  engine.ContainsBatch(*filter, query_keys, &results);  // warm-up
+  timer.Reset();
+  engine.ContainsBatch(*filter, query_keys, &results);
+  const double batched_seconds = timer.ElapsedSeconds();
+  EmitRow(name, "batched", 1, config.batch_size, query_keys.size(),
+          batched_seconds, per_key_mops);
+
+  if (config.smoke) {
+    // CI mode: the value of this binary is that the engine still answers
+    // exactly like the per-key path; Mops on a shared runner prove nothing.
+    for (size_t i = 0; i < query_keys.size(); ++i) {
+      if ((results[i] != 0) != filter->Contains(query_keys[i])) {
+        std::fprintf(stderr, "SMOKE FAILED (%s): divergence at key %zu\n",
+                     name.c_str(), i);
+        return false;
+      }
+    }
+  }
+
+  // -- sharded_mt: concurrent batched queries on the sharded wrapper ------
+  if (config.shards < 2) {
+    std::fprintf(stderr, "note: --shards < 2, skipping sharded_mt\n");
+    return true;
+  }
+  FilterSpec sharded_spec = SpecFor(config);
+  sharded_spec.shards = config.shards;
+  std::unique_ptr<MembershipFilter> sharded;
+  s = registry.Create(name, sharded_spec, &sharded);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return false;
+  }
+  static_cast<ShardedMembershipFilter*>(sharded.get())->AddBatch(build_keys);
+  // Warm every shard (triggers lazy rebuilds) and pre-slice the query
+  // stream, so the timed region holds queries only.
+  sharded->ContainsBatch(query_keys, &results);
+  std::vector<std::vector<std::string>> slices(config.threads);
+  const size_t slice = (query_keys.size() + config.threads - 1) /
+                       config.threads;
+  for (uint32_t t = 0; t < config.threads; ++t) {
+    const size_t begin = std::min(t * slice, query_keys.size());
+    const size_t end = std::min(begin + slice, query_keys.size());
+    slices[t].assign(query_keys.begin() + begin, query_keys.begin() + end);
+  }
+  timer.Reset();
+  std::vector<std::thread> workers;
+  for (uint32_t t = 0; t < config.threads; ++t) {
+    workers.emplace_back([&, t] {
+      if (slices[t].empty()) return;
+      std::vector<uint8_t> thread_results;
+      sharded->ContainsBatch(slices[t], &thread_results);
+      DoNotOptimize(thread_results.size());
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EmitRow(name, "sharded_mt", config.threads, config.batch_size,
+          query_keys.size(), timer.ElapsedSeconds(), per_key_mops);
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      config.smoke = true;
+    } else if (ParseFlag(argv[i], "filter", &value)) {
+      config.filter_name = value;
+    } else if (ParseFlag(argv[i], "build-keys", &value)) {
+      config.build_keys = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (ParseFlag(argv[i], "query-keys", &value)) {
+      config.query_keys = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (ParseFlag(argv[i], "bits-per-key", &value)) {
+      config.bits_per_key = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "k", &value)) {
+      config.num_hashes = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "batch", &value)) {
+      config.batch_size = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "shards", &value)) {
+      config.shards = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "threads", &value)) {
+      config.threads = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_batch_throughput [--filter=<name>] "
+                   "[--build-keys=N] [--query-keys=N] [--bits-per-key=B] "
+                   "[--k=K] [--batch=N] [--shards=S] [--threads=T] "
+                   "[--smoke]\n");
+      return 2;
+    }
+  }
+  if (config.smoke) {
+    config.build_keys = 20000;
+    config.query_keys = 10000;
+    config.threads = 2;
+  }
+  if (config.build_keys == 0 || config.query_keys == 0 ||
+      config.threads == 0) {
+    std::fprintf(stderr,
+                 "error: --build-keys, --query-keys and --threads must be "
+                 "positive\n");
+    return 2;
+  }
+
+  std::vector<std::string> build_keys(config.build_keys);
+  for (size_t i = 0; i < config.build_keys; ++i) {
+    build_keys[i] = "key-" + std::to_string(i);
+  }
+  // Query stream: inserted keys in random order (members exercise every
+  // probe; random order defeats the hardware prefetcher, as production
+  // traffic does).
+  std::vector<std::string> query_keys(config.query_keys);
+  std::mt19937_64 rng(0xbe9c4);
+  for (size_t i = 0; i < config.query_keys; ++i) {
+    query_keys[i] = build_keys[rng() % build_keys.size()];
+  }
+
+  std::printf("filter,mode,threads,batch_size,keys,seconds,mops,"
+              "speedup_vs_per_key\n");
+  std::vector<std::string> names;
+  if (!config.filter_name.empty()) {
+    names.push_back(config.filter_name);
+  } else {
+    names = {"shbf_m", "bloom"};
+  }
+  bool ok = true;
+  for (const auto& name : names) {
+    ok = RunFilter(name, config, build_keys, query_keys) && ok;
+  }
+  if (config.smoke && ok) std::printf("# smoke OK\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace shbf
+
+int main(int argc, char** argv) { return shbf::Main(argc, argv); }

@@ -18,6 +18,7 @@
 #include "api/filter_registry.h"
 #include "baselines/bloom_filter.h"
 #include "baselines/counting_bloom_filter.h"
+#include "engine/batch_query_engine.h"
 #include "shbf/counting_shbf_membership.h"
 #include "shbf/shbf_membership.h"
 #include "shbf/shbf_multiplicity.h"
@@ -80,6 +81,43 @@ int RegisterRegistryBenches() {
 }
 
 [[maybe_unused]] const int kRegistryBenchesRegistered = RegisterRegistryBenches();
+
+// --- engine-batched queries: every registered filter ----------------------
+// Delta against BM_Registry_ContainsMember is what the two-pass prefetching
+// engine buys (fast-path filters) or costs (fallback filters) per query.
+
+void RunEngineBatchBench(benchmark::State& state, const std::string& name) {
+  std::unique_ptr<MembershipFilter> filter;
+  Status s = FilterRegistry::Global().Create(name, BenchSpec(), &filter);
+  if (!s.ok()) {
+    state.SkipWithError(s.ToString().c_str());
+    return;
+  }
+  for (const auto& key : Workload().members) filter->Add(key);
+  BatchQueryEngine engine({.batch_size = 32});
+  std::vector<uint8_t> results;
+  engine.ContainsBatch(*filter, Workload().members, &results);  // warm-up
+  for (auto _ : state) {
+    engine.ContainsBatch(*filter, Workload().members, &results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(Workload().members.size()));
+}
+
+int RegisterEngineBatchBenches() {
+  for (const auto& name : FilterRegistry::Global().Names()) {
+    benchmark::RegisterBenchmark(
+        ("BM_Registry_EngineContainsBatch/" + name).c_str(),
+        [name](benchmark::State& state) {
+          RunEngineBatchBench(state, name);
+        });
+  }
+  return 0;
+}
+
+[[maybe_unused]] const int kEngineBatchBenchesRegistered =
+    RegisterEngineBatchBenches();
 
 // --- inlined concrete baselines (virtual-dispatch overhead reference) -----
 

@@ -188,6 +188,9 @@ class BloomAdapter : public AdapterCore<MembershipFilter, BloomFilter> {
                      std::vector<uint8_t>* results) const override {
     impl_.ContainsBatch(keys, results);
   }
+  BatchFastPath batch_fast_path() const override {
+    return {BatchFastPath::Kind::kBloom, &impl_};
+  }
   size_t num_elements() const override { return impl_.num_elements(); }
   size_t memory_bytes() const override {
     return impl_.bits().allocated_bytes();
@@ -212,6 +215,9 @@ class ShbfMAdapter : public AdapterCore<MembershipFilter, ShbfM> {
   void ContainsBatch(const std::vector<std::string>& keys,
                      std::vector<uint8_t>* results) const override {
     impl_.ContainsBatch(keys, results);
+  }
+  BatchFastPath batch_fast_path() const override {
+    return {BatchFastPath::Kind::kShbfM, &impl_};
   }
   size_t num_elements() const override { return impl_.num_elements(); }
   size_t memory_bytes() const override {
@@ -535,6 +541,10 @@ class ShbfXLazyAdapter : public MultiplicityFilter {
     EnsureBuilt();
     return impl_.QueryCount(key);
   }
+  BatchFastPath batch_fast_path() const override {
+    EnsureBuilt();  // the engine resolves against the finished build
+    return {BatchFastPath::Kind::kShbfX, &impl_};
+  }
   void Clear() override {
     multiset_.clear();
     impl_ = ShbfX(params_);
@@ -606,6 +616,10 @@ class ShbfALazyAdapter : public AssociationFilter {
                                     QueryStats* stats) const override {
     EnsureBuilt();
     return impl_.QueryWithStats(key, stats);
+  }
+  BatchFastPath batch_fast_path() const override {
+    EnsureBuilt();  // the engine resolves against the finished build
+    return {BatchFastPath::Kind::kShbfA, &impl_};
   }
   void Clear() override {
     s1_.clear();

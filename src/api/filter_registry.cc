@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/serde.h"
+#include "engine/sharded_filter.h"
 
 namespace shbf {
 namespace {
@@ -10,7 +11,10 @@ namespace {
 /// Registry envelope: "SHBR" magic, one version byte, a length-prefixed
 /// registry name, then the entry-defined payload.
 constexpr uint32_t kEnvelopeMagic = 0x52424853;  // "SHBR" little-endian
-constexpr uint8_t kEnvelopeVersion = 1;
+// v2: FilterSpec wire records grew batch_size/shards mid-record, shifting
+// every replay-serde payload. The bump makes v1 blobs fail with a clean
+// "unsupported version" instead of deserializing shifted garbage.
+constexpr uint8_t kEnvelopeVersion = 2;
 constexpr size_t kMaxNameLength = 256;
 
 }  // namespace
@@ -81,12 +85,39 @@ Status FilterRegistry::Create(std::string_view name, const FilterSpec& spec,
   }
   Status valid = spec.Validate();
   if (!valid.ok()) return valid;
+  if (spec.shards > 1) {
+    // Concurrent front end: shards > 1 asks for a thread-safe hash-
+    // partitioned wrapper. Each shard is an independent instance of the
+    // entry, sized so the ensemble matches the spec's total budget.
+    FilterSpec shard_spec = spec;
+    shard_spec.shards = 1;
+    shard_spec.num_cells = spec.num_cells / spec.shards;
+    if (shard_spec.num_cells == 0) shard_spec.num_cells = 1;
+    shard_spec.expected_keys = spec.expected_keys / spec.shards;
+    std::vector<std::unique_ptr<MembershipFilter>> shards;
+    shards.reserve(spec.shards);
+    for (uint32_t s = 0; s < spec.shards; ++s) {
+      std::unique_ptr<MembershipFilter> shard;
+      Status st = entry->factory(shard_spec, &shard);
+      if (!st.ok()) return st;
+      shards.push_back(std::move(shard));
+    }
+    *out = std::make_unique<ShardedMembershipFilter>(
+        std::string(name), spec.batch_size, std::move(shards));
+    return Status::Ok();
+  }
   return entry->factory(spec, out);
 }
 
 Status FilterRegistry::CreateMultiplicity(
     std::string_view name, const FilterSpec& spec,
     std::unique_ptr<MultiplicityFilter>* out) const {
+  if (spec.shards > 1) {
+    // The sharded wrapper exposes only the membership view; counting /
+    // association calls would silently vanish behind it.
+    return Status::FailedPrecondition(
+        "FilterRegistry: shards > 1 is membership-only (use Create)");
+  }
   const Entry* entry = Find(name);
   if (entry != nullptr && entry->family != FilterFamily::kMultiplicity) {
     return Status::FailedPrecondition("FilterRegistry: \"" +
@@ -109,6 +140,10 @@ Status FilterRegistry::CreateMultiplicity(
 Status FilterRegistry::CreateAssociation(
     std::string_view name, const FilterSpec& spec,
     std::unique_ptr<AssociationFilter>* out) const {
+  if (spec.shards > 1) {
+    return Status::FailedPrecondition(
+        "FilterRegistry: shards > 1 is membership-only (use Create)");
+  }
   const Entry* entry = Find(name);
   if (entry != nullptr && entry->family != FilterFamily::kAssociation) {
     return Status::FailedPrecondition("FilterRegistry: \"" +
@@ -160,6 +195,23 @@ Status FilterRegistry::Deserialize(
   if (!reader.GetBytes(name.data(), name_length)) {
     return Status::InvalidArgument("FilterRegistry: truncated envelope");
   }
+  std::string_view payload = bytes.substr(bytes.size() - reader.remaining());
+  if (std::string_view(name).substr(
+          0, ShardedMembershipFilter::kNamePrefix.size()) ==
+      ShardedMembershipFilter::kNamePrefix) {
+    // Sharded envelopes ("sharded/<base>") are handled structurally: the
+    // payload is a sequence of per-shard envelopes this method reconstructs
+    // recursively. The base name must still be registered.
+    std::string_view base =
+        std::string_view(name).substr(
+            ShardedMembershipFilter::kNamePrefix.size());
+    if (Find(base) == nullptr) {
+      return Status::NotFound(
+          "FilterRegistry: sharded blob names unknown base filter \"" +
+          std::string(base) + "\"");
+    }
+    return ShardedMembershipFilter::Deserialize(name, payload, *this, out);
+  }
   const Entry* entry = Find(name);
   if (entry == nullptr) {
     return Status::NotFound("FilterRegistry: blob names unknown filter \"" +
@@ -169,8 +221,7 @@ Status FilterRegistry::Deserialize(
     return Status::FailedPrecondition("FilterRegistry: \"" + name +
                                       "\" does not support deserialization");
   }
-  return entry->deserializer(bytes.substr(bytes.size() - reader.remaining()),
-                             out);
+  return entry->deserializer(payload, out);
 }
 
 }  // namespace shbf

@@ -32,6 +32,12 @@ Status FilterSpec::Validate() const {
   if (num_shifts == 0) {
     return Status::InvalidArgument("FilterSpec: num_shifts must be positive");
   }
+  if (batch_size == 0) {
+    return Status::InvalidArgument("FilterSpec: batch_size must be positive");
+  }
+  if (shards == 0) {
+    return Status::InvalidArgument("FilterSpec: shards must be positive");
+  }
   return Status::Ok();
 }
 
@@ -47,6 +53,8 @@ void WriteSpec(ByteWriter* writer, const FilterSpec& spec) {
   writer->PutU32(spec.fingerprint_bits);
   writer->PutU32(spec.word_bits);
   writer->PutU64(spec.expected_keys);
+  writer->PutU32(spec.batch_size);
+  writer->PutU32(spec.shards);
   writer->PutU8(static_cast<uint8_t>(spec.hash_algorithm));
   writer->PutU64(spec.seed);
 }
@@ -62,6 +70,7 @@ bool ReadSpec(ByteReader* reader, FilterSpec* spec) {
       !reader->GetU32(&spec->bucket_size) ||
       !reader->GetU32(&spec->fingerprint_bits) ||
       !reader->GetU32(&spec->word_bits) || !reader->GetU64(&expected_keys) ||
+      !reader->GetU32(&spec->batch_size) || !reader->GetU32(&spec->shards) ||
       !reader->GetU8(&alg) || !reader->GetU64(&spec->seed)) {
     return false;
   }

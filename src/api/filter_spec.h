@@ -21,6 +21,8 @@
 
 namespace shbf {
 
+/// The shared construction vocabulary every registry factory understands;
+/// see the file comment for how factories derive concrete params from it.
 struct FilterSpec {
   /// m: the number of logical cells — bits for bit-array filters, counters
   /// for counting structures and sketches. The primary size knob.
@@ -49,13 +51,29 @@ struct FilterSpec {
   /// from it instead of num_cells.
   size_t expected_keys = 0;
 
+  /// Keys per prefetch group in the batched query engine
+  /// (engine/batch_query_engine.h); also the group size of the sharded
+  /// wrapper's internal engine. 16–64 covers the useful range.
+  uint32_t batch_size = 16;
+
+  /// Shards of the concurrent wrapper (engine/sharded_filter.h). 1 builds
+  /// the plain single-shard filter; > 1 makes FilterRegistry::Create return
+  /// a thread-safe ShardedMembershipFilter whose shards split num_cells and
+  /// expected_keys evenly (total memory stays what the spec asked for).
+  uint32_t shards = 1;
+
+  /// Hash family every derived filter draws its functions from.
   HashAlgorithm hash_algorithm = HashAlgorithm::kMurmur3;
+
+  /// Master seed of that family (experiments are replayable given the spec).
   uint64_t seed = 0x5eed5eed5eed5eedull;
 
   /// Spec sized for `expected_keys` keys at `bits_per_key` bits each.
   static FilterSpec ForKeys(size_t expected_keys, double bits_per_key,
                             uint32_t num_hashes);
 
+  /// Rejects impossible parameter combinations (zero cells/hashes/shards,
+  /// out-of-range counter widths) before any factory runs.
   Status Validate() const;
 };
 

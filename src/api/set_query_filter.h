@@ -30,6 +30,27 @@
 
 namespace shbf {
 
+/// Tagged, type-erased pointer to a wrapped concrete filter for which the
+/// batch engine (src/engine/batch_query_engine.h) has a specialized
+/// non-virtual path: hash pre-compute, software prefetch, two-pass resolve.
+///
+/// Adapters whose wrapped class exposes the Probe protocol (ShbfM, Bloom-
+/// Filter, ShbfX, ShbfA) return their concrete impl here; everything else
+/// returns the default `kNone` and the engine falls back to the virtual
+/// per-key interface. `impl` points at an instance of the class named by
+/// `kind` and is only valid while the owning filter is alive.
+struct BatchFastPath {
+  enum class Kind : uint8_t {
+    kNone = 0,   ///< no specialized path; use the virtual interface
+    kShbfM = 1,  ///< `impl` is a `const ShbfM*`
+    kBloom = 2,  ///< `impl` is a `const BloomFilter*`
+    kShbfX = 3,  ///< `impl` is a `const ShbfX*`
+    kShbfA = 4,  ///< `impl` is a `const ShbfA*`
+  };
+  Kind kind = Kind::kNone;
+  const void* impl = nullptr;
+};
+
 /// Abstract base for every query-side structure in the library.
 class SetQueryFilter {
  public:
@@ -83,6 +104,12 @@ class MembershipFilter : public SetQueryFilter {
   /// lazily on the next query, which is correct but costly under heavy
   /// add/query interleaving.
   virtual bool IncrementalAdd() const { return true; }
+
+  /// Escape hatch for the batch engine: adapters wrapping a concrete class
+  /// with a Probe protocol return a tagged pointer to it. Called once per
+  /// batch (not per key), so lazily-built adapters use it to force a rebuild
+  /// before handing out the pointer. Default: no fast path.
+  virtual BatchFastPath batch_fast_path() const { return {}; }
 };
 
 /// A filter answering "how many times does e appear in the multi-set S?".

@@ -72,32 +72,45 @@ void BloomFilter::Clear() {
   num_elements_ = 0;
 }
 
+void BloomFilter::PrepareProbe(std::string_view key, Probe* probe) const {
+  const size_t m = bits_.num_bits();
+  const uint32_t k = family_.num_functions();
+  SHBF_DCHECK(k <= kMaxBatchHashes);
+  for (uint32_t i = 0; i < k; ++i) {
+    probe->positions[i] = family_.Hash(i, key.data(), key.size()) % m;
+  }
+}
+
+void BloomFilter::PrefetchProbe(const Probe& probe) const {
+  const uint32_t k = family_.num_functions();
+  for (uint32_t i = 0; i < k; ++i) bits_.Prefetch(probe.positions[i]);
+}
+
+bool BloomFilter::ResolveProbe(const Probe& probe) const {
+  const uint32_t k = family_.num_functions();
+  for (uint32_t i = 0; i < k; ++i) {
+    if (!bits_.GetBit(probe.positions[i])) return false;
+  }
+  return true;
+}
+
 void BloomFilter::ContainsBatch(const std::vector<std::string>& keys,
                                 std::vector<uint8_t>* results) const {
   results->resize(keys.size());
   if (keys.empty()) return;
   constexpr size_t kGroup = 16;
-  constexpr uint32_t kMaxHashes = 64;
-  const size_t m = bits_.num_bits();
-  const uint32_t k = family_.num_functions();
-  SHBF_CHECK(k <= kMaxHashes) << "batch path supports k <= 64";
+  SHBF_CHECK(family_.num_functions() <= kMaxBatchHashes)
+      << "batch path supports k <= 64";
 
-  size_t positions[kGroup][kMaxHashes];
+  Probe probes[kGroup];
   for (size_t start = 0; start < keys.size(); start += kGroup) {
     size_t group = std::min(kGroup, keys.size() - start);
     for (size_t g = 0; g < group; ++g) {
-      const std::string& key = keys[start + g];
-      for (uint32_t i = 0; i < k; ++i) {
-        positions[g][i] = family_.Hash(i, key.data(), key.size()) % m;
-        bits_.Prefetch(positions[g][i]);
-      }
+      PrepareProbe(keys[start + g], &probes[g]);
+      PrefetchProbe(probes[g]);
     }
     for (size_t g = 0; g < group; ++g) {
-      bool found = true;
-      for (uint32_t i = 0; i < k && found; ++i) {
-        found = bits_.GetBit(positions[g][i]);
-      }
-      (*results)[start + g] = found ? 1 : 0;
+      (*results)[start + g] = ResolveProbe(probes[g]) ? 1 : 0;
     }
   }
 }

@@ -63,6 +63,24 @@ class BloomFilter {
   void ContainsBatch(const std::vector<std::string>& keys,
                      std::vector<uint8_t>* results) const;
 
+  /// Largest k the probe/batch paths support.
+  static constexpr uint32_t kMaxBatchHashes = 64;
+
+  /// Precomputed query state for one key (hashes only, no memory touched);
+  /// see ShbfM::Probe for the two-pass batch protocol.
+  struct Probe {
+    size_t positions[kMaxBatchHashes];  ///< h_i(e) % m for i < num_hashes()
+  };
+
+  /// Computes `key`'s k bit positions. Requires num_hashes() <= 64.
+  void PrepareProbe(std::string_view key, Probe* probe) const;
+
+  /// Hints the cache to fetch every line `probe` will read.
+  void PrefetchProbe(const Probe& probe) const;
+
+  /// Resolves a prepared probe; identical answer to Contains(key).
+  bool ResolveProbe(const Probe& probe) const;
+
   size_t num_bits() const { return bits_.num_bits(); }
   uint32_t num_hashes() const { return family_.num_functions(); }
   size_t num_elements() const { return num_elements_; }

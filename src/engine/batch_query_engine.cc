@@ -1,0 +1,172 @@
+#include "engine/batch_query_engine.h"
+
+#include <algorithm>
+
+#include "baselines/bloom_filter.h"
+#include "shbf/shbf_association.h"
+#include "shbf/shbf_membership.h"
+
+namespace shbf {
+namespace {
+
+// Runs the two-pass protocol over `keys` in groups of `group_size`:
+// hash + prefetch the whole group, then resolve it, so every window pass 2
+// reads is resident or in flight by the time it is loaded. `resolve(i, probe)`
+// receives the key index and its prepared probe.
+template <typename Impl, typename Resolve>
+void TwoPassLoop(const Impl& impl, const std::vector<std::string>& keys,
+                 size_t group_size, Resolve&& resolve) {
+  std::vector<typename Impl::Probe> probes(
+      std::min(group_size, keys.size()));
+  for (size_t start = 0; start < keys.size(); start += group_size) {
+    const size_t group = std::min(group_size, keys.size() - start);
+    for (size_t g = 0; g < group; ++g) {
+      impl.PrepareProbe(keys[start + g], &probes[g]);
+      impl.PrefetchProbe(probes[g]);
+    }
+    for (size_t g = 0; g < group; ++g) {
+      resolve(start + g, probes[g]);
+    }
+  }
+}
+
+// The probe protocol bounds k; a spec-built filter can exceed the bound, in
+// which case the engine must decline the fast path rather than trip the
+// implementation's CHECK.
+bool FastPathSupported(BatchFastPath::Kind kind, const void* impl) {
+  switch (kind) {
+    case BatchFastPath::Kind::kShbfM:
+      return static_cast<const ShbfM*>(impl)->num_hashes() / 2 <=
+             ShbfM::kMaxBatchPairs;
+    case BatchFastPath::Kind::kBloom:
+      return static_cast<const BloomFilter*>(impl)->num_hashes() <=
+             BloomFilter::kMaxBatchHashes;
+    case BatchFastPath::Kind::kShbfX:
+      return static_cast<const ShbfX*>(impl)->num_hashes() <=
+             ShbfX::kMaxBatchHashes;
+    case BatchFastPath::Kind::kShbfA:
+      return static_cast<const ShbfA*>(impl)->num_hashes() <=
+             ShbfA::kMaxBatchHashes;
+    case BatchFastPath::Kind::kNone:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+BatchQueryEngine::BatchQueryEngine(BatchOptions options)
+    : batch_size_(options.batch_size < 1 ? 1 : options.batch_size) {}
+
+void BatchQueryEngine::ContainsBatch(const MembershipFilter& filter,
+                                     const std::vector<std::string>& keys,
+                                     std::vector<uint8_t>* results) const {
+  results->resize(keys.size());
+  if (keys.empty()) return;
+  const BatchFastPath fp = filter.batch_fast_path();
+  if (FastPathSupported(fp.kind, fp.impl)) {
+    switch (fp.kind) {
+      case BatchFastPath::Kind::kShbfM: {
+        const auto* impl = static_cast<const ShbfM*>(fp.impl);
+        TwoPassLoop(*impl, keys, batch_size_,
+                    [&](size_t i, const ShbfM::Probe& probe) {
+                      (*results)[i] = impl->ResolveProbe(probe) ? 1 : 0;
+                    });
+        return;
+      }
+      case BatchFastPath::Kind::kBloom: {
+        const auto* impl = static_cast<const BloomFilter*>(fp.impl);
+        TwoPassLoop(*impl, keys, batch_size_,
+                    [&](size_t i, const BloomFilter::Probe& probe) {
+                      (*results)[i] = impl->ResolveProbe(probe) ? 1 : 0;
+                    });
+        return;
+      }
+      case BatchFastPath::Kind::kShbfX: {
+        // The multiplicity view of membership: count > 0 (same answer the
+        // adapter's Contains derives from QueryCount).
+        const auto* impl = static_cast<const ShbfX*>(fp.impl);
+        TwoPassLoop(*impl, keys, batch_size_,
+                    [&](size_t i, const ShbfX::Probe& probe) {
+                      (*results)[i] = impl->ResolveProbe(probe) > 0 ? 1 : 0;
+                    });
+        return;
+      }
+      case BatchFastPath::Kind::kShbfA: {
+        // The association view of membership: any outcome but kNotFound.
+        const auto* impl = static_cast<const ShbfA*>(fp.impl);
+        TwoPassLoop(*impl, keys, batch_size_,
+                    [&](size_t i, const ShbfA::Probe& probe) {
+                      (*results)[i] = impl->ResolveProbe(probe) !=
+                                              AssociationOutcome::kNotFound
+                                          ? 1
+                                          : 0;
+                    });
+        return;
+      }
+      case BatchFastPath::Kind::kNone:
+        break;
+    }
+  }
+  filter.ContainsBatch(keys, results);
+}
+
+void BatchQueryEngine::QueryCountBatch(const MultiplicityFilter& filter,
+                                       const std::vector<std::string>& keys,
+                                       std::vector<uint64_t>* counts) const {
+  counts->resize(keys.size());
+  if (keys.empty()) return;
+  const BatchFastPath fp = filter.batch_fast_path();
+  if (fp.kind == BatchFastPath::Kind::kShbfX &&
+      FastPathSupported(fp.kind, fp.impl)) {
+    const auto* impl = static_cast<const ShbfX*>(fp.impl);
+    TwoPassLoop(*impl, keys, batch_size_,
+                [&](size_t i, const ShbfX::Probe& probe) {
+                  (*counts)[i] = impl->ResolveProbe(probe);
+                });
+    return;
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    (*counts)[i] = filter.QueryCount(keys[i]);
+  }
+}
+
+void BatchQueryEngine::QueryBatch(
+    const AssociationFilter& filter, const std::vector<std::string>& keys,
+    std::vector<AssociationOutcome>* outcomes) const {
+  outcomes->resize(keys.size());
+  if (keys.empty()) return;
+  const BatchFastPath fp = filter.batch_fast_path();
+  if (fp.kind == BatchFastPath::Kind::kShbfA &&
+      FastPathSupported(fp.kind, fp.impl)) {
+    const auto* impl = static_cast<const ShbfA*>(fp.impl);
+    TwoPassLoop(*impl, keys, batch_size_,
+                [&](size_t i, const ShbfA::Probe& probe) {
+                  (*outcomes)[i] = impl->ResolveProbe(probe);
+                });
+    return;
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    (*outcomes)[i] = filter.Query(keys[i]);
+  }
+}
+
+void BatchQueryEngine::QueryCountBatch(const ShbfX& filter,
+                                       const std::vector<std::string>& keys,
+                                       MultiplicityReportPolicy policy,
+                                       std::vector<uint32_t>* counts) const {
+  counts->resize(keys.size());
+  if (keys.empty()) return;
+  if (filter.num_hashes() > ShbfX::kMaxBatchHashes) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      (*counts)[i] = filter.QueryCount(keys[i], policy);
+    }
+    return;
+  }
+  TwoPassLoop(filter, keys, batch_size_,
+              [&](size_t i, const ShbfX::Probe& probe) {
+                (*counts)[i] = filter.ResolveProbe(probe, policy);
+              });
+}
+
+}  // namespace shbf

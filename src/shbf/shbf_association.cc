@@ -107,6 +107,36 @@ AssociationOutcome ShbfA::Query(std::string_view key) const {
   return Decode(s1_only, both, s2_only);
 }
 
+void ShbfA::PrepareProbe(std::string_view key, Probe* probe) const {
+  const size_t m = bits_.num_bits();
+  SHBF_CHECK(num_hashes_ <= kMaxBatchHashes) << "probe path supports k <= 64";
+  Offsets off = OffsetsOf(key);
+  probe->bit_s1 = 1ull;
+  probe->bit_both = 1ull << off.o1;
+  probe->bit_s2 = 1ull << off.o2;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    probe->bases[i] = family_.Hash(i, key) % m;
+  }
+}
+
+void ShbfA::PrefetchProbe(const Probe& probe) const {
+  for (uint32_t i = 0; i < num_hashes_; ++i) bits_.Prefetch(probe.bases[i]);
+}
+
+AssociationOutcome ShbfA::ResolveProbe(const Probe& probe) const {
+  bool s1_only = true;
+  bool both = true;
+  bool s2_only = true;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    uint64_t window = bits_.LoadWindow(probe.bases[i]);
+    s1_only = s1_only && (window & probe.bit_s1);
+    both = both && (window & probe.bit_both);
+    s2_only = s2_only && (window & probe.bit_s2);
+    if (!s1_only && !both && !s2_only) break;  // every pattern already dead
+  }
+  return Decode(s1_only, both, s2_only);
+}
+
 AssociationOutcome ShbfA::QueryWithStats(std::string_view key,
                                          QueryStats* stats) const {
   const size_t m = bits_.num_bits();

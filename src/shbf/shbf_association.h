@@ -77,6 +77,28 @@ class ShbfA {
   /// The candidate offsets of `key` (test hook).
   Offsets OffsetsOf(std::string_view key) const;
 
+  /// Largest k the probe/batch paths support.
+  static constexpr uint32_t kMaxBatchHashes = 64;
+
+  /// Precomputed query state for one key (hashes only, no filter memory
+  /// touched); see ShbfM::Probe for the two-pass batch protocol.
+  struct Probe {
+    uint64_t bit_s1;                ///< 1: the S1-only offset pattern
+    uint64_t bit_both;              ///< 1 << o1(e)
+    uint64_t bit_s2;                ///< 1 << o2(e)
+    size_t bases[kMaxBatchHashes];  ///< h_i(e) % m for i < num_hashes()
+  };
+
+  /// Computes `key`'s k base positions and three candidate bit patterns.
+  /// Requires num_hashes() <= 64.
+  void PrepareProbe(std::string_view key, Probe* probe) const;
+
+  /// Hints the cache to fetch every window `probe` will load.
+  void PrefetchProbe(const Probe& probe) const;
+
+  /// Resolves a prepared probe; identical answer to Query(key).
+  AssociationOutcome ResolveProbe(const Probe& probe) const;
+
   size_t num_bits() const { return bits_.num_bits(); }
   uint32_t num_hashes() const { return num_hashes_; }
   const BitArray& bits() const { return bits_; }

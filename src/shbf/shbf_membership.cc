@@ -90,39 +90,51 @@ void ShbfM::Clear() {
   num_elements_ = 0;
 }
 
+void ShbfM::PrepareProbe(std::string_view key, Probe* probe) const {
+  const size_t m = bits_.num_bits();
+  const uint32_t pairs = num_hashes_ / 2;
+  SHBF_DCHECK(pairs <= kMaxBatchPairs);
+  uint64_t offset =
+      family_.Hash(pairs, key.data(), key.size()) % (max_offset_span_ - 1) + 1;
+  probe->need = 1ull | (1ull << offset);
+  for (uint32_t i = 0; i < pairs; ++i) {
+    probe->bases[i] = family_.Hash(i, key.data(), key.size()) % m;
+  }
+}
+
+void ShbfM::PrefetchProbe(const Probe& probe) const {
+  const uint32_t pairs = num_hashes_ / 2;
+  for (uint32_t i = 0; i < pairs; ++i) bits_.Prefetch(probe.bases[i]);
+}
+
+bool ShbfM::ResolveProbe(const Probe& probe) const {
+  const uint32_t pairs = num_hashes_ / 2;
+  for (uint32_t i = 0; i < pairs; ++i) {
+    if ((bits_.LoadWindow(probe.bases[i]) & probe.need) != probe.need) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void ShbfM::ContainsBatch(const std::vector<std::string>& keys,
                           std::vector<uint8_t>* results) const {
   results->resize(keys.size());
   if (keys.empty()) return;
   constexpr size_t kGroup = 16;
-  constexpr uint32_t kMaxPairs = 32;
-  const size_t m = bits_.num_bits();
-  const uint32_t pairs = num_hashes_ / 2;
-  SHBF_CHECK(pairs <= kMaxPairs) << "batch path supports k <= 64";
+  SHBF_CHECK(num_hashes_ / 2 <= kMaxBatchPairs) << "batch path supports k <= 64";
 
-  size_t bases[kGroup][kMaxPairs];
-  uint64_t needs[kGroup];
+  Probe probes[kGroup];
   for (size_t start = 0; start < keys.size(); start += kGroup) {
     size_t group = std::min(kGroup, keys.size() - start);
     // Phase 1: hash everything and prefetch every window's cache line.
     for (size_t g = 0; g < group; ++g) {
-      const std::string& key = keys[start + g];
-      uint64_t offset =
-          family_.Hash(pairs, key.data(), key.size()) % (max_offset_span_ - 1) +
-          1;
-      needs[g] = 1ull | (1ull << offset);
-      for (uint32_t i = 0; i < pairs; ++i) {
-        bases[g][i] = family_.Hash(i, key.data(), key.size()) % m;
-        bits_.Prefetch(bases[g][i]);
-      }
+      PrepareProbe(keys[start + g], &probes[g]);
+      PrefetchProbe(probes[g]);
     }
     // Phase 2: test (windows are now resident or in flight).
     for (size_t g = 0; g < group; ++g) {
-      bool found = true;
-      for (uint32_t i = 0; i < pairs && found; ++i) {
-        found = (bits_.LoadWindow(bases[g][i]) & needs[g]) == needs[g];
-      }
-      (*results)[start + g] = found ? 1 : 0;
+      (*results)[start + g] = ResolveProbe(probes[g]) ? 1 : 0;
     }
   }
 }

@@ -66,6 +66,29 @@ class ShbfM {
   void ContainsBatch(const std::vector<std::string>& keys,
                      std::vector<uint8_t>* results) const;
 
+  /// Largest k/2 the probe/batch paths support (k <= 64).
+  static constexpr uint32_t kMaxBatchPairs = 32;
+
+  /// Precomputed query state for one key: every hash evaluated, no filter
+  /// memory touched yet. The engine's two-pass batch loop fills a group of
+  /// these (PrepareProbe), prefetches their windows (PrefetchProbe), and
+  /// only then resolves (ResolveProbe) — by which point the cache lines are
+  /// resident or in flight.
+  struct Probe {
+    uint64_t need;                 ///< bit 0 | bit o(e): the pair pattern
+    size_t bases[kMaxBatchPairs];  ///< h_i(e) % m for i < num_pairs()
+  };
+
+  /// Computes `key`'s k/2 base positions and pair pattern (hashes only;
+  /// no memory access). Requires num_pairs() <= kMaxBatchPairs.
+  void PrepareProbe(std::string_view key, Probe* probe) const;
+
+  /// Hints the cache to fetch every window `probe` will load.
+  void PrefetchProbe(const Probe& probe) const;
+
+  /// Resolves a prepared probe; identical answer to Contains(key).
+  bool ResolveProbe(const Probe& probe) const;
+
   /// The offset o(key) ∈ [1, max_offset_span − 1]; exposed for tests.
   uint64_t OffsetOf(std::string_view key) const;
 

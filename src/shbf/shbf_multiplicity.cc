@@ -136,10 +136,10 @@ uint32_t ShbfX::QueryCount(std::string_view key,
   return QueryCountWithStats(key, policy, &ignored);
 }
 
-uint32_t ShbfX::QueryCountWithStats(std::string_view key,
-                                    MultiplicityReportPolicy policy,
-                                    QueryStats* stats) const {
-  const size_t m = bits_.num_bits();
+template <typename BaseFn>
+uint32_t ShbfX::QueryCountImpl(BaseFn&& base_of,
+                               MultiplicityReportPolicy policy,
+                               QueryStats* stats) const {
   const uint32_t words = CeilDiv(max_count_, 64);
   uint64_t mask[kMaskWords];
   for (uint32_t w = 0; w < words; ++w) mask[w] = ~0ull;
@@ -147,8 +147,7 @@ uint32_t ShbfX::QueryCountWithStats(std::string_view key,
 
   ++stats->queries;
   for (uint32_t i = 0; i < num_hashes_; ++i) {
-    ++stats->hash_computations;
-    size_t base = family_.Hash(i, key) % m;
+    size_t base = base_of(i);
     stats->memory_accesses += GatherWindows(base, mask);
     uint32_t alive = MaskPopcount(mask, words);
     if (alive == 0) return 0;
@@ -163,9 +162,8 @@ uint32_t ShbfX::QueryCountWithStats(std::string_view key,
     if (alive == 1) {
       uint32_t candidate = MaskLowest(mask, words);
       for (uint32_t j = i + 1; j < num_hashes_; ++j) {
-        ++stats->hash_computations;
         ++stats->memory_accesses;
-        size_t probe = family_.Hash(j, key) % m;
+        size_t probe = base_of(j);
         if (!bits_.GetBit(probe + candidate - 1)) return 0;
       }
       return candidate;
@@ -174,6 +172,44 @@ uint32_t ShbfX::QueryCountWithStats(std::string_view key,
   return policy == MultiplicityReportPolicy::kLargest
              ? MaskHighest(mask, words)
              : MaskLowest(mask, words);
+}
+
+uint32_t ShbfX::QueryCountWithStats(std::string_view key,
+                                    MultiplicityReportPolicy policy,
+                                    QueryStats* stats) const {
+  const size_t m = bits_.num_bits();
+  return QueryCountImpl(
+      [&](uint32_t i) {
+        ++stats->hash_computations;
+        return family_.Hash(i, key) % m;
+      },
+      policy, stats);
+}
+
+void ShbfX::PrepareProbe(std::string_view key, Probe* probe) const {
+  const size_t m = bits_.num_bits();
+  SHBF_CHECK(num_hashes_ <= kMaxBatchHashes) << "probe path supports k <= 64";
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    probe->bases[i] = family_.Hash(i, key) % m;
+  }
+}
+
+void ShbfX::PrefetchProbe(const Probe& probe) const {
+  // A gather loads ⌈c/w̄⌉ windows starting at the base; the last one reads
+  // up to 63 bits past offset c − 1. One prefetch per cache line touched.
+  const uint32_t span_bits = max_count_ + 63;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    for (uint32_t off = 0; off < span_bits; off += 512) {
+      bits_.Prefetch(probe.bases[i] + off);
+    }
+  }
+}
+
+uint32_t ShbfX::ResolveProbe(const Probe& probe,
+                             MultiplicityReportPolicy policy) const {
+  QueryStats ignored;
+  return QueryCountImpl([&](uint32_t i) { return probe.bases[i]; }, policy,
+                        &ignored);
 }
 
 void ShbfX::Clear() {

@@ -82,6 +82,27 @@ class ShbfX {
                                MultiplicityReportPolicy policy,
                                QueryStats* stats) const;
 
+  /// Largest k the probe/batch paths support.
+  static constexpr uint32_t kMaxBatchHashes = 64;
+
+  /// Precomputed query state for one key (hashes only, no filter memory
+  /// touched); see ShbfM::Probe for the two-pass batch protocol.
+  struct Probe {
+    size_t bases[kMaxBatchHashes];  ///< h_i(e) % m for i < num_hashes()
+  };
+
+  /// Computes `key`'s k base positions. Requires num_hashes() <= 64.
+  void PrepareProbe(std::string_view key, Probe* probe) const;
+
+  /// Hints the cache to fetch every line the candidate-window gathers of a
+  /// prepared probe may touch.
+  void PrefetchProbe(const Probe& probe) const;
+
+  /// Resolves a prepared probe; identical answer to QueryCount(key, policy).
+  uint32_t ResolveProbe(const Probe& probe,
+                        MultiplicityReportPolicy policy =
+                            MultiplicityReportPolicy::kLargest) const;
+
   size_t num_bits() const { return bits_.num_bits(); }
   uint32_t num_hashes() const { return num_hashes_; }
   uint32_t max_count() const { return max_count_; }
@@ -104,6 +125,13 @@ class ShbfX {
   /// Intersects the window bits of hash i into `mask` (mask words cover
   /// count offsets 0..c−1). Returns the number of window loads performed.
   uint32_t GatherWindows(size_t base, uint64_t* mask) const;
+
+  /// Shared body of QueryCountWithStats and ResolveProbe: `base_of(i)`
+  /// supplies h_i(e) % m — hashed lazily in the scalar path (so early exits
+  /// skip hash work) and read from the precomputed probe in the batch path.
+  template <typename BaseFn>
+  uint32_t QueryCountImpl(BaseFn&& base_of, MultiplicityReportPolicy policy,
+                          QueryStats* stats) const;
 
   HashFamily family_;
   uint32_t num_hashes_;

@@ -1,0 +1,165 @@
+// Engine-vs-per-key differential: BatchQueryEngine must be bit-identical to
+// the scalar interface for every registered filter — the fast paths are an
+// execution strategy, never a semantic change. Also pins down that the four
+// probe-protocol structures actually expose their fast path (a silently
+// dropped fast path would keep answers right and throughput wrong).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/filter_registry.h"
+#include "engine/batch_query_engine.h"
+#include "shbf/shbf_multiplicity.h"
+#include "trace/trace_generator.h"
+
+namespace shbf {
+namespace {
+
+constexpr size_t kNumKeys = 3000;
+
+FilterSpec EngineSpec(uint64_t seed) {
+  FilterSpec spec;
+  spec.num_cells = 12 * kNumKeys;
+  spec.num_hashes = 8;
+  spec.expected_keys = kNumKeys;
+  spec.max_count = 8;
+  spec.seed = seed;
+  return spec;
+}
+
+std::vector<std::string> Universe(uint64_t seed) {
+  TraceGenerator gen(seed);
+  return gen.DistinctFlowKeys(2 * kNumKeys);  // half members, half absent
+}
+
+TEST(BatchEngineTest, ContainsBatchMatchesPerKeyForEveryRegisteredFilter) {
+  const auto universe = Universe(0xba7c4);
+  const auto& registry = FilterRegistry::Global();
+  for (const auto& name : registry.Names()) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<MembershipFilter> filter;
+    ASSERT_TRUE(registry.Create(name, EngineSpec(0xba7c4), &filter).ok());
+    for (size_t i = 0; i < kNumKeys; ++i) filter->Add(universe[i]);
+
+    // Three group sizes: degenerate, odd, and larger than most groups.
+    for (size_t batch_size : {size_t{1}, size_t{7}, size_t{64}}) {
+      SCOPED_TRACE(batch_size);
+      BatchQueryEngine engine({.batch_size = batch_size});
+      std::vector<uint8_t> batched;
+      engine.ContainsBatch(*filter, universe, &batched);
+      ASSERT_EQ(batched.size(), universe.size());
+      for (size_t i = 0; i < universe.size(); ++i) {
+        ASSERT_EQ(batched[i] != 0, filter->Contains(universe[i]))
+            << "divergence at key " << i;
+      }
+    }
+  }
+}
+
+TEST(BatchEngineTest, ProbeProtocolFiltersExposeTheirFastPath) {
+  const auto& registry = FilterRegistry::Global();
+  const struct {
+    const char* name;
+    BatchFastPath::Kind kind;
+  } expected[] = {
+      {"shbf_m", BatchFastPath::Kind::kShbfM},
+      {"bloom", BatchFastPath::Kind::kBloom},
+      {"shbf_x", BatchFastPath::Kind::kShbfX},
+      {"shbf_a", BatchFastPath::Kind::kShbfA},
+  };
+  for (const auto& [name, kind] : expected) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<MembershipFilter> filter;
+    ASSERT_TRUE(registry.Create(name, EngineSpec(1), &filter).ok());
+    const BatchFastPath fp = filter->batch_fast_path();
+    EXPECT_EQ(fp.kind, kind);
+    EXPECT_NE(fp.impl, nullptr);
+  }
+}
+
+TEST(BatchEngineTest, QueryCountBatchMatchesPerKeyForMultiplicityFilters) {
+  const auto universe = Universe(0xc0117);
+  const auto& registry = FilterRegistry::Global();
+  for (const auto& name :
+       registry.Names(FilterFamily::kMultiplicity)) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<MultiplicityFilter> filter;
+    ASSERT_TRUE(
+        registry.CreateMultiplicity(name, EngineSpec(0xc0117), &filter).ok());
+    for (size_t i = 0; i < kNumKeys; ++i) {
+      const uint32_t count = 1 + i % 8;  // multiplicities 1..8
+      for (uint32_t c = 0; c < count; ++c) filter->Add(universe[i]);
+    }
+    BatchQueryEngine engine({.batch_size = 16});
+    std::vector<uint64_t> batched;
+    engine.QueryCountBatch(*filter, universe, &batched);
+    ASSERT_EQ(batched.size(), universe.size());
+    for (size_t i = 0; i < universe.size(); ++i) {
+      ASSERT_EQ(batched[i], filter->QueryCount(universe[i]))
+          << "divergence at key " << i;
+    }
+  }
+}
+
+TEST(BatchEngineTest, QueryBatchMatchesPerKeyForAssociationFilters) {
+  const auto universe = Universe(0xa550c);
+  const auto& registry = FilterRegistry::Global();
+  for (const auto& name : registry.Names(FilterFamily::kAssociation)) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<AssociationFilter> filter;
+    ASSERT_TRUE(
+        registry.CreateAssociation(name, EngineSpec(0xa550c), &filter).ok());
+    // Overlapping thirds: S1-only, intersection, S2-only.
+    for (size_t i = 0; i < kNumKeys; ++i) {
+      if (i % 3 != 2) filter->AddToS1(universe[i]);
+      if (i % 3 != 0) filter->AddToS2(universe[i]);
+    }
+    BatchQueryEngine engine({.batch_size = 16});
+    std::vector<AssociationOutcome> batched;
+    engine.QueryBatch(*filter, universe, &batched);
+    ASSERT_EQ(batched.size(), universe.size());
+    for (size_t i = 0; i < universe.size(); ++i) {
+      ASSERT_EQ(batched[i], filter->Query(universe[i]))
+          << "divergence at key " << i;
+    }
+  }
+}
+
+TEST(BatchEngineTest, ConcreteShbfXOverloadHonoursReportPolicy) {
+  const auto universe = Universe(0x5bf01);
+  ShbfX filter({.num_bits = 12 * kNumKeys, .num_hashes = 8, .max_count = 8});
+  for (size_t i = 0; i < kNumKeys; ++i) {
+    filter.InsertWithCount(universe[i], 1 + i % 8);
+  }
+  BatchQueryEngine engine({.batch_size = 32});
+  for (auto policy : {MultiplicityReportPolicy::kLargest,
+                      MultiplicityReportPolicy::kSmallest}) {
+    std::vector<uint32_t> batched;
+    engine.QueryCountBatch(filter, universe, policy, &batched);
+    ASSERT_EQ(batched.size(), universe.size());
+    for (size_t i = 0; i < universe.size(); ++i) {
+      ASSERT_EQ(batched[i], filter.QueryCount(universe[i], policy));
+    }
+  }
+}
+
+TEST(BatchEngineTest, EmptyKeysAndStaleResultsAreHandled) {
+  std::unique_ptr<MembershipFilter> filter;
+  ASSERT_TRUE(
+      FilterRegistry::Global().Create("shbf_m", EngineSpec(9), &filter).ok());
+  filter->Add("present");
+  BatchQueryEngine engine;
+  std::vector<uint8_t> results(17, 255);  // stale, oversized
+  engine.ContainsBatch(*filter, {}, &results);
+  EXPECT_TRUE(results.empty());
+  std::vector<std::string> keys = {"present", "absent-xyzzy"};
+  engine.ContainsBatch(*filter, keys, &results);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0], 1);
+}
+
+}  // namespace
+}  // namespace shbf

@@ -14,24 +14,35 @@
 //       end-to-end build → serialize → reload → query round trip through a
 //       temp file, for one filter or (default) every registered filter; used
 //       by ctest.
+//   shbf_cli bench [--filter=shbf_m] [--keys=1000000] [--bits-per-key=12]
+//                  [--k=8] [--batch=32] [--shards=8] [--threads=4]
+//       in-process membership throughput: per-key virtual Contains vs the
+//       batched query engine vs a sharded filter queried from T threads
+//       (bench/batch_throughput.cc is the bigger, CSV-emitting sibling).
 //   shbf_cli --filter=<name>
 //       shorthand for `selftest --filter=<name>`.
 //
 // Legacy blobs written by older versions (raw ShbfM/BloomFilter wire format,
 // no registry envelope) are still readable by query/info.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <optional>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/filter_registry.h"
 #include "baselines/bloom_filter.h"
+#include "bench_util/timer.h"
 #include "core/serde.h"
+#include "engine/batch_query_engine.h"
+#include "engine/sharded_filter.h"
 #include "shbf/shbf_membership.h"
 
 namespace shbf {
@@ -54,6 +65,9 @@ int Usage() {
       "  shbf_cli query <filter.shbf> <keys.txt>\n"
       "  shbf_cli info  <filter.shbf>\n"
       "  shbf_cli selftest [--filter=<name>]\n"
+      "  shbf_cli bench [--filter=<name>] [--keys=N] [--bits-per-key=12] "
+      "[--k=8]\n"
+      "                 [--batch=32] [--shards=8] [--threads=4]\n"
       "  shbf_cli --filter=<name>        (selftest for one filter)\n"
       "filters: ");
   for (const auto& name : FilterRegistry::Global().Names()) {
@@ -190,8 +204,11 @@ int Query(const std::string& filter_path, const std::string& keys_path) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return 1;
   }
+  // Route through the batch engine: the non-virtual prefetching path for
+  // probe-protocol filters, the filter's own batch for the rest.
+  BatchQueryEngine engine;
   std::vector<uint8_t> results;
-  filter->ContainsBatch(keys, &results);
+  engine.ContainsBatch(*filter, keys, &results);
   size_t positives = 0;
   for (size_t i = 0; i < keys.size(); ++i) {
     positives += results[i];
@@ -282,6 +299,108 @@ int SelfTest(const std::string& only_name) {
   return 0;
 }
 
+struct BenchOptions {
+  std::string filter_name = "shbf_m";
+  size_t num_keys = 1000000;
+  double bits_per_key = 12.0;
+  uint32_t num_hashes = 8;
+  uint32_t batch = 32;
+  uint32_t shards = 8;
+  uint32_t threads = 4;
+};
+
+/// In-process membership throughput: per-key virtual dispatch vs the batch
+/// engine vs a sharded filter under concurrent queries.
+int Bench(const BenchOptions& options) {
+  if (options.num_keys == 0 || options.threads == 0) {
+    std::fprintf(stderr, "error: bench needs --keys > 0 and --threads > 0\n");
+    return 1;
+  }
+  const auto& registry = FilterRegistry::Global();
+  FilterSpec spec = FilterSpec::ForKeys(options.num_keys,
+                                        options.bits_per_key,
+                                        options.num_hashes);
+  spec.max_count = 8;
+  spec.batch_size = options.batch;
+  std::unique_ptr<MembershipFilter> filter;
+  Status s = registry.Create(options.filter_name, spec, &filter);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> keys(options.num_keys);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = "bench-key-" + std::to_string(i);
+  }
+  for (const auto& key : keys) filter->Add(key);
+  std::vector<std::string> queries = keys;
+  std::shuffle(queries.begin(), queries.end(), std::mt19937_64(0xbe9c4));
+  filter->Contains(queries.front());  // force lazy builds out of the loop
+
+  std::printf("bench: %s, %zu keys at %.1f bits/key (k = %u)\n",
+              options.filter_name.c_str(), options.num_keys,
+              options.bits_per_key, options.num_hashes);
+
+  WallTimer timer;
+  uint64_t hits = 0;
+  for (const auto& key : queries) hits += filter->Contains(key);
+  DoNotOptimize(hits);
+  const double per_key_seconds = timer.ElapsedSeconds();
+  const double per_key_mops = Mops(queries.size(), per_key_seconds);
+  std::printf("  per_key               %8.2f Mops/s\n", per_key_mops);
+
+  BatchQueryEngine engine({.batch_size = options.batch});
+  std::vector<uint8_t> results;
+  engine.ContainsBatch(*filter, queries, &results);  // warm-up
+  timer.Reset();
+  engine.ContainsBatch(*filter, queries, &results);
+  const double batched_mops = Mops(queries.size(), timer.ElapsedSeconds());
+  std::printf("  batched (batch=%-3u)   %8.2f Mops/s  (%.2fx)\n",
+              options.batch, batched_mops, batched_mops / per_key_mops);
+
+  if (options.shards < 2) {
+    std::printf("  sharded               (skipped: --shards < 2)\n");
+    return 0;
+  }
+  FilterSpec sharded_spec = spec;
+  sharded_spec.shards = options.shards;
+  std::unique_ptr<MembershipFilter> sharded;
+  s = registry.Create(options.filter_name, sharded_spec, &sharded);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  static_cast<ShardedMembershipFilter*>(sharded.get())->AddBatch(keys);
+  // Warm every shard (triggers lazy rebuilds) and pre-slice the query
+  // stream, so the timed region holds queries only.
+  sharded->ContainsBatch(queries, &results);
+  std::vector<std::vector<std::string>> slices(options.threads);
+  const size_t slice = (queries.size() + options.threads - 1) /
+                       options.threads;
+  for (uint32_t t = 0; t < options.threads; ++t) {
+    const size_t begin = std::min(t * slice, queries.size());
+    const size_t end = std::min(begin + slice, queries.size());
+    slices[t].assign(queries.begin() + begin, queries.begin() + end);
+  }
+  timer.Reset();
+  std::vector<std::thread> workers;
+  for (uint32_t t = 0; t < options.threads; ++t) {
+    workers.emplace_back([&, t] {
+      if (slices[t].empty()) return;
+      std::vector<uint8_t> thread_results;
+      sharded->ContainsBatch(slices[t], &thread_results);
+      DoNotOptimize(thread_results.size());
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double sharded_mops = Mops(queries.size(), timer.ElapsedSeconds());
+  std::printf("  sharded (%u x %u thr)  %8.2f Mops/s  (%.2fx)\n",
+              options.shards, options.threads, sharded_mops,
+              sharded_mops / per_key_mops);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
@@ -296,6 +415,31 @@ int Main(int argc, char** argv) {
       if (!ParseFlag(argv[i], "filter", &name)) return Usage();
     }
     return SelfTest(name);
+  }
+  if (command == "bench") {
+    BenchOptions options;
+    for (int i = 2; i < argc; ++i) {
+      std::string value;
+      if (ParseFlag(argv[i], "filter", &value)) {
+        options.filter_name = value;
+      } else if (ParseFlag(argv[i], "keys", &value)) {
+        options.num_keys = std::strtoull(value.c_str(), nullptr, 0);
+      } else if (ParseFlag(argv[i], "bits-per-key", &value)) {
+        options.bits_per_key = std::atof(value.c_str());
+      } else if (ParseFlag(argv[i], "k", &value)) {
+        options.num_hashes = static_cast<uint32_t>(std::atoi(value.c_str()));
+      } else if (ParseFlag(argv[i], "batch", &value)) {
+        options.batch = static_cast<uint32_t>(std::atoi(value.c_str()));
+      } else if (ParseFlag(argv[i], "shards", &value)) {
+        options.shards = static_cast<uint32_t>(std::atoi(value.c_str()));
+      } else if (ParseFlag(argv[i], "threads", &value)) {
+        options.threads = static_cast<uint32_t>(std::atoi(value.c_str()));
+      } else {
+        std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+        return Usage();
+      }
+    }
+    return Bench(options);
   }
   if (command == "info" && argc == 3) return Info(argv[2]);
   if (command == "query" && argc == 4) return Query(argv[2], argv[3]);
