@@ -12,6 +12,7 @@
 // RegisterBuiltinFilters at the bottom of this file.
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -104,67 +105,13 @@ FilterRegistry::Deserializer NativeDeserializer(std::string name) {
   };
 }
 
-/// Length-prefixed key list helpers for replay-style adapter serde.
-void WriteKeys(ByteWriter* writer, const std::vector<std::string>& keys) {
-  writer->PutU64(keys.size());
-  for (const auto& key : keys) {
-    writer->PutU32(static_cast<uint32_t>(key.size()));
-    writer->PutBytes(key.data(), key.size());
-  }
-}
-
-bool ReadKeys(ByteReader* reader, std::vector<std::string>* keys) {
-  uint64_t count = 0;
-  if (!reader->GetU64(&count)) return false;
-  // Each key costs at least its 4-byte length prefix, so a count beyond
-  // remaining/4 is unsatisfiable — reject before reserve() can amplify a
-  // small crafted blob into a huge allocation.
-  if (count > reader->remaining() / 4) return false;
-  keys->clear();
-  keys->reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    uint32_t length = 0;
-    if (!reader->GetU32(&length) || length > reader->remaining()) return false;
-    std::string key(length, '\0');
-    if (!reader->GetBytes(key.data(), length)) return false;
-    keys->push_back(std::move(key));
-  }
-  return true;
-}
-
-/// Length-prefixed (key, count) table helpers — the multiplicity-replay
-/// sibling of WriteKeys/ReadKeys.
-void WriteKeyCounts(
-    ByteWriter* writer,
-    const std::vector<std::pair<std::string, uint64_t>>& entries) {
-  writer->PutU64(entries.size());
-  for (const auto& [key, count] : entries) {
-    writer->PutU32(static_cast<uint32_t>(key.size()));
-    writer->PutBytes(key.data(), key.size());
-    writer->PutU64(count);
-  }
-}
-
-bool ReadKeyCounts(ByteReader* reader,
-                   std::vector<std::pair<std::string, uint64_t>>* entries) {
-  uint64_t count = 0;
-  if (!reader->GetU64(&count)) return false;
-  // Each entry costs at least 12 bytes (length prefix + count).
-  if (count > reader->remaining() / 12) return false;
-  entries->clear();
-  entries->reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    uint32_t length = 0;
-    if (!reader->GetU32(&length) || length > reader->remaining()) return false;
-    std::string key(length, '\0');
-    uint64_t value = 0;
-    if (!reader->GetBytes(key.data(), length) || !reader->GetU64(&value)) {
-      return false;
-    }
-    entries->emplace_back(std::move(key), value);
-  }
-  return true;
-}
+// Length-prefixed key-list / key-count serde now lives in core/serde.h
+// (serde::WriteKeyList & friends) so the dynamic-filter wrappers in
+// src/engine/ share the exact wire format with the replay adapters here.
+using serde::ReadKeyCountList;
+using serde::ReadKeyList;
+using serde::WriteKeyCountList;
+using serde::WriteKeyList;
 
 // ------------------------------------------------------------------------
 // Membership adapters
@@ -190,6 +137,19 @@ class BloomAdapter : public AdapterCore<MembershipFilter, BloomFilter> {
   }
   BatchFastPath batch_fast_path() const override {
     return {BatchFastPath::Kind::kBloom, &impl_};
+  }
+  uint32_t capabilities() const override {
+    return kIncrementalAdd | kMergeable;
+  }
+  Status MergeFrom(const MembershipFilter& other) override {
+    const auto* peer = dynamic_cast<const BloomAdapter*>(&other);
+    if (peer == nullptr) {
+      return Status::FailedPrecondition(
+          name_ + ": MergeFrom needs another " + name_ + " instance");
+    }
+    Status s = impl_.MergeFrom(peer->impl_);
+    if (s.ok()) adds_ += peer->adds_;
+    return s;
   }
   size_t num_elements() const override { return impl_.num_elements(); }
   size_t memory_bytes() const override {
@@ -218,6 +178,19 @@ class ShbfMAdapter : public AdapterCore<MembershipFilter, ShbfM> {
   }
   BatchFastPath batch_fast_path() const override {
     return {BatchFastPath::Kind::kShbfM, &impl_};
+  }
+  uint32_t capabilities() const override {
+    return kIncrementalAdd | kMergeable;
+  }
+  Status MergeFrom(const MembershipFilter& other) override {
+    const auto* peer = dynamic_cast<const ShbfMAdapter*>(&other);
+    if (peer == nullptr) {
+      return Status::FailedPrecondition(
+          name_ + ": MergeFrom needs another " + name_ + " instance");
+    }
+    Status s = impl_.MergeFrom(peer->impl_);
+    if (s.ok()) adds_ += peer->adds_;
+    return s;
   }
   size_t num_elements() const override { return impl_.num_elements(); }
   size_t memory_bytes() const override {
@@ -278,6 +251,17 @@ class CountingBloomAdapter
                          QueryStats* stats) const override {
     return impl_.ContainsWithStats(key, stats);
   }
+  Status Remove(std::string_view key) override {
+    // Contains(key) == false proves the key absent (no false negatives), so
+    // the decrement below can never underflow the concrete class's CHECK.
+    if (!impl_.Contains(key)) {
+      return Status::NotFound(name_ + ": Remove of an absent key");
+    }
+    impl_.Delete(key);
+    if (adds_ > 0) --adds_;
+    return Status::Ok();
+  }
+  uint32_t capabilities() const override { return kIncrementalAdd | kRemove; }
   size_t memory_bytes() const override {
     return impl_.counters().num_counters() *
            impl_.counters().bits_per_counter() / 8;
@@ -289,42 +273,64 @@ class CuckooAdapter : public AdapterCore<MembershipFilter, CuckooFilter> {
  public:
   using AdapterCore::AdapterCore;
   void Add(std::string_view key) override {
-    // Set semantics: re-adding a key whose fingerprint is already visible
-    // would store a duplicate copy and eventually fill the table (cuckoo
-    // filters bound duplicate insertions). Skipping is safe for the
-    // membership contract — Contains(key) is already true and stays true
-    // under the add-only interface. A genuinely failed insert (table full
-    // past the victim stash) would silently drop the key and break the
-    // no-false-negative contract, so overfull keys go to an exact side
-    // list the queries consult — degraded capacity, never a lost key.
-    // A failed Insert usually leaves the key findable anyway (its
-    // fingerprint was placed during the kick loop or parked in the victim
-    // stash), so re-check before side-listing to keep num_elements and the
-    // serde payload exact.
-    if (!impl_.Contains(key) && !impl_.Insert(key) && !impl_.Contains(key)) {
-      overfull_.emplace_back(key);
+    // One fingerprint copy per Add (multiset semantics). This is what makes
+    // Remove safe: if key B aliases key A's fingerprint, B's own Add stored
+    // its own copy, so Remove(A) strips one copy and B stays covered.
+    // (A skip-if-Contains "set" shortcut would break exactly there — an
+    // aliased Add would store nothing, and deleting the alias's copy would
+    // turn B into a false negative.) Duplicate copies of one key are
+    // bounded by its two buckets; a failed Insert bumps the key's counter
+    // in the exact overfull side table the queries consult — degraded
+    // capacity, possibly a redundant copy (Insert may have placed the
+    // fingerprint while kicking another to the stash), never a lost key,
+    // and O(1) memory per distinct hot key no matter how often it re-adds.
+    // A "failed" Insert may still have stored the copy: the kick loop
+    // places the new fingerprint and parks the last displaced one in the
+    // victim stash, which num_items() counts. Only a rejected insert —
+    // stash already occupied, nothing stored — goes to the side table.
+    const size_t items_before = impl_.num_items();
+    if (!impl_.Insert(key) && impl_.num_items() == items_before) {
+      auto [it, inserted] = overfull_.emplace(key, 1);
+      if (!inserted) ++it->second;
+      ++overfull_total_;
     }
     ++adds_;
   }
   bool Contains(std::string_view key) const override {
     if (impl_.Contains(key)) return true;
-    return std::find(overfull_.begin(), overfull_.end(), key) !=
-           overfull_.end();
+    return overfull_.find(key) != overfull_.end();
   }
   bool ContainsWithStats(std::string_view key,
                          QueryStats* stats) const override {
     if (impl_.ContainsWithStats(key, stats)) return true;
-    return std::find(overfull_.begin(), overfull_.end(), key) !=
-           overfull_.end();
+    return overfull_.find(key) != overfull_.end();
   }
-  // Stored fingerprints + overfull stash, which survives deserialization
+  Status Remove(std::string_view key) override {
+    // The exact side table first: removing from it can never disturb other
+    // keys, and it frees degraded capacity.
+    auto it = overfull_.find(key);
+    if (it != overfull_.end()) {
+      if (--it->second == 0) overfull_.erase(it);
+      --overfull_total_;
+      if (adds_ > 0) --adds_;
+      return Status::Ok();
+    }
+    if (!impl_.Delete(key)) {
+      return Status::NotFound(name_ + ": Remove of an absent key");
+    }
+    if (adds_ > 0) --adds_;
+    return Status::Ok();
+  }
+  uint32_t capabilities() const override { return kIncrementalAdd | kRemove; }
+  // Stored fingerprints + overfull copies, which survive deserialization
   // (unlike the adapter add counter).
   size_t num_elements() const override {
-    return impl_.num_items() + overfull_.size();
+    return impl_.num_items() + overfull_total_;
   }
   void Clear() override {
     impl_.Clear();
     overfull_.clear();
+    overfull_total_ = 0;
     adds_ = 0;
   }
   size_t memory_bytes() const override { return impl_.memory_bits() / 8; }
@@ -333,16 +339,24 @@ class CuckooAdapter : public AdapterCore<MembershipFilter, CuckooFilter> {
     std::string native = impl_.ToBytes();
     writer.PutU64(native.size());
     writer.PutBytes(native.data(), native.size());
-    WriteKeys(&writer, overfull_);
+    std::vector<std::pair<std::string, uint64_t>> entries(overfull_.begin(),
+                                                          overfull_.end());
+    WriteKeyCountList(&writer, entries);
     return writer.Take();
   }
 
-  void RestoreOverfull(std::vector<std::string> keys) {
-    overfull_ = std::move(keys);
+  void RestoreOverfull(std::vector<std::pair<std::string, uint64_t>> entries) {
+    overfull_.clear();
+    overfull_total_ = 0;
+    for (auto& [key, count] : entries) {
+      overfull_total_ += count;
+      overfull_.emplace(std::move(key), count);
+    }
   }
 
  private:
-  std::vector<std::string> overfull_;
+  std::map<std::string, uint64_t, std::less<>> overfull_;
+  size_t overfull_total_ = 0;
 };
 
 class CountingShbfMAdapter
@@ -360,6 +374,17 @@ class CountingShbfMAdapter
                          QueryStats* stats) const override {
     return impl_.ContainsWithStats(key, stats);
   }
+  Status Remove(std::string_view key) override {
+    // B is the bitwise projection of C, so Contains(key) == true implies
+    // every pair counter of `key` is nonzero — Delete cannot underflow.
+    if (!impl_.Contains(key)) {
+      return Status::NotFound(name_ + ": Remove of an absent key");
+    }
+    impl_.Delete(key);
+    if (adds_ > 0) --adds_;
+    return Status::Ok();
+  }
+  uint32_t capabilities() const override { return kIncrementalAdd | kRemove; }
   size_t memory_bytes() const override {
     return impl_.num_bits() / 8 + impl_.counters().num_counters() *
                                       impl_.counters().bits_per_counter() / 8;
@@ -405,6 +430,17 @@ class SpectralAdapter
                          QueryStats* stats) const override {
     return impl_.QueryCountWithStats(key, stats) > 0;
   }
+  Status Remove(std::string_view key) override {
+    // The registry always builds the kIncrementAll policy (the delete-
+    // capable one); QueryCount never underestimates, so 0 proves absence.
+    if (impl_.QueryCount(key) == 0) {
+      return Status::NotFound(name_ + ": Remove of an absent key");
+    }
+    impl_.Delete(key);
+    if (adds_ > 0) --adds_;
+    return Status::Ok();
+  }
+  uint32_t capabilities() const override { return kIncrementalAdd | kRemove; }
   size_t memory_bytes() const override { return impl_.memory_bits() / 8; }
   std::string ToBytes() const override { return WrapNative(impl_.ToBytes()); }
 };
@@ -460,6 +496,17 @@ class DynamicCountAdapter
                          QueryStats* stats) const override {
     return impl_.QueryCountWithStats(key, stats) > 0;
   }
+  Status Remove(std::string_view key) override {
+    // QueryCount never underestimates, so 0 proves absence and the
+    // decrement cannot underflow the CHECK.
+    if (impl_.QueryCount(key) == 0) {
+      return Status::NotFound(name_ + ": Remove of an absent key");
+    }
+    impl_.Delete(key);
+    if (adds_ > 0) --adds_;
+    return Status::Ok();
+  }
+  uint32_t capabilities() const override { return kIncrementalAdd | kRemove; }
   size_t memory_bytes() const override { return impl_.memory_bits() / 8; }
   std::string ToBytes() const override { return WrapNative(impl_.ToBytes()); }
 };
@@ -491,6 +538,17 @@ class CountingShbfXAdapter : public MultiplicityFilter {
   uint64_t QueryCount(std::string_view key) const override {
     return impl_.QueryCount(key);
   }
+  Status Remove(std::string_view key) override {
+    // The exact table (§5.3.2) makes absence authoritative here — no
+    // false-positive removal hazard at all in table-backed mode.
+    if (impl_.ExactCount(key) == 0) {
+      return Status::NotFound(name_ + ": Remove of an absent key");
+    }
+    impl_.Delete(key);
+    if (adds_ > 0) --adds_;
+    return Status::Ok();
+  }
+  uint32_t capabilities() const override { return kIncrementalAdd | kRemove; }
   void Clear() override {
     impl_.Clear();
     adds_ = 0;
@@ -507,7 +565,7 @@ class CountingShbfXAdapter : public MultiplicityFilter {
     impl_.ForEachExactCount([&entries](std::string_view key, uint64_t count) {
       entries.emplace_back(std::string(key), count);
     });
-    WriteKeyCounts(&writer, entries);
+    WriteKeyCountList(&writer, entries);
     return writer.Take();
   }
 
@@ -545,6 +603,23 @@ class ShbfXLazyAdapter : public MultiplicityFilter {
     EnsureBuilt();  // the engine resolves against the finished build
     return {BatchFastPath::Kind::kShbfX, &impl_};
   }
+  void PrepareForConstReads() override { EnsureBuilt(); }
+  Status Remove(std::string_view key) override {
+    // The buffered multiset is exact, so removal is exact too (no counting
+    // hazard) — it just marks the filter for a lazy rebuild, the same cost
+    // an Add already implies for this bulk-built structure. Swap-with-back
+    // erase: the rebuild tallies the multiset order-independently, and an
+    // O(n) shift per queued remove would dominate a dynamic-wrapper fold.
+    auto it = std::find(multiset_.begin(), multiset_.end(), key);
+    if (it == multiset_.end()) {
+      return Status::NotFound(name_ + ": Remove of an absent key");
+    }
+    *it = std::move(multiset_.back());
+    multiset_.pop_back();
+    dirty_ = true;
+    return Status::Ok();
+  }
+  uint32_t capabilities() const override { return kRemove; }
   void Clear() override {
     multiset_.clear();
     impl_ = ShbfX(params_);
@@ -554,7 +629,7 @@ class ShbfXLazyAdapter : public MultiplicityFilter {
   std::string ToBytes() const override {
     ByteWriter writer;
     spec_serde::WriteSpec(&writer, spec_);
-    WriteKeys(&writer, multiset_);
+    WriteKeyList(&writer, multiset_);
     return writer.Take();
   }
 
@@ -621,6 +696,23 @@ class ShbfALazyAdapter : public AssociationFilter {
     EnsureBuilt();  // the engine resolves against the finished build
     return {BatchFastPath::Kind::kShbfA, &impl_};
   }
+  void PrepareForConstReads() override { EnsureBuilt(); }
+  Status Remove(std::string_view key) override {
+    // Membership view is S1 ∪ S2, so removal searches both buffered sets
+    // (S1 first, matching Add == AddToS1). Exact, like ShbfXLazyAdapter;
+    // swap-with-back erase because Build is order-independent.
+    for (auto* side : {&s1_, &s2_}) {
+      auto it = std::find(side->begin(), side->end(), key);
+      if (it != side->end()) {
+        *it = std::move(side->back());
+        side->pop_back();
+        dirty_ = true;
+        return Status::Ok();
+      }
+    }
+    return Status::NotFound(name_ + ": Remove of an absent key");
+  }
+  uint32_t capabilities() const override { return kRemove; }
   void Clear() override {
     s1_.clear();
     s2_.clear();
@@ -631,8 +723,8 @@ class ShbfALazyAdapter : public AssociationFilter {
   std::string ToBytes() const override {
     ByteWriter writer;
     spec_serde::WriteSpec(&writer, spec_);
-    WriteKeys(&writer, s1_);
-    WriteKeys(&writer, s2_);
+    WriteKeyList(&writer, s1_);
+    WriteKeyList(&writer, s2_);
     return writer.Take();
   }
 
@@ -683,6 +775,20 @@ class CountingShbfAAdapter : public AssociationFilter {
                                     QueryStats* stats) const override {
     return impl_.QueryWithStats(key, stats);
   }
+  Status Remove(std::string_view key) override {
+    // The exact side tables T1/T2 make absence authoritative; S1 is
+    // preferred to mirror the membership view's Add == AddToS1.
+    if (impl_.InS1(key)) {
+      impl_.DeleteS1(key);
+      return Status::Ok();
+    }
+    if (impl_.InS2(key)) {
+      impl_.DeleteS2(key);
+      return Status::Ok();
+    }
+    return Status::NotFound(name_ + ": Remove of an absent key");
+  }
+  uint32_t capabilities() const override { return kIncrementalAdd | kRemove; }
   void Clear() override { impl_.Clear(); }
   size_t memory_bytes() const override {
     return spec_.num_cells * (1 + spec_.counter_bits) / 8;
@@ -694,8 +800,8 @@ class CountingShbfAAdapter : public AssociationFilter {
     std::vector<std::string> s2;
     impl_.ForEachS1([&s1](std::string_view key) { s1.emplace_back(key); });
     impl_.ForEachS2([&s2](std::string_view key) { s2.emplace_back(key); });
-    WriteKeys(&writer, s1);
-    WriteKeys(&writer, s2);
+    WriteKeyList(&writer, s1);
+    WriteKeyList(&writer, s2);
     return writer.Take();
   }
 
@@ -794,6 +900,7 @@ Status RegisterAll(FilterRegistry* r) {
       {.name = "bloom",
        .family = FilterFamily::kMembership,
        .description = "standard Bloom filter (Bloom 1970; paper §2.1, Eq 8)",
+       .capabilities = kIncrementalAdd | kMergeable,
        .factory =
            [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
              return MakeAdapter<BloomAdapter>(
@@ -812,6 +919,7 @@ Status RegisterAll(FilterRegistry* r) {
       {.name = "shbf_m",
        .family = FilterFamily::kMembership,
        .description = "shifting Bloom filter, membership (paper §3)",
+       .capabilities = kIncrementalAdd | kMergeable,
        .factory =
            [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
              uint32_t k = RoundUpToMultiple(spec.num_hashes < 2 ? 2
@@ -857,6 +965,7 @@ Status RegisterAll(FilterRegistry* r) {
       {.name = "counting_shbf_m",
        .family = FilterFamily::kMembership,
        .description = "counting shifting Bloom filter (paper §3.3)",
+       .capabilities = kIncrementalAdd | kRemove,
        .factory =
            [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
              uint32_t k = RoundUpToMultiple(spec.num_hashes < 2 ? 2
@@ -920,6 +1029,7 @@ Status RegisterAll(FilterRegistry* r) {
       {.name = "counting_bloom",
        .family = FilterFamily::kMembership,
        .description = "counting Bloom filter (Fan 2000; paper §1.1)",
+       .capabilities = kIncrementalAdd | kRemove,
        .factory =
            [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
              return MakeAdapter<CountingBloomAdapter>(
@@ -943,6 +1053,7 @@ Status RegisterAll(FilterRegistry* r) {
       {.name = "cuckoo",
        .family = FilterFamily::kMembership,
        .description = "cuckoo filter (Fan 2014; paper §2.1)",
+       .capabilities = kIncrementalAdd | kRemove,
        .factory =
            [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
              size_t buckets;
@@ -979,9 +1090,15 @@ Status RegisterAll(FilterRegistry* r) {
              if (!reader.GetBytes(native.data(), native_size)) {
                return Status::InvalidArgument("cuckoo: truncated payload");
              }
-             std::vector<std::string> overfull;
-             if (!ReadKeys(&reader, &overfull) || !reader.AtEnd()) {
-               return Status::InvalidArgument("cuckoo: bad overfull list");
+             std::vector<std::pair<std::string, uint64_t>> overfull;
+             if (!ReadKeyCountList(&reader, &overfull) || !reader.AtEnd()) {
+               return Status::InvalidArgument("cuckoo: bad overfull table");
+             }
+             for (const auto& [key, count] : overfull) {
+               if (count == 0) {
+                 return Status::InvalidArgument(
+                     "cuckoo: zero-count overfull entry");
+               }
              }
              std::optional<CuckooFilter> impl;
              Status s = CuckooFilter::FromBytes(native, &impl);
@@ -1000,6 +1117,7 @@ Status RegisterAll(FilterRegistry* r) {
       {.name = "spectral",
        .family = FilterFamily::kMultiplicity,
        .description = "spectral Bloom filter (Cohen 2003; paper §2.3, §6.4)",
+       .capabilities = kIncrementalAdd | kRemove,
        .factory =
            [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
              return MakeAdapter<SpectralAdapter>(
@@ -1069,6 +1187,7 @@ Status RegisterAll(FilterRegistry* r) {
       {.name = "dynamic_count",
        .family = FilterFamily::kMultiplicity,
        .description = "dynamic count filter (Aguilar-Saborit 2006; paper §2.3)",
+       .capabilities = kIncrementalAdd | kRemove,
        .factory =
            [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
              return MakeAdapter<DynamicCountAdapter>(
@@ -1095,6 +1214,7 @@ Status RegisterAll(FilterRegistry* r) {
       {.name = "shbf_x",
        .family = FilterFamily::kMultiplicity,
        .description = "shifting Bloom filter, multiplicity (paper §5)",
+       .capabilities = kRemove,
        .factory =
            [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
              ShbfXParams params{
@@ -1117,7 +1237,7 @@ Status RegisterAll(FilterRegistry* r) {
              FilterSpec spec;
              std::vector<std::string> multiset;
              if (!spec_serde::ReadSpec(&reader, &spec) ||
-                 !ReadKeys(&reader, &multiset) || !reader.AtEnd()) {
+                 !ReadKeyList(&reader, &multiset) || !reader.AtEnd()) {
                return Status::InvalidArgument("shbf_x: bad replay payload");
              }
              // Occurrences past max_count are legal here: the adapter's
@@ -1139,6 +1259,7 @@ Status RegisterAll(FilterRegistry* r) {
        .family = FilterFamily::kMultiplicity,
        .description =
            "counting shifting Bloom filter, multiplicity (paper §5.3)",
+       .capabilities = kIncrementalAdd | kRemove,
        .factory =
            [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
              CountingShbfX::Params params{
@@ -1168,7 +1289,7 @@ Status RegisterAll(FilterRegistry* r) {
                    "counting_shbf_x: bad replay payload");
              }
              std::vector<std::pair<std::string, uint64_t>> entries;
-             if (!ReadKeyCounts(&reader, &entries) || !reader.AtEnd()) {
+             if (!ReadKeyCountList(&reader, &entries) || !reader.AtEnd()) {
                return Status::InvalidArgument(
                    "counting_shbf_x: bad replay table");
              }
@@ -1205,6 +1326,7 @@ Status RegisterAll(FilterRegistry* r) {
       {.name = "shbf_a",
        .family = FilterFamily::kAssociation,
        .description = "shifting Bloom filter, association (paper §4)",
+       .capabilities = kRemove,
        .factory =
            [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
              ShbfAParams params{.num_bits = spec.num_cells,
@@ -1224,7 +1346,7 @@ Status RegisterAll(FilterRegistry* r) {
              std::vector<std::string> s1;
              std::vector<std::string> s2;
              if (!spec_serde::ReadSpec(&reader, &spec) ||
-                 !ReadKeys(&reader, &s1) || !ReadKeys(&reader, &s2) ||
+                 !ReadKeyList(&reader, &s1) || !ReadKeyList(&reader, &s2) ||
                  !reader.AtEnd()) {
                return Status::InvalidArgument("shbf_a: bad replay payload");
              }
@@ -1244,6 +1366,7 @@ Status RegisterAll(FilterRegistry* r) {
        .family = FilterFamily::kAssociation,
        .description =
            "counting shifting Bloom filter, association (paper §4.4)",
+       .capabilities = kIncrementalAdd | kRemove,
        .factory =
            [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
              CountingShbfA::Params params{
@@ -1266,7 +1389,7 @@ Status RegisterAll(FilterRegistry* r) {
              std::vector<std::string> s1;
              std::vector<std::string> s2;
              if (!spec_serde::ReadSpec(&reader, &spec) ||
-                 !ReadKeys(&reader, &s1) || !ReadKeys(&reader, &s2) ||
+                 !ReadKeyList(&reader, &s1) || !ReadKeyList(&reader, &s2) ||
                  !reader.AtEnd()) {
                return Status::InvalidArgument(
                    "counting_shbf_a: bad replay payload");
@@ -1284,6 +1407,9 @@ Status RegisterAll(FilterRegistry* r) {
   if (!s.ok()) return s;
 
   // ibf: num_cells split evenly between the two per-set Bloom filters.
+  // Note: despite the acronym these are INDIVIDUAL (not invertible) Bloom
+  // filters — two plain bit arrays — so deletion is fundamentally
+  // unsupported and the entry does not advertise kRemove.
   s = r->Register(
       {.name = "ibf",
        .family = FilterFamily::kAssociation,

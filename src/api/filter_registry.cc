@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/serde.h"
+#include "engine/auto_scaling_filter.h"
+#include "engine/dynamic_filter.h"
 #include "engine/sharded_filter.h"
 
 namespace shbf {
@@ -14,10 +16,26 @@ constexpr uint32_t kEnvelopeMagic = 0x52424853;  // "SHBR" little-endian
 // v2: FilterSpec wire records grew batch_size/shards mid-record, shifting
 // every replay-serde payload. The bump makes v1 blobs fail with a clean
 // "unsupported version" instead of deserializing shifted garbage.
-constexpr uint8_t kEnvelopeVersion = 2;
+// v3: FilterSpec wire records grew delta_capacity/auto_scale (the mutation
+// pipeline), again shifting every payload that embeds a spec.
+constexpr uint8_t kEnvelopeVersion = 3;
 constexpr size_t kMaxNameLength = 256;
 
+bool ConsumePrefix(std::string_view* name, std::string_view prefix) {
+  if (name->substr(0, prefix.size()) != prefix) return false;
+  name->remove_prefix(prefix.size());
+  return true;
+}
+
 }  // namespace
+
+std::string_view StripWrapperPrefixes(std::string_view name) {
+  while (ConsumePrefix(&name, ShardedMembershipFilter::kNamePrefix) ||
+         ConsumePrefix(&name, DynamicFilter::kNamePrefix) ||
+         ConsumePrefix(&name, AutoScalingFilter::kNamePrefix)) {
+  }
+  return name;
+}
 
 const char* FilterFamilyName(FilterFamily family) {
   switch (family) {
@@ -88,35 +106,80 @@ Status FilterRegistry::Create(std::string_view name, const FilterSpec& spec,
   if (spec.shards > 1) {
     // Concurrent front end: shards > 1 asks for a thread-safe hash-
     // partitioned wrapper. Each shard is an independent instance of the
-    // entry, sized so the ensemble matches the spec's total budget.
+    // entry (with its own dynamic/scaling stack when the spec asks for
+    // one), sized so the ensemble matches the spec's total budget. The
+    // delta budget splits too: each shard folds independently, so a
+    // rebuild pauses one shard for 1/shards of the work while the others
+    // keep serving.
     FilterSpec shard_spec = spec;
     shard_spec.shards = 1;
     shard_spec.num_cells = spec.num_cells / spec.shards;
     if (shard_spec.num_cells == 0) shard_spec.num_cells = 1;
     shard_spec.expected_keys = spec.expected_keys / spec.shards;
+    if (spec.delta_capacity > 0) {
+      shard_spec.delta_capacity = spec.delta_capacity / spec.shards;
+      if (shard_spec.delta_capacity == 0) shard_spec.delta_capacity = 1;
+    }
     std::vector<std::unique_ptr<MembershipFilter>> shards;
     shards.reserve(spec.shards);
+    std::string base_name(name);
     for (uint32_t s = 0; s < spec.shards; ++s) {
       std::unique_ptr<MembershipFilter> shard;
-      Status st = entry->factory(shard_spec, &shard);
+      Status st = CreateSingle(*entry, shard_spec, &shard);
       if (!st.ok()) return st;
+      if (s == 0) base_name = std::string(shard->name());
       shards.push_back(std::move(shard));
     }
+    // The sharded envelope names the per-shard stack ("sharded/dynamic/
+    // shbf_x"), so Deserialize can reconstruct the nesting.
     *out = std::make_unique<ShardedMembershipFilter>(
-        std::string(name), spec.batch_size, std::move(shards));
+        base_name, spec.batch_size, std::move(shards));
     return Status::Ok();
   }
-  return entry->factory(spec, out);
+  return CreateSingle(*entry, spec, out);
+}
+
+Status FilterRegistry::CreateSingle(
+    const Entry& entry, const FilterSpec& spec,
+    std::unique_ptr<MembershipFilter>* out) const {
+  // The spec handed to the base factory (and stored for replay serde) must
+  // not re-ask for wrappers, or nested deserializers would wrap twice.
+  FilterSpec base_spec = spec;
+  base_spec.shards = 1;
+  base_spec.delta_capacity = 0;
+  base_spec.auto_scale = false;
+  std::unique_ptr<MembershipFilter> filter;
+  if (spec.auto_scale) {
+    const size_t gen_capacity =
+        spec.expected_keys > 0
+            ? spec.expected_keys
+            : std::max<size_t>(size_t{1}, spec.num_cells / 12);
+    std::unique_ptr<AutoScalingFilter> scaling;
+    Status s = AutoScalingFilter::Create(entry.name, base_spec, *this,
+                                         gen_capacity, &scaling);
+    if (!s.ok()) return s;
+    filter = std::move(scaling);
+  } else {
+    Status s = entry.factory(base_spec, &filter);
+    if (!s.ok()) return s;
+  }
+  if (spec.delta_capacity > 0) {
+    filter = std::make_unique<DynamicFilter>(std::move(filter), base_spec,
+                                             spec.delta_capacity);
+  }
+  *out = std::move(filter);
+  return Status::Ok();
 }
 
 Status FilterRegistry::CreateMultiplicity(
     std::string_view name, const FilterSpec& spec,
     std::unique_ptr<MultiplicityFilter>* out) const {
-  if (spec.shards > 1) {
-    // The sharded wrapper exposes only the membership view; counting /
-    // association calls would silently vanish behind it.
+  if (spec.shards > 1 || spec.delta_capacity > 0 || spec.auto_scale) {
+    // The engine wrappers expose only the membership view; counting /
+    // association calls would silently vanish behind them.
     return Status::FailedPrecondition(
-        "FilterRegistry: shards > 1 is membership-only (use Create)");
+        "FilterRegistry: engine wrappers (shards/delta_capacity/auto_scale) "
+        "are membership-only (use Create)");
   }
   const Entry* entry = Find(name);
   if (entry != nullptr && entry->family != FilterFamily::kMultiplicity) {
@@ -140,9 +203,10 @@ Status FilterRegistry::CreateMultiplicity(
 Status FilterRegistry::CreateAssociation(
     std::string_view name, const FilterSpec& spec,
     std::unique_ptr<AssociationFilter>* out) const {
-  if (spec.shards > 1) {
+  if (spec.shards > 1 || spec.delta_capacity > 0 || spec.auto_scale) {
     return Status::FailedPrecondition(
-        "FilterRegistry: shards > 1 is membership-only (use Create)");
+        "FilterRegistry: engine wrappers (shards/delta_capacity/auto_scale) "
+        "are membership-only (use Create)");
   }
   const Entry* entry = Find(name);
   if (entry != nullptr && entry->family != FilterFamily::kAssociation) {
@@ -184,8 +248,27 @@ Status FilterRegistry::Deserialize(
   if (!reader.GetU32(&magic) || magic != kEnvelopeMagic) {
     return Status::InvalidArgument("FilterRegistry: bad envelope magic");
   }
-  if (!reader.GetU8(&version) || version != kEnvelopeVersion) {
-    return Status::InvalidArgument("FilterRegistry: unsupported version");
+  if (!reader.GetU8(&version)) {
+    return Status::InvalidArgument("FilterRegistry: truncated envelope");
+  }
+  if (version != kEnvelopeVersion) {
+    // The name field's layout has been stable across every envelope
+    // version, so surface which filter the stale/foreign blob carries —
+    // "unsupported version" alone sends the operator grepping hex dumps.
+    std::string context;
+    uint32_t stale_length = 0;
+    if (reader.GetU32(&stale_length) && stale_length > 0 &&
+        stale_length <= kMaxNameLength && stale_length <= reader.remaining()) {
+      std::string stale_name(stale_length, '\0');
+      if (reader.GetBytes(stale_name.data(), stale_length)) {
+        context = " for filter \"" + stale_name + "\"";
+      }
+    }
+    return Status::InvalidArgument(
+        "FilterRegistry: unsupported envelope version " +
+        std::to_string(version) + " (supported: " +
+        std::to_string(kEnvelopeVersion) + ")" + context +
+        "; rebuild the blob with this library version");
   }
   if (!reader.GetU32(&name_length) || name_length == 0 ||
       name_length > kMaxNameLength || name_length > reader.remaining()) {
@@ -196,21 +279,32 @@ Status FilterRegistry::Deserialize(
     return Status::InvalidArgument("FilterRegistry: truncated envelope");
   }
   std::string_view payload = bytes.substr(bytes.size() - reader.remaining());
-  if (std::string_view(name).substr(
-          0, ShardedMembershipFilter::kNamePrefix.size()) ==
-      ShardedMembershipFilter::kNamePrefix) {
-    // Sharded envelopes ("sharded/<base>") are handled structurally: the
-    // payload is a sequence of per-shard envelopes this method reconstructs
-    // recursively. The base name must still be registered.
-    std::string_view base =
-        std::string_view(name).substr(
-            ShardedMembershipFilter::kNamePrefix.size());
+  const std::string_view name_view(name);
+  if (name_view.substr(0, ShardedMembershipFilter::kNamePrefix.size()) ==
+          ShardedMembershipFilter::kNamePrefix ||
+      name_view.substr(0, DynamicFilter::kNamePrefix.size()) ==
+          DynamicFilter::kNamePrefix ||
+      name_view.substr(0, AutoScalingFilter::kNamePrefix.size()) ==
+          AutoScalingFilter::kNamePrefix) {
+    // Wrapper envelopes ("sharded/...", "dynamic/...", "scaling/...") are
+    // handled structurally: the payload embeds nested envelopes this method
+    // reconstructs recursively. The innermost base name must still be
+    // registered — check it here, where the error can say so cleanly.
+    std::string_view base = StripWrapperPrefixes(name_view);
     if (Find(base) == nullptr) {
       return Status::NotFound(
-          "FilterRegistry: sharded blob names unknown base filter \"" +
+          "FilterRegistry: wrapper blob names unknown base filter \"" +
           std::string(base) + "\"");
     }
-    return ShardedMembershipFilter::Deserialize(name, payload, *this, out);
+    if (name_view.substr(0, ShardedMembershipFilter::kNamePrefix.size()) ==
+        ShardedMembershipFilter::kNamePrefix) {
+      return ShardedMembershipFilter::Deserialize(name, payload, *this, out);
+    }
+    if (name_view.substr(0, DynamicFilter::kNamePrefix.size()) ==
+        DynamicFilter::kNamePrefix) {
+      return DynamicFilter::Deserialize(name, payload, *this, out);
+    }
+    return AutoScalingFilter::Deserialize(name, payload, *this, out);
   }
   const Entry* entry = Find(name);
   if (entry == nullptr) {

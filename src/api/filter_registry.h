@@ -51,6 +51,10 @@ class FilterRegistry {
     FilterFamily family = FilterFamily::kMembership;
     /// One line for `shbf_cli list`: scheme + paper section.
     std::string description;
+    /// Static FilterCapability bits of every instance this entry builds
+    /// (kRemove / kIncrementalAdd / kMergeable); what `shbf_cli list`
+    /// prints so scripts can discover e.g. remove-capable filters.
+    uint32_t capabilities = kIncrementalAdd;
     Factory factory;
     Deserializer deserializer;
   };
@@ -68,7 +72,14 @@ class FilterRegistry {
   std::vector<std::string> Names() const;
   std::vector<std::string> Names(FilterFamily family) const;
 
-  /// Constructs the filter registered under `name` from `spec`.
+  /// Constructs the filter registered under `name` from `spec`, composing
+  /// the engine wrappers the spec asks for (innermost first):
+  ///   * auto_scale         → AutoScalingFilter      ("scaling/<name>")
+  ///   * delta_capacity > 0 → DynamicFilter          ("dynamic/...")
+  ///   * shards > 1         → ShardedMembershipFilter ("sharded/...", each
+  ///     shard its own dynamic/scaling stack with a proportional share of
+  ///     num_cells, expected_keys and delta_capacity — bounded rebuild
+  ///     pause per shard)
   Status Create(std::string_view name, const FilterSpec& spec,
                 std::unique_ptr<MembershipFilter>* out) const;
 
@@ -88,8 +99,18 @@ class FilterRegistry {
                      std::unique_ptr<MembershipFilter>* out) const;
 
  private:
+  /// Builds one (unsharded) filter: the entry's factory, wrapped in the
+  /// scaling and/or dynamic layers when the spec asks for them.
+  Status CreateSingle(const Entry& entry, const FilterSpec& spec,
+                      std::unique_ptr<MembershipFilter>* out) const;
+
   std::map<std::string, Entry, std::less<>> entries_;
 };
+
+/// Peels the engine-wrapper prefixes ("sharded/", "dynamic/", "scaling/")
+/// off an envelope name, in any nesting order, returning the innermost base
+/// name ("sharded/dynamic/shbf_x" → "shbf_x").
+std::string_view StripWrapperPrefixes(std::string_view name);
 
 /// Registers the built-in filters (defined in adapters.cc); called once by
 /// FilterRegistry::Global(). Exposed for tests that build private registries.

@@ -38,6 +38,10 @@ Status FilterSpec::Validate() const {
   if (shards == 0) {
     return Status::InvalidArgument("FilterSpec: shards must be positive");
   }
+  if (delta_capacity > kMaxDeltaCapacity) {
+    return Status::InvalidArgument(
+        "FilterSpec: delta_capacity exceeds the supported maximum (2^24)");
+  }
   return Status::Ok();
 }
 
@@ -55,6 +59,8 @@ void WriteSpec(ByteWriter* writer, const FilterSpec& spec) {
   writer->PutU64(spec.expected_keys);
   writer->PutU32(spec.batch_size);
   writer->PutU32(spec.shards);
+  writer->PutU64(spec.delta_capacity);
+  writer->PutU8(spec.auto_scale ? 1 : 0);
   writer->PutU8(static_cast<uint8_t>(spec.hash_algorithm));
   writer->PutU64(spec.seed);
 }
@@ -62,6 +68,8 @@ void WriteSpec(ByteWriter* writer, const FilterSpec& spec) {
 bool ReadSpec(ByteReader* reader, FilterSpec* spec) {
   uint64_t num_cells = 0;
   uint64_t expected_keys = 0;
+  uint64_t delta_capacity = 0;
+  uint8_t auto_scale = 0;
   uint8_t alg = 0;
   if (!reader->GetU64(&num_cells) || !reader->GetU32(&spec->num_hashes) ||
       !reader->GetU32(&spec->counter_bits) ||
@@ -71,12 +79,15 @@ bool ReadSpec(ByteReader* reader, FilterSpec* spec) {
       !reader->GetU32(&spec->fingerprint_bits) ||
       !reader->GetU32(&spec->word_bits) || !reader->GetU64(&expected_keys) ||
       !reader->GetU32(&spec->batch_size) || !reader->GetU32(&spec->shards) ||
+      !reader->GetU64(&delta_capacity) || !reader->GetU8(&auto_scale) ||
       !reader->GetU8(&alg) || !reader->GetU64(&spec->seed)) {
     return false;
   }
-  if (alg > 3) return false;
+  if (alg > 3 || auto_scale > 1) return false;
   spec->num_cells = num_cells;
   spec->expected_keys = expected_keys;
+  spec->delta_capacity = delta_capacity;
+  spec->auto_scale = auto_scale != 0;
   spec->hash_algorithm = static_cast<HashAlgorithm>(alg);
   return true;
 }

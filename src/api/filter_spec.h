@@ -62,6 +62,30 @@ struct FilterSpec {
   /// expected_keys evenly (total memory stays what the spec asked for).
   uint32_t shards = 1;
 
+  /// Hard ceiling on delta_capacity (16M pending mutations — the delta's
+  /// geometry is derived from it, so both Validate and the dynamic
+  /// deserializer bound it to keep a small blob from demanding an absurd
+  /// allocation).
+  static constexpr size_t kMaxDeltaCapacity = size_t{1} << 24;
+
+  /// Pending-mutation budget of the dynamic wrapper
+  /// (engine/dynamic_filter.h). 0 builds the plain filter; > 0 makes
+  /// FilterRegistry::Create return a DynamicFilter ("dynamic/<base>") that
+  /// absorbs adds into a small counting delta and folds them into the
+  /// immutable active filter every `delta_capacity` mutations (one epoch) —
+  /// the knob that makes bulk-built filters (shbf_x, shbf_a) usable under
+  /// interleaved add/query traffic. With shards > 1, each shard gets its own
+  /// wrapper with a proportional share of this budget (bounded pause per
+  /// shard).
+  size_t delta_capacity = 0;
+
+  /// Chain fixed-FPR generations when elements exceed the capacity budget
+  /// (engine/auto_scaling_filter.h): the active side becomes an
+  /// AutoScalingFilter ("scaling/<base>") that seals the current generation
+  /// at its capacity (expected_keys, else num_cells / 12) and opens a
+  /// doubled one, so FPR stays bounded under unbounded growth.
+  bool auto_scale = false;
+
   /// Hash family every derived filter draws its functions from.
   HashAlgorithm hash_algorithm = HashAlgorithm::kMurmur3;
 

@@ -51,6 +51,27 @@ struct BatchFastPath {
   const void* impl = nullptr;
 };
 
+/// Capability bits a MembershipFilter advertises through capabilities().
+/// The registry surfaces the same bits statically per entry
+/// (FilterRegistry::Entry::capabilities, `shbf_cli list`), so scripts can
+/// discover e.g. remove-capable filters without instantiating them.
+enum FilterCapability : uint32_t {
+  /// Remove(key) is supported (counting / fingerprint / buffered schemes).
+  kRemove = 1u << 0,
+  /// Add takes effect immediately (no deferred bulk rebuild on query).
+  kIncrementalAdd = 1u << 1,
+  /// MergeFrom(other) unions a same-geometry sibling into this filter.
+  kMergeable = 1u << 2,
+};
+
+/// "add,remove,merge" / "bulk" rendering for CLIs and logs.
+inline std::string CapabilitiesToString(uint32_t capabilities) {
+  std::string out = (capabilities & kIncrementalAdd) ? "add" : "bulk";
+  if (capabilities & kRemove) out += ",remove";
+  if (capabilities & kMergeable) out += ",merge";
+  return out;
+}
+
 /// Abstract base for every query-side structure in the library.
 class SetQueryFilter {
  public:
@@ -99,11 +120,51 @@ class MembershipFilter : public SetQueryFilter {
     }
   }
 
+  /// Removes one previously-added occurrence of `key`. Contract:
+  ///   * Removing a key the filter can prove absent (Contains(key) == false)
+  ///     returns kNotFound and leaves the filter unchanged.
+  ///   * Removing a key that was never added but collides (a false positive)
+  ///     is the standard counting-filter hazard: it may introduce false
+  ///     negatives for OTHER keys. Callers must only remove keys they added;
+  ///     the interface turns the detectable case into a Status instead of
+  ///     the concrete classes' CHECK-abort.
+  /// Default: kFailedPrecondition — the scheme cannot delete (plain bit
+  /// arrays, min-increase sketches). Schemes that can advertise kRemove in
+  /// capabilities().
+  virtual Status Remove(std::string_view key) {
+    (void)key;
+    return Status::FailedPrecondition(std::string(name()) +
+                                      ": Remove is not supported");
+  }
+
+  /// Unions `other` (same registry entry, same geometry and seed) into this
+  /// filter. Default: kFailedPrecondition; bit-array schemes whose Add only
+  /// sets bits implement it as a bitwise OR and advertise kMergeable.
+  virtual Status MergeFrom(const MembershipFilter& other) {
+    (void)other;
+    return Status::FailedPrecondition(std::string(name()) +
+                                      ": MergeFrom is not supported");
+  }
+
+  /// The capability bits of this instance; must agree with the registry
+  /// entry it was built from. Default derives kIncrementalAdd from
+  /// IncrementalAdd() so legacy adapters stay truthful.
+  virtual uint32_t capabilities() const {
+    return IncrementalAdd() ? kIncrementalAdd : 0u;
+  }
+
   /// True if Add takes effect immediately. False for bulk-built structures
   /// (shbf_x, shbf_a): their Add buffers the key and the filter is rebuilt
   /// lazily on the next query, which is correct but costly under heavy
   /// add/query interleaving.
   virtual bool IncrementalAdd() const { return true; }
+
+  /// Completes any deferred (lazy) build NOW, so every subsequent const
+  /// query is pure — no hidden mutation inside Contains. Wrappers that
+  /// promise shared-lock-safe reads (DynamicFilter after a fold) call this
+  /// instead of relying on a probe query, which short-circuiting composites
+  /// may route past a still-dirty component. Default: nothing is deferred.
+  virtual void PrepareForConstReads() {}
 
   /// Escape hatch for the batch engine: adapters wrapping a concrete class
   /// with a Probe protocol return a tagged pointer to it. Called once per

@@ -72,6 +72,21 @@ void BloomFilter::Clear() {
   num_elements_ = 0;
 }
 
+Status BloomFilter::MergeFrom(const BloomFilter& other) {
+  if (family_.algorithm() != other.family_.algorithm() ||
+      family_.master_seed() != other.family_.master_seed() ||
+      num_hashes() != other.num_hashes()) {
+    return Status::FailedPrecondition(
+        "BloomFilter::MergeFrom: hash families differ");
+  }
+  if (!bits_.OrWith(other.bits_)) {
+    return Status::FailedPrecondition(
+        "BloomFilter::MergeFrom: geometry differs");
+  }
+  num_elements_ += other.num_elements_;
+  return Status::Ok();
+}
+
 void BloomFilter::PrepareProbe(std::string_view key, Probe* probe) const {
   const size_t m = bits_.num_bits();
   const uint32_t k = family_.num_functions();

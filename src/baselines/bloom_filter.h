@@ -89,6 +89,12 @@ class BloomFilter {
   /// Clears to the empty filter.
   void Clear();
 
+  /// Set-union: ORs `other`'s bit array into this one. Both filters must
+  /// share geometry, hash family and seed (Summary-Cache proxies merging
+  /// peer summaries, shard consolidation). num_elements() becomes the sum —
+  /// an upper bound on the union's distinct keys.
+  Status MergeFrom(const BloomFilter& other);
+
   /// Serializes parameters + bit payload to a versioned byte blob. Summary-
   /// Cache-style protocols ship these between nodes (§2.2).
   std::string ToBytes() const;

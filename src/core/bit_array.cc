@@ -20,6 +20,15 @@ void BitArray::Clear() {
   std::fill(bytes_.begin(), bytes_.end(), 0);
 }
 
+bool BitArray::OrWith(const BitArray& other) {
+  if (num_bits_ != other.num_bits_ || total_bits_ != other.total_bits_ ||
+      bytes_.size() != other.bytes_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < bytes_.size(); ++i) bytes_[i] |= other.bytes_[i];
+  return true;
+}
+
 size_t BitArray::CountOnes() const {
   size_t ones = 0;
   for (uint8_t b : bytes_) ones += std::popcount(b);

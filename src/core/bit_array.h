@@ -83,6 +83,11 @@ class BitArray {
   /// Zeroes every bit.
   void Clear();
 
+  /// Bitwise-ORs `other`'s bits into this array. Returns false (and changes
+  /// nothing) unless the two arrays have identical geometry — set-union of
+  /// two filters is only meaningful bit-for-bit.
+  bool OrWith(const BitArray& other);
+
   /// Number of set bits in [0, total_bits()).
   size_t CountOnes() const;
 

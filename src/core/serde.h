@@ -11,6 +11,8 @@
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/status.h"
 
@@ -127,6 +129,24 @@ void WriteHeader(ByteWriter* writer, StructureTag tag);
 
 /// Reads and checks the common header against `expected`.
 Status ReadHeader(ByteReader* reader, StructureTag expected);
+
+/// Length-prefixed key list (count u64, then per key: length u32 + bytes).
+/// Shared by the replay-style adapter serde and the dynamic-filter wrappers.
+void WriteKeyList(ByteWriter* writer, const std::vector<std::string>& keys);
+
+/// Reads a WriteKeyList() record. Rejects counts the remaining input cannot
+/// satisfy before reserve() can amplify a small crafted blob into a huge
+/// allocation. Returns false on any framing error.
+bool ReadKeyList(ByteReader* reader, std::vector<std::string>* keys);
+
+/// Length-prefixed (key, u64 count) table — the multiplicity sibling of
+/// WriteKeyList/ReadKeyList.
+void WriteKeyCountList(
+    ByteWriter* writer,
+    const std::vector<std::pair<std::string, uint64_t>>& entries);
+bool ReadKeyCountList(
+    ByteReader* reader,
+    std::vector<std::pair<std::string, uint64_t>>* entries);
 
 }  // namespace serde
 }  // namespace shbf

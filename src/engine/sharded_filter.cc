@@ -23,6 +23,13 @@ ShardedMembershipFilter::ShardedMembershipFilter(
                              std::vector<uint8_t>* results) {
     engine_.ContainsBatch(filter, keys, results);
   });
+  // The ensemble supports what every shard supports; kMergeable is masked
+  // because merging sharded ensembles is not implemented at this level.
+  capabilities_ = ~0u;
+  sharded_.ForEachShard([this](size_t, const MembershipFilter& filter) {
+    capabilities_ &= filter.capabilities();
+  });
+  capabilities_ &= static_cast<uint32_t>(~kMergeable);
 }
 
 size_t ShardedMembershipFilter::memory_bytes() const {

@@ -113,6 +113,14 @@ class ShardedFilter {
     }
   }
 
+  /// Thread-safe single-key removal under the shard's exclusive lock.
+  /// Only instantiable when F exposes MembershipFilter::Remove.
+  Status Remove(std::string_view key) {
+    Shard& shard = *shards_[ShardOf(key)];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    return shard.filter->Remove(key);
+  }
+
   /// Thread-safe single-key query.
   bool Contains(std::string_view key) const {
     const Shard& shard = *shards_[ShardOf(key)];
@@ -242,6 +250,25 @@ class ShardedMembershipFilter : public MembershipFilter {
     sharded_.ContainsBatch(keys, results);
   }
 
+  /// Routes to the owning shard under its exclusive lock; the shards must
+  /// advertise kRemove (counting bases, or any base behind the dynamic
+  /// wrapper).
+  Status Remove(std::string_view key) override {
+    if ((capabilities_ & kRemove) == 0) {
+      return Status::FailedPrecondition(
+          name_ + ": shards do not support Remove");
+    }
+    return sharded_.Remove(key);
+  }
+
+  /// Intersection of the shards' capability bits. kMergeable is always
+  /// masked out: merging sharded ensembles is not implemented.
+  uint32_t capabilities() const override { return capabilities_; }
+
+  bool IncrementalAdd() const override {
+    return (capabilities_ & kIncrementalAdd) != 0;
+  }
+
   size_t num_elements() const override { return sharded_.num_elements(); }
   size_t memory_bytes() const override;
   void Clear() override { sharded_.Clear(); }
@@ -265,6 +292,7 @@ class ShardedMembershipFilter : public MembershipFilter {
   size_t batch_size_;
   BatchQueryEngine engine_;
   ShardedFilter<MembershipFilter> sharded_;
+  uint32_t capabilities_ = 0;
 };
 
 }  // namespace shbf

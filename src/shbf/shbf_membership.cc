@@ -90,6 +90,21 @@ void ShbfM::Clear() {
   num_elements_ = 0;
 }
 
+Status ShbfM::MergeFrom(const ShbfM& other) {
+  if (family_.algorithm() != other.family_.algorithm() ||
+      family_.master_seed() != other.family_.master_seed() ||
+      num_hashes_ != other.num_hashes_ ||
+      max_offset_span_ != other.max_offset_span_) {
+    return Status::FailedPrecondition(
+        "ShbfM::MergeFrom: hash families differ");
+  }
+  if (!bits_.OrWith(other.bits_)) {
+    return Status::FailedPrecondition("ShbfM::MergeFrom: geometry differs");
+  }
+  num_elements_ += other.num_elements_;
+  return Status::Ok();
+}
+
 void ShbfM::PrepareProbe(std::string_view key, Probe* probe) const {
   const size_t m = bits_.num_bits();
   const uint32_t pairs = num_hashes_ / 2;

@@ -101,6 +101,11 @@ class ShbfM {
 
   void Clear();
 
+  /// Set-union: ORs `other`'s bit array into this one (Add only ever sets
+  /// bits, so the OR answers exactly like inserting both key sets). Both
+  /// filters must share geometry, hash family, seed and offset span.
+  Status MergeFrom(const ShbfM& other);
+
   /// Serializes parameters + bit payload to a versioned byte blob.
   std::string ToBytes() const;
 

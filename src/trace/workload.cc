@@ -101,4 +101,57 @@ MultiplicityWorkload MakeMultiplicityWorkload(size_t num_distinct,
   return w;
 }
 
+ChurnWorkload MakeChurnWorkload(size_t universe_size, size_t num_events,
+                                double add_fraction, double remove_fraction,
+                                uint64_t seed) {
+  SHBF_CHECK(universe_size > 0);
+  SHBF_CHECK(add_fraction > 0.0 && remove_fraction >= 0.0 &&
+             add_fraction + remove_fraction <= 1.0)
+      << "need add > 0, remove >= 0, add + remove <= 1";
+  TraceGenerator gen(seed);
+  ChurnWorkload w;
+  w.keys = gen.DistinctFlowKeys(universe_size);
+  w.events.reserve(num_events);
+  w.final_counts.assign(universe_size, 0);
+
+  // Indices with final_counts[i] > 0, for O(1) uniform live-key draws;
+  // live_slot[i] tracks each index's position in `live` for O(1) removal.
+  std::vector<uint32_t> live;
+  std::vector<uint32_t> live_slot(universe_size, 0);
+  Rng rng(seed ^ 0xc0ffee1dull);
+
+  for (size_t e = 0; e < num_events; ++e) {
+    const double draw = rng.NextDouble();
+    const auto index = static_cast<uint32_t>(rng.NextBelow(universe_size));
+    if (draw < add_fraction) {
+      if (w.final_counts[index]++ == 0) {
+        live_slot[index] = static_cast<uint32_t>(live.size());
+        live.push_back(index);
+      }
+      w.events.push_back({ChurnWorkload::Op::kAdd, index, true});
+    } else if (draw < add_fraction + remove_fraction && !live.empty()) {
+      // Remove one occurrence of a uniformly-drawn LIVE key, so replaying
+      // filters never see an underflowing delete.
+      const uint32_t victim = live[rng.NextBelow(live.size())];
+      if (--w.final_counts[victim] == 0) {
+        live[live_slot[victim]] = live.back();
+        live_slot[live.back()] = live_slot[victim];
+        live.pop_back();
+      }
+      w.events.push_back({ChurnWorkload::Op::kRemove, victim, false});
+    } else {
+      // Query: half the stream targets live keys (false-negative checks),
+      // half the whole universe (false-positive / throughput pressure).
+      if (!live.empty() && rng.NextBelow(2) == 0) {
+        const uint32_t target = live[rng.NextBelow(live.size())];
+        w.events.push_back({ChurnWorkload::Op::kQuery, target, true});
+      } else {
+        w.events.push_back(
+            {ChurnWorkload::Op::kQuery, index, w.final_counts[index] > 0});
+      }
+    }
+  }
+  return w;
+}
+
 }  // namespace shbf

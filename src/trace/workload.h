@@ -58,6 +58,40 @@ MultiplicityWorkload MakeMultiplicityWorkload(size_t num_distinct,
                                               size_t num_non_members,
                                               uint64_t seed);
 
+/// Churn experiments (§3.2 updates / bench/churn_throughput): a fixed key
+/// universe and a pre-generated interleaved add/remove/query event stream.
+/// Invariants the generator maintains so any filter can replay the stream
+/// blindly:
+///   * removes only ever target a key that is currently live (was added and
+///     not yet removed as many times), so counting structures cannot
+///     underflow and the no-false-negative contract stays checkable;
+///   * queries are split between live keys (must answer 1) and the rest of
+///     the universe (may answer 0 or false-positive 1).
+struct ChurnWorkload {
+  enum class Op : uint8_t { kAdd = 0, kRemove = 1, kQuery = 2 };
+  struct Event {
+    Op op;
+    uint32_t key_index;  ///< into `keys`
+    /// For kQuery: whether key_index was live when the event was generated
+    /// — a 0 answer for a live key is a false negative.
+    bool live = false;
+  };
+  std::vector<std::string> keys;
+  std::vector<Event> events;
+
+  /// Live multiset at the end of the stream: count per key index (0 =
+  /// absent). Reference builders use this for epoch-boundary equivalence.
+  std::vector<uint32_t> final_counts;
+};
+
+/// Generates `num_events` events over a `universe_size`-key universe.
+/// `add_fraction` / `remove_fraction` give the probability of add / remove
+/// per event (the remainder are queries); removes are skipped while nothing
+/// is live. Fractions must satisfy add + remove <= 1 and add > 0.
+ChurnWorkload MakeChurnWorkload(size_t universe_size, size_t num_events,
+                                double add_fraction, double remove_fraction,
+                                uint64_t seed);
+
 }  // namespace shbf
 
 #endif  // SHBF_TRACE_WORKLOAD_H_

@@ -61,6 +61,37 @@ TEST(FilterRegistryTest, EveryEntryHasDescriptionAndDeserializer) {
   }
 }
 
+TEST(FilterRegistryTest, EntryCapabilitiesMatchInstanceCapabilities) {
+  // The static bits `shbf_cli list` prints must be exactly what a built
+  // instance reports — scripts rely on the listing to pick remove-capable
+  // filters without instantiating them.
+  const auto& registry = FilterRegistry::Global();
+  size_t remove_capable = 0;
+  for (const auto& name : registry.Names()) {
+    SCOPED_TRACE(name);
+    const auto* entry = registry.Find(name);
+    std::unique_ptr<MembershipFilter> filter;
+    ASSERT_TRUE(registry.Create(name, TestSpec(), &filter).ok());
+    EXPECT_EQ(filter->capabilities(), entry->capabilities);
+    // kIncrementalAdd must agree with the older IncrementalAdd() hook.
+    EXPECT_EQ((entry->capabilities & kIncrementalAdd) != 0,
+              filter->IncrementalAdd());
+    remove_capable += (entry->capabilities & kRemove) != 0;
+  }
+  // The paper's §3.2 deletion story: at least the counting ShBF trio,
+  // counting_bloom, spectral, cuckoo, dynamic_count and the two buffered
+  // bulk filters can remove.
+  EXPECT_GE(remove_capable, 7u);
+}
+
+TEST(FilterRegistryTest, CapabilitiesToStringIsStable) {
+  EXPECT_EQ(CapabilitiesToString(kIncrementalAdd), "add");
+  EXPECT_EQ(CapabilitiesToString(kIncrementalAdd | kRemove), "add,remove");
+  EXPECT_EQ(CapabilitiesToString(kRemove), "bulk,remove");
+  EXPECT_EQ(CapabilitiesToString(kIncrementalAdd | kRemove | kMergeable),
+            "add,remove,merge");
+}
+
 TEST(FilterRegistryTest, UnknownNameIsNotFound) {
   std::unique_ptr<MembershipFilter> filter;
   Status s =

@@ -256,6 +256,75 @@ TEST(RegistrySerdeTest, OverfullCuckooKeepsNoFalseNegativesAcrossReload) {
   }
 }
 
+TEST(RegistrySerdeTest, VersionMismatchNamesVersionsAndFilter) {
+  // A pre-bump blob must fail loudly: the error names the found and the
+  // supported envelope version AND the filter the blob carries, so an
+  // operator staring at a failed `shbf_cli query` knows what to rebuild.
+  const auto& registry = FilterRegistry::Global();
+  std::unique_ptr<MembershipFilter> filter;
+  ASSERT_TRUE(registry.Create("shbf_m", TestSpec(), &filter).ok());
+  filter->Add("payload");
+  std::string blob = FilterRegistry::Serialize(*filter);
+  // Envelope layout: magic u32, version u8, name... — fake an old version.
+  blob[4] = 2;
+  std::unique_ptr<MembershipFilter> out;
+  Status s = registry.Deserialize(blob, &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("version 2"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("supported: 3"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("\"shbf_m\""), std::string::npos)
+      << s.ToString();
+
+  // A version byte from the future fails the same way.
+  blob[4] = 9;
+  s = registry.Deserialize(blob, &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("version 9"), std::string::npos) << s.ToString();
+}
+
+TEST(RegistrySerdeTest, WrapperEnvelopesRoundTripThroughTheRegistry) {
+  // Envelope-level check for every wrapper nesting Create can produce (the
+  // behavioural deep-dives live in dynamic_filter_test.cc).
+  const auto& registry = FilterRegistry::Global();
+  const Workload w = MakeWorkload();
+  struct Case {
+    uint32_t shards;
+    size_t delta;
+    bool auto_scale;
+    const char* expected_name;
+  };
+  for (const Case& c : {Case{1, 64, false, "dynamic/shbf_m"},
+                        Case{1, 0, true, "scaling/shbf_m"},
+                        Case{1, 64, true, "dynamic/scaling/shbf_m"},
+                        Case{3, 96, false, "sharded/dynamic/shbf_m"},
+                        Case{3, 96, true, "sharded/dynamic/scaling/shbf_m"}}) {
+    SCOPED_TRACE(c.expected_name);
+    FilterSpec spec = TestSpec();
+    spec.shards = c.shards;
+    spec.delta_capacity = c.delta;
+    spec.auto_scale = c.auto_scale;
+    std::unique_ptr<MembershipFilter> filter;
+    ASSERT_TRUE(registry.Create("shbf_m", spec, &filter).ok());
+    EXPECT_EQ(filter->name(), c.expected_name);
+    for (const auto& key : w.members) filter->Add(key);
+
+    std::unique_ptr<MembershipFilter> restored;
+    Status s =
+        registry.Deserialize(FilterRegistry::Serialize(*filter), &restored);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(restored->name(), c.expected_name);
+    EXPECT_EQ(restored->capabilities(), filter->capabilities());
+    for (const auto& key : w.members) {
+      ASSERT_TRUE(restored->Contains(key)) << "false negative after reload";
+    }
+    for (const auto& key : w.probes) {
+      ASSERT_EQ(filter->Contains(key), restored->Contains(key))
+          << "answer drift on probe key";
+    }
+  }
+}
+
 TEST(RegistrySerdeTest, EnvelopeNamesUnknownFilter) {
   // An envelope naming an unregistered filter must fail cleanly, not crash.
   const auto& registry = FilterRegistry::Global();

@@ -221,5 +221,53 @@ TEST(WorkloadTest, MultiplicityCountsRoughlyUniform) {
   }
 }
 
+TEST(WorkloadTest, ChurnEventsKeepRemovesLiveAndLabelsExact) {
+  const auto w = MakeChurnWorkload(/*universe_size=*/500,
+                                   /*num_events=*/20000,
+                                   /*add_fraction=*/0.3,
+                                   /*remove_fraction=*/0.15, /*seed=*/77);
+  ASSERT_EQ(w.keys.size(), 500u);
+  ASSERT_EQ(w.events.size(), 20000u);
+  // Replay the stream against an exact multiset: removes must only ever
+  // target live keys (the guarantee that lets filters replay blindly), the
+  // query `live` labels must match the replay state, and the final counts
+  // must equal the replayed multiset.
+  std::vector<uint32_t> counts(w.keys.size(), 0);
+  size_t adds = 0;
+  size_t removes = 0;
+  size_t live_queries = 0;
+  for (const auto& event : w.events) {
+    ASSERT_LT(event.key_index, w.keys.size());
+    switch (event.op) {
+      case ChurnWorkload::Op::kAdd:
+        ++counts[event.key_index];
+        ++adds;
+        break;
+      case ChurnWorkload::Op::kRemove:
+        ASSERT_GT(counts[event.key_index], 0u) << "remove of a dead key";
+        --counts[event.key_index];
+        ++removes;
+        break;
+      case ChurnWorkload::Op::kQuery:
+        EXPECT_EQ(event.live, counts[event.key_index] > 0);
+        live_queries += event.live;
+        break;
+    }
+  }
+  EXPECT_EQ(counts, w.final_counts);
+  // The mix is roughly what was asked for and both sides of the query
+  // stream are exercised.
+  EXPECT_NEAR(static_cast<double>(adds) / w.events.size(), 0.3, 0.03);
+  EXPECT_GT(removes, w.events.size() / 20);
+  EXPECT_GT(live_queries, 0u);
+}
+
+TEST(WorkloadTest, ChurnWithoutRemovesIsAddQueryOnly) {
+  const auto w = MakeChurnWorkload(100, 5000, 0.5, 0.0, 7);
+  for (const auto& event : w.events) {
+    EXPECT_NE(event.op, ChurnWorkload::Op::kRemove);
+  }
+}
+
 }  // namespace
 }  // namespace shbf

@@ -112,11 +112,18 @@ Status WriteFile(const std::string& path, const std::string& bytes) {
 }
 
 int List() {
+  // Names() is sorted, so scripts can diff the listing; the capabilities
+  // column ("add,remove,merge" / "bulk") lets them discover remove-capable
+  // filters without instantiating each one.
   const auto& registry = FilterRegistry::Global();
+  std::printf("%-18s %-13s %-17s %s\n", "name", "family", "capabilities",
+              "description");
   for (const auto& name : registry.Names()) {
     const auto* entry = registry.Find(name);
-    std::printf("%-18s %-13s %s\n", name.c_str(),
-                FilterFamilyName(entry->family), entry->description.c_str());
+    std::printf("%-18s %-13s %-17s %s\n", name.c_str(),
+                FilterFamilyName(entry->family),
+                CapabilitiesToString(entry->capabilities).c_str(),
+                entry->description.c_str());
   }
   return 0;
 }
@@ -175,6 +182,11 @@ Status Load(const std::string& path,
   if (!s.ok()) return s;
   s = FilterRegistry::Global().Deserialize(blob, out);
   if (s.ok()) return s;
+  // A blob that starts with the registry-envelope magic IS an envelope —
+  // surface the registry's own diagnosis (e.g. the found-vs-supported
+  // version mismatch naming the filter) instead of burying it under the
+  // legacy fallback's generic "not recognized".
+  if (blob.size() >= 4 && blob.compare(0, 4, "SHBR") == 0) return s;
   // Legacy fallback: a raw concrete-filter blob is an adapter payload minus
   // the 8-byte add-counter prefix (the concrete classes track their own
   // element counts), so synthesize that prefix and retry.
