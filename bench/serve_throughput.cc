@@ -1,0 +1,337 @@
+// serve_throughput — multi-connection load generator for shbf_server:
+// queries/sec and p50/p99 frame latency through the full wire path
+// (client → TCP loopback → server → BatchQueryEngine → response).
+//
+// Two ways to point it at a server:
+//   default              spins up an in-process ShbfServer on an ephemeral
+//                        loopback port, loads it, and tears it down — the
+//                        self-contained acceptance bench
+//   --connect=host:port  drives an external shbf_server; the target must
+//                        serve a filter named by --serve-name (queries are
+//                        member keys "key-0".."key-N" unless --query-file)
+//
+// usage: bench_serve_throughput [--connect=host:port] [--filter=shbf_m]
+//          [--serve-name=bench] [--build-keys=N] [--query-keys=N]
+//          [--bits-per-key=B] [--k=K] [--shards=S] [--connections=C]
+//          [--frame-keys=N] [--smoke]
+//
+// CSV on stdout: filter,connections,frame_keys,queries,seconds,qps,
+// p50_us,p99_us — latency is per frame (one batched request/response).
+//
+// --smoke is the CI mode: small sizes, and instead of chasing qps it
+// verifies the remote answers are bit-identical to a local
+// BatchQueryEngine over an identical filter — membership on the main
+// filter AND counts on a multiplicity filter — then checks the server
+// shuts down cleanly (all connection threads joined, no protocol errors)
+// and prints "# smoke OK". Exits nonzero on any divergence.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/filter_registry.h"
+#include "bench_util/timer.h"
+#include "engine/batch_query_engine.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace shbf {
+namespace {
+
+struct Config {
+  std::string connect;  // empty = in-process server
+  std::string filter_name = "shbf_m";
+  std::string serve_name = "bench";
+  size_t build_keys = 2000000;
+  size_t query_keys = 1000000;
+  double bits_per_key = 12.0;
+  uint32_t num_hashes = 8;
+  uint32_t shards = 4;
+  uint32_t connections = 4;
+  size_t frame_keys = 512;
+  bool smoke = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *value = arg + prefix.size();
+  return true;
+}
+
+double Percentile(std::vector<double>* sorted_into, double fraction) {
+  if (sorted_into->empty()) return 0.0;
+  std::sort(sorted_into->begin(), sorted_into->end());
+  const size_t index = std::min(
+      sorted_into->size() - 1,
+      static_cast<size_t>(fraction * static_cast<double>(sorted_into->size())));
+  return (*sorted_into)[index];
+}
+
+/// One connection's work: its slice of the query stream, framed; returns
+/// false on any client error. Frame latencies append to `latencies_us`.
+bool DriveConnection(const std::string& host, uint16_t port,
+                     const std::string& serve_name,
+                     const std::vector<std::string>& queries, size_t begin,
+                     size_t end, size_t frame_keys,
+                     std::vector<double>* latencies_us,
+                     std::vector<uint8_t>* answers) {
+  ShbfClient client;
+  if (!client.Connect(host, port).ok()) return false;
+  std::vector<std::string> frame;
+  std::vector<uint8_t> results;
+  for (size_t cursor = begin; cursor < end; cursor += frame_keys) {
+    const size_t stop = std::min(cursor + frame_keys, end);
+    frame.assign(queries.begin() + cursor, queries.begin() + stop);
+    WallTimer timer;
+    if (!client.Query(serve_name, frame, &results).ok()) return false;
+    latencies_us->push_back(timer.ElapsedSeconds() * 1e6);
+    if (answers != nullptr) {
+      std::copy(results.begin(), results.end(),
+                answers->begin() + static_cast<ptrdiff_t>(cursor));
+    }
+  }
+  return true;
+}
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "SMOKE FAILED: %s\n", what);
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      config.smoke = true;
+    } else if (ParseFlag(argv[i], "connect", &value)) {
+      config.connect = value;
+    } else if (ParseFlag(argv[i], "filter", &value)) {
+      config.filter_name = value;
+    } else if (ParseFlag(argv[i], "serve-name", &value)) {
+      config.serve_name = value;
+    } else if (ParseFlag(argv[i], "build-keys", &value)) {
+      config.build_keys = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (ParseFlag(argv[i], "query-keys", &value)) {
+      config.query_keys = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (ParseFlag(argv[i], "bits-per-key", &value)) {
+      config.bits_per_key = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "k", &value)) {
+      config.num_hashes = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "shards", &value)) {
+      config.shards = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "connections", &value)) {
+      config.connections = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "frame-keys", &value)) {
+      config.frame_keys = std::strtoull(value.c_str(), nullptr, 0);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve_throughput [--connect=host:port] "
+                   "[--filter=<name>] [--serve-name=bench] [--build-keys=N] "
+                   "[--query-keys=N] [--bits-per-key=B] [--k=K] [--shards=S] "
+                   "[--connections=C] [--frame-keys=N] [--smoke]\n");
+      return 2;
+    }
+  }
+  if (config.smoke) {
+    config.build_keys = 20000;
+    config.query_keys = 10000;
+    config.connections = 2;
+    config.frame_keys = 256;
+  }
+  if (config.build_keys == 0 || config.query_keys == 0 ||
+      config.connections == 0 || config.frame_keys == 0) {
+    std::fprintf(stderr, "error: all sizes must be positive\n");
+    return 2;
+  }
+
+  std::vector<std::string> build_keys(config.build_keys);
+  for (size_t i = 0; i < config.build_keys; ++i) {
+    build_keys[i] = "key-" + std::to_string(i);
+  }
+  std::vector<std::string> queries(config.query_keys);
+  std::mt19937_64 rng(0xbe9c4);
+  for (size_t i = 0; i < config.query_keys; ++i) {
+    queries[i] = build_keys[rng() % build_keys.size()];
+  }
+
+  if (config.smoke && !config.connect.empty()) {
+    std::fprintf(stderr,
+                 "error: --smoke needs the in-process server "
+                 "(drop --connect)\n");
+    return 2;
+  }
+
+  // ---- the server (in-process unless --connect) and the local twin ------
+  const auto& registry = FilterRegistry::Global();
+  FilterSpec spec = FilterSpec::ForKeys(config.build_keys,
+                                        config.bits_per_key,
+                                        config.num_hashes);
+  spec.max_count = 8;
+  spec.shards = config.shards;
+  std::unique_ptr<MembershipFilter> local;
+  Status s;
+  std::unique_ptr<ShbfServer> server;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  if (config.connect.empty()) {
+    // The local twin exists only to feed the in-process server and the
+    // smoke comparison; an external-server run skips it entirely.
+    s = registry.Create(config.filter_name, spec, &local);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    for (const auto& key : build_keys) local->Add(key);
+    local->PrepareForConstReads();
+    // The served copy travels through the registry envelope, exactly as a
+    // production blob would — serde divergence fails the smoke too.
+    std::unique_ptr<MembershipFilter> served;
+    s = registry.Deserialize(FilterRegistry::Serialize(*local), &served);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    server = std::make_unique<ShbfServer>();
+    CheckOk(server->RegisterFilter(config.serve_name, std::move(served)));
+    if (config.smoke) {
+      // Count-mode twin: a bare multiplicity filter with duplicate adds.
+      FilterSpec count_spec = spec;
+      count_spec.shards = 1;
+      std::unique_ptr<MembershipFilter> counting;
+      CheckOk(registry.Create("shbf_x", count_spec, &counting));
+      for (const auto& key : build_keys) counting->Add(key);
+      for (size_t i = 0; i < config.build_keys; i += 3) {
+        counting->Add(build_keys[i]);  // every third key has count 2
+      }
+      CheckOk(server->RegisterFilter("bench_counts", std::move(counting)));
+    }
+    s = server->Start();
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    port = server->port();
+  } else {
+    const size_t colon = config.connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "error: --connect needs host:port\n");
+      return 2;
+    }
+    host = config.connect.substr(0, colon);
+    port = static_cast<uint16_t>(
+        std::strtoul(config.connect.c_str() + colon + 1, nullptr, 10));
+  }
+
+  // ---- the measured (or verified) run -----------------------------------
+  std::vector<uint8_t> remote_answers(config.query_keys, 0);
+  std::vector<std::vector<double>> latencies(config.connections);
+  std::vector<uint8_t> ok(config.connections, 0);
+  const size_t slice =
+      (config.query_keys + config.connections - 1) / config.connections;
+  WallTimer timer;
+  std::vector<std::thread> workers;
+  for (uint32_t c = 0; c < config.connections; ++c) {
+    workers.emplace_back([&, c] {
+      const size_t begin = std::min<size_t>(c * slice, config.query_keys);
+      const size_t end = std::min(begin + slice, config.query_keys);
+      ok[c] = DriveConnection(host, port, config.serve_name, queries, begin,
+                              end, config.frame_keys, &latencies[c],
+                              config.smoke ? &remote_answers : nullptr)
+                  ? 1
+                  : 0;
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double seconds = timer.ElapsedSeconds();
+  for (uint32_t c = 0; c < config.connections; ++c) {
+    if (!ok[c]) {
+      std::fprintf(stderr, "error: connection %u failed\n", c);
+      return 1;
+    }
+  }
+
+  std::vector<double> all_latencies;
+  for (auto& thread_latencies : latencies) {
+    all_latencies.insert(all_latencies.end(), thread_latencies.begin(),
+                         thread_latencies.end());
+  }
+  std::vector<double> p99_copy = all_latencies;
+  const double p50 = Percentile(&all_latencies, 0.50);
+  const double p99 = Percentile(&p99_copy, 0.99);
+  std::printf("filter,connections,frame_keys,queries,seconds,qps,"
+              "p50_us,p99_us\n");
+  std::printf("%s,%u,%zu,%zu,%.4f,%.0f,%.1f,%.1f\n",
+              config.filter_name.c_str(), config.connections,
+              config.frame_keys, config.query_keys, seconds,
+              config.query_keys / seconds, p50, p99);
+
+  // ---- smoke verification ------------------------------------------------
+  if (config.smoke) {
+    // Membership: remote answers must be bit-identical to a local engine
+    // pass over the identical filter.
+    BatchQueryEngine engine;
+    std::vector<uint8_t> local_answers;
+    engine.ContainsBatch(*local, queries, &local_answers);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if ((remote_answers[i] != 0) != (local_answers[i] != 0)) {
+        std::fprintf(stderr, "SMOKE FAILED: membership divergence at %zu\n",
+                     i);
+        return 1;
+      }
+    }
+    // Counts: same check in COUNT mode against the multiplicity twin.
+    FilterSpec count_spec = spec;
+    count_spec.shards = 1;
+    std::unique_ptr<MultiplicityFilter> local_counts;
+    CheckOk(registry.CreateMultiplicity("shbf_x", count_spec, &local_counts));
+    for (const auto& key : build_keys) local_counts->Add(key);
+    for (size_t i = 0; i < config.build_keys; i += 3) {
+      local_counts->Add(build_keys[i]);
+    }
+    std::vector<uint64_t> local_count_answers;
+    engine.QueryCountBatch(*local_counts, queries, &local_count_answers);
+    ShbfClient client;
+    if (!client.Connect(host, port).ok()) return Fail("count connect");
+    for (size_t begin = 0; begin < queries.size();
+         begin += config.frame_keys) {
+      const size_t end =
+          std::min(begin + config.frame_keys, queries.size());
+      const std::vector<std::string> frame(queries.begin() + begin,
+                                           queries.begin() + end);
+      std::vector<uint64_t> counts;
+      if (!client.QueryCount("bench_counts", frame, &counts).ok()) {
+        return Fail("count query");
+      }
+      for (size_t i = 0; i < frame.size(); ++i) {
+        if (counts[i] != local_count_answers[begin + i]) {
+          return Fail("count divergence");
+        }
+      }
+    }
+    client.Close();
+    const ShbfServer::Counters counters = server->counters();
+    server->Stop();
+    if (server->running()) return Fail("server still running after Stop");
+    if (counters.protocol_errors != 0) return Fail("protocol errors");
+    if (counters.keys_queried < config.query_keys) {
+      return Fail("server undercounted queries");
+    }
+    std::printf("# smoke OK (%llu frames, %llu keys, clean shutdown)\n",
+                static_cast<unsigned long long>(counters.frames),
+                static_cast<unsigned long long>(counters.keys_queried));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace shbf
+
+int main(int argc, char** argv) { return shbf::Main(argc, argv); }

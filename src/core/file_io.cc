@@ -1,0 +1,25 @@
+#include "core/file_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace shbf {
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return Status::Ok();
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out.good()) return Status::Internal("cannot write " + path);
+  return Status::Ok();
+}
+
+}  // namespace shbf

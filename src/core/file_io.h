@@ -1,0 +1,24 @@
+// Whole-file read/write helpers shared by the CLI tools and the serving
+// layer (filter envelopes are shipped as files: build → serve → snapshot
+// → reload). WriteStringToFile flushes before reporting success, so an
+// OK really means the bytes reached the filesystem.
+
+#ifndef SHBF_CORE_FILE_IO_H_
+#define SHBF_CORE_FILE_IO_H_
+
+#include <string>
+
+#include "core/status.h"
+
+namespace shbf {
+
+/// Reads the whole file at `path` into `*out`. kNotFound if unreadable.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Replaces the file at `path` with `bytes`, flushing before the verdict
+/// (a full disk fails here, not silently in a destructor).
+Status WriteStringToFile(const std::string& path, const std::string& bytes);
+
+}  // namespace shbf
+
+#endif  // SHBF_CORE_FILE_IO_H_

@@ -1,0 +1,14 @@
+// Library version string, printed by `shbf_cli --version` and
+// `shbf_server --version` and returned in the wire HELLO response so a
+// remote client can log exactly which build it is talking to.
+
+#ifndef SHBF_CORE_VERSION_H_
+#define SHBF_CORE_VERSION_H_
+
+namespace shbf {
+
+inline constexpr const char kShbfVersion[] = "0.4.0";
+
+}  // namespace shbf
+
+#endif  // SHBF_CORE_VERSION_H_

@@ -1,0 +1,99 @@
+// ShbfClient — the client side of the shbf_server wire protocol
+// (protocol.h, docs/serving.md). One blocking TCP connection, one
+// in-flight request at a time; batches of keys per frame. Shared by
+// `shbf_cli remote` and bench/serve_throughput.cc — and small enough to
+// embed anywhere a remote filter probe is wanted.
+//
+// Thread safety: none — one ShbfClient per thread (the server happily
+// accepts as many connections as you open).
+
+#ifndef SHBF_SERVER_CLIENT_H_
+#define SHBF_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "server/protocol.h"
+
+namespace shbf {
+
+class ShbfClient {
+ public:
+  ShbfClient() = default;
+  ~ShbfClient();
+
+  ShbfClient(const ShbfClient&) = delete;
+  ShbfClient& operator=(const ShbfClient&) = delete;
+
+  /// Connects and performs the HELLO handshake. On success
+  /// server_version() carries the server's build string.
+  Status Connect(const std::string& host, uint16_t port);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// "shbf_server 0.4.0" — from the HELLO response.
+  const std::string& server_version() const { return server_version_; }
+
+  /// Batched membership: `results` is resized to keys.size(); entry i is
+  /// 1 iff the served filter (possibly) contains keys[i].
+  Status Query(std::string_view filter, const std::vector<std::string>& keys,
+               std::vector<uint8_t>* results);
+
+  /// Batched multiplicity (COUNT mode). Fails with kFailedPrecondition if
+  /// the served filter is not a multiplicity filter.
+  Status QueryCount(std::string_view filter,
+                    const std::vector<std::string>& keys,
+                    std::vector<uint64_t>* counts);
+
+  /// Adds every key; `*added` (optional) receives the server's count.
+  Status Add(std::string_view filter, const std::vector<std::string>& keys,
+             uint64_t* added = nullptr);
+
+  /// Removes keys; `removed` (optional) gets a per-key 1 (removed) / 0
+  /// (reported not-found). Fails with kFailedPrecondition when the served
+  /// filter does not advertise kRemove.
+  Status Remove(std::string_view filter, const std::vector<std::string>& keys,
+                std::vector<uint8_t>* removed = nullptr);
+
+  /// One served filter's stats (the STATS / LIST wire record).
+  struct FilterInfo {
+    std::string serve_name;     ///< name on the server (empty from Stats)
+    std::string registry_name;  ///< e.g. "sharded/shbf_m"
+    uint64_t elements = 0;
+    uint64_t memory_bytes = 0;
+    uint32_t capabilities = 0;
+  };
+
+  Status Stats(std::string_view filter, FilterInfo* info);
+  Status List(std::vector<FilterInfo>* filters);
+
+  /// Serializes the served filter to `path` on the SERVER's filesystem
+  /// (empty path = the server's remembered path for this filter).
+  Status Snapshot(std::string_view filter, std::string_view path,
+                  uint64_t* bytes_written = nullptr,
+                  std::string* path_used = nullptr);
+
+  /// Replaces the served filter from a blob on the server's filesystem.
+  Status Reload(std::string_view filter, std::string_view path,
+                uint64_t* elements = nullptr);
+
+ private:
+  /// Sends `frame`, reads one response, maps wire errors to Status, and
+  /// leaves the OK payload in `*payload` (backed by `*response_body`).
+  Status RoundTrip(const std::string& frame, std::string* response_body,
+                   std::string_view* payload);
+
+  Status ReadStatsPayload(ByteReader* reader, bool with_serve_name,
+                          FilterInfo* info);
+
+  int fd_ = -1;
+  std::string server_version_;
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_SERVER_CLIENT_H_

@@ -1,0 +1,133 @@
+#include "server/protocol.h"
+
+namespace shbf {
+namespace wire {
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "OK";
+    case WireStatus::kBadFrame:
+      return "BAD_FRAME";
+    case WireStatus::kUnknownOpcode:
+      return "UNKNOWN_OPCODE";
+    case WireStatus::kUnknownFilter:
+      return "UNKNOWN_FILTER";
+    case WireStatus::kUnsupported:
+      return "UNSUPPORTED";
+    case WireStatus::kTooLarge:
+      return "TOO_LARGE";
+    case WireStatus::kVersionMismatch:
+      return "VERSION_MISMATCH";
+    case WireStatus::kIoError:
+      return "IO_ERROR";
+    case WireStatus::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN_STATUS";
+}
+
+bool IsFatal(WireStatus status) {
+  return status == WireStatus::kBadFrame || status == WireStatus::kTooLarge ||
+         status == WireStatus::kVersionMismatch;
+}
+
+void WriteString(ByteWriter* writer, std::string_view s) {
+  writer->PutU32(static_cast<uint32_t>(s.size()));
+  writer->PutBytes(s.data(), s.size());
+}
+
+bool ReadString(ByteReader* reader, size_t max_bytes, std::string* out) {
+  uint32_t length = 0;
+  if (!reader->GetU32(&length)) return false;
+  if (length > max_bytes || length > reader->remaining()) return false;
+  out->resize(length);
+  return length == 0 || reader->GetBytes(out->data(), length);
+}
+
+std::string Frame(std::string body) {
+  ByteWriter writer;
+  writer.PutU32(static_cast<uint32_t>(body.size()));
+  writer.PutBytes(body.data(), body.size());
+  return writer.Take();
+}
+
+std::string BuildHello() {
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(Opcode::kHello));
+  writer.PutU32(kMagic);
+  writer.PutU8(kProtocolVersion);
+  return Frame(writer.Take());
+}
+
+std::string BuildQuery(std::string_view filter, QueryMode mode,
+                       const std::vector<std::string>& keys) {
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(Opcode::kQuery));
+  WriteString(&writer, filter);
+  writer.PutU8(static_cast<uint8_t>(mode));
+  serde::WriteKeyList(&writer, keys);
+  return Frame(writer.Take());
+}
+
+std::string BuildKeysRequest(Opcode opcode, std::string_view filter,
+                             const std::vector<std::string>& keys) {
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(opcode));
+  WriteString(&writer, filter);
+  serde::WriteKeyList(&writer, keys);
+  return Frame(writer.Take());
+}
+
+std::string BuildNameRequest(Opcode opcode, std::string_view filter) {
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(opcode));
+  WriteString(&writer, filter);
+  return Frame(writer.Take());
+}
+
+std::string BuildPathRequest(Opcode opcode, std::string_view filter,
+                             std::string_view path) {
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(opcode));
+  WriteString(&writer, filter);
+  WriteString(&writer, path);
+  return Frame(writer.Take());
+}
+
+std::string BuildList() {
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(Opcode::kList));
+  return Frame(writer.Take());
+}
+
+std::string BuildError(WireStatus status, std::string_view message) {
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(status));
+  WriteString(&writer, message);
+  return Frame(writer.Take());
+}
+
+std::string BuildOk(std::string_view payload) {
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(WireStatus::kOk));
+  writer.PutBytes(payload.data(), payload.size());
+  return Frame(writer.Take());
+}
+
+bool ParseResponse(std::string_view body, WireStatus* status,
+                   std::string_view* payload, std::string* error_message) {
+  if (body.empty()) return false;
+  *status = static_cast<WireStatus>(static_cast<uint8_t>(body[0]));
+  *payload = body.substr(1);
+  if (*status != WireStatus::kOk && error_message != nullptr) {
+    ByteReader reader(*payload);
+    if (!ReadString(&reader, kMaxFrameBytes, error_message)) {
+      *error_message = "(malformed error payload)";
+    }
+  }
+  return true;
+}
+
+}  // namespace wire
+}  // namespace shbf

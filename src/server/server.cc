@@ -1,0 +1,488 @@
+#include "server/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "api/filter_registry.h"
+#include "core/file_io.h"
+#include "core/version.h"
+#include "server/net.h"
+
+namespace shbf {
+
+namespace {
+
+/// The per-filter stats record shared by STATS and LIST responses.
+void WriteStatsRecord(ByteWriter* writer, const MembershipFilter& filter) {
+  wire::WriteString(writer, filter.name());
+  writer->PutU64(filter.num_elements());
+  writer->PutU64(filter.memory_bytes());
+  writer->PutU32(filter.capabilities());
+}
+
+}  // namespace
+
+ShbfServer::ShbfServer(ServerOptions options)
+    : options_(std::move(options)),
+      engine_(BatchOptions{.batch_size = options_.batch_size}) {}
+
+ShbfServer::~ShbfServer() { Stop(); }
+
+Status ShbfServer::RegisterFilter(std::string serve_name,
+                                  std::unique_ptr<MembershipFilter> filter,
+                                  std::string source_path) {
+  if (running()) {
+    return Status::FailedPrecondition(
+        "RegisterFilter: the served-name map is frozen while serving");
+  }
+  if (serve_name.empty() || serve_name.size() > wire::kMaxNameBytes) {
+    return Status::InvalidArgument("RegisterFilter: bad name length " +
+                                   std::to_string(serve_name.size()));
+  }
+  if (filter == nullptr) {
+    return Status::InvalidArgument("RegisterFilter: null filter");
+  }
+  if (served_.count(serve_name) != 0) {
+    return Status::AlreadyExists("RegisterFilter: '" + serve_name +
+                                 "' is already served");
+  }
+  // Finish any deferred build now, so the first QUERY can read under the
+  // shared lock (mirrors the discipline every mutating opcode follows).
+  filter->PrepareForConstReads();
+  auto served = std::make_unique<Served>();
+  served->multiplicity = dynamic_cast<MultiplicityFilter*>(filter.get());
+  served->filter = std::move(filter);
+  served->source_path = std::move(source_path);
+  served_.emplace(std::move(serve_name), std::move(served));
+  return Status::Ok();
+}
+
+Status ShbfServer::LoadFilter(std::string serve_name,
+                              const std::string& path) {
+  std::string blob;
+  Status s = ReadFileToString(path, &blob);
+  if (!s.ok()) return s;
+  std::unique_ptr<MembershipFilter> filter;
+  s = FilterRegistry::Global().Deserialize(blob, &filter);
+  if (!s.ok()) return s;
+  return RegisterFilter(std::move(serve_name), std::move(filter), path);
+}
+
+Status ShbfServer::Start() {
+  if (running()) return Status::FailedPrecondition("Start: already running");
+  if (served_.empty()) {
+    return Status::FailedPrecondition("Start: no filters registered");
+  }
+  Status s;
+  listen_fd_ = net::ListenTcp(options_.bind_address, options_.port, &s);
+  if (listen_fd_ < 0) return s;
+  port_ = net::LocalPort(listen_fd_);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread(&ShbfServer::AcceptLoop, this);
+  return Status::Ok();
+}
+
+void ShbfServer::Stop() {
+  const bool was_running = running_.exchange(false);
+  // Unblock the acceptor first so no new connection slips in mid-teardown.
+  net::ShutdownFd(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+  net::CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  {
+    // Unblock every connection thread stuck in recv; their fds stay open
+    // until the join below, so no fd number can be recycled under us.
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (const auto& connection : connections_) {
+      net::ShutdownFd(connection->fd);
+    }
+  }
+  ReapConnections(/*all=*/true);
+  (void)was_running;
+}
+
+ShbfServer::Counters ShbfServer::counters() const {
+  Counters counters;
+  counters.connections = connections_accepted_.load();
+  counters.frames = frames_served_.load();
+  counters.keys_queried = keys_queried_.load();
+  counters.protocol_errors = protocol_errors_.load();
+  return counters;
+}
+
+void ShbfServer::AcceptLoop() {
+  while (running()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (!running()) break;
+      // Transient failure (EMFILE under load): back off instead of
+      // spinning the core the connection threads need.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    if (!running()) {
+      net::CloseFd(fd);
+      break;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    Connection* raw = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      connections_.push_back(std::move(connection));
+    }
+    raw->thread = std::thread(&ShbfServer::ServeConnection, this, raw);
+    ReapConnections(/*all=*/false);
+  }
+}
+
+void ShbfServer::ReapConnections(bool all) {
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    Connection& connection = **it;
+    if (!all && !connection.done.load(std::memory_order_acquire)) {
+      ++it;
+      continue;
+    }
+    if (connection.thread.joinable()) connection.thread.join();
+    net::CloseFd(connection.fd);
+    it = connections_.erase(it);
+  }
+}
+
+void ShbfServer::ServeConnection(Connection* connection) {
+  const int fd = connection->fd;
+  bool hello_done = false;
+  std::string body;
+  while (running()) {
+    const net::FrameRead read =
+        net::ReadFrame(fd, options_.max_frame_bytes, &body);
+    if (read == net::FrameRead::kClosed ||
+        read == net::FrameRead::kTruncated) {
+      // Peer hung up (possibly mid-frame): nothing to answer.
+      break;
+    }
+    if (read == net::FrameRead::kTooLarge) {
+      net::SendFrame(fd, Error(wire::WireStatus::kTooLarge,
+                               "frame exceeds the body limit")
+                             .frame);
+      break;
+    }
+    if (read == net::FrameRead::kEmpty) {
+      net::SendFrame(fd, Error(wire::WireStatus::kBadFrame,
+                               "zero-length frame")
+                             .frame);
+      break;
+    }
+    Response response = HandleRequest(body, &hello_done);
+    frames_served_.fetch_add(1, std::memory_order_relaxed);
+    if (!net::SendFrame(fd, response.frame)) break;
+    if (response.close_connection) break;
+  }
+  // FIN the peer now; the fd itself is closed once (in ReapConnections)
+  // after this thread is joined, so the number can't be recycled under a
+  // concurrent Stop().
+  net::ShutdownFd(fd);
+  connection->done.store(true, std::memory_order_release);
+}
+
+ShbfServer::Response ShbfServer::HandleRequest(std::string_view body,
+                                               bool* hello_done) {
+  ByteReader reader(body);
+  uint8_t opcode_byte = 0;
+  reader.GetU8(&opcode_byte);  // body is non-empty (kEmpty handled earlier)
+  const auto opcode = static_cast<wire::Opcode>(opcode_byte);
+  if (!*hello_done && opcode != wire::Opcode::kHello) {
+    return Error(wire::WireStatus::kBadFrame,
+                 "the first frame on a connection must be HELLO");
+  }
+  switch (opcode) {
+    case wire::Opcode::kHello:
+      return HandleHello(&reader, hello_done);
+    case wire::Opcode::kQuery:
+      return HandleQuery(&reader);
+    case wire::Opcode::kAdd:
+      return HandleAdd(&reader);
+    case wire::Opcode::kRemove:
+      return HandleRemove(&reader);
+    case wire::Opcode::kStats:
+      return HandleStats(&reader);
+    case wire::Opcode::kList:
+      return HandleList();
+    case wire::Opcode::kSnapshot:
+      return HandleSnapshot(&reader);
+    case wire::Opcode::kReload:
+      return HandleReload(&reader);
+  }
+  return Error(wire::WireStatus::kUnknownOpcode,
+               "unknown opcode " + std::to_string(opcode_byte));
+}
+
+ShbfServer::Response ShbfServer::HandleHello(ByteReader* reader,
+                                             bool* hello_done) {
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  if (!reader->GetU32(&magic) || !reader->GetU8(&version) ||
+      !reader->AtEnd()) {
+    return Error(wire::WireStatus::kBadFrame, "malformed HELLO");
+  }
+  if (magic != wire::kMagic) {
+    return Error(wire::WireStatus::kBadFrame, "bad HELLO magic");
+  }
+  if (version != wire::kProtocolVersion) {
+    return Error(wire::WireStatus::kVersionMismatch,
+                 "client speaks protocol " + std::to_string(version) +
+                     ", server supports " +
+                     std::to_string(wire::kProtocolVersion));
+  }
+  *hello_done = true;
+  ByteWriter writer;
+  writer.PutU8(wire::kProtocolVersion);
+  wire::WriteString(&writer, std::string("shbf_server ") + kShbfVersion);
+  return Response{wire::BuildOk(writer.Take()), false};
+}
+
+ShbfServer::Served* ShbfServer::ResolveFilter(ByteReader* reader,
+                                              Response* error) {
+  std::string name;
+  if (!wire::ReadString(reader, wire::kMaxNameBytes, &name)) {
+    *error = Error(wire::WireStatus::kBadFrame, "malformed filter name");
+    return nullptr;
+  }
+  auto it = served_.find(name);
+  if (it == served_.end()) {
+    *error = Error(wire::WireStatus::kUnknownFilter,
+                   "no filter served as '" + name + "'");
+    return nullptr;
+  }
+  return it->second.get();
+}
+
+ShbfServer::Response ShbfServer::HandleQuery(ByteReader* reader) {
+  Response error;
+  Served* served = ResolveFilter(reader, &error);
+  if (served == nullptr) return error;
+  uint8_t mode_byte = 0;
+  if (!reader->GetU8(&mode_byte) ||
+      mode_byte > static_cast<uint8_t>(wire::QueryMode::kCount)) {
+    return Error(wire::WireStatus::kBadFrame, "QUERY: bad mode");
+  }
+  std::vector<std::string> keys;
+  if (!serde::ReadKeyList(reader, &keys) || !reader->AtEnd()) {
+    return Error(wire::WireStatus::kBadFrame, "QUERY: malformed key list");
+  }
+  if (keys.size() > options_.max_keys_per_frame) {
+    return Error(wire::WireStatus::kTooLarge,
+                 "QUERY: " + std::to_string(keys.size()) +
+                     " keys exceed the per-frame limit");
+  }
+  const auto mode = static_cast<wire::QueryMode>(mode_byte);
+  ByteWriter writer;
+  writer.PutU8(mode_byte);
+  writer.PutU64(keys.size());
+  if (mode == wire::QueryMode::kMembership) {
+    std::vector<uint8_t> results;
+    {
+      std::shared_lock<std::shared_mutex> lock(served->mu);
+      engine_.ContainsBatch(*served->filter, keys, &results);
+    }
+    for (uint8_t result : results) writer.PutU8(result != 0 ? 1 : 0);
+  } else {
+    std::vector<uint64_t> counts;
+    {
+      // The multiplicity view swaps together with the filter under this
+      // lock (RELOAD), so both the null check and the use belong inside.
+      std::shared_lock<std::shared_mutex> lock(served->mu);
+      if (served->multiplicity == nullptr) {
+        return Error(wire::WireStatus::kUnsupported,
+                     std::string(served->filter->name()) +
+                         ": not a multiplicity filter (COUNT unsupported)");
+      }
+      engine_.QueryCountBatch(*served->multiplicity, keys, &counts);
+    }
+    for (uint64_t count : counts) writer.PutU64(count);
+  }
+  keys_queried_.fetch_add(keys.size(), std::memory_order_relaxed);
+  return Response{wire::BuildOk(writer.Take()), false};
+}
+
+ShbfServer::Response ShbfServer::HandleAdd(ByteReader* reader) {
+  Response error;
+  Served* served = ResolveFilter(reader, &error);
+  if (served == nullptr) return error;
+  std::vector<std::string> keys;
+  if (!serde::ReadKeyList(reader, &keys) || !reader->AtEnd()) {
+    return Error(wire::WireStatus::kBadFrame, "ADD: malformed key list");
+  }
+  if (keys.size() > options_.max_keys_per_frame) {
+    return Error(wire::WireStatus::kTooLarge,
+                 "ADD: " + std::to_string(keys.size()) +
+                     " keys exceed the per-frame limit");
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(served->mu);
+    for (const auto& key : keys) served->filter->Add(key);
+    // Fold any deferred rebuild into this writer section, so subsequent
+    // reads stay pure under the shared lock.
+    served->filter->PrepareForConstReads();
+  }
+  ByteWriter writer;
+  writer.PutU64(keys.size());
+  return Response{wire::BuildOk(writer.Take()), false};
+}
+
+ShbfServer::Response ShbfServer::HandleRemove(ByteReader* reader) {
+  Response error;
+  Served* served = ResolveFilter(reader, &error);
+  if (served == nullptr) return error;
+  std::vector<std::string> keys;
+  if (!serde::ReadKeyList(reader, &keys) || !reader->AtEnd()) {
+    return Error(wire::WireStatus::kBadFrame, "REMOVE: malformed key list");
+  }
+  if (keys.size() > options_.max_keys_per_frame) {
+    return Error(wire::WireStatus::kTooLarge,
+                 "REMOVE: " + std::to_string(keys.size()) +
+                     " keys exceed the per-frame limit");
+  }
+  std::vector<uint8_t> removed(keys.size(), 0);
+  {
+    std::unique_lock<std::shared_mutex> lock(served->mu);
+    if ((served->filter->capabilities() & kRemove) == 0) {
+      return Error(wire::WireStatus::kUnsupported,
+                   std::string(served->filter->name()) +
+                       ": filter does not support REMOVE");
+    }
+    for (size_t i = 0; i < keys.size(); ++i) {
+      removed[i] = served->filter->Remove(keys[i]).ok() ? 1 : 0;
+    }
+    served->filter->PrepareForConstReads();
+  }
+  ByteWriter writer;
+  writer.PutU64(removed.size());
+  for (uint8_t result : removed) writer.PutU8(result);
+  return Response{wire::BuildOk(writer.Take()), false};
+}
+
+ShbfServer::Response ShbfServer::HandleStats(ByteReader* reader) {
+  Response error;
+  Served* served = ResolveFilter(reader, &error);
+  if (served == nullptr) return error;
+  if (!reader->AtEnd()) {
+    return Error(wire::WireStatus::kBadFrame, "STATS: trailing bytes");
+  }
+  ByteWriter writer;
+  {
+    std::shared_lock<std::shared_mutex> lock(served->mu);
+    WriteStatsRecord(&writer, *served->filter);
+  }
+  return Response{wire::BuildOk(writer.Take()), false};
+}
+
+ShbfServer::Response ShbfServer::HandleList() {
+  ByteWriter writer;
+  writer.PutU32(static_cast<uint32_t>(served_.size()));
+  for (const auto& [serve_name, served] : served_) {
+    wire::WriteString(&writer, serve_name);
+    std::shared_lock<std::shared_mutex> lock(served->mu);
+    WriteStatsRecord(&writer, *served->filter);
+  }
+  return Response{wire::BuildOk(writer.Take()), false};
+}
+
+ShbfServer::Response ShbfServer::HandleSnapshot(ByteReader* reader) {
+  Response error;
+  Served* served = ResolveFilter(reader, &error);
+  if (served == nullptr) return error;
+  std::string path;
+  if (!wire::ReadString(reader, wire::kMaxPathBytes, &path) ||
+      !reader->AtEnd()) {
+    return Error(wire::WireStatus::kBadFrame, "SNAPSHOT: malformed path");
+  }
+  std::string blob;
+  {
+    // Exclusive: ToBytes is outside the PrepareForConstReads purity
+    // promise, so don't let it race shared-lock readers.
+    std::unique_lock<std::shared_mutex> lock(served->mu);
+    if (path.empty()) path = served->source_path;
+    if (path.empty()) {
+      return Error(wire::WireStatus::kIoError,
+                   "SNAPSHOT: no path given and none remembered");
+    }
+    blob = FilterRegistry::Serialize(*served->filter);
+  }
+  // File I/O outside the lock; the remembered path only moves to the new
+  // target once the bytes are actually on disk.
+  Status s = WriteStringToFile(path, blob);
+  if (!s.ok()) {
+    return Error(wire::WireStatus::kIoError, "SNAPSHOT: " + s.ToString());
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(served->mu);
+    served->source_path = path;
+  }
+  ByteWriter writer;
+  writer.PutU64(blob.size());
+  wire::WriteString(&writer, path);
+  return Response{wire::BuildOk(writer.Take()), false};
+}
+
+ShbfServer::Response ShbfServer::HandleReload(ByteReader* reader) {
+  Response error;
+  Served* served = ResolveFilter(reader, &error);
+  if (served == nullptr) return error;
+  std::string path;
+  if (!wire::ReadString(reader, wire::kMaxPathBytes, &path) ||
+      !reader->AtEnd()) {
+    return Error(wire::WireStatus::kBadFrame, "RELOAD: malformed path");
+  }
+  if (path.empty()) {
+    std::shared_lock<std::shared_mutex> lock(served->mu);
+    path = served->source_path;
+  }
+  if (path.empty()) {
+    return Error(wire::WireStatus::kIoError,
+                 "RELOAD: no path given and none remembered");
+  }
+  // Read + deserialize + prepare outside the lock: queries keep flowing
+  // against the old filter until the swap below.
+  std::string blob;
+  Status s = ReadFileToString(path, &blob);
+  if (!s.ok()) {
+    return Error(wire::WireStatus::kIoError, "RELOAD: " + s.ToString());
+  }
+  std::unique_ptr<MembershipFilter> fresh;
+  s = FilterRegistry::Global().Deserialize(blob, &fresh);
+  if (!s.ok()) {
+    return Error(wire::WireStatus::kIoError, "RELOAD: " + s.ToString());
+  }
+  fresh->PrepareForConstReads();
+  uint64_t elements = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(served->mu);
+    served->multiplicity = dynamic_cast<MultiplicityFilter*>(fresh.get());
+    served->filter = std::move(fresh);
+    served->source_path = path;
+    elements = served->filter->num_elements();
+  }
+  ByteWriter writer;
+  writer.PutU64(elements);
+  return Response{wire::BuildOk(writer.Take()), false};
+}
+
+ShbfServer::Response ShbfServer::Error(wire::WireStatus status,
+                                       std::string_view message) {
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  return Response{wire::BuildError(status, message), wire::IsFatal(status)};
+}
+
+}  // namespace shbf

@@ -1,0 +1,177 @@
+// ShbfServer — the networked query-serving subsystem: any filter the
+// registry can build or deserialize becomes a remotely addressable backend
+// under a string name (cf. Bloofi's "many filters, one service" framing).
+//
+// Model: one acceptor thread plus one thread per connection. Each request
+// frame carries a *batch* of keys, which the handler resolves in one
+// BatchQueryEngine call under the filter's reader lock — so concurrent
+// connections querying the same filter stay on the shared-lock path, and a
+// sharded/dynamic wrapper underneath additionally spreads them across its
+// per-shard locks. Mutating opcodes (ADD / REMOVE / RELOAD) take the
+// writer lock and finish with PrepareForConstReads(), so lazily-rebuilt
+// bases (shbf_x, shbf_a) never mutate inside a shared-lock read.
+//
+// Lifecycle: RegisterFilter/LoadFilter before Start(); the served-name map
+// is immutable while serving (RELOAD swaps a filter's *contents* under its
+// writer lock, never the map shape). Stop() is idempotent and joins every
+// thread — safe from signal-driven shutdown paths and from tests.
+//
+// The wire protocol is protocol.h / docs/serving.md; the matching client
+// is client.h.
+
+#ifndef SHBF_SERVER_SERVER_H_
+#define SHBF_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "api/set_query_filter.h"
+#include "core/status.h"
+#include "engine/batch_query_engine.h"
+#include "server/protocol.h"
+
+namespace shbf {
+
+struct ServerOptions {
+  /// IPv4 address to bind. Loopback by default: exposing a filter fleet
+  /// beyond the host is a deliberate operator decision (docs/serving.md).
+  std::string bind_address = "127.0.0.1";
+
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+
+  /// Group size of the engine each QUERY batch is resolved through.
+  size_t batch_size = 32;
+
+  /// Per-frame body ceiling (see wire::kMaxFrameBytes).
+  size_t max_frame_bytes = wire::kMaxFrameBytes;
+
+  /// Keys-per-frame ceiling (see wire::kMaxKeysPerFrame).
+  size_t max_keys_per_frame = wire::kMaxKeysPerFrame;
+};
+
+class ShbfServer {
+ public:
+  explicit ShbfServer(ServerOptions options = {});
+  ~ShbfServer();
+
+  ShbfServer(const ShbfServer&) = delete;
+  ShbfServer& operator=(const ShbfServer&) = delete;
+
+  /// Serves `filter` under `serve_name`. `source_path` (optional) is the
+  /// default target of SNAPSHOT/RELOAD frames with an empty path. Must be
+  /// called before Start(); fails on a duplicate, empty or oversized name.
+  Status RegisterFilter(std::string serve_name,
+                        std::unique_ptr<MembershipFilter> filter,
+                        std::string source_path = {});
+
+  /// Deserializes a registry-envelope blob from `path` and serves it
+  /// under `serve_name` with `path` as its remembered source.
+  Status LoadFilter(std::string serve_name, const std::string& path);
+
+  /// Binds, listens, and spawns the acceptor. Fails if no filter is
+  /// registered or the address is unusable.
+  Status Start();
+
+  /// Stops accepting, unblocks and joins every connection thread, closes
+  /// all sockets. Idempotent; called by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (the ephemeral one when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Monotonic liveness counters (the STATS of the server itself).
+  struct Counters {
+    uint64_t connections = 0;      ///< accepted since Start
+    uint64_t frames = 0;           ///< request frames answered
+    uint64_t keys_queried = 0;     ///< keys across all QUERY frames
+    uint64_t protocol_errors = 0;  ///< non-OK responses sent
+  };
+  Counters counters() const;
+
+ private:
+  /// One served filter: the object, its RW lock, and serving metadata.
+  struct Served {
+    std::unique_ptr<MembershipFilter> filter;
+    /// Cached MultiplicityFilter view (null → COUNT mode unsupported).
+    MultiplicityFilter* multiplicity = nullptr;
+    /// Default SNAPSHOT/RELOAD target; updated by either opcode.
+    std::string source_path;
+    /// Readers shared, mutators exclusive (see file comment).
+    mutable std::shared_mutex mu;
+  };
+
+  /// A connection thread and its socket, so Stop() can unblock + join.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  /// One response frame plus the close-after-send decision. Handlers run
+  /// on concurrent connection threads, so everything per-request travels
+  /// by value — the server object holds no per-request state.
+  struct Response {
+    std::string frame;
+    bool close_connection = false;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* connection);
+
+  /// Dispatches one request body. `*hello_done` tracks the connection's
+  /// handshake state.
+  Response HandleRequest(std::string_view body, bool* hello_done);
+
+  Response HandleHello(ByteReader* reader, bool* hello_done);
+  Response HandleQuery(ByteReader* reader);
+  Response HandleAdd(ByteReader* reader);
+  Response HandleRemove(ByteReader* reader);
+  Response HandleStats(ByteReader* reader);
+  Response HandleList();
+  Response HandleSnapshot(ByteReader* reader);
+  Response HandleReload(ByteReader* reader);
+
+  /// Reads the leading filter-name string and resolves it; on failure
+  /// returns nullptr with `*error` set to the ready-to-send response.
+  Served* ResolveFilter(ByteReader* reader, Response* error);
+
+  /// Error response; fatal statuses (wire::IsFatal) also close.
+  Response Error(wire::WireStatus status, std::string_view message);
+
+  /// Joins and drops finished connection threads (called from the
+  /// acceptor between accepts, and from Stop for the stragglers).
+  void ReapConnections(bool all);
+
+  ServerOptions options_;
+  BatchQueryEngine engine_;
+  /// Served-name → filter. Shape is frozen by Start(); per-entry state is
+  /// guarded by the entry's own lock.
+  std::map<std::string, std::unique_ptr<Served>, std::less<>> served_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+  std::mutex connections_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> frames_served_{0};
+  std::atomic<uint64_t> keys_queried_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_SERVER_SERVER_H_

@@ -1,0 +1,392 @@
+// Robustness tests for the shbf_server wire protocol: truncated frames,
+// oversized length prefixes, unknown opcodes, garbage payloads and
+// mid-frame disconnects must each produce a structured error or a dropped
+// connection — never a crash, hang or leak (the ASan+UBSan CI job runs
+// this suite too). The well-formed path is covered through ShbfClient.
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/filter_registry.h"
+#include "server/client.h"
+#include "server/net.h"
+#include "server/protocol.h"
+
+namespace shbf {
+namespace {
+
+std::unique_ptr<MembershipFilter> BuildFilter(const std::string& name,
+                                              size_t keys) {
+  FilterSpec spec = FilterSpec::ForKeys(keys, 12.0, 8);
+  spec.max_count = 8;
+  std::unique_ptr<MembershipFilter> filter;
+  CheckOk(FilterRegistry::Global().Create(name, spec, &filter));
+  for (size_t i = 0; i < keys; ++i) filter->Add("key-" + std::to_string(i));
+  return filter;
+}
+
+class ServerProtocolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<ShbfServer>();
+    CheckOk(server_->RegisterFilter("members", BuildFilter("shbf_m", 2000)));
+    CheckOk(server_->RegisterFilter("counts", BuildFilter("shbf_x", 2000)));
+    CheckOk(
+        server_->RegisterFilter("counting", BuildFilter("counting_bloom",
+                                                        2000)));
+    CheckOk(server_->Start());
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  int RawConnect() {
+    Status s;
+    int fd = net::ConnectTcp("127.0.0.1", server_->port(), &s);
+    EXPECT_GE(fd, 0) << s.ToString();
+    return fd;
+  }
+
+  /// Sends raw bytes and reads one response body; returns false if the
+  /// server closed instead of answering.
+  bool SendRaw(int fd, std::string_view bytes, std::string* response) {
+    if (!net::SendAll(fd, bytes.data(), bytes.size())) return false;
+    return net::ReadFrame(fd, wire::kMaxFrameBytes, response) ==
+           net::FrameRead::kOk;
+  }
+
+  /// Expects `frame` (sent after a valid HELLO) to draw the given error
+  /// status. Returns the connection fd (still open) for follow-ups.
+  int ExpectError(const std::string& frame, wire::WireStatus expected) {
+    int fd = RawConnect();
+    std::string response;
+    EXPECT_TRUE(SendRaw(fd, wire::BuildHello(), &response));
+    EXPECT_TRUE(SendRaw(fd, frame, &response));
+    wire::WireStatus status;
+    std::string_view payload;
+    std::string message;
+    EXPECT_TRUE(wire::ParseResponse(response, &status, &payload, &message));
+    EXPECT_EQ(status, expected) << wire::WireStatusName(status) << ": "
+                                << message;
+    return fd;
+  }
+
+  /// The liveness probe: a fresh client connection must still work.
+  void ExpectServerAlive() {
+    ShbfClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    std::vector<uint8_t> results;
+    ASSERT_TRUE(client.Query("members", {"key-1", "nope"}, &results).ok());
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0], 1);
+  }
+
+  std::unique_ptr<ShbfServer> server_;
+};
+
+TEST_F(ServerProtocolTest, ClientRoundTrip) {
+  ShbfClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  EXPECT_NE(client.server_version().find("shbf_server"), std::string::npos);
+
+  std::vector<std::string> keys;
+  for (int i = 0; i < 100; ++i) keys.push_back("key-" + std::to_string(i));
+  std::vector<uint8_t> results;
+  ASSERT_TRUE(client.Query("members", keys, &results).ok());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(results[i], 1) << "false negative at " << i;
+  }
+
+  std::vector<uint64_t> counts;
+  ASSERT_TRUE(client.QueryCount("counts", keys, &counts).ok());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_GE(counts[i], 1u) << "count false negative at " << i;
+  }
+
+  uint64_t added = 0;
+  ASSERT_TRUE(client.Add("members", {"fresh-1", "fresh-2"}, &added).ok());
+  EXPECT_EQ(added, 2u);
+  ASSERT_TRUE(client.Query("members", {"fresh-1", "fresh-2"}, &results).ok());
+  EXPECT_EQ(results[0], 1);
+  EXPECT_EQ(results[1], 1);
+
+  ShbfClient::FilterInfo info;
+  ASSERT_TRUE(client.Stats("members", &info).ok());
+  EXPECT_EQ(info.registry_name, "shbf_m");
+  EXPECT_EQ(info.elements, 2002u);
+
+  std::vector<ShbfClient::FilterInfo> filters;
+  ASSERT_TRUE(client.List(&filters).ok());
+  EXPECT_EQ(filters.size(), 3u);
+}
+
+TEST_F(ServerProtocolTest, RemoveGatedOnCapabilities) {
+  ShbfClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  // shbf_m is not deletable: structured failure, connection stays usable.
+  Status s = client.Remove("members", {"key-1"});
+  EXPECT_EQ(s.code(), Status::Code::kFailedPrecondition);
+  // counting_bloom is: the key really disappears.
+  std::vector<uint8_t> removed;
+  ASSERT_TRUE(client.Remove("counting", {"key-1", "absent"}, &removed).ok());
+  EXPECT_EQ(removed[0], 1);
+  EXPECT_EQ(removed[1], 0);
+  std::vector<uint8_t> results;
+  ASSERT_TRUE(client.Query("counting", {"key-1"}, &results).ok());
+  EXPECT_EQ(results[0], 0);
+}
+
+TEST_F(ServerProtocolTest, SnapshotAndReloadRoundTrip) {
+  const std::string path =
+      ::testing::TempDir() + "/server_protocol_snapshot.shbf";
+  ShbfClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  uint64_t bytes = 0;
+  std::string path_used;
+  ASSERT_TRUE(client.Snapshot("members", path, &bytes, &path_used).ok());
+  EXPECT_GT(bytes, 0u);
+  EXPECT_EQ(path_used, path);
+  // Mutate, then reload the snapshot: the mutation is rolled back.
+  ASSERT_TRUE(client.Add("members", {"post-snapshot"}, nullptr).ok());
+  uint64_t elements = 0;
+  ASSERT_TRUE(client.Reload("members", "", &elements).ok());  // remembered
+  EXPECT_EQ(elements, 2000u);
+  // Reload from a path that does not exist: IO error, connection usable.
+  Status s = client.Reload("members", path + ".missing");
+  EXPECT_FALSE(s.ok());
+  // A FAILED snapshot must not move the remembered path: snapshot to an
+  // unwritable target, then an empty-path reload still finds the last
+  // successful snapshot.
+  EXPECT_FALSE(
+      client.Snapshot("members", "/nonexistent-dir/broken.shbf").ok());
+  ASSERT_TRUE(client.Reload("members", "", &elements).ok());
+  EXPECT_EQ(elements, 2000u);
+  ExpectServerAlive();
+  std::remove(path.c_str());
+}
+
+TEST_F(ServerProtocolTest, HelloRequired) {
+  int fd = RawConnect();
+  std::string response;
+  // A QUERY before HELLO is a structured error followed by a close.
+  ASSERT_TRUE(SendRaw(
+      fd, wire::BuildQuery("members", wire::QueryMode::kMembership, {"k"}),
+      &response));
+  wire::WireStatus status;
+  std::string_view payload;
+  std::string message;
+  ASSERT_TRUE(wire::ParseResponse(response, &status, &payload, &message));
+  EXPECT_EQ(status, wire::WireStatus::kBadFrame);
+  EXPECT_FALSE(SendRaw(fd, wire::BuildList(), &response));  // closed
+  net::CloseFd(fd);
+  ExpectServerAlive();
+}
+
+TEST_F(ServerProtocolTest, HelloBadMagicOrVersion) {
+  {
+    int fd = RawConnect();
+    ByteWriter writer;
+    writer.PutU8(static_cast<uint8_t>(wire::Opcode::kHello));
+    writer.PutU32(0xdeadbeef);
+    writer.PutU8(wire::kProtocolVersion);
+    std::string response;
+    ASSERT_TRUE(SendRaw(fd, wire::Frame(writer.Take()), &response));
+    EXPECT_EQ(static_cast<wire::WireStatus>(response[0]),
+              wire::WireStatus::kBadFrame);
+    net::CloseFd(fd);
+  }
+  {
+    int fd = RawConnect();
+    ByteWriter writer;
+    writer.PutU8(static_cast<uint8_t>(wire::Opcode::kHello));
+    writer.PutU32(wire::kMagic);
+    writer.PutU8(99);  // a protocol from the future
+    std::string response;
+    ASSERT_TRUE(SendRaw(fd, wire::Frame(writer.Take()), &response));
+    EXPECT_EQ(static_cast<wire::WireStatus>(response[0]),
+              wire::WireStatus::kVersionMismatch);
+    net::CloseFd(fd);
+  }
+  ExpectServerAlive();
+}
+
+TEST_F(ServerProtocolTest, TruncatedLengthPrefix) {
+  int fd = RawConnect();
+  const char partial[2] = {0x10, 0x00};  // 2 of the 4 prefix bytes
+  ASSERT_TRUE(net::SendAll(fd, partial, sizeof(partial)));
+  net::CloseFd(fd);  // hang up mid-prefix
+  ExpectServerAlive();
+}
+
+TEST_F(ServerProtocolTest, MidFrameDisconnect) {
+  int fd = RawConnect();
+  std::string hello_response;
+  ASSERT_TRUE(SendRaw(fd, wire::BuildHello(), &hello_response));
+  ByteWriter writer;
+  writer.PutU32(100);           // promise a 100-byte body
+  writer.PutU8(0x02);           // ... deliver 3 bytes of it
+  writer.PutU8(0x00);
+  writer.PutU8(0x00);
+  const std::string bytes = writer.Take();
+  ASSERT_TRUE(net::SendAll(fd, bytes.data(), bytes.size()));
+  net::CloseFd(fd);
+  ExpectServerAlive();
+}
+
+TEST_F(ServerProtocolTest, OversizedLengthPrefix) {
+  int fd = RawConnect();
+  std::string hello_response;
+  ASSERT_TRUE(SendRaw(fd, wire::BuildHello(), &hello_response));
+  ByteWriter writer;
+  writer.PutU32(0x7fffffff);  // a 2 GB frame: rejected before allocation
+  const std::string bytes = writer.Take();
+  std::string response;
+  ASSERT_TRUE(SendRaw(fd, bytes, &response));
+  EXPECT_EQ(static_cast<wire::WireStatus>(response[0]),
+            wire::WireStatus::kTooLarge);
+  EXPECT_FALSE(SendRaw(fd, wire::BuildList(), &response));  // closed
+  net::CloseFd(fd);
+  ExpectServerAlive();
+}
+
+TEST_F(ServerProtocolTest, ZeroLengthFrame) {
+  int fd = RawConnect();
+  std::string hello_response;
+  ASSERT_TRUE(SendRaw(fd, wire::BuildHello(), &hello_response));
+  ByteWriter writer;
+  writer.PutU32(0);
+  const std::string bytes = writer.Take();
+  std::string response;
+  ASSERT_TRUE(SendRaw(fd, bytes, &response));
+  EXPECT_EQ(static_cast<wire::WireStatus>(response[0]),
+            wire::WireStatus::kBadFrame);
+  net::CloseFd(fd);
+  ExpectServerAlive();
+}
+
+TEST_F(ServerProtocolTest, UnknownOpcode) {
+  ByteWriter writer;
+  writer.PutU8(0x77);
+  int fd = ExpectError(wire::Frame(writer.Take()),
+                       wire::WireStatus::kUnknownOpcode);
+  // Opcode-level error: the connection keeps serving.
+  std::string response;
+  EXPECT_TRUE(SendRaw(fd, wire::BuildList(), &response));
+  EXPECT_EQ(static_cast<wire::WireStatus>(response[0]),
+            wire::WireStatus::kOk);
+  net::CloseFd(fd);
+}
+
+TEST_F(ServerProtocolTest, UnknownFilter) {
+  int fd = ExpectError(
+      wire::BuildQuery("no-such", wire::QueryMode::kMembership, {"k"}),
+      wire::WireStatus::kUnknownFilter);
+  net::CloseFd(fd);
+  ExpectServerAlive();
+}
+
+TEST_F(ServerProtocolTest, CountModeOnMembershipFilter) {
+  int fd =
+      ExpectError(wire::BuildQuery("members", wire::QueryMode::kCount, {"k"}),
+                  wire::WireStatus::kUnsupported);
+  net::CloseFd(fd);
+}
+
+TEST_F(ServerProtocolTest, GarbagePayloads) {
+  // QUERY with a truncated name length.
+  {
+    ByteWriter writer;
+    writer.PutU8(static_cast<uint8_t>(wire::Opcode::kQuery));
+    writer.PutU8(0xff);  // half a u32
+    int fd =
+        ExpectError(wire::Frame(writer.Take()), wire::WireStatus::kBadFrame);
+    net::CloseFd(fd);
+  }
+  // QUERY whose key list claims more keys than the body carries (the
+  // count-bomb shape: must fail before any allocation amplifies it).
+  {
+    ByteWriter writer;
+    writer.PutU8(static_cast<uint8_t>(wire::Opcode::kQuery));
+    wire::WriteString(&writer, "members");
+    writer.PutU8(static_cast<uint8_t>(wire::QueryMode::kMembership));
+    writer.PutU64(uint64_t{1} << 40);  // "a trillion keys follow"
+    int fd =
+        ExpectError(wire::Frame(writer.Take()), wire::WireStatus::kBadFrame);
+    net::CloseFd(fd);
+  }
+  // STATS with trailing garbage after a valid name.
+  {
+    ByteWriter writer;
+    writer.PutU8(static_cast<uint8_t>(wire::Opcode::kStats));
+    wire::WriteString(&writer, "members");
+    writer.PutU32(0xabad1dea);
+    int fd =
+        ExpectError(wire::Frame(writer.Take()), wire::WireStatus::kBadFrame);
+    net::CloseFd(fd);
+  }
+  ExpectServerAlive();
+}
+
+TEST_F(ServerProtocolTest, ConcurrentReadersAndOneWriter) {
+  constexpr int kReaders = 4;
+  constexpr int kRounds = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      ShbfClient client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) {
+        ++failures;
+        return;
+      }
+      std::vector<std::string> keys;
+      for (int i = 0; i < 64; ++i) keys.push_back("key-" + std::to_string(i));
+      std::vector<uint8_t> results;
+      for (int round = 0; round < kRounds; ++round) {
+        if (!client.Query("members", keys, &results).ok() ||
+            results[0] != 1) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    ShbfClient client;
+    if (!client.Connect("127.0.0.1", server_->port()).ok()) {
+      ++failures;
+      return;
+    }
+    for (int round = 0; round < kRounds; ++round) {
+      if (!client.Add("members", {"writer-" + std::to_string(round)}).ok()) {
+        ++failures;
+        return;
+      }
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  ExpectServerAlive();
+}
+
+TEST_F(ServerProtocolTest, StopWithConnectionsOpen) {
+  // Stop() must unblock and join connection threads parked in recv.
+  ShbfClient idle1, idle2;
+  ASSERT_TRUE(idle1.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(idle2.Connect("127.0.0.1", server_->port()).ok());
+  server_->Stop();
+  EXPECT_FALSE(server_->running());
+  // A post-stop request fails instead of hanging.
+  std::vector<uint8_t> results;
+  EXPECT_FALSE(idle1.Query("members", {"key-1"}, &results).ok());
+}
+
+}  // namespace
+}  // namespace shbf

@@ -21,6 +21,11 @@
 //       (bench/batch_throughput.cc is the bigger, CSV-emitting sibling).
 //   shbf_cli --filter=<name>
 //       shorthand for `selftest --filter=<name>`.
+//   shbf_cli remote <host:port> <op> ...
+//       drives a running shbf_server over the wire protocol
+//       (docs/serving.md): list, stats, query (--count), add, remove,
+//       snapshot, reload.
+//   shbf_cli --help | --version
 //
 // Legacy blobs written by older versions (raw ShbfM/BloomFilter wire format,
 // no registry envelope) are still readable by query/info.
@@ -40,9 +45,12 @@
 #include "api/filter_registry.h"
 #include "baselines/bloom_filter.h"
 #include "bench_util/timer.h"
+#include "core/file_io.h"
 #include "core/serde.h"
+#include "core/version.h"
 #include "engine/batch_query_engine.h"
 #include "engine/sharded_filter.h"
+#include "server/client.h"
 #include "shbf/shbf_membership.h"
 
 namespace shbf {
@@ -55,9 +63,9 @@ struct Options {
   uint64_t seed = kDefaultSeed;
 };
 
-int Usage() {
+void PrintUsage(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage:\n"
       "  shbf_cli list\n"
       "  shbf_cli build <keys.txt> <filter.shbf> [--filter=<name>] "
@@ -68,12 +76,26 @@ int Usage() {
       "  shbf_cli bench [--filter=<name>] [--keys=N] [--bits-per-key=12] "
       "[--k=8]\n"
       "                 [--batch=32] [--shards=8] [--threads=4]\n"
+      "  shbf_cli remote <host:port> list\n"
+      "  shbf_cli remote <host:port> stats <name>\n"
+      "  shbf_cli remote <host:port> query <name> <keys.txt> [--count]\n"
+      "  shbf_cli remote <host:port> add <name> <keys.txt>\n"
+      "  shbf_cli remote <host:port> remove <name> <keys.txt>\n"
+      "  shbf_cli remote <host:port> snapshot <name> [<server-path>]\n"
+      "  shbf_cli remote <host:port> reload <name> [<server-path>]\n"
       "  shbf_cli --filter=<name>        (selftest for one filter)\n"
+      "  shbf_cli --help | --version\n"
+      "remote drives a running shbf_server (wire protocol: "
+      "docs/serving.md).\n"
       "filters: ");
   for (const auto& name : FilterRegistry::Global().Names()) {
-    std::fprintf(stderr, "%s ", name.c_str());
+    std::fprintf(out, "%s ", name.c_str());
   }
-  std::fprintf(stderr, "\n");
+  std::fprintf(out, "\n");
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
 }
 
@@ -92,22 +114,6 @@ Status ReadLines(const std::string& path, std::vector<std::string>* lines) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (!line.empty()) lines->push_back(line);
   }
-  return Status::Ok();
-}
-
-Status ReadFile(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return Status::NotFound("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  *out = buffer.str();
-  return Status::Ok();
-}
-
-Status WriteFile(const std::string& path, const std::string& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out.good()) return Status::Internal("cannot write " + path);
   return Status::Ok();
 }
 
@@ -161,7 +167,7 @@ int Build(const std::string& keys_path, const std::string& filter_path,
     return 1;
   }
   std::string blob = FilterRegistry::Serialize(*filter);
-  s = WriteFile(filter_path, blob);
+  s = WriteStringToFile(filter_path, blob);
   if (!s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return 1;
@@ -178,7 +184,7 @@ int Build(const std::string& keys_path, const std::string& filter_path,
 Status Load(const std::string& path,
             std::unique_ptr<MembershipFilter>* out) {
   std::string blob;
-  Status s = ReadFile(path, &blob);
+  Status s = ReadFileToString(path, &blob);
   if (!s.ok()) return s;
   s = FilterRegistry::Global().Deserialize(blob, out);
   if (s.ok()) return s;
@@ -413,9 +419,201 @@ int Bench(const BenchOptions& options) {
   return 0;
 }
 
+void PrintRemoteUsage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: shbf_cli remote <host:port> <op>\n"
+      "  list                          every served filter with stats\n"
+      "  stats <name>                  one served filter's stats\n"
+      "  query <name> <keys.txt>       batched membership (--count for\n"
+      "                                multiplicity counts)\n"
+      "  add <name> <keys.txt>         insert keys\n"
+      "  remove <name> <keys.txt>      delete keys (kRemove filters only)\n"
+      "  snapshot <name> [<path>]      serialize to a file on the SERVER\n"
+      "  reload <name> [<path>]        replace from a file on the SERVER\n"
+      "wire protocol: docs/serving.md; server: shbf_server --help\n");
+}
+
+/// Splits "host:port" (host defaults to 127.0.0.1 when absent).
+bool ParseEndpoint(const std::string& endpoint, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = endpoint.rfind(':');
+  const std::string port_text =
+      colon == std::string::npos ? endpoint : endpoint.substr(colon + 1);
+  *host = colon == std::string::npos || colon == 0
+              ? "127.0.0.1"
+              : endpoint.substr(0, colon);
+  const unsigned long value = std::strtoul(port_text.c_str(), nullptr, 10);
+  if (value == 0 || value > 65535) return false;
+  *port = static_cast<uint16_t>(value);
+  return true;
+}
+
+void PrintFilterInfo(const ShbfClient::FilterInfo& info) {
+  std::printf("%-18s %-24s %-17s %12llu elements %12llu bytes\n",
+              info.serve_name.c_str(), info.registry_name.c_str(),
+              CapabilitiesToString(info.capabilities).c_str(),
+              static_cast<unsigned long long>(info.elements),
+              static_cast<unsigned long long>(info.memory_bytes));
+}
+
+/// Drives a running shbf_server. Key files stream in frames of
+/// `kRemoteFrameKeys` keys so arbitrarily large files stay under the
+/// per-frame limits.
+int Remote(int argc, char** argv) {
+  constexpr size_t kRemoteFrameKeys = 8192;
+  if (argc >= 3 && (std::strcmp(argv[2], "--help") == 0 ||
+                    std::strcmp(argv[2], "-h") == 0)) {
+    PrintRemoteUsage(stdout);
+    return 0;
+  }
+  if (argc < 4) {
+    PrintRemoteUsage(stderr);
+    return 2;
+  }
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseEndpoint(argv[2], &host, &port)) {
+    std::fprintf(stderr, "error: bad endpoint '%s' (want host:port)\n",
+                 argv[2]);
+    return 2;
+  }
+  const std::string op = argv[3];
+  ShbfClient client;
+  Status s = client.Connect(host, port);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  if (op == "list" && argc == 4) {
+    std::vector<ShbfClient::FilterInfo> filters;
+    s = client.List(&filters);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s serving %zu filter(s)\n",
+                client.server_version().c_str(), filters.size());
+    for (const auto& info : filters) PrintFilterInfo(info);
+    return 0;
+  }
+  if (op == "stats" && argc == 5) {
+    ShbfClient::FilterInfo info;
+    s = client.Stats(argv[4], &info);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    PrintFilterInfo(info);
+    return 0;
+  }
+  if ((op == "query" || op == "add" || op == "remove") &&
+      (argc == 6 || (op == "query" && argc == 7))) {
+    const std::string name = argv[4];
+    bool count_mode = false;
+    if (argc == 7) {
+      if (std::strcmp(argv[6], "--count") != 0) {
+        std::fprintf(stderr, "error: unknown flag %s\n", argv[6]);
+        PrintRemoteUsage(stderr);
+        return 2;
+      }
+      count_mode = true;
+    }
+    std::vector<std::string> keys;
+    s = ReadLines(argv[5], &keys);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    uint64_t positives = 0;
+    for (size_t begin = 0; begin < keys.size(); begin += kRemoteFrameKeys) {
+      const size_t end = std::min(begin + kRemoteFrameKeys, keys.size());
+      const std::vector<std::string> frame(keys.begin() + begin,
+                                           keys.begin() + end);
+      if (op == "add") {
+        s = client.Add(name, frame);
+      } else if (op == "remove") {
+        std::vector<uint8_t> removed;
+        s = client.Remove(name, frame, &removed);
+        for (size_t i = 0; s.ok() && i < frame.size(); ++i) {
+          positives += removed[i];
+          std::printf("%s\t%d\n", frame[i].c_str(), removed[i] ? 1 : 0);
+        }
+      } else if (count_mode) {
+        std::vector<uint64_t> counts;
+        s = client.QueryCount(name, frame, &counts);
+        for (size_t i = 0; s.ok() && i < frame.size(); ++i) {
+          positives += counts[i] > 0;
+          std::printf("%s\t%llu\n", frame[i].c_str(),
+                      static_cast<unsigned long long>(counts[i]));
+        }
+      } else {
+        std::vector<uint8_t> results;
+        s = client.Query(name, frame, &results);
+        for (size_t i = 0; s.ok() && i < frame.size(); ++i) {
+          positives += results[i];
+          std::printf("%s\t%d\n", frame[i].c_str(), results[i] ? 1 : 0);
+        }
+      }
+      if (!s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    if (op == "add") {
+      std::fprintf(stderr, "added %zu key(s) to %s\n", keys.size(),
+                   name.c_str());
+    } else {
+      std::fprintf(stderr, "%llu/%zu keys %s\n",
+                   static_cast<unsigned long long>(positives), keys.size(),
+                   op == "remove" ? "removed" : "positive");
+    }
+    return 0;
+  }
+  if ((op == "snapshot" || op == "reload") && (argc == 5 || argc == 6)) {
+    const std::string name = argv[4];
+    const std::string path = argc == 6 ? argv[5] : "";
+    if (op == "snapshot") {
+      uint64_t bytes = 0;
+      std::string path_used;
+      s = client.Snapshot(name, path, &bytes, &path_used);
+      if (s.ok()) {
+        std::printf("snapshot of '%s': %llu bytes -> %s\n", name.c_str(),
+                    static_cast<unsigned long long>(bytes),
+                    path_used.c_str());
+      }
+    } else {
+      uint64_t elements = 0;
+      s = client.Reload(name, path, &elements);
+      if (s.ok()) {
+        std::printf("reloaded '%s': %llu element(s)\n", name.c_str(),
+                    static_cast<unsigned long long>(elements));
+      }
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  PrintRemoteUsage(stderr);
+  return 2;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    PrintUsage(stdout);
+    return 0;
+  }
+  if (command == "--version") {
+    std::printf("shbf_cli %s (protocol v%u)\n", kShbfVersion,
+                wire::kProtocolVersion);
+    return 0;
+  }
+  if (command == "remote") return Remote(argc, argv);
   std::string flag_value;
   if (ParseFlag(command, "filter", &flag_value)) {
     return SelfTest(flag_value);
