@@ -12,7 +12,7 @@
 //
 // usage: bench_batch_throughput [--filter=<name>] [--build-keys=N]
 //          [--query-keys=N] [--bits-per-key=B] [--k=K] [--batch=N]
-//          [--shards=S] [--threads=T] [--smoke]
+//          [--shards=S] [--threads=T] [--chunk=N] [--json=<path>] [--smoke]
 //
 // Defaults (8M build keys at 12 bits/key ≈ 12 MB of filter) size the filter
 // past L2 so the memory-level parallelism the engine extracts is visible;
@@ -20,6 +20,8 @@
 // batched answers against the per-key path instead of chasing Mops.
 //
 // CSV on stdout: filter,mode,threads,batch_size,keys,seconds,mops,speedup.
+// --json=<path> writes machine-readable rows (workload, keys/s, p50/p99
+// latency per `chunk`-key slice) via bench_util/json_report.h.
 
 #include <algorithm>
 #include <cstdio>
@@ -32,6 +34,7 @@
 #include <vector>
 
 #include "api/filter_registry.h"
+#include "bench_util/json_report.h"
 #include "bench_util/timer.h"
 #include "engine/batch_query_engine.h"
 #include "engine/sharded_filter.h"
@@ -48,6 +51,9 @@ struct Config {
   uint32_t batch_size = 32;
   uint32_t shards = 8;
   uint32_t threads = 4;
+  /// Keys per latency sample for the --json report.
+  size_t chunk = 4096;
+  std::string json_path;
   bool smoke = false;
 };
 
@@ -68,18 +74,31 @@ FilterSpec SpecFor(const Config& config) {
 }
 
 void EmitRow(const std::string& filter, const char* mode, uint32_t threads,
-             uint32_t batch, size_t keys, double seconds, double per_key_mops) {
+             uint32_t batch, size_t keys, double seconds, double per_key_mops,
+             const Config& config, const LatencyRecorder& latencies,
+             JsonReport* report) {
   const double mops = Mops(keys, seconds);
   std::printf("%s,%s,%u,%u,%zu,%.4f,%.2f,%.2f\n", filter.c_str(), mode,
               threads, batch, keys, seconds, mops,
               per_key_mops > 0 ? mops / per_key_mops : 1.0);
+  report->AddRow()
+      .Set("workload", "membership/" + filter)
+      .Set("mode", mode)
+      .Set("threads", uint64_t{threads})
+      .Set("batch_size", uint64_t{batch})
+      .Set("keys", uint64_t{keys})
+      .Set("chunk_keys", uint64_t{config.chunk})
+      .Set("keys_per_s", seconds > 0 ? keys / seconds : 0.0)
+      .Set("p50_us", latencies.PercentileSeconds(50) * 1e6)
+      .Set("p99_us", latencies.PercentileSeconds(99) * 1e6);
 }
 
 /// Benchmarks one registered filter through the three modes. Returns false
 /// on a smoke-mode correctness divergence.
 bool RunFilter(const std::string& name, const Config& config,
                const std::vector<std::string>& build_keys,
-               const std::vector<std::string>& query_keys) {
+               const std::vector<std::string>& query_keys,
+               JsonReport* report) {
   const auto& registry = FilterRegistry::Global();
   std::unique_ptr<MembershipFilter> filter;
   Status s = registry.Create(name, SpecFor(config), &filter);
@@ -90,24 +109,47 @@ bool RunFilter(const std::string& name, const Config& config,
   for (const auto& key : build_keys) filter->Add(key);
   filter->Contains(query_keys.front());  // force lazy builds out of the loop
 
+  // Pre-sliced query stream: the timed loops below run slice by slice, so
+  // one WallTimer read per `chunk` keys doubles as the latency sample.
+  std::vector<std::vector<std::string>> slices_by_chunk;
+  for (size_t begin = 0; begin < query_keys.size(); begin += config.chunk) {
+    const size_t end = std::min(begin + config.chunk, query_keys.size());
+    slices_by_chunk.emplace_back(query_keys.begin() + begin,
+                                 query_keys.begin() + end);
+  }
+
   // -- per_key: the scalar virtual baseline --------------------------------
   WallTimer timer;
+  LatencyRecorder per_key_latencies;
   uint64_t hits = 0;
-  for (const auto& key : query_keys) hits += filter->Contains(key);
+  for (const auto& slice : slices_by_chunk) {
+    WallTimer chunk_timer;
+    for (const auto& key : slice) hits += filter->Contains(key);
+    per_key_latencies.Record(chunk_timer.ElapsedSeconds());
+  }
   DoNotOptimize(hits);
   const double per_key_seconds = timer.ElapsedSeconds();
   const double per_key_mops = Mops(query_keys.size(), per_key_seconds);
-  EmitRow(name, "per_key", 1, 1, query_keys.size(), per_key_seconds, 0);
+  EmitRow(name, "per_key", 1, 1, query_keys.size(), per_key_seconds, 0,
+          config, per_key_latencies, report);
 
   // -- batched: the engine's two-pass prefetching path ---------------------
   BatchQueryEngine engine({.batch_size = config.batch_size});
   std::vector<uint8_t> results;
   engine.ContainsBatch(*filter, query_keys, &results);  // warm-up
   timer.Reset();
-  engine.ContainsBatch(*filter, query_keys, &results);
+  LatencyRecorder batched_latencies;
+  results.clear();
+  std::vector<uint8_t> slice_results;
+  for (const auto& slice : slices_by_chunk) {
+    WallTimer chunk_timer;
+    engine.ContainsBatch(*filter, slice, &slice_results);
+    batched_latencies.Record(chunk_timer.ElapsedSeconds());
+    results.insert(results.end(), slice_results.begin(), slice_results.end());
+  }
   const double batched_seconds = timer.ElapsedSeconds();
   EmitRow(name, "batched", 1, config.batch_size, query_keys.size(),
-          batched_seconds, per_key_mops);
+          batched_seconds, per_key_mops, config, batched_latencies, report);
 
   if (config.smoke) {
     // CI mode: the value of this binary is that the engine still answers
@@ -136,29 +178,47 @@ bool RunFilter(const std::string& name, const Config& config,
   }
   static_cast<ShardedMembershipFilter*>(sharded.get())->AddBatch(build_keys);
   // Warm every shard (triggers lazy rebuilds) and pre-slice the query
-  // stream, so the timed region holds queries only.
+  // stream per thread (chunked for latency samples), so the timed region
+  // holds queries only.
   sharded->ContainsBatch(query_keys, &results);
-  std::vector<std::vector<std::string>> slices(config.threads);
+  std::vector<std::vector<std::vector<std::string>>> slices(config.threads);
   const size_t slice = (query_keys.size() + config.threads - 1) /
                        config.threads;
   for (uint32_t t = 0; t < config.threads; ++t) {
     const size_t begin = std::min(t * slice, query_keys.size());
     const size_t end = std::min(begin + slice, query_keys.size());
-    slices[t].assign(query_keys.begin() + begin, query_keys.begin() + end);
+    for (size_t b = begin; b < end; b += config.chunk) {
+      slices[t].emplace_back(query_keys.begin() + b,
+                             query_keys.begin() + std::min(b + config.chunk,
+                                                           end));
+    }
   }
+  std::vector<LatencyRecorder> thread_latencies(config.threads);
   timer.Reset();
   std::vector<std::thread> workers;
   for (uint32_t t = 0; t < config.threads; ++t) {
     workers.emplace_back([&, t] {
-      if (slices[t].empty()) return;
       std::vector<uint8_t> thread_results;
-      sharded->ContainsBatch(slices[t], &thread_results);
-      DoNotOptimize(thread_results.size());
+      for (const auto& thread_slice : slices[t]) {
+        WallTimer chunk_timer;
+        sharded->ContainsBatch(thread_slice, &thread_results);
+        thread_latencies[t].Record(chunk_timer.ElapsedSeconds());
+        DoNotOptimize(thread_results.size());
+      }
     });
   }
   for (auto& worker : workers) worker.join();
+  const double sharded_seconds = timer.ElapsedSeconds();
+  // Merge the per-thread samples into one distribution.
+  LatencyRecorder sharded_latencies;
+  for (const auto& recorder : thread_latencies) {
+    for (double sample : recorder.samples()) {
+      sharded_latencies.Record(sample);
+    }
+  }
   EmitRow(name, "sharded_mt", config.threads, config.batch_size,
-          query_keys.size(), timer.ElapsedSeconds(), per_key_mops);
+          query_keys.size(), sharded_seconds, per_key_mops, config,
+          sharded_latencies, report);
   return true;
 }
 
@@ -184,12 +244,16 @@ int Main(int argc, char** argv) {
       config.shards = static_cast<uint32_t>(std::atoi(value.c_str()));
     } else if (ParseFlag(argv[i], "threads", &value)) {
       config.threads = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "chunk", &value)) {
+      config.chunk = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (ParseFlag(argv[i], "json", &value)) {
+      config.json_path = value;
     } else {
       std::fprintf(stderr,
                    "usage: bench_batch_throughput [--filter=<name>] "
                    "[--build-keys=N] [--query-keys=N] [--bits-per-key=B] "
                    "[--k=K] [--batch=N] [--shards=S] [--threads=T] "
-                   "[--smoke]\n");
+                   "[--chunk=N] [--json=<path>] [--smoke]\n");
       return 2;
     }
   }
@@ -199,10 +263,10 @@ int Main(int argc, char** argv) {
     config.threads = 2;
   }
   if (config.build_keys == 0 || config.query_keys == 0 ||
-      config.threads == 0) {
+      config.threads == 0 || config.chunk == 0) {
     std::fprintf(stderr,
-                 "error: --build-keys, --query-keys and --threads must be "
-                 "positive\n");
+                 "error: --build-keys, --query-keys, --threads and --chunk "
+                 "must be positive\n");
     return 2;
   }
 
@@ -228,8 +292,15 @@ int Main(int argc, char** argv) {
     names = {"shbf_m", "bloom"};
   }
   bool ok = true;
+  JsonReport report("batch_throughput");
   for (const auto& name : names) {
-    ok = RunFilter(name, config, build_keys, query_keys) && ok;
+    ok = RunFilter(name, config, build_keys, query_keys, &report) && ok;
+  }
+  Status json_status = report.WriteToFile(config.json_path);
+  if (!json_status.ok()) {
+    std::fprintf(stderr, "error: --json: %s\n",
+                 json_status.ToString().c_str());
+    ok = false;
   }
   if (config.smoke && ok) std::printf("# smoke OK\n");
   return ok ? 0 : 1;

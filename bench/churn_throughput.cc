@@ -13,7 +13,12 @@
 //
 // usage: bench_churn_throughput [--filter=<name>] [--universe=N]
 //          [--events=N] [--add-frac=F] [--remove-frac=F] [--delta=N]
-//          [--bits-per-key=B] [--k=K] [--smoke]
+//          [--bits-per-key=B] [--k=K] [--chunk=N] [--json=<path>]
+//          [--smoke]
+//
+// --json=<path> writes machine-readable rows (workload, events/s, p50/p99
+// latency per `chunk`-event window; windows containing an epoch audit are
+// skipped) via bench_util/json_report.h.
 //
 // --smoke shrinks the workload for CI and turns the run into a gate:
 //   * no false negatives for live keys in either mode,
@@ -35,6 +40,7 @@
 #include <vector>
 
 #include "api/filter_registry.h"
+#include "bench_util/json_report.h"
 #include "bench_util/timer.h"
 #include "engine/dynamic_filter.h"
 #include "trace/workload.h"
@@ -54,6 +60,9 @@ struct Config {
   size_t delta_capacity = 4096;
   double bits_per_key = 12.0;
   uint32_t num_hashes = 8;
+  /// Events per latency sample for the --json report.
+  size_t chunk = 2048;
+  std::string json_path;
   bool smoke = false;
 };
 
@@ -82,6 +91,7 @@ struct RunResult {
   size_t adds = 0;
   size_t removes = 0;
   size_t queries = 0;
+  LatencyRecorder latencies;
 };
 
 /// Rebuilds the plain base filter from `counts` — the reference the dynamic
@@ -141,6 +151,12 @@ RunResult Replay(const std::string& name, const Config& config,
   uint64_t last_epoch = dynamic != nullptr ? dynamic->epoch() : 0;
   uint64_t hits = 0;
 
+  // Latency windows of `chunk` events; a window an epoch audit lands in is
+  // discarded (the audit is not part of the workload).
+  WallTimer window_timer;
+  size_t window_events = 0;
+  bool window_dirty = false;
+
   WallTimer timer;
   for (const auto& event : workload.events) {
     const std::string& key = workload.keys[event.key_index];
@@ -179,6 +195,14 @@ RunResult Replay(const std::string& name, const Config& config,
         break;
       }
     }
+    if (++window_events == config.chunk) {
+      if (!window_dirty) {
+        result.latencies.Record(window_timer.ElapsedSeconds());
+      }
+      window_timer.Reset();
+      window_events = 0;
+      window_dirty = false;
+    }
     if (check_epochs && config.smoke && dynamic->epoch() != last_epoch) {
       // Pause the clock: the equivalence audit is not part of the workload.
       result.seconds += timer.ElapsedSeconds();
@@ -189,6 +213,7 @@ RunResult Replay(const std::string& name, const Config& config,
         return result;
       }
       timer.Reset();
+      window_dirty = true;
     }
   }
   result.seconds += timer.ElapsedSeconds();
@@ -205,17 +230,26 @@ RunResult Replay(const std::string& name, const Config& config,
 }
 
 void EmitRow(const std::string& filter, const char* mode,
-             const RunResult& result, double naive_seconds) {
+             const RunResult& result, double naive_seconds,
+             const Config& config, JsonReport* report) {
   const size_t events = result.adds + result.removes + result.queries;
   std::printf("%s,%s,%zu,%zu,%zu,%zu,%.4f,%.2f,%.2f\n", filter.c_str(), mode,
               events, result.adds, result.removes, result.queries,
               result.seconds, Mops(events, result.seconds),
               result.seconds > 0 ? naive_seconds / result.seconds : 0.0);
+  report->AddRow()
+      .Set("workload", "churn/" + filter)
+      .Set("mode", mode)
+      .Set("events", uint64_t{events})
+      .Set("chunk_events", uint64_t{config.chunk})
+      .Set("keys_per_s", result.seconds > 0 ? events / result.seconds : 0.0)
+      .Set("p50_us", result.latencies.PercentileSeconds(50) * 1e6)
+      .Set("p99_us", result.latencies.PercentileSeconds(99) * 1e6);
 }
 
 /// Runs naive vs dynamic for one filter; returns false on a smoke failure.
 bool RunFilter(const std::string& name, const Config& config,
-               bool gate_speedup) {
+               bool gate_speedup, JsonReport* report) {
   const auto& registry = FilterRegistry::Global();
   const ChurnWorkload workload = MakeChurnWorkload(
       config.universe, config.events, config.add_frac, config.remove_frac,
@@ -230,7 +264,7 @@ bool RunFilter(const std::string& name, const Config& config,
   RunResult naive_result =
       Replay(name, config, workload, naive.get(), /*check_epochs=*/false);
   if (!naive_result.ok) return false;
-  EmitRow(name, "naive", naive_result, naive_result.seconds);
+  EmitRow(name, "naive", naive_result, naive_result.seconds, config, report);
 
   std::unique_ptr<MembershipFilter> dynamic;
   s = registry.Create(name, SpecFor(config, true), &dynamic);
@@ -241,7 +275,8 @@ bool RunFilter(const std::string& name, const Config& config,
   RunResult dynamic_result =
       Replay(name, config, workload, dynamic.get(), /*check_epochs=*/true);
   if (!dynamic_result.ok) return false;
-  EmitRow(name, "dynamic", dynamic_result, naive_result.seconds);
+  EmitRow(name, "dynamic", dynamic_result, naive_result.seconds, config,
+          report);
 
   if (config.smoke && gate_speedup) {
     const double speedup = dynamic_result.seconds > 0
@@ -279,12 +314,16 @@ int Main(int argc, char** argv) {
       config.bits_per_key = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "k", &value)) {
       config.num_hashes = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "chunk", &value)) {
+      config.chunk = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (ParseFlag(argv[i], "json", &value)) {
+      config.json_path = value;
     } else {
       std::fprintf(stderr,
                    "usage: bench_churn_throughput [--filter=<name>] "
                    "[--universe=N] [--events=N] [--add-frac=F] "
                    "[--remove-frac=F] [--delta=N] [--bits-per-key=B] "
-                   "[--k=K] [--smoke]\n");
+                   "[--k=K] [--chunk=N] [--json=<path>] [--smoke]\n");
       return 2;
     }
   }
@@ -296,27 +335,38 @@ int Main(int argc, char** argv) {
     config.delta_capacity = 256;
   }
   if (config.universe == 0 || config.events == 0 ||
-      config.delta_capacity == 0) {
+      config.delta_capacity == 0 || config.chunk == 0) {
     std::fprintf(stderr,
-                 "error: --universe, --events and --delta must be positive\n");
+                 "error: --universe, --events, --delta and --chunk must be "
+                 "positive\n");
     return 2;
   }
 
   std::printf("filter,mode,events,adds,removes,queries,seconds,mops,"
               "speedup_vs_naive\n");
   bool ok = true;
+  JsonReport report("churn_throughput");
   if (!config.filter_name.empty()) {
-    ok = RunFilter(config.filter_name, config, /*gate_speedup=*/config.smoke);
+    ok = RunFilter(config.filter_name, config, /*gate_speedup=*/config.smoke,
+                   &report);
   } else {
     // Defaults: the bulk-built multiplicity ShBF (the structure the dynamic
     // wrapper exists for — speedup gated in smoke) and the incremental
     // counting ShBF with real remove churn (correctness-gated only: its
     // naive path is already incremental).
-    ok = RunFilter("shbf_x", config, /*gate_speedup=*/true) && ok;
+    ok = RunFilter("shbf_x", config, /*gate_speedup=*/true, &report) && ok;
     Config churny = config;
     churny.add_frac = 0.25;
     churny.remove_frac = 0.10;
-    ok = RunFilter("counting_shbf_m", churny, /*gate_speedup=*/false) && ok;
+    ok = RunFilter("counting_shbf_m", churny, /*gate_speedup=*/false,
+                   &report) &&
+         ok;
+  }
+  Status json_status = report.WriteToFile(config.json_path);
+  if (!json_status.ok()) {
+    std::fprintf(stderr, "error: --json: %s\n",
+                 json_status.ToString().c_str());
+    ok = false;
   }
   if (config.smoke && ok) std::printf("# smoke OK\n");
   return ok ? 0 : 1;

@@ -7,7 +7,7 @@
 
 namespace shbf {
 
-inline constexpr const char kShbfVersion[] = "0.4.0";
+inline constexpr const char kShbfVersion[] = "0.5.0";
 
 }  // namespace shbf
 

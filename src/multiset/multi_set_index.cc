@@ -1,0 +1,337 @@
+#include "multiset/multi_set_index.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace shbf {
+
+Status MultiSetIndex::CloneFilter(const MembershipFilter& source,
+                                  const FilterRegistry& registry,
+                                  std::unique_ptr<MembershipFilter>* out) {
+  const std::string blob = FilterRegistry::Serialize(source);
+  Status s = registry.Deserialize(blob, out);
+  if (!s.ok()) {
+    return Status::Internal("MultiSetIndex: cannot clone '" +
+                            std::string(source.name()) +
+                            "' for a summary node: " + s.ToString());
+  }
+  return Status::Ok();
+}
+
+size_t MultiSetIndex::MakeLeaf(uint32_t id, MembershipFilter* filter) {
+  Node node;
+  node.filter = filter;
+  node.set_id = id;
+  node.is_leaf = true;
+  nodes_.push_back(std::move(node));
+  const size_t index = nodes_.size() - 1;
+  leaf_of_set_.emplace(id, index);
+  return index;
+}
+
+namespace {
+
+/// Keys almost surely in no real set, used to measure a fresh summary's
+/// empirical false-positive rate. Deterministic, so builds are replayable.
+std::string SentinelKey(int i) {
+  return std::string("\x01") + "shbf-multiset-sentinel-" + std::to_string(i);
+}
+
+constexpr int kSentinelProbes = 64;
+
+/// A summary node earns its probe only while it still says "no" often
+/// enough to prune its subtree. A union of too many sets saturates its bit
+/// array (fill ratio -> 1, the Bloofi caveat) and answers yes to
+/// everything; aggregating past that point adds probes without pruning.
+/// Empirical rule: a summary whose sentinel FPR exceeds 3/4 is discarded
+/// and its children finalized as roots.
+bool SummaryIsDiscriminative(const MembershipFilter& summary) {
+  int positives = 0;
+  for (int i = 0; i < kSentinelProbes; ++i) {
+    positives += summary.Contains(SentinelKey(i)) ? 1 : 0;
+  }
+  return positives * 4 <= kSentinelProbes * 3;
+}
+
+}  // namespace
+
+Status MultiSetIndex::BuildTree(const std::vector<size_t>& leaves,
+                                const FilterRegistry& registry) {
+  size_t tree_levels = 1;
+  std::vector<size_t> level = leaves;
+  while (level.size() > 1) {
+    std::vector<size_t> next;
+    bool aggregated = false;
+    for (size_t begin = 0; begin < level.size();
+         begin += options_.branching) {
+      const size_t end =
+          std::min(begin + options_.branching, level.size());
+      if (end - begin == 1) {
+        // A lone tail node needs no summary of itself.
+        next.push_back(level[begin]);
+        continue;
+      }
+      // Clone the first child as the summary seed, then union the
+      // siblings in. A sibling whose geometry refuses the merge (same
+      // backend name, different spec) is demoted to the scan list —
+      // heterogeneous catalogs degrade, they don't fail.
+      Node parent;
+      Status s = CloneFilter(*nodes_[level[begin]].filter, registry,
+                             &parent.summary);
+      if (!s.ok()) return s;
+      parent.children.push_back(level[begin]);
+      for (size_t c = begin + 1; c < end; ++c) {
+        const size_t child = level[c];
+        if (parent.summary->MergeFrom(*nodes_[child].filter).ok()) {
+          parent.children.push_back(child);
+        } else if (nodes_[child].is_leaf) {
+          scan_leaves_.push_back(child);
+        } else {
+          // One backend name can hold several geometry clusters, each of
+          // which built its own summary; when those summaries refuse to
+          // merge at a higher level, the child is a finished subtree —
+          // finalize it as a root. Degrade, don't fail.
+          roots_.push_back(child);
+        }
+      }
+      if (parent.children.size() == 1) {
+        // Every sibling was demoted: the summary would duplicate its only
+        // child, so promote the child instead.
+        next.push_back(parent.children.front());
+        continue;
+      }
+      if (!SummaryIsDiscriminative(*parent.summary)) {
+        // Saturated union: further aggregation cannot prune. The children
+        // are finished subtrees — finalize them as roots.
+        for (size_t child : parent.children) roots_.push_back(child);
+        continue;
+      }
+      parent.filter = parent.summary.get();
+      nodes_.push_back(std::move(parent));
+      const size_t parent_index = nodes_.size() - 1;
+      for (size_t child : nodes_[parent_index].children) {
+        nodes_[child].parent = parent_index;
+      }
+      next.push_back(parent_index);
+      aggregated = true;
+    }
+    if (!aggregated) {
+      // Nothing combined this round (every chunk saturated or was a lone
+      // tail): whatever is left are roots.
+      roots_.insert(roots_.end(), next.begin(), next.end());
+      levels_ = std::max(levels_, tree_levels);
+      return Status::Ok();
+    }
+    ++tree_levels;
+    level = std::move(next);
+  }
+  if (!level.empty()) roots_.push_back(level.front());
+  levels_ = std::max(levels_, tree_levels);
+  return Status::Ok();
+}
+
+Status MultiSetIndex::Build(SetCatalog* catalog,
+                            const MultiSetIndexOptions& options,
+                            std::unique_ptr<MultiSetIndex>* out) {
+  if (catalog == nullptr || catalog->empty()) {
+    return Status::FailedPrecondition(
+        "MultiSetIndex: cannot index an empty catalog");
+  }
+  if (options.branching < 2) {
+    return Status::InvalidArgument(
+        "MultiSetIndex: branching must be >= 2, got " +
+        std::to_string(options.branching));
+  }
+  auto index = std::unique_ptr<MultiSetIndex>(new MultiSetIndex());
+  index->options_ = options;
+  index->engine_ = BatchQueryEngine(
+      BatchOptions{.batch_size = options.batch_size < 1 ? size_t{1}
+                                                        : options.batch_size});
+  index->id_bound_ = catalog->id_bound();
+
+  // Partition the catalog: mergeable backends group per registry name (one
+  // tree each), everything else scans. Entries() is id-ordered, so ids
+  // within a tree cluster deterministically.
+  std::map<std::string, std::vector<size_t>> groups;
+  for (const SetCatalog::SetEntry* entry : catalog->Entries()) {
+    MembershipFilter* filter = catalog->MutableFilter(entry->id);
+    const size_t leaf = index->MakeLeaf(entry->id, filter);
+    if (!options.force_scan &&
+        (filter->capabilities() & kMergeable) != 0) {
+      groups[std::string(filter->name())].push_back(leaf);
+    } else {
+      index->scan_leaves_.push_back(leaf);
+    }
+  }
+  for (auto& [name, leaves] : groups) {
+    if (leaves.size() < 2) {
+      // A one-set tree is a scan with extra steps.
+      index->scan_leaves_.insert(index->scan_leaves_.end(), leaves.begin(),
+                                 leaves.end());
+      continue;
+    }
+    Status s = index->BuildTree(leaves, FilterRegistry::Global());
+    if (!s.ok()) return s;
+  }
+  if (index->levels_ == 0 && !index->scan_leaves_.empty()) index->levels_ = 1;
+  *out = std::move(index);
+  return Status::Ok();
+}
+
+void MultiSetIndex::WhichSets(std::string_view key, SetIdBitmap* out) const {
+  *out = SetIdBitmap(id_bound_);
+  uint64_t probes = 0;
+  for (size_t leaf : scan_leaves_) {
+    const Node& node = nodes_[leaf];
+    if (!node.live || node.filter == nullptr) continue;
+    ++probes;
+    if (node.filter->Contains(key)) out->Set(node.set_id);
+  }
+  std::vector<size_t> stack(roots_.rbegin(), roots_.rend());
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.is_leaf && (!node.live || node.filter == nullptr)) continue;
+    ++probes;
+    if (!node.filter->Contains(key)) continue;
+    if (node.is_leaf) {
+      out->Set(node.set_id);
+    } else {
+      stack.insert(stack.end(), node.children.rbegin(),
+                   node.children.rend());
+    }
+  }
+  probes_.fetch_add(probes, std::memory_order_relaxed);
+}
+
+void MultiSetIndex::WhichSetsBatch(const std::vector<std::string>& keys,
+                                   std::vector<SetIdBitmap>* out) const {
+  out->assign(keys.size(), SetIdBitmap(id_bound_));
+  if (keys.empty()) return;
+  uint64_t probes = 0;
+  std::vector<uint8_t> results;
+
+  // Scan leaves see every key, in one engine pass per filter.
+  for (size_t leaf : scan_leaves_) {
+    const Node& node = nodes_[leaf];
+    if (!node.live || node.filter == nullptr) continue;
+    probes += keys.size();
+    engine_.ContainsBatch(*node.filter, keys, &results);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (results[i] != 0) (*out)[i].Set(node.set_id);
+    }
+  }
+
+  // Tree descent: each work item is (node, indices of keys still alive for
+  // that subtree). One engine batch per node resolves the whole frontier —
+  // hashes precomputed and windows prefetched across the group — and only
+  // the survivors descend.
+  struct Work {
+    size_t node;
+    std::vector<uint32_t> alive;
+  };
+  std::vector<uint32_t> all(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) all[i] = static_cast<uint32_t>(i);
+  std::vector<Work> queue;
+  queue.reserve(roots_.size());
+  for (size_t root : roots_) queue.push_back(Work{root, all});
+
+  std::vector<std::string> gathered;
+  while (!queue.empty()) {
+    Work work = std::move(queue.back());
+    queue.pop_back();
+    const Node& node = nodes_[work.node];
+    if (node.is_leaf && (!node.live || node.filter == nullptr)) continue;
+    // Roots see the whole frame: probe `keys` directly instead of copying
+    // every string (the single biggest gather, once per root per batch).
+    const bool full_frontier = work.alive.size() == keys.size();
+    if (!full_frontier) {
+      gathered.clear();
+      gathered.reserve(work.alive.size());
+      for (uint32_t i : work.alive) gathered.push_back(keys[i]);
+    }
+    probes += work.alive.size();
+    engine_.ContainsBatch(*node.filter, full_frontier ? keys : gathered,
+                          &results);
+    std::vector<uint32_t> survivors;
+    survivors.reserve(work.alive.size());
+    for (size_t g = 0; g < work.alive.size(); ++g) {
+      if (results[g] != 0) survivors.push_back(work.alive[g]);
+    }
+    if (survivors.empty()) continue;
+    if (node.is_leaf) {
+      for (uint32_t i : survivors) (*out)[i].Set(node.set_id);
+      continue;
+    }
+    for (size_t c = 0; c + 1 < node.children.size(); ++c) {
+      queue.push_back(Work{node.children[c], survivors});
+    }
+    queue.push_back(Work{node.children.back(), std::move(survivors)});
+  }
+  probes_.fetch_add(probes, std::memory_order_relaxed);
+}
+
+Status MultiSetIndex::AddKey(uint32_t set_id, std::string_view key) {
+  auto it = leaf_of_set_.find(set_id);
+  if (it == leaf_of_set_.end()) {
+    return Status::NotFound("MultiSetIndex: no live set with id " +
+                            std::to_string(set_id));
+  }
+  Node& leaf = nodes_[it->second];
+  leaf.filter->Add(key);
+  for (size_t p = leaf.parent; p != kNoParent; p = nodes_[p].parent) {
+    nodes_[p].summary->Add(key);
+  }
+  return Status::Ok();
+}
+
+Status MultiSetIndex::AddKeys(uint32_t set_id,
+                              const std::vector<std::string>& keys) {
+  for (const auto& key : keys) {
+    Status s = AddKey(set_id, key);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status MultiSetIndex::RemoveSet(uint32_t set_id) {
+  auto it = leaf_of_set_.find(set_id);
+  if (it == leaf_of_set_.end()) {
+    return Status::NotFound("MultiSetIndex: no live set with id " +
+                            std::to_string(set_id));
+  }
+  Node& leaf = nodes_[it->second];
+  leaf.live = false;
+  leaf.filter = nullptr;  // the catalog is about to free it
+  scan_leaves_.erase(
+      std::remove(scan_leaves_.begin(), scan_leaves_.end(), it->second),
+      scan_leaves_.end());
+  leaf_of_set_.erase(it);
+  return Status::Ok();
+}
+
+void MultiSetIndex::PrepareForConstReads() {
+  for (Node& node : nodes_) {
+    if (node.filter != nullptr) node.filter->PrepareForConstReads();
+  }
+}
+
+MultiSetIndex::Stats MultiSetIndex::stats() const {
+  Stats stats;
+  stats.sets = leaf_of_set_.size();
+  stats.trees = roots_.size();
+  stats.levels = levels_;
+  stats.probes = probes_.load(std::memory_order_relaxed);
+  for (const Node& node : nodes_) {
+    if (node.is_leaf) continue;
+    ++stats.summary_nodes;
+    stats.summary_memory_bytes += node.summary->memory_bytes();
+  }
+  for (size_t leaf : scan_leaves_) {
+    if (nodes_[leaf].live) ++stats.scan_leaves;
+  }
+  stats.tree_leaves = stats.sets - stats.scan_leaves;
+  return stats;
+}
+
+}  // namespace shbf

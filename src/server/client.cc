@@ -227,6 +227,95 @@ Status ShbfClient::List(std::vector<FilterInfo>* filters) {
   return Status::Ok();
 }
 
+Status ShbfClient::WhichSets(const std::vector<std::string>& keys,
+                             std::vector<std::vector<uint32_t>>* results) {
+  std::string body;
+  std::string_view payload;
+  Status s = RoundTrip(wire::BuildWhichSets(keys), &body, &payload);
+  if (!s.ok()) return s;
+  ByteReader reader(payload);
+  uint64_t count = 0;
+  if (!reader.GetU64(&count) || count != keys.size()) {
+    return Status::Internal("malformed WHICH_SETS response");
+  }
+  results->clear();
+  results->resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t ids = 0;
+    if (!reader.GetU32(&ids) || ids > reader.remaining() / 4) {
+      return Status::Internal("malformed WHICH_SETS response");
+    }
+    (*results)[i].resize(ids);
+    for (uint32_t j = 0; j < ids; ++j) reader.GetU32(&(*results)[i][j]);
+  }
+  if (!reader.AtEnd()) return Status::Internal("malformed WHICH_SETS response");
+  return Status::Ok();
+}
+
+Status ShbfClient::IndexAdd(std::string_view set,
+                            const std::vector<std::string>& keys,
+                            uint64_t* added) {
+  std::string body;
+  std::string_view payload;
+  Status s = RoundTrip(
+      wire::BuildKeysRequest(wire::Opcode::kIndexAdd, set, keys), &body,
+      &payload);
+  if (!s.ok()) return s;
+  ByteReader reader(payload);
+  uint64_t count = 0;
+  if (!reader.GetU64(&count) || !reader.AtEnd()) {
+    return Status::Internal("malformed INDEX_ADD response");
+  }
+  if (added != nullptr) *added = count;
+  return Status::Ok();
+}
+
+Status ShbfClient::IndexDrop(std::string_view set, uint64_t* remaining) {
+  std::string body;
+  std::string_view payload;
+  Status s = RoundTrip(wire::BuildNameRequest(wire::Opcode::kIndexDrop, set),
+                       &body, &payload);
+  if (!s.ok()) return s;
+  ByteReader reader(payload);
+  uint64_t count = 0;
+  if (!reader.GetU64(&count) || !reader.AtEnd()) {
+    return Status::Internal("malformed INDEX_DROP response");
+  }
+  if (remaining != nullptr) *remaining = count;
+  return Status::Ok();
+}
+
+Status ShbfClient::MultisetList(MultisetInfo* info) {
+  std::string body;
+  std::string_view payload;
+  Status s = RoundTrip(wire::BuildEmptyRequest(wire::Opcode::kMultisetList),
+                       &body, &payload);
+  if (!s.ok()) return s;
+  ByteReader reader(payload);
+  uint32_t count = 0;
+  MultisetInfo parsed;
+  if (!reader.GetU32(&count) || !reader.GetU32(&parsed.trees) ||
+      !reader.GetU32(&parsed.scan_leaves) || !reader.GetU32(&parsed.levels) ||
+      !reader.GetU64(&parsed.summary_memory_bytes)) {
+    return Status::Internal("malformed MULTISET_LIST response");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    MultisetInfo::Set set;
+    if (!reader.GetU32(&set.id) ||
+        !wire::ReadString(&reader, wire::kMaxNameBytes, &set.name) ||
+        !wire::ReadString(&reader, wire::kMaxNameBytes, &set.registry_name) ||
+        !reader.GetU64(&set.elements)) {
+      return Status::Internal("malformed MULTISET_LIST response");
+    }
+    parsed.sets.push_back(std::move(set));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Internal("malformed MULTISET_LIST response");
+  }
+  *info = std::move(parsed);
+  return Status::Ok();
+}
+
 Status ShbfClient::Snapshot(std::string_view filter, std::string_view path,
                             uint64_t* bytes_written, std::string* path_used) {
   std::string body;

@@ -35,7 +35,7 @@ class ShbfClient {
   void Close();
   bool connected() const { return fd_ >= 0; }
 
-  /// "shbf_server 0.4.0" — from the HELLO response.
+  /// "shbf_server 0.5.0" — from the HELLO response.
   const std::string& server_version() const { return server_version_; }
 
   /// Batched membership: `results` is resized to keys.size(); entry i is
@@ -70,6 +70,39 @@ class ShbfClient {
 
   Status Stats(std::string_view filter, FilterInfo* info);
   Status List(std::vector<FilterInfo>* filters);
+
+  /// Batched multiset query: `results` is resized to keys.size(); entry i
+  /// receives the ascending catalog set ids that (possibly) contain
+  /// keys[i]. Fails with kFailedPrecondition when the server serves no
+  /// catalog (WHICH_SETS opcode, protocol v2).
+  Status WhichSets(const std::vector<std::string>& keys,
+                   std::vector<std::vector<uint32_t>>* results);
+
+  /// Adds keys to catalog set `set`; the server maintains the index
+  /// incrementally (leaf + every summary on its root path).
+  Status IndexAdd(std::string_view set, const std::vector<std::string>& keys,
+                  uint64_t* added = nullptr);
+
+  /// Drops catalog set `set` from the index and the catalog; `*remaining`
+  /// (optional) receives the surviving set count.
+  Status IndexDrop(std::string_view set, uint64_t* remaining = nullptr);
+
+  /// The MULTISET_LIST record: index shape plus one row per catalog set.
+  struct MultisetInfo {
+    struct Set {
+      uint32_t id = 0;
+      std::string name;
+      std::string registry_name;
+      uint64_t elements = 0;
+    };
+    std::vector<Set> sets;
+    uint32_t trees = 0;        ///< summary-tree roots probed per query
+    uint32_t scan_leaves = 0;  ///< sets probed brute-force
+    uint32_t levels = 0;       ///< deepest tree
+    uint64_t summary_memory_bytes = 0;
+  };
+
+  Status MultisetList(MultisetInfo* info);
 
   /// Serializes the served filter to `path` on the SERVER's filesystem
   /// (empty path = the server's remembered path for this filter).

@@ -95,9 +95,18 @@ std::string BuildPathRequest(Opcode opcode, std::string_view filter,
   return Frame(writer.Take());
 }
 
-std::string BuildList() {
+std::string BuildEmptyRequest(Opcode opcode) {
   ByteWriter writer;
-  writer.PutU8(static_cast<uint8_t>(Opcode::kList));
+  writer.PutU8(static_cast<uint8_t>(opcode));
+  return Frame(writer.Take());
+}
+
+std::string BuildList() { return BuildEmptyRequest(Opcode::kList); }
+
+std::string BuildWhichSets(const std::vector<std::string>& keys) {
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(Opcode::kWhichSets));
+  serde::WriteKeyList(&writer, keys);
   return Frame(writer.Take());
 }
 

@@ -41,7 +41,14 @@ inline constexpr uint32_t kMagic = 0x51424853;
 /// support gets kVersionMismatch and a close. Adding opcodes or response
 /// fields bumps the version; layout changes to existing frames are not
 /// allowed within a version.
-inline constexpr uint8_t kProtocolVersion = 1;
+///
+/// v2: the multiset opcodes (WHICH_SETS / INDEX_ADD / INDEX_DROP /
+/// MULTISET_LIST, src/multiset/). Frames of v1 are unchanged, so servers
+/// accept [kMinProtocolVersion, kProtocolVersion] and echo the version
+/// each connection will speak — a v1 client keeps working against a v2
+/// server (rolling upgrades), while unknown versions fail loudly.
+inline constexpr uint8_t kProtocolVersion = 2;
+inline constexpr uint8_t kMinProtocolVersion = 1;
 
 /// Hard ceiling on one frame's body. A length prefix above this is answered
 /// with kTooLarge and the connection is dropped without allocating.
@@ -67,6 +74,13 @@ enum class Opcode : uint8_t {
   kList = 6,      ///< (empty) → u32 count + per-filter stats records
   kSnapshot = 7,  ///< name + path → u64 bytes written + path used
   kReload = 8,    ///< name + path → u64 elements
+
+  // ---- v2: the multiset index (one SetCatalog + MultiSetIndex per
+  // server, independent of the named single-set filters above) ----
+  kWhichSets = 9,      ///< key list → per key: u32 count + count × u32 ids
+  kIndexAdd = 10,      ///< set name + key list → u64 added (incremental)
+  kIndexDrop = 11,     ///< set name → u64 remaining sets
+  kMultisetList = 12,  ///< (empty) → index stats + per-set records
 };
 
 /// QUERY flavors (the paper's membership and multiplicity families).
@@ -112,15 +126,19 @@ std::string Frame(std::string body);
 std::string BuildHello();
 std::string BuildQuery(std::string_view filter, QueryMode mode,
                        const std::vector<std::string>& keys);
-/// ADD / REMOVE share the name + key-list payload shape.
+/// ADD / REMOVE / INDEX_ADD share the name + key-list payload shape.
 std::string BuildKeysRequest(Opcode opcode, std::string_view filter,
                              const std::vector<std::string>& keys);
-/// STATS (and any future single-name request).
+/// STATS / INDEX_DROP (and any future single-name request).
 std::string BuildNameRequest(Opcode opcode, std::string_view filter);
 /// SNAPSHOT / RELOAD: name + path (empty path = server-remembered path).
 std::string BuildPathRequest(Opcode opcode, std::string_view filter,
                              std::string_view path);
+/// LIST / MULTISET_LIST (and any future empty-payload request).
+std::string BuildEmptyRequest(Opcode opcode);
 std::string BuildList();
+/// WHICH_SETS: a bare key list (the multiset index is server-global).
+std::string BuildWhichSets(const std::vector<std::string>& keys);
 
 // -------------------------------------------------- response builders ----
 

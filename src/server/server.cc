@@ -73,10 +73,41 @@ Status ShbfServer::LoadFilter(std::string serve_name,
   return RegisterFilter(std::move(serve_name), std::move(filter), path);
 }
 
+Status ShbfServer::ServeCatalog(SetCatalog catalog,
+                                const MultiSetIndexOptions& options) {
+  if (running()) {
+    return Status::FailedPrecondition(
+        "ServeCatalog: the multiset index is frozen while serving");
+  }
+  if (multiset_ != nullptr) {
+    return Status::AlreadyExists("ServeCatalog: a catalog is already served");
+  }
+  std::unique_ptr<MultiSetIndex> index;
+  SetCatalog own = std::move(catalog);
+  Status s = MultiSetIndex::Build(&own, options, &index);
+  if (!s.ok()) return s;
+  index->PrepareForConstReads();
+  catalog_ = std::move(own);
+  multiset_ = std::move(index);
+  return Status::Ok();
+}
+
+Status ShbfServer::LoadCatalog(const std::string& path,
+                               const MultiSetIndexOptions& options) {
+  std::string blob;
+  Status s = ReadFileToString(path, &blob);
+  if (!s.ok()) return s;
+  SetCatalog catalog;
+  s = SetCatalog::Deserialize(blob, FilterRegistry::Global(), &catalog);
+  if (!s.ok()) return s;
+  return ServeCatalog(std::move(catalog), options);
+}
+
 Status ShbfServer::Start() {
   if (running()) return Status::FailedPrecondition("Start: already running");
-  if (served_.empty()) {
-    return Status::FailedPrecondition("Start: no filters registered");
+  if (served_.empty() && multiset_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Start: no filters registered and no catalog served");
   }
   Status s;
   listen_fd_ = net::ListenTcp(options_.bind_address, options_.port, &s);
@@ -223,6 +254,14 @@ ShbfServer::Response ShbfServer::HandleRequest(std::string_view body,
       return HandleSnapshot(&reader);
     case wire::Opcode::kReload:
       return HandleReload(&reader);
+    case wire::Opcode::kWhichSets:
+      return HandleWhichSets(&reader);
+    case wire::Opcode::kIndexAdd:
+      return HandleIndexAdd(&reader);
+    case wire::Opcode::kIndexDrop:
+      return HandleIndexDrop(&reader);
+    case wire::Opcode::kMultisetList:
+      return HandleMultisetList();
   }
   return Error(wire::WireStatus::kUnknownOpcode,
                "unknown opcode " + std::to_string(opcode_byte));
@@ -239,15 +278,20 @@ ShbfServer::Response ShbfServer::HandleHello(ByteReader* reader,
   if (magic != wire::kMagic) {
     return Error(wire::WireStatus::kBadFrame, "bad HELLO magic");
   }
-  if (version != wire::kProtocolVersion) {
+  // v2 only ADDED opcodes, so every older client's frames are still served
+  // verbatim — accept 1..kProtocolVersion and echo the version this
+  // connection will speak. Unknown (future/zero) versions stay loud.
+  if (version < wire::kMinProtocolVersion ||
+      version > wire::kProtocolVersion) {
     return Error(wire::WireStatus::kVersionMismatch,
                  "client speaks protocol " + std::to_string(version) +
                      ", server supports " +
+                     std::to_string(wire::kMinProtocolVersion) + ".." +
                      std::to_string(wire::kProtocolVersion));
   }
   *hello_done = true;
   ByteWriter writer;
-  writer.PutU8(wire::kProtocolVersion);
+  writer.PutU8(version);
   wire::WriteString(&writer, std::string("shbf_server ") + kShbfVersion);
   return Response{wire::BuildOk(writer.Take()), false};
 }
@@ -476,6 +520,157 @@ ShbfServer::Response ShbfServer::HandleReload(ByteReader* reader) {
   }
   ByteWriter writer;
   writer.PutU64(elements);
+  return Response{wire::BuildOk(writer.Take()), false};
+}
+
+ShbfServer::Response ShbfServer::HandleWhichSets(ByteReader* reader) {
+  std::vector<std::string> keys;
+  if (!serde::ReadKeyList(reader, &keys) || !reader->AtEnd()) {
+    return Error(wire::WireStatus::kBadFrame,
+                 "WHICH_SETS: malformed key list");
+  }
+  if (keys.size() > options_.max_keys_per_frame) {
+    return Error(wire::WireStatus::kTooLarge,
+                 "WHICH_SETS: " + std::to_string(keys.size()) +
+                     " keys exceed the per-frame limit");
+  }
+  std::vector<SetIdBitmap> answers;
+  {
+    std::shared_lock<std::shared_mutex> lock(multiset_mu_);
+    if (multiset_ == nullptr) {
+      return Error(wire::WireStatus::kUnsupported,
+                   "WHICH_SETS: no multiset catalog is served");
+    }
+    // Scratch for this opcode scales with keys × id_bound (one bitmap per
+    // key), which the per-frame KEY limit alone does not bound: against a
+    // 2^20-id catalog, a maximal frame would allocate >100 GiB before the
+    // response-size guard below could run. Budget the product up front.
+    constexpr size_t kMaxScratchBytes = size_t{256} << 20;  // 256 MiB
+    const size_t bitmap_bytes = (multiset_->id_bound() + 7) / 8;
+    if (bitmap_bytes != 0 && keys.size() > kMaxScratchBytes / bitmap_bytes) {
+      return Error(wire::WireStatus::kTooLarge,
+                   "WHICH_SETS: " + std::to_string(keys.size()) +
+                       " keys against a " +
+                       std::to_string(multiset_->id_bound()) +
+                       "-id catalog exceed the per-frame answer budget; "
+                       "send fewer keys per frame");
+    }
+    multiset_->WhichSetsBatch(keys, &answers);
+  }
+  // WHICH_SETS is the first response whose size scales with the ANSWER
+  // (keys × matching ids), not just the request: bound it while building,
+  // or a legal frame against a many-set catalog could produce a response
+  // the peer must reject — and past 4 GiB, one whose u32 length prefix
+  // silently wraps.
+  ByteWriter writer;
+  writer.PutU64(answers.size());
+  for (const SetIdBitmap& bitmap : answers) {
+    const std::vector<uint32_t> ids = bitmap.ToIds();
+    writer.PutU32(static_cast<uint32_t>(ids.size()));
+    for (uint32_t id : ids) writer.PutU32(id);
+    if (writer.size() + 1 > options_.max_frame_bytes) {  // +1: status byte
+      return Error(wire::WireStatus::kTooLarge,
+                   "WHICH_SETS: response exceeds the frame limit; send "
+                   "fewer keys per frame");
+    }
+  }
+  keys_queried_.fetch_add(keys.size(), std::memory_order_relaxed);
+  return Response{wire::BuildOk(writer.Take()), false};
+}
+
+ShbfServer::Response ShbfServer::HandleIndexAdd(ByteReader* reader) {
+  std::string name;
+  if (!wire::ReadString(reader, wire::kMaxNameBytes, &name)) {
+    return Error(wire::WireStatus::kBadFrame, "INDEX_ADD: malformed name");
+  }
+  std::vector<std::string> keys;
+  if (!serde::ReadKeyList(reader, &keys) || !reader->AtEnd()) {
+    return Error(wire::WireStatus::kBadFrame,
+                 "INDEX_ADD: malformed key list");
+  }
+  if (keys.size() > options_.max_keys_per_frame) {
+    return Error(wire::WireStatus::kTooLarge,
+                 "INDEX_ADD: " + std::to_string(keys.size()) +
+                     " keys exceed the per-frame limit");
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(multiset_mu_);
+    if (multiset_ == nullptr) {
+      return Error(wire::WireStatus::kUnsupported,
+                   "INDEX_ADD: no multiset catalog is served");
+    }
+    const SetCatalog::SetEntry* entry = catalog_.Find(name);
+    if (entry == nullptr) {
+      return Error(wire::WireStatus::kUnknownFilter,
+                   "INDEX_ADD: no set named '" + name + "'");
+    }
+    Status s = multiset_->AddKeys(entry->id, keys);
+    if (!s.ok()) {
+      return Error(wire::WireStatus::kInternal, "INDEX_ADD: " + s.ToString());
+    }
+    // Fold any deferred rebuild into this writer section, so WHICH_SETS
+    // reads stay pure under the shared lock.
+    multiset_->PrepareForConstReads();
+  }
+  ByteWriter writer;
+  writer.PutU64(keys.size());
+  return Response{wire::BuildOk(writer.Take()), false};
+}
+
+ShbfServer::Response ShbfServer::HandleIndexDrop(ByteReader* reader) {
+  std::string name;
+  if (!wire::ReadString(reader, wire::kMaxNameBytes, &name) ||
+      !reader->AtEnd()) {
+    return Error(wire::WireStatus::kBadFrame, "INDEX_DROP: malformed name");
+  }
+  uint64_t remaining = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(multiset_mu_);
+    if (multiset_ == nullptr) {
+      return Error(wire::WireStatus::kUnsupported,
+                   "INDEX_DROP: no multiset catalog is served");
+    }
+    const SetCatalog::SetEntry* entry = catalog_.Find(name);
+    if (entry == nullptr) {
+      return Error(wire::WireStatus::kUnknownFilter,
+                   "INDEX_DROP: no set named '" + name + "'");
+    }
+    // Index first (it drops its pointer), then the catalog frees the
+    // filter — the order the MultiSetIndex contract requires.
+    Status s = multiset_->RemoveSet(entry->id);
+    if (s.ok()) s = catalog_.DropSet(name);
+    if (!s.ok()) {
+      return Error(wire::WireStatus::kInternal,
+                   "INDEX_DROP: " + s.ToString());
+    }
+    remaining = catalog_.size();
+  }
+  ByteWriter writer;
+  writer.PutU64(remaining);
+  return Response{wire::BuildOk(writer.Take()), false};
+}
+
+ShbfServer::Response ShbfServer::HandleMultisetList() {
+  ByteWriter writer;
+  {
+    std::shared_lock<std::shared_mutex> lock(multiset_mu_);
+    if (multiset_ == nullptr) {
+      return Error(wire::WireStatus::kUnsupported,
+                   "MULTISET_LIST: no multiset catalog is served");
+    }
+    const MultiSetIndex::Stats stats = multiset_->stats();
+    writer.PutU32(static_cast<uint32_t>(catalog_.size()));
+    writer.PutU32(static_cast<uint32_t>(stats.trees));
+    writer.PutU32(static_cast<uint32_t>(stats.scan_leaves));
+    writer.PutU32(static_cast<uint32_t>(stats.levels));
+    writer.PutU64(stats.summary_memory_bytes);
+    for (const SetCatalog::SetEntry* entry : catalog_.Entries()) {
+      writer.PutU32(entry->id);
+      wire::WriteString(&writer, entry->name);
+      wire::WriteString(&writer, entry->filter->name());
+      writer.PutU64(entry->filter->num_elements());
+    }
+  }
   return Response{wire::BuildOk(writer.Take()), false};
 }
 

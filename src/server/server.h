@@ -33,9 +33,11 @@
 #include <thread>
 #include <vector>
 
+#include "api/set_catalog.h"
 #include "api/set_query_filter.h"
 #include "core/status.h"
 #include "engine/batch_query_engine.h"
+#include "multiset/multi_set_index.h"
 #include "server/protocol.h"
 
 namespace shbf {
@@ -77,6 +79,17 @@ class ShbfServer {
   /// under `serve_name` with `path` as its remembered source.
   Status LoadFilter(std::string serve_name, const std::string& path);
 
+  /// Serves `catalog` behind a MultiSetIndex: WHICH_SETS answers "which of
+  /// these sets contain key k" and INDEX_ADD / INDEX_DROP maintain the
+  /// index incrementally. One catalog per server; must be called before
+  /// Start(). The catalog is independent of the RegisterFilter namespace.
+  Status ServeCatalog(SetCatalog catalog,
+                      const MultiSetIndexOptions& options = {});
+
+  /// Deserializes a SetCatalog envelope from `path` and serves it.
+  Status LoadCatalog(const std::string& path,
+                     const MultiSetIndexOptions& options = {});
+
   /// Binds, listens, and spawns the acceptor. Fails if no filter is
   /// registered or the address is unusable.
   Status Start();
@@ -94,7 +107,7 @@ class ShbfServer {
   struct Counters {
     uint64_t connections = 0;      ///< accepted since Start
     uint64_t frames = 0;           ///< request frames answered
-    uint64_t keys_queried = 0;     ///< keys across all QUERY frames
+    uint64_t keys_queried = 0;     ///< keys across QUERY + WHICH_SETS frames
     uint64_t protocol_errors = 0;  ///< non-OK responses sent
   };
   Counters counters() const;
@@ -141,6 +154,10 @@ class ShbfServer {
   Response HandleList();
   Response HandleSnapshot(ByteReader* reader);
   Response HandleReload(ByteReader* reader);
+  Response HandleWhichSets(ByteReader* reader);
+  Response HandleIndexAdd(ByteReader* reader);
+  Response HandleIndexDrop(ByteReader* reader);
+  Response HandleMultisetList();
 
   /// Reads the leading filter-name string and resolves it; on failure
   /// returns nullptr with `*error` set to the ready-to-send response.
@@ -158,6 +175,14 @@ class ShbfServer {
   /// Served-name → filter. Shape is frozen by Start(); per-entry state is
   /// guarded by the entry's own lock.
   std::map<std::string, std::unique_ptr<Served>, std::less<>> served_;
+
+  /// The multiset subsystem (null until ServeCatalog/LoadCatalog): catalog
+  /// and index move together under one lock — WHICH_SETS / MULTISET_LIST
+  /// shared, INDEX_ADD / INDEX_DROP exclusive and ending with
+  /// PrepareForConstReads() (same discipline as the per-filter locks).
+  SetCatalog catalog_;
+  std::unique_ptr<MultiSetIndex> multiset_;
+  mutable std::shared_mutex multiset_mu_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

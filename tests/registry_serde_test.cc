@@ -340,5 +340,86 @@ TEST(RegistrySerdeTest, EnvelopeNamesUnknownFilter) {
   EXPECT_FALSE(s.ok());
 }
 
+/// Forges a registry envelope carrying `name` over `payload` (the layout
+/// Serialize writes: SHBR magic, version 3, length-prefixed name, payload).
+std::string ForgeEnvelope(std::string_view name, std::string_view payload) {
+  ByteWriter writer;
+  writer.PutU32(0x52424853);  // "SHBR"
+  writer.PutU8(3);
+  writer.PutU32(static_cast<uint32_t>(name.size()));
+  writer.PutBytes(name.data(), name.size());
+  writer.PutBytes(payload.data(), payload.size());
+  return writer.Take();
+}
+
+TEST(RegistrySerdeTest, CorruptWrapperPrefixBlobsReturnStatusNeverCrash) {
+  // Wrapper envelopes dispatch structurally on their name prefix; hostile
+  // names and garbage payloads must all come back as Status.
+  const auto& registry = FilterRegistry::Global();
+  std::unique_ptr<MembershipFilter> out;
+
+  // Unknown base behind every wrapper prefix (and nested ones).
+  for (const char* name :
+       {"sharded/nope", "dynamic/nope", "scaling/nope",
+        "sharded/dynamic/scaling/nope", "dynamic/sharded/nope"}) {
+    Status s = registry.Deserialize(ForgeEnvelope(name, "junkpayload"), &out);
+    EXPECT_FALSE(s.ok()) << name;
+    EXPECT_EQ(s.code(), Status::Code::kNotFound) << name;
+    EXPECT_NE(s.ToString().find("nope"), std::string::npos)
+        << "error must name the unknown base: " << s.ToString();
+  }
+
+  // A bare wrapper prefix with no base at all ("sharded/" strips to "").
+  EXPECT_FALSE(
+      registry.Deserialize(ForgeEnvelope("sharded/", "junk"), &out).ok());
+
+  // Known base, garbage wrapper payload: the structural deserializers must
+  // reject it (count bombs, truncated nested envelopes) without crashing.
+  for (const char* name :
+       {"sharded/shbf_m", "dynamic/shbf_m", "scaling/shbf_m",
+        "sharded/dynamic/shbf_m"}) {
+    EXPECT_FALSE(
+        registry.Deserialize(ForgeEnvelope(name, "garbage"), &out).ok())
+        << name;
+    EXPECT_FALSE(registry.Deserialize(ForgeEnvelope(name, ""), &out).ok())
+        << name;
+    // A forged huge count/length prefix must not allocate its way to OOM.
+    ByteWriter bomb;
+    bomb.PutU32(0xffffffffu);
+    bomb.PutU64(0xffffffffffffffffull);
+    EXPECT_FALSE(
+        registry.Deserialize(ForgeEnvelope(name, bomb.Take()), &out).ok())
+        << name;
+  }
+}
+
+TEST(RegistrySerdeTest, TruncatedWrapperBlobsAreRejectedAtEveryLength) {
+  // Every proper prefix of a real nested wrapper blob (sharded over
+  // dynamic shards — the deepest envelope nesting Create produces) must
+  // fail with a Status, never crash; same for the nested multiset catalog
+  // envelope that embeds such blobs (set_catalog_test covers its own
+  // layout; here the nested filter blob inside it is the one truncated).
+  const auto& registry = FilterRegistry::Global();
+  FilterSpec spec = TestSpec();
+  spec.shards = 2;
+  spec.delta_capacity = 32;
+  std::unique_ptr<MembershipFilter> filter;
+  ASSERT_TRUE(registry.Create("shbf_m", spec, &filter).ok());
+  for (int i = 0; i < 200; ++i) filter->Add("key-" + std::to_string(i));
+  const std::string blob = FilterRegistry::Serialize(*filter);
+  ASSERT_EQ(filter->name(), "sharded/dynamic/shbf_m");
+
+  std::unique_ptr<MembershipFilter> out;
+  for (size_t len = 0; len < blob.size(); ++len) {
+    Status s = registry.Deserialize(std::string_view(blob).substr(0, len),
+                                    &out);
+    EXPECT_FALSE(s.ok()) << "prefix of " << len << " bytes was accepted";
+  }
+  // The intact blob still round-trips (the sweep didn't test a broken
+  // serializer).
+  ASSERT_TRUE(registry.Deserialize(blob, &out).ok());
+  EXPECT_EQ(out->name(), "sharded/dynamic/shbf_m");
+}
+
 }  // namespace
 }  // namespace shbf

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <memory>
@@ -386,6 +387,249 @@ TEST_F(ServerProtocolTest, StopWithConnectionsOpen) {
   // A post-stop request fails instead of hanging.
   std::vector<uint8_t> results;
   EXPECT_FALSE(idle1.Query("members", {"key-1"}, &results).ok());
+}
+
+TEST_F(ServerProtocolTest, MultisetOpcodesWithoutCatalogAreUnsupported) {
+  // The base fixture serves filters but no catalog: every multiset opcode
+  // answers UNSUPPORTED (an op-level error — the connection keeps serving),
+  // and a malformed WHICH_SETS payload is still a BAD_FRAME.
+  ShbfClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  std::vector<std::vector<uint32_t>> which;
+  EXPECT_EQ(client.WhichSets({"key-1"}, &which).code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(client.IndexAdd("s", {"k"}).code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(client.IndexDrop("s").code(), Status::Code::kFailedPrecondition);
+  ShbfClient::MultisetInfo info;
+  EXPECT_EQ(client.MultisetList(&info).code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_TRUE(client.connected());
+
+  ByteWriter garbage;
+  garbage.PutU8(static_cast<uint8_t>(wire::Opcode::kWhichSets));
+  garbage.PutU64(uint64_t{1} << 60);  // key-count bomb
+  net::CloseFd(
+      ExpectError(wire::Frame(garbage.Take()), wire::WireStatus::kBadFrame));
+  ExpectServerAlive();
+}
+
+/// Builds the deterministic multiset catalog the wire tests serve: sparse
+/// shbf_m sets (tree-indexable) with every 8th set a cuckoo (scan
+/// fallback). Construction is seed-stable, so building it twice yields
+/// bit-identical filters — the local copy is the brute-force reference.
+SetCatalog BuildTestCatalog(size_t num_sets, size_t keys_per_set) {
+  SetCatalog catalog;
+  for (size_t i = 0; i < num_sets; ++i) {
+    FilterSpec spec = FilterSpec::ForKeys(keys_per_set, 64.0, 4);
+    spec.max_count = 8;
+    std::unique_ptr<MembershipFilter> filter;
+    CheckOk(FilterRegistry::Global().Create(
+        i % 8 == 7 ? "cuckoo" : "shbf_m", spec, &filter));
+    for (size_t k = 0; k < keys_per_set; ++k) {
+      filter->Add("s" + std::to_string(i) + "-k" + std::to_string(k));
+    }
+    CheckOk(catalog.AddSet("s" + std::to_string(i), std::move(filter)));
+  }
+  return catalog;
+}
+
+TEST(MultisetServerTest, WhichSetsBitIdenticalToLocalBruteForce) {
+  ShbfServer server;
+  ASSERT_TRUE(server.ServeCatalog(BuildTestCatalog(24, 60)).ok());
+  ASSERT_TRUE(server.Start().ok())
+      << "no filters needed when a catalog is served";
+
+  SetCatalog reference = BuildTestCatalog(24, 60);
+  std::vector<std::string> keys;
+  for (size_t i = 0; i < 24; i += 2) {
+    keys.push_back("s" + std::to_string(i) + "-k0");
+  }
+  for (int i = 0; i < 300; ++i) keys.push_back("absent-" + std::to_string(i));
+
+  ShbfClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  std::vector<std::vector<uint32_t>> which;
+  ASSERT_TRUE(client.WhichSets(keys, &which).ok());
+  ASSERT_EQ(which.size(), keys.size());
+  for (size_t q = 0; q < keys.size(); ++q) {
+    std::vector<uint32_t> want;
+    for (const SetCatalog::SetEntry* entry : reference.Entries()) {
+      if (entry->filter->Contains(keys[q])) want.push_back(entry->id);
+    }
+    EXPECT_EQ(which[q], want) << "wire answer diverges at key " << q;
+  }
+
+  ShbfClient::MultisetInfo info;
+  ASSERT_TRUE(client.MultisetList(&info).ok());
+  EXPECT_EQ(info.sets.size(), 24u);
+  EXPECT_EQ(info.scan_leaves, 3u);  // the cuckoo sets
+  EXPECT_GT(info.trees, 0u);
+  EXPECT_GT(info.summary_memory_bytes, 0u);
+  EXPECT_EQ(info.sets[0].name, "s0");
+  EXPECT_EQ(info.sets[0].elements, 60u);
+}
+
+TEST(MultisetServerTest, IndexAddAndDropMaintainTheIndexIncrementally) {
+  ShbfServer server;
+  ASSERT_TRUE(server.ServeCatalog(BuildTestCatalog(16, 40)).ok());
+  ASSERT_TRUE(server.Start().ok());
+  ShbfClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // Incremental adds are visible to the very next WHICH_SETS, through the
+  // summaries (s2 is a tree leaf) and on the scan path (s7 is a cuckoo).
+  uint64_t added = 0;
+  ASSERT_TRUE(client.IndexAdd("s2", {"fresh-a", "fresh-b"}, &added).ok());
+  EXPECT_EQ(added, 2u);
+  ASSERT_TRUE(client.IndexAdd("s7", {"fresh-a"}).ok());
+  std::vector<std::vector<uint32_t>> which;
+  ASSERT_TRUE(client.WhichSets({"fresh-a", "fresh-b"}, &which).ok());
+  EXPECT_NE(std::find(which[0].begin(), which[0].end(), 2u), which[0].end());
+  EXPECT_NE(std::find(which[0].begin(), which[0].end(), 7u), which[0].end());
+  EXPECT_NE(std::find(which[1].begin(), which[1].end(), 2u), which[1].end());
+
+  EXPECT_EQ(client.IndexAdd("nope", {"k"}).code(), Status::Code::kNotFound);
+
+  // Drops detach the set at once; its id is never reported again.
+  uint64_t remaining = 0;
+  ASSERT_TRUE(client.IndexDrop("s2", &remaining).ok());
+  EXPECT_EQ(remaining, 15u);
+  EXPECT_EQ(client.IndexDrop("s2").code(), Status::Code::kNotFound);
+  ASSERT_TRUE(client.WhichSets({"fresh-a", "s2-k0"}, &which).ok());
+  for (const auto& ids : which) {
+    EXPECT_EQ(std::find(ids.begin(), ids.end(), 2u), ids.end());
+  }
+  ShbfClient::MultisetInfo info;
+  ASSERT_TRUE(client.MultisetList(&info).ok());
+  EXPECT_EQ(info.sets.size(), 15u);
+}
+
+TEST(MultisetServerTest, WhichSetsRespectsTheKeysPerFrameLimit) {
+  ServerOptions options;
+  options.max_keys_per_frame = 4;
+  ShbfServer server(options);
+  ASSERT_TRUE(server.ServeCatalog(BuildTestCatalog(4, 20)).ok());
+  ASSERT_TRUE(server.Start().ok());
+  ShbfClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  std::vector<std::vector<uint32_t>> which;
+  EXPECT_EQ(client.WhichSets({"a", "b", "c", "d", "e"}, &which).code(),
+            Status::Code::kOutOfRange);
+}
+
+TEST(MultisetServerTest, OversizedWhichSetsResponseIsRefusedNotCorrupted) {
+  // The WHICH_SETS response scales with keys × MATCHING ids — heavily
+  // overlapping sets make the answer far larger than the request. A frame
+  // whose answer would blow the frame limit draws TOO_LARGE instead of an
+  // oversized (or, past 4 GiB, length-wrapped) response.
+  SetCatalog catalog;
+  for (int i = 0; i < 16; ++i) {
+    FilterSpec spec = FilterSpec::ForKeys(30, 64.0, 4);
+    std::unique_ptr<MembershipFilter> filter;
+    CheckOk(FilterRegistry::Global().Create("shbf_m", spec, &filter));
+    for (int k = 0; k < 30; ++k) filter->Add("shared-" + std::to_string(k));
+    CheckOk(catalog.AddSet("o" + std::to_string(i), std::move(filter)));
+  }
+  ServerOptions options;
+  options.max_frame_bytes = 512;  // request ~300 B, answer ~2 KB
+  ShbfServer server(options);
+  ASSERT_TRUE(server.ServeCatalog(std::move(catalog)).ok());
+  ASSERT_TRUE(server.Start().ok());
+  ShbfClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  std::vector<std::string> keys;
+  for (int k = 0; k < 20; ++k) keys.push_back("shared-" + std::to_string(k));
+  std::vector<std::vector<uint32_t>> which;
+  EXPECT_EQ(client.WhichSets(keys, &which).code(),
+            Status::Code::kOutOfRange);
+  // TOO_LARGE is fatal: the server closed the connection.
+  EXPECT_EQ(client.WhichSets({"x"}, &which).code(),
+            Status::Code::kFailedPrecondition);  // "not connected"
+}
+
+TEST(MultisetServerTest, OlderProtocolVersionStillServes) {
+  // v2 only added opcodes: a v1 HELLO must be accepted (echoing v1) and
+  // the v1 opcodes must serve; only unknown versions draw the loud
+  // mismatch (covered by HelloBadMagicOrVersion).
+  ShbfServer server;
+  ASSERT_TRUE(server.ServeCatalog(BuildTestCatalog(4, 20)).ok());
+  ASSERT_TRUE(server.Start().ok());
+  Status status;
+  int fd = net::ConnectTcp("127.0.0.1", server.port(), &status);
+  ASSERT_GE(fd, 0) << status.ToString();
+  ByteWriter hello;
+  hello.PutU8(static_cast<uint8_t>(wire::Opcode::kHello));
+  hello.PutU32(wire::kMagic);
+  hello.PutU8(1);  // yesterday's client
+  const std::string hello_frame = wire::Frame(hello.Take());
+  std::string response;
+  ASSERT_TRUE(net::SendAll(fd, hello_frame.data(), hello_frame.size()));
+  ASSERT_EQ(net::ReadFrame(fd, wire::kMaxFrameBytes, &response),
+            net::FrameRead::kOk);
+  ASSERT_GE(response.size(), 2u);
+  EXPECT_EQ(static_cast<wire::WireStatus>(response[0]), wire::WireStatus::kOk);
+  EXPECT_EQ(static_cast<uint8_t>(response[1]), 1)
+      << "server must echo the version this connection speaks";
+  // A v1 opcode still works on the same connection.
+  std::string list = wire::BuildList();
+  ASSERT_TRUE(net::SendAll(fd, list.data(), list.size()));
+  ASSERT_EQ(net::ReadFrame(fd, wire::kMaxFrameBytes, &response),
+            net::FrameRead::kOk);
+  EXPECT_EQ(static_cast<wire::WireStatus>(response[0]), wire::WireStatus::kOk);
+  net::CloseFd(fd);
+}
+
+TEST(MultisetServerTest, ConcurrentWhichSetsReadersAndOneMaintainer) {
+  ShbfServer server;
+  ASSERT_TRUE(server.ServeCatalog(BuildTestCatalog(16, 40)).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      ShbfClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        ++failures;
+        return;
+      }
+      std::vector<std::string> keys;
+      for (int i = 0; i < 64; ++i) keys.push_back("s1-k" + std::to_string(i));
+      for (int round = 0; round < 30; ++round) {
+        std::vector<std::vector<uint32_t>> which;
+        if (!client.WhichSets(keys, &which).ok()) {
+          ++failures;
+          return;
+        }
+        // s1's own keys must always report s1 (no false negatives, even
+        // mid-maintenance).
+        for (int i = 0; i < 40; ++i) {
+          if (std::find(which[i].begin(), which[i].end(), 1u) ==
+              which[i].end()) {
+            ++failures;
+            return;
+          }
+        }
+      }
+    });
+  }
+  std::thread maintainer([&] {
+    ShbfClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) {
+      ++failures;
+      return;
+    }
+    for (int round = 0; round < 30; ++round) {
+      if (!client.IndexAdd("s3", {"churn-" + std::to_string(round)}).ok()) {
+        ++failures;
+        return;
+      }
+    }
+  });
+  for (auto& reader : readers) reader.join();
+  maintainer.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,190 @@
+// SetCatalog: stable ids across add/drop/rename, envelope round trips with
+// nested registry blobs, and hostile-input rejection (truncations, count
+// bombs, aliased ids) — the serde half of the multiset subsystem's
+// robustness story (the index half lives in multi_set_index_test.cc).
+
+#include "api/set_catalog.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/filter_registry.h"
+#include "api/filter_spec.h"
+
+namespace shbf {
+namespace {
+
+std::unique_ptr<MembershipFilter> MakeFilter(const std::string& name,
+                                             size_t keys = 200) {
+  FilterSpec spec = FilterSpec::ForKeys(keys, 12.0, 8);
+  spec.max_count = 8;
+  std::unique_ptr<MembershipFilter> filter;
+  CheckOk(FilterRegistry::Global().Create(name, spec, &filter));
+  return filter;
+}
+
+SetCatalog MakeCatalog(const std::vector<std::string>& names) {
+  SetCatalog catalog;
+  for (size_t i = 0; i < names.size(); ++i) {
+    auto filter = MakeFilter("shbf_m");
+    for (int k = 0; k < 50; ++k) {
+      filter->Add(names[i] + "-key-" + std::to_string(k));
+    }
+    CheckOk(catalog.AddSet(names[i], std::move(filter)));
+  }
+  return catalog;
+}
+
+TEST(SetCatalogTest, IdsAreStableAndNeverReused) {
+  SetCatalog catalog = MakeCatalog({"a", "b", "c"});
+  EXPECT_EQ(catalog.Find("a")->id, 0u);
+  EXPECT_EQ(catalog.Find("b")->id, 1u);
+  EXPECT_EQ(catalog.Find("c")->id, 2u);
+  EXPECT_EQ(catalog.id_bound(), 3u);
+
+  ASSERT_TRUE(catalog.DropSet("b").ok());
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog.FindById(1), nullptr);
+
+  uint32_t id = 0;
+  ASSERT_TRUE(catalog.AddSet("d", MakeFilter("bloom"), &id).ok());
+  EXPECT_EQ(id, 3u) << "dropped ids must stay dead";
+  EXPECT_EQ(catalog.id_bound(), 4u);
+
+  // Duplicate and missing names are surfaced as Status, not crashes.
+  EXPECT_EQ(catalog.AddSet("a", MakeFilter("bloom")).code(),
+            Status::Code::kAlreadyExists);
+  EXPECT_EQ(catalog.DropSet("nope").code(), Status::Code::kNotFound);
+  EXPECT_EQ(catalog.AddSet("", MakeFilter("bloom")).code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(catalog.AddSet("x", nullptr).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(SetCatalogTest, RenameKeepsIdAndFilter) {
+  SetCatalog catalog = MakeCatalog({"a", "b"});
+  const MembershipFilter* filter = catalog.Find("a")->filter.get();
+  ASSERT_TRUE(catalog.RenameSet("a", "alpha").ok());
+  EXPECT_EQ(catalog.Find("a"), nullptr);
+  ASSERT_NE(catalog.Find("alpha"), nullptr);
+  EXPECT_EQ(catalog.Find("alpha")->id, 0u);
+  EXPECT_EQ(catalog.Find("alpha")->filter.get(), filter);
+  EXPECT_EQ(catalog.RenameSet("alpha", "b").code(),
+            Status::Code::kAlreadyExists);
+  EXPECT_EQ(catalog.RenameSet("nope", "x").code(), Status::Code::kNotFound);
+  EXPECT_TRUE(catalog.RenameSet("b", "b").ok());
+}
+
+TEST(SetCatalogTest, RoundTripsThroughBytesWithMixedBackends) {
+  SetCatalog catalog;
+  for (const char* spec : {"shbf_m", "bloom", "cuckoo", "shbf_x"}) {
+    auto filter = MakeFilter(spec);
+    for (int k = 0; k < 100; ++k) {
+      filter->Add(std::string(spec) + "-key-" + std::to_string(k));
+    }
+    CheckOk(catalog.AddSet(spec, std::move(filter)));
+  }
+  CheckOk(catalog.DropSet("bloom"));  // a hole in the id space round trips
+
+  const std::string blob = catalog.Serialize();
+  SetCatalog restored;
+  ASSERT_TRUE(
+      SetCatalog::Deserialize(blob, FilterRegistry::Global(), &restored)
+          .ok());
+  EXPECT_EQ(restored.size(), 3u);
+  EXPECT_EQ(restored.id_bound(), catalog.id_bound());
+  for (const char* spec : {"shbf_m", "cuckoo", "shbf_x"}) {
+    const auto* entry = restored.Find(spec);
+    ASSERT_NE(entry, nullptr) << spec;
+    EXPECT_EQ(entry->id, catalog.Find(spec)->id);
+    for (int k = 0; k < 100; ++k) {
+      EXPECT_TRUE(entry->filter->Contains(std::string(spec) + "-key-" +
+                                          std::to_string(k)))
+          << spec << " lost key " << k;
+    }
+  }
+  // New ids continue past the restored bound.
+  uint32_t id = 0;
+  ASSERT_TRUE(restored.AddSet("new", MakeFilter("bloom"), &id).ok());
+  EXPECT_EQ(id, 4u);
+}
+
+TEST(SetCatalogTest, HostileBlobsReturnStatusNeverCrash) {
+  SetCatalog catalog = MakeCatalog({"a", "b", "c"});
+  const std::string blob = catalog.Serialize();
+  const FilterRegistry& registry = FilterRegistry::Global();
+  SetCatalog out;
+
+  // Truncation at every prefix length must fail cleanly (the full blob is
+  // the only valid prefix).
+  for (size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_FALSE(SetCatalog::Deserialize(std::string_view(blob).substr(0, len),
+                                         registry, &out)
+                     .ok())
+        << "prefix of " << len << " bytes was accepted";
+  }
+
+  // Trailing garbage is rejected too.
+  EXPECT_FALSE(SetCatalog::Deserialize(blob + "x", registry, &out).ok());
+
+  // Wrong magic / version byte.
+  std::string bad_magic = blob;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(SetCatalog::Deserialize(bad_magic, registry, &out).ok());
+  std::string bad_version = blob;
+  bad_version[4] = 99;
+  Status s = SetCatalog::Deserialize(bad_version, registry, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("version"), std::string::npos);
+
+  // Count bomb: a forged set count the input cannot satisfy must be
+  // rejected before any allocation loop runs.
+  std::string bombed = blob;
+  for (int i = 0; i < 4; ++i) bombed[9 + i] = static_cast<char>(0xff);
+  s = SetCatalog::Deserialize(bombed, registry, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("impossible"), std::string::npos);
+
+  // Corrupting a nested filter envelope surfaces the registry's own
+  // diagnosis wrapped in the set's name.
+  std::string bad_nested = blob;
+  // First record starts at offset 13: id u32 + name length u32 + "a" +
+  // blob length u32; the nested envelope magic sits right after.
+  const size_t nested_magic = 13 + 4 + 4 + 1 + 4;
+  bad_nested[nested_magic] = 'Z';
+  s = SetCatalog::Deserialize(bad_nested, registry, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("'a'"), std::string::npos);
+}
+
+TEST(SetCatalogTest, ForgedIdBoundIsRejected) {
+  // id_bound() sizes every SetIdBitmap the index allocates per answer, so
+  // a blob forging a huge next_id (with otherwise-valid records) is a
+  // memory-amplification bomb and must be rejected outright.
+  SetCatalog catalog = MakeCatalog({"a"});
+  std::string blob = catalog.Serialize();
+  for (int i = 0; i < 4; ++i) blob[5 + i] = static_cast<char>(0xfe);
+  SetCatalog out;
+  Status s = SetCatalog::Deserialize(blob, FilterRegistry::Global(), &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("id-space limit"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(SetCatalogTest, AliasedOrOutOfOrderIdsAreRejected) {
+  SetCatalog catalog = MakeCatalog({"a", "b"});
+  std::string blob = catalog.Serialize();
+  // Record 0's id field (offset 13): forge it to 1 so it collides with
+  // record 1 / breaks the strictly-increasing invariant.
+  blob[13] = 1;
+  SetCatalog out;
+  Status s = SetCatalog::Deserialize(blob, FilterRegistry::Global(), &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("out-of-order"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shbf

@@ -21,10 +21,18 @@
 //       (bench/batch_throughput.cc is the bigger, CSV-emitting sibling).
 //   shbf_cli --filter=<name>
 //       shorthand for `selftest --filter=<name>`.
+//   shbf_cli multiset build <catalog.shbc> <set>=<keys.txt> ...
+//   shbf_cli multiset query <catalog.shbc> <keys.txt> [--scan]
+//   shbf_cli multiset stats <catalog.shbc>
+//       the multi-set subsystem (docs/multiset.md): build a SetCatalog of
+//       named sets, answer "which sets contain key k" through the
+//       Bloofi-style MultiSetIndex (or the brute-force scan with --scan),
+//       and inspect a catalog's index shape.
 //   shbf_cli remote <host:port> <op> ...
 //       drives a running shbf_server over the wire protocol
 //       (docs/serving.md): list, stats, query (--count), add, remove,
-//       snapshot, reload.
+//       snapshot, reload, which-sets, index-add, index-drop,
+//       multiset-list.
 //   shbf_cli --help | --version
 //
 // Legacy blobs written by older versions (raw ShbfM/BloomFilter wire format,
@@ -34,6 +42,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <random>
@@ -43,6 +52,7 @@
 #include <vector>
 
 #include "api/filter_registry.h"
+#include "api/set_catalog.h"
 #include "baselines/bloom_filter.h"
 #include "bench_util/timer.h"
 #include "core/file_io.h"
@@ -50,6 +60,7 @@
 #include "core/version.h"
 #include "engine/batch_query_engine.h"
 #include "engine/sharded_filter.h"
+#include "multiset/multi_set_index.h"
 #include "server/client.h"
 #include "shbf/shbf_membership.h"
 
@@ -76,6 +87,12 @@ void PrintUsage(std::FILE* out) {
       "  shbf_cli bench [--filter=<name>] [--keys=N] [--bits-per-key=12] "
       "[--k=8]\n"
       "                 [--batch=32] [--shards=8] [--threads=4]\n"
+      "  shbf_cli multiset build <catalog.shbc> <set>=<keys.txt> ...\n"
+      "                 [--filter=shbf_m] [--bits-per-key=64] [--k=4] "
+      "[--seed=N]\n"
+      "  shbf_cli multiset query <catalog.shbc> <keys.txt> [--scan] "
+      "[--branching=8]\n"
+      "  shbf_cli multiset stats <catalog.shbc> [--branching=8]\n"
       "  shbf_cli remote <host:port> list\n"
       "  shbf_cli remote <host:port> stats <name>\n"
       "  shbf_cli remote <host:port> query <name> <keys.txt> [--count]\n"
@@ -83,9 +100,16 @@ void PrintUsage(std::FILE* out) {
       "  shbf_cli remote <host:port> remove <name> <keys.txt>\n"
       "  shbf_cli remote <host:port> snapshot <name> [<server-path>]\n"
       "  shbf_cli remote <host:port> reload <name> [<server-path>]\n"
+      "  shbf_cli remote <host:port> which-sets <keys.txt>\n"
+      "  shbf_cli remote <host:port> index-add <set> <keys.txt>\n"
+      "  shbf_cli remote <host:port> index-drop <set>\n"
+      "  shbf_cli remote <host:port> multiset-list\n"
       "  shbf_cli --filter=<name>        (selftest for one filter)\n"
       "  shbf_cli --help | --version\n"
-      "remote drives a running shbf_server (wire protocol: "
+      "multiset answers \"which of my N sets contain key k\" over a "
+      "SetCatalog\n"
+      "(docs/multiset.md); remote drives a running shbf_server (wire "
+      "protocol:\n"
       "docs/serving.md).\n"
       "filters: ");
   for (const auto& name : FilterRegistry::Global().Names()) {
@@ -419,6 +443,203 @@ int Bench(const BenchOptions& options) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// multiset — SetCatalog + MultiSetIndex front end (docs/multiset.md)
+// ---------------------------------------------------------------------------
+
+struct MultisetOptions {
+  std::string filter_name = "shbf_m";
+  // Indexable catalogs are built SPARSE by default: summary nodes are
+  // bitwise unions of their children, so leaves need headroom before the
+  // tree can prune (docs/multiset.md, "tree vs scan").
+  double bits_per_key = 64.0;
+  uint32_t num_hashes = 4;
+  uint64_t seed = kDefaultSeed;
+  size_t branching = 8;
+  bool scan = false;
+};
+
+int MultisetBuild(const std::string& catalog_path,
+                  const std::vector<std::string>& set_args,
+                  const MultisetOptions& options) {
+  SetCatalog catalog;
+  for (const std::string& arg : set_args) {
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == arg.size()) {
+      std::fprintf(stderr, "error: multiset build needs <set>=<keys.txt>, "
+                           "got '%s'\n", arg.c_str());
+      return 2;
+    }
+    const std::string set_name = arg.substr(0, eq);
+    std::vector<std::string> keys;
+    Status s = ReadLines(arg.substr(eq + 1), &keys);
+    if (!s.ok() || keys.empty()) {
+      std::fprintf(stderr, "error: set '%s': %s\n", set_name.c_str(),
+                   s.ok() ? "no keys in input" : s.ToString().c_str());
+      return 1;
+    }
+    FilterSpec spec = FilterSpec::ForKeys(keys.size(), options.bits_per_key,
+                                          options.num_hashes);
+    spec.seed = options.seed;
+    spec.max_count = 8;
+    std::unique_ptr<MembershipFilter> filter;
+    s = FilterRegistry::Global().Create(options.filter_name, spec, &filter);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    for (const auto& key : keys) filter->Add(key);
+    uint32_t id = 0;
+    s = catalog.AddSet(set_name, std::move(filter), &id);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("set %-3u %-24s %zu keys\n", id, set_name.c_str(),
+                keys.size());
+  }
+  const std::string blob = catalog.Serialize();
+  Status s = WriteStringToFile(catalog_path, blob);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("built catalog: %zu set(s), %zu bytes in memory -> %s "
+              "(%zu bytes on disk)\n",
+              catalog.size(), catalog.memory_bytes(), catalog_path.c_str(),
+              blob.size());
+  return 0;
+}
+
+Status LoadCatalogAndIndex(const std::string& catalog_path,
+                           const MultisetOptions& options,
+                           SetCatalog* catalog,
+                           std::unique_ptr<MultiSetIndex>* index) {
+  std::string blob;
+  Status s = ReadFileToString(catalog_path, &blob);
+  if (!s.ok()) return s;
+  s = SetCatalog::Deserialize(blob, FilterRegistry::Global(), catalog);
+  if (!s.ok()) return s;
+  MultiSetIndexOptions index_options;
+  index_options.branching = options.branching;
+  index_options.force_scan = options.scan;
+  return MultiSetIndex::Build(catalog, index_options, index);
+}
+
+int MultisetQuery(const std::string& catalog_path,
+                  const std::string& keys_path,
+                  const MultisetOptions& options) {
+  SetCatalog catalog;
+  std::unique_ptr<MultiSetIndex> index;
+  Status s = LoadCatalogAndIndex(catalog_path, options, &catalog, &index);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::vector<std::string> keys;
+  s = ReadLines(keys_path, &keys);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::vector<SetIdBitmap> answers;
+  index->WhichSetsBatch(keys, &answers);
+  size_t hits = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    std::string names;
+    for (uint32_t id : answers[i].ToIds()) {
+      if (!names.empty()) names += ',';
+      names += catalog.FindById(id)->name;
+    }
+    hits += names.empty() ? 0 : 1;
+    std::printf("%s\t%s\n", keys[i].c_str(),
+                names.empty() ? "-" : names.c_str());
+  }
+  const MultiSetIndex::Stats stats = index->stats();
+  std::fprintf(stderr,
+               "%zu/%zu keys in >= 1 set; %llu filter probes over %zu sets "
+               "(%s mode)\n",
+               hits, keys.size(),
+               static_cast<unsigned long long>(stats.probes), stats.sets,
+               options.scan ? "scan" : "tree");
+  return 0;
+}
+
+int MultisetStats(const std::string& catalog_path,
+                  const MultisetOptions& options) {
+  SetCatalog catalog;
+  std::unique_ptr<MultiSetIndex> index;
+  Status s = LoadCatalogAndIndex(catalog_path, options, &catalog, &index);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const MultiSetIndex::Stats stats = index->stats();
+  std::printf("catalog:          %s\n", catalog_path.c_str());
+  std::printf("sets:             %zu (id bound %u)\n", catalog.size(),
+              catalog.id_bound());
+  std::printf("member memory:    %zu bytes\n", catalog.memory_bytes());
+  std::printf("tree leaves:      %zu\n", stats.tree_leaves);
+  std::printf("scan leaves:      %zu\n", stats.scan_leaves);
+  std::printf("summary nodes:    %zu (%zu bytes)\n", stats.summary_nodes,
+              stats.summary_memory_bytes);
+  std::printf("trees (roots):    %zu, deepest %zu level(s)\n", stats.trees,
+              stats.levels);
+  std::printf("%-4s %-24s %-18s %-17s %s\n", "id", "set", "filter",
+              "capabilities", "elements");
+  for (const SetCatalog::SetEntry* entry : catalog.Entries()) {
+    std::printf("%-4u %-24s %-18s %-17s %zu\n", entry->id,
+                entry->name.c_str(), std::string(entry->filter->name()).c_str(),
+                CapabilitiesToString(entry->filter->capabilities()).c_str(),
+                entry->filter->num_elements());
+  }
+  return 0;
+}
+
+int Multiset(int argc, char** argv) {
+  if (argc >= 3 && (std::strcmp(argv[2], "--help") == 0 ||
+                    std::strcmp(argv[2], "-h") == 0)) {
+    PrintUsage(stdout);
+    return 0;
+  }
+  if (argc < 4) return Usage();
+  const std::string op = argv[2];
+  const std::string catalog_path = argv[3];
+  MultisetOptions options;
+  std::vector<std::string> positional;
+  for (int i = 4; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--scan") == 0) {
+      options.scan = true;
+    } else if (ParseFlag(argv[i], "filter", &value)) {
+      options.filter_name = value;
+    } else if (ParseFlag(argv[i], "bits-per-key", &value)) {
+      options.bits_per_key = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "k", &value)) {
+      options.num_hashes = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "seed", &value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (ParseFlag(argv[i], "branching", &value)) {
+      options.branching = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+      return Usage();
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (op == "build" && !positional.empty()) {
+    return MultisetBuild(catalog_path, positional, options);
+  }
+  if (op == "query" && positional.size() == 1) {
+    return MultisetQuery(catalog_path, positional.front(), options);
+  }
+  if (op == "stats" && positional.empty()) {
+    return MultisetStats(catalog_path, options);
+  }
+  return Usage();
+}
+
 void PrintRemoteUsage(std::FILE* out) {
   std::fprintf(
       out,
@@ -431,6 +652,11 @@ void PrintRemoteUsage(std::FILE* out) {
       "  remove <name> <keys.txt>      delete keys (kRemove filters only)\n"
       "  snapshot <name> [<path>]      serialize to a file on the SERVER\n"
       "  reload <name> [<path>]        replace from a file on the SERVER\n"
+      "  which-sets <keys.txt>         which catalog sets contain each key\n"
+      "                                (multiset index, docs/multiset.md)\n"
+      "  index-add <set> <keys.txt>    add keys to one catalog set\n"
+      "  index-drop <set>              drop one catalog set from the index\n"
+      "  multiset-list                 catalog sets + index shape\n"
       "wire protocol: docs/serving.md; server: shbf_server --help\n");
 }
 
@@ -571,6 +797,104 @@ int Remote(int argc, char** argv) {
     }
     return 0;
   }
+  if (op == "which-sets" && argc == 5) {
+    std::vector<std::string> keys;
+    s = ReadLines(argv[4], &keys);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    // One MULTISET_LIST up front resolves ids to names for the output.
+    ShbfClient::MultisetInfo info;
+    s = client.MultisetList(&info);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::map<uint32_t, std::string> names;
+    for (const auto& set : info.sets) names.emplace(set.id, set.name);
+    uint64_t hits = 0;
+    for (size_t begin = 0; begin < keys.size(); begin += kRemoteFrameKeys) {
+      const size_t end = std::min(begin + kRemoteFrameKeys, keys.size());
+      const std::vector<std::string> frame(keys.begin() + begin,
+                                           keys.begin() + end);
+      std::vector<std::vector<uint32_t>> which;
+      s = client.WhichSets(frame, &which);
+      if (!s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      for (size_t i = 0; i < frame.size(); ++i) {
+        std::string row;
+        for (uint32_t id : which[i]) {
+          if (!row.empty()) row += ',';
+          auto it = names.find(id);
+          row += it != names.end() ? it->second : std::to_string(id);
+        }
+        hits += row.empty() ? 0 : 1;
+        std::printf("%s\t%s\n", frame[i].c_str(),
+                    row.empty() ? "-" : row.c_str());
+      }
+    }
+    std::fprintf(stderr, "%llu/%zu keys in >= 1 of %zu set(s)\n",
+                 static_cast<unsigned long long>(hits), keys.size(),
+                 info.sets.size());
+    return 0;
+  }
+  if (op == "index-add" && argc == 6) {
+    std::vector<std::string> keys;
+    s = ReadLines(argv[5], &keys);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    uint64_t total = 0;
+    for (size_t begin = 0; begin < keys.size(); begin += kRemoteFrameKeys) {
+      const size_t end = std::min(begin + kRemoteFrameKeys, keys.size());
+      const std::vector<std::string> frame(keys.begin() + begin,
+                                           keys.begin() + end);
+      uint64_t added = 0;
+      s = client.IndexAdd(argv[4], frame, &added);
+      if (!s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      total += added;
+    }
+    std::fprintf(stderr, "added %llu key(s) to set '%s'\n",
+                 static_cast<unsigned long long>(total), argv[4]);
+    return 0;
+  }
+  if (op == "index-drop" && argc == 5) {
+    uint64_t remaining = 0;
+    s = client.IndexDrop(argv[4], &remaining);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("dropped set '%s' (%llu set(s) remain)\n", argv[4],
+                static_cast<unsigned long long>(remaining));
+    return 0;
+  }
+  if (op == "multiset-list" && argc == 4) {
+    ShbfClient::MultisetInfo info;
+    s = client.MultisetList(&info);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: %zu set(s), %u tree root(s), %u scan leaf(s), "
+                "%u level(s), %llu summary bytes\n",
+                client.server_version().c_str(), info.sets.size(), info.trees,
+                info.scan_leaves, info.levels,
+                static_cast<unsigned long long>(info.summary_memory_bytes));
+    for (const auto& set : info.sets) {
+      std::printf("%-4u %-24s %-18s %12llu elements\n", set.id,
+                  set.name.c_str(), set.registry_name.c_str(),
+                  static_cast<unsigned long long>(set.elements));
+    }
+    return 0;
+  }
   if ((op == "snapshot" || op == "reload") && (argc == 5 || argc == 6)) {
     const std::string name = argv[4];
     const std::string path = argc == 6 ? argv[5] : "";
@@ -614,6 +938,7 @@ int Main(int argc, char** argv) {
     return 0;
   }
   if (command == "remote") return Remote(argc, argv);
+  if (command == "multiset") return Multiset(argc, argv);
   std::string flag_value;
   if (ParseFlag(command, "filter", &flag_value)) {
     return SelfTest(flag_value);

@@ -68,13 +68,25 @@ void PrintUsage(std::FILE* out) {
       "                      bpk (bits/key, default 12), k (hashes),\n"
       "                      shards, delta (dynamic-wrapper budget),\n"
       "                      scale (auto-scaling generations)\n"
+      "  --catalog=PATH      serve the SetCatalog blob at PATH behind a\n"
+      "                      multiset index: WHICH_SETS answers \"which of\n"
+      "                      these sets contain key k\", INDEX_ADD /\n"
+      "                      INDEX_DROP maintain it (docs/multiset.md;\n"
+      "                      build the blob with shbf_cli multiset build)\n"
+      "  --branching=N       children per multiset summary node "
+      "(default 8)\n"
       "  --help              this text\n"
       "  --version           print the version and exit\n"
       "\n"
       "example:\n"
       "  shbf_cli build keys.txt edge.shbf --filter=shbf_m\n"
       "  shbf_server --port=7457 --load=edge=edge.shbf &\n"
-      "  shbf_cli remote 127.0.0.1:7457 query edge keys.txt\n");
+      "  shbf_cli remote 127.0.0.1:7457 query edge keys.txt\n"
+      "\n"
+      "multiset example:\n"
+      "  shbf_cli multiset build fleet.shbc eu=eu.txt us=us.txt ap=ap.txt\n"
+      "  shbf_server --port=7457 --catalog=fleet.shbc &\n"
+      "  shbf_cli remote 127.0.0.1:7457 which-sets keys.txt\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -145,6 +157,8 @@ int Main(int argc, char** argv) {
   options.port = 7457;
   std::vector<std::pair<std::string, std::string>> loads;   // name, path
   std::vector<std::string> builds;                          // raw --build args
+  std::string catalog_path;
+  MultiSetIndexOptions index_options;
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (std::strcmp(argv[i], "--help") == 0 ||
@@ -178,14 +192,23 @@ int Main(int argc, char** argv) {
       loads.emplace_back(value.substr(0, eq), value.substr(eq + 1));
     } else if (ParseFlag(argv[i], "build", &value)) {
       builds.push_back(value);
+    } else if (ParseFlag(argv[i], "catalog", &value)) {
+      if (!catalog_path.empty()) {
+        std::fprintf(stderr, "error: --catalog may be given once\n");
+        return 2;
+      }
+      catalog_path = value;
+    } else if (ParseFlag(argv[i], "branching", &value)) {
+      index_options.branching = std::strtoull(value.c_str(), nullptr, 0);
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
       PrintUsage(stderr);
       return 2;
     }
   }
-  if (loads.empty() && builds.empty()) {
-    std::fprintf(stderr, "error: nothing to serve (--load or --build)\n");
+  if (loads.empty() && builds.empty() && catalog_path.empty()) {
+    std::fprintf(stderr,
+                 "error: nothing to serve (--load, --build or --catalog)\n");
     PrintUsage(stderr);
     return 2;
   }
@@ -217,6 +240,16 @@ int Main(int argc, char** argv) {
     }
   }
 
+  if (!catalog_path.empty()) {
+    Status s = server.LoadCatalog(catalog_path, index_options);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: --catalog=%s: %s\n", catalog_path.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving multiset catalog from %s\n", catalog_path.c_str());
+  }
+
   if (pipe(g_shutdown_pipe) != 0) {
     std::fprintf(stderr, "error: cannot create shutdown pipe\n");
     return 1;
@@ -229,9 +262,11 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("serving %zu filter(s) on %s:%u (protocol v%u, pid %d)\n",
-              loads.size() + builds.size(), options.bind_address.c_str(),
-              server.port(), wire::kProtocolVersion, getpid());
+  std::printf("serving %zu filter(s)%s on %s:%u (protocol v%u, pid %d)\n",
+              loads.size() + builds.size(),
+              catalog_path.empty() ? "" : " + 1 multiset catalog",
+              options.bind_address.c_str(), server.port(),
+              wire::kProtocolVersion, getpid());
   std::fflush(stdout);
 
   char byte;
