@@ -2,22 +2,35 @@
 // membership throughput (Mops/s), the acceptance bench for the batched
 // query engine (docs/benchmarks.md describes the output).
 //
-// Three modes per filter:
-//   per_key     one virtual Contains call per key — what registry-driven
-//               code did before the engine existed
-//   batched     BatchQueryEngine::ContainsBatch — hash pre-compute +
-//               software prefetch + two-pass resolve
-//   sharded_mt  a shards-way ShardedMembershipFilter queried from
-//               `threads` threads, each batching its slice
+// Four modes per filter:
+//   per_key        one virtual Contains call per key — what registry-driven
+//                  code did before the engine existed
+//   batched        BatchQueryEngine::ContainsBatch — hash pre-compute +
+//                  software prefetch + two-pass resolve, SIMD kernels at
+//                  whatever level the hardware offers
+//   batched_scalar the same engine path with simd::ForceScalar(true) — the
+//                  SIMD contribution isolated from the batching one
+//   sharded_mt     a shards-way ShardedMembershipFilter queried from
+//                  `threads` threads, each batching its slice
+//
+// After the throughput modes, each blocked variant's FPR is measured
+// against its unblocked base at equal bits/key (fpr rows), and two
+// acceptance gates run:
+//   - FPR gate: blocked FPR <= 2x the base FPR (+ sampling noise floor)
+//   - speed gate: blocked_shbf_m batched >= 1.5x shbf_m batched, enforced
+//     when the run is at gate scale (>= 1M queries, >= 8 MB filter);
+//     --no-speed-gate disables it (sanitizer builds time nothing fairly)
 //
 // usage: bench_batch_throughput [--filter=<name>] [--build-keys=N]
 //          [--query-keys=N] [--bits-per-key=B] [--k=K] [--batch=N]
 //          [--shards=S] [--threads=T] [--chunk=N] [--json=<path>] [--smoke]
+//          [--no-speed-gate]
 //
 // Defaults (8M build keys at 12 bits/key ≈ 12 MB of filter) size the filter
 // past L2 so the memory-level parallelism the engine extracts is visible;
-// --smoke shrinks everything for CI, skips nothing, and verifies the
-// batched answers against the per-key path instead of chasing Mops.
+// --smoke shrinks everything for CI, widens the sweep to EVERY registered
+// filter, and verifies the batched answers against the per-key path
+// (under both SIMD and forced-scalar dispatch) instead of chasing Mops.
 //
 // CSV on stdout: filter,mode,threads,batch_size,keys,seconds,mops,speedup.
 // --json=<path> writes machine-readable rows (workload, keys/s, p50/p99
@@ -27,6 +40,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <random>
 #include <string>
@@ -36,6 +50,7 @@
 #include "api/filter_registry.h"
 #include "bench_util/json_report.h"
 #include "bench_util/timer.h"
+#include "core/cpu_features.h"
 #include "engine/batch_query_engine.h"
 #include "engine/sharded_filter.h"
 
@@ -55,6 +70,15 @@ struct Config {
   size_t chunk = 4096;
   std::string json_path;
   bool smoke = false;
+  /// Disables the 1.5x blocked-vs-plain throughput gate (sanitizer CI).
+  bool no_speed_gate = false;
+};
+
+/// What Main needs back from a filter's run to evaluate the cross-filter
+/// gates.
+struct FilterRun {
+  double batched_mops = 0;
+  size_t filter_bytes = 0;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -98,7 +122,7 @@ void EmitRow(const std::string& filter, const char* mode, uint32_t threads,
 bool RunFilter(const std::string& name, const Config& config,
                const std::vector<std::string>& build_keys,
                const std::vector<std::string>& query_keys,
-               JsonReport* report) {
+               JsonReport* report, FilterRun* run) {
   const auto& registry = FilterRegistry::Global();
   std::unique_ptr<MembershipFilter> filter;
   Status s = registry.Create(name, SpecFor(config), &filter);
@@ -150,6 +174,8 @@ bool RunFilter(const std::string& name, const Config& config,
   const double batched_seconds = timer.ElapsedSeconds();
   EmitRow(name, "batched", 1, config.batch_size, query_keys.size(),
           batched_seconds, per_key_mops, config, batched_latencies, report);
+  run->batched_mops = Mops(query_keys.size(), batched_seconds);
+  run->filter_bytes = filter->memory_bytes();
 
   if (config.smoke) {
     // CI mode: the value of this binary is that the engine still answers
@@ -161,6 +187,34 @@ bool RunFilter(const std::string& name, const Config& config,
         return false;
       }
     }
+  }
+
+  // -- batched_scalar: the same engine path with the SIMD kernels demoted,
+  // so the batched/batched_scalar gap isolates the vector contribution ----
+  simd::ForceScalar(true);
+  timer.Reset();
+  LatencyRecorder scalar_latencies;
+  std::vector<uint8_t> scalar_results;
+  scalar_results.reserve(query_keys.size());
+  for (const auto& slice : slices_by_chunk) {
+    WallTimer chunk_timer;
+    engine.ContainsBatch(*filter, slice, &slice_results);
+    scalar_latencies.Record(chunk_timer.ElapsedSeconds());
+    scalar_results.insert(scalar_results.end(), slice_results.begin(),
+                          slice_results.end());
+  }
+  const double scalar_seconds = timer.ElapsedSeconds();
+  simd::ForceScalar(false);
+  EmitRow(name, "batched_scalar", 1, config.batch_size, query_keys.size(),
+          scalar_seconds, per_key_mops, config, scalar_latencies, report);
+  // SIMD is an execution strategy, never a semantic change: the scalar
+  // demotion must reproduce the batched answers bit for bit, every run.
+  if (scalar_results != results) {
+    std::fprintf(stderr,
+                 "GATE FAILED (%s): scalar and SIMD batched answers "
+                 "diverge\n",
+                 name.c_str());
+    return false;
   }
 
   // -- sharded_mt: concurrent batched queries on the sharded wrapper ------
@@ -222,12 +276,65 @@ bool RunFilter(const std::string& name, const Config& config,
   return true;
 }
 
+/// Measured false-positive rate of `name` at the run's bits/key: builds a
+/// fresh filter over `build_keys` and queries `absent_keys` (disjoint by
+/// construction). Returns a negative value on a create failure.
+double MeasureFpr(const std::string& name, const Config& config,
+                  const std::vector<std::string>& build_keys,
+                  const std::vector<std::string>& absent_keys) {
+  std::unique_ptr<MembershipFilter> filter;
+  Status s = FilterRegistry::Global().Create(name, SpecFor(config), &filter);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return -1.0;
+  }
+  for (const auto& key : build_keys) filter->Add(key);
+  size_t positives = 0;
+  for (const auto& key : absent_keys) positives += filter->Contains(key);
+  return static_cast<double>(positives) / absent_keys.size();
+}
+
+/// The blocked-variant FPR gate: measures base and blocked at equal
+/// bits/key, emits fpr rows, and fails if the blocked rate exceeds 2x the
+/// base rate plus a sampling noise floor (a handful of extra positives must
+/// not flunk a tiny --smoke sample).
+bool CheckFprPair(const std::string& base, const std::string& blocked,
+                  const Config& config,
+                  const std::vector<std::string>& build_keys,
+                  const std::vector<std::string>& absent_keys,
+                  JsonReport* report) {
+  const double base_fpr = MeasureFpr(base, config, build_keys, absent_keys);
+  const double blocked_fpr =
+      MeasureFpr(blocked, config, build_keys, absent_keys);
+  if (base_fpr < 0 || blocked_fpr < 0) return false;
+  const auto emit = [&](const std::string& name, double fpr) {
+    std::printf("# fpr,%s,%.6f\n", name.c_str(), fpr);
+    report->AddRow()
+        .Set("workload", "fpr/" + name)
+        .Set("mode", "fpr")
+        .Set("keys", uint64_t{absent_keys.size()})
+        .Set("fpr", fpr);
+  };
+  emit(base, base_fpr);
+  emit(blocked, blocked_fpr);
+  const double noise_floor = 8.0 / absent_keys.size();
+  if (blocked_fpr > 2.0 * base_fpr + noise_floor) {
+    std::fprintf(stderr,
+                 "GATE FAILED: %s FPR %.6f exceeds 2x %s FPR %.6f\n",
+                 blocked.c_str(), blocked_fpr, base.c_str(), base_fpr);
+    return false;
+  }
+  return true;
+}
+
 int Main(int argc, char** argv) {
   Config config;
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (std::strcmp(argv[i], "--smoke") == 0) {
       config.smoke = true;
+    } else if (std::strcmp(argv[i], "--no-speed-gate") == 0) {
+      config.no_speed_gate = true;
     } else if (ParseFlag(argv[i], "filter", &value)) {
       config.filter_name = value;
     } else if (ParseFlag(argv[i], "build-keys", &value)) {
@@ -253,7 +360,8 @@ int Main(int argc, char** argv) {
                    "usage: bench_batch_throughput [--filter=<name>] "
                    "[--build-keys=N] [--query-keys=N] [--bits-per-key=B] "
                    "[--k=K] [--batch=N] [--shards=S] [--threads=T] "
-                   "[--chunk=N] [--json=<path>] [--smoke]\n");
+                   "[--chunk=N] [--json=<path>] [--smoke] "
+                   "[--no-speed-gate]\n");
       return 2;
     }
   }
@@ -288,14 +396,65 @@ int Main(int argc, char** argv) {
   std::vector<std::string> names;
   if (!config.filter_name.empty()) {
     names.push_back(config.filter_name);
+  } else if (config.smoke) {
+    // CI sweeps every registered variant through the identity checks.
+    names = FilterRegistry::Global().Names();
   } else {
-    names = {"shbf_m", "bloom"};
+    names = {"shbf_m", "bloom", "blocked_shbf_m", "blocked_bloom"};
   }
   bool ok = true;
   JsonReport report("batch_throughput");
+  std::map<std::string, FilterRun> runs;
   for (const auto& name : names) {
-    ok = RunFilter(name, config, build_keys, query_keys, &report) && ok;
+    ok = RunFilter(name, config, build_keys, query_keys, &report,
+                   &runs[name]) &&
+         ok;
   }
+
+  // FPR gate: each blocked variant against its unblocked base at equal
+  // bits/key, on a key set disjoint from the build keys. The sample stays
+  // large even in smoke mode — at ~0.3% FPR a 10k sample's noise swamps
+  // the 2x ratio the gate checks.
+  const size_t absent_count = config.smoke ? 100000 : 200000;
+  std::vector<std::string> absent_keys(absent_count);
+  for (size_t i = 0; i < absent_count; ++i) {
+    absent_keys[i] = "absent-" + std::to_string(i);
+  }
+  const auto has = [&](const char* name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+  if (has("bloom") && has("blocked_bloom")) {
+    ok = CheckFprPair("bloom", "blocked_bloom", config, build_keys,
+                      absent_keys, &report) &&
+         ok;
+  }
+  if (has("shbf_m") && has("blocked_shbf_m")) {
+    ok = CheckFprPair("shbf_m", "blocked_shbf_m", config, build_keys,
+                      absent_keys, &report) &&
+         ok;
+  }
+
+  // Speed gate: at gate scale (>= 1M queries against >= 8 MB of filter,
+  // where memory stalls dominate), the blocked + SIMD engine path must
+  // beat the plain shbf_m fast path by 1.5x.
+  if (!config.no_speed_gate && has("shbf_m") && has("blocked_shbf_m")) {
+    const FilterRun& plain = runs["shbf_m"];
+    const FilterRun& blocked = runs["blocked_shbf_m"];
+    const bool at_gate_scale = config.query_keys >= 1000000 &&
+                               plain.filter_bytes >= 8u << 20;
+    if (at_gate_scale && plain.batched_mops > 0) {
+      const double ratio = blocked.batched_mops / plain.batched_mops;
+      std::printf("# speed_gate,blocked_shbf_m_vs_shbf_m,%.2fx\n", ratio);
+      if (ratio < 1.5) {
+        std::fprintf(stderr,
+                     "GATE FAILED: blocked_shbf_m batched %.2f Mops is only "
+                     "%.2fx shbf_m's %.2f Mops (need 1.5x)\n",
+                     blocked.batched_mops, ratio, plain.batched_mops);
+        ok = false;
+      }
+    }
+  }
+
   Status json_status = report.WriteToFile(config.json_path);
   if (!json_status.ok()) {
     std::fprintf(stderr, "error: --json: %s\n",

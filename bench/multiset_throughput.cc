@@ -356,8 +356,9 @@ int Main(int argc, char** argv) {
   // Warm-up passes force lazy state out of the timed loops.
   {
     std::vector<SetIdBitmap> warm;
-    tree->WhichSetsBatch({queries.front()}, &warm);
-    linear->WhichSetsBatch({queries.front()}, &warm);
+    std::vector<std::string> warm_keys = {queries.front()};
+    tree->WhichSetsBatch(warm_keys, &warm);
+    linear->WhichSetsBatch(warm_keys, &warm);
   }
   RunResult per_filter = RunPerFilter(catalog, queries, config.chunk);
   RunResult linear_result = RunIndex(*linear, queries, config.chunk);

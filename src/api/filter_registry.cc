@@ -18,7 +18,9 @@ constexpr uint32_t kEnvelopeMagic = 0x52424853;  // "SHBR" little-endian
 // "unsupported version" instead of deserializing shifted garbage.
 // v3: FilterSpec wire records grew delta_capacity/auto_scale (the mutation
 // pipeline), again shifting every payload that embeds a spec.
-constexpr uint8_t kEnvelopeVersion = 3;
+// v4: FilterSpec wire records grew block_bits (the cache-blocked variants),
+// appended past the v3 layout.
+constexpr uint8_t kEnvelopeVersion = 4;
 constexpr size_t kMaxNameLength = 256;
 
 bool ConsumePrefix(std::string_view* name, std::string_view prefix) {

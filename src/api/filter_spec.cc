@@ -35,6 +35,11 @@ Status FilterSpec::Validate() const {
   if (batch_size == 0) {
     return Status::InvalidArgument("FilterSpec: batch_size must be positive");
   }
+  if (block_bits < 64 || block_bits > 512 ||
+      (block_bits & (block_bits - 1)) != 0) {
+    return Status::InvalidArgument(
+        "FilterSpec: block_bits must be a power of two in [64, 512]");
+  }
   if (shards == 0) {
     return Status::InvalidArgument("FilterSpec: shards must be positive");
   }
@@ -63,6 +68,8 @@ void WriteSpec(ByteWriter* writer, const FilterSpec& spec) {
   writer->PutU8(spec.auto_scale ? 1 : 0);
   writer->PutU8(static_cast<uint8_t>(spec.hash_algorithm));
   writer->PutU64(spec.seed);
+  // Envelope v4 extension: fields appended past the v3 layout.
+  writer->PutU32(spec.block_bits);
 }
 
 bool ReadSpec(ByteReader* reader, FilterSpec* spec) {
@@ -84,6 +91,7 @@ bool ReadSpec(ByteReader* reader, FilterSpec* spec) {
     return false;
   }
   if (alg > 3 || auto_scale > 1) return false;
+  if (!reader->GetU32(&spec->block_bits)) return false;
   spec->num_cells = num_cells;
   spec->expected_keys = expected_keys;
   spec->delta_capacity = delta_capacity;

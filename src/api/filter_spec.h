@@ -47,6 +47,12 @@ struct FilterSpec {
   /// Word size for the one-memory-access BF.
   uint32_t word_bits = 64;
 
+  /// Block size for the cache-blocked variants (blocked_bloom,
+  /// blocked_shbf_m): all of a key's probes are confined to one block of
+  /// this many bits. Power of two in [64, 512]; 512 = one cache line.
+  /// Ignored by the unblocked schemes.
+  uint32_t block_bits = 512;
+
   /// Optional capacity hint; when nonzero the cuckoo factory sizes buckets
   /// from it instead of num_cells.
   size_t expected_keys = 0;

@@ -41,11 +41,13 @@ namespace shbf {
 /// `kind` and is only valid while the owning filter is alive.
 struct BatchFastPath {
   enum class Kind : uint8_t {
-    kNone = 0,   ///< no specialized path; use the virtual interface
-    kShbfM = 1,  ///< `impl` is a `const ShbfM*`
-    kBloom = 2,  ///< `impl` is a `const BloomFilter*`
-    kShbfX = 3,  ///< `impl` is a `const ShbfX*`
-    kShbfA = 4,  ///< `impl` is a `const ShbfA*`
+    kNone = 0,          ///< no specialized path; use the virtual interface
+    kShbfM = 1,         ///< `impl` is a `const ShbfM*`
+    kBloom = 2,         ///< `impl` is a `const BloomFilter*`
+    kShbfX = 3,         ///< `impl` is a `const ShbfX*`
+    kShbfA = 4,         ///< `impl` is a `const ShbfA*`
+    kBlockedBloom = 5,  ///< `impl` is a `const BlockedBloomFilter*`
+    kBlockedShbfM = 6,  ///< `impl` is a `const BlockedShbfM*`
   };
   Kind kind = Kind::kNone;
   const void* impl = nullptr;
@@ -113,6 +115,18 @@ class MembershipFilter : public SetQueryFilter {
   /// receives Contains(keys[i]). Implementations with software-prefetching
   /// batch paths override this; the default is a scalar loop.
   virtual void ContainsBatch(const std::vector<std::string>& keys,
+                             std::vector<uint8_t>* results) const {
+    results->resize(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      (*results)[i] = Contains(keys[i]) ? 1 : 0;
+    }
+  }
+
+  /// View-indexed batch query: identical answers without requiring callers
+  /// to own the key bytes (the multi-set frontier descent passes views into
+  /// its caller's keys instead of copying survivors). The views must stay
+  /// valid for the duration of the call.
+  virtual void ContainsBatch(const std::vector<std::string_view>& keys,
                              std::vector<uint8_t>* results) const {
     results->resize(keys.size());
     for (size_t i = 0; i < keys.size(); ++i) {

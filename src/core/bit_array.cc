@@ -8,39 +8,92 @@ namespace {
 // Guard bytes after the last writable bit so LoadWindow() at the final bit
 // position still reads in-bounds memory.
 constexpr size_t kGuardBytes = 8;
+// Block-confined probing wants a block to be one cache line, which needs
+// the byte 0 of the array to sit on a line boundary.
+constexpr size_t kAlignment = 64;
+
+uint8_t* AlignCursor(uint8_t* base) {
+  const auto addr = reinterpret_cast<uintptr_t>(base);
+  const uintptr_t aligned = (addr + kAlignment - 1) & ~uintptr_t{kAlignment - 1};
+  return base + (aligned - addr);
+}
 }  // namespace
 
 BitArray::BitArray(size_t num_bits, size_t slack_bits)
     : num_bits_(num_bits), total_bits_(num_bits + slack_bits) {
   SHBF_CHECK(num_bits > 0) << "BitArray needs at least one bit";
-  bytes_.assign(CeilDiv(total_bits_, 8) + kGuardBytes, 0);
+  size_bytes_ = CeilDiv(total_bits_, 8) + kGuardBytes;
+  storage_.assign(size_bytes_ + kAlignment - 1, 0);
+  data_ = AlignCursor(storage_.data());
+}
+
+BitArray::BitArray(const BitArray& other)
+    : num_bits_(other.num_bits_),
+      total_bits_(other.total_bits_),
+      size_bytes_(other.size_bytes_),
+      storage_(size_bytes_ + kAlignment - 1, 0) {
+  data_ = AlignCursor(storage_.data());
+  std::memcpy(data_, other.data_, size_bytes_);
+}
+
+BitArray& BitArray::operator=(const BitArray& other) {
+  if (this == &other) return *this;
+  num_bits_ = other.num_bits_;
+  total_bits_ = other.total_bits_;
+  size_bytes_ = other.size_bytes_;
+  storage_.assign(size_bytes_ + kAlignment - 1, 0);
+  data_ = AlignCursor(storage_.data());
+  std::memcpy(data_, other.data_, size_bytes_);
+  return *this;
+}
+
+// std::vector's heap buffer is stable across moves, so the source's aligned
+// cursor stays valid for the destination.
+BitArray::BitArray(BitArray&& other) noexcept
+    : num_bits_(other.num_bits_),
+      total_bits_(other.total_bits_),
+      size_bytes_(other.size_bytes_),
+      storage_(std::move(other.storage_)),
+      data_(other.data_) {
+  other.data_ = nullptr;
+}
+
+BitArray& BitArray::operator=(BitArray&& other) noexcept {
+  if (this == &other) return *this;
+  num_bits_ = other.num_bits_;
+  total_bits_ = other.total_bits_;
+  size_bytes_ = other.size_bytes_;
+  storage_ = std::move(other.storage_);
+  data_ = other.data_;
+  other.data_ = nullptr;
+  return *this;
 }
 
 void BitArray::Clear() {
-  std::fill(bytes_.begin(), bytes_.end(), 0);
+  std::memset(data_, 0, size_bytes_);
 }
 
 bool BitArray::OrWith(const BitArray& other) {
   if (num_bits_ != other.num_bits_ || total_bits_ != other.total_bits_ ||
-      bytes_.size() != other.bytes_.size()) {
+      size_bytes_ != other.size_bytes_) {
     return false;
   }
-  for (size_t i = 0; i < bytes_.size(); ++i) bytes_[i] |= other.bytes_[i];
+  for (size_t i = 0; i < size_bytes_; ++i) data_[i] |= other.data_[i];
   return true;
 }
 
 size_t BitArray::CountOnes() const {
   size_t ones = 0;
-  for (uint8_t b : bytes_) ones += std::popcount(b);
+  for (size_t i = 0; i < size_bytes_; ++i) ones += std::popcount(data_[i]);
   return ones;
 }
 
 void BitArray::AppendPayload(ByteWriter* writer) const {
-  writer->PutBytes(bytes_.data(), PayloadBytes());
+  writer->PutBytes(data_, PayloadBytes());
 }
 
 bool BitArray::ReadPayload(ByteReader* reader) {
-  return reader->GetBytes(bytes_.data(), PayloadBytes());
+  return reader->GetBytes(data_, PayloadBytes());
 }
 
 }  // namespace shbf

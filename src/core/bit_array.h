@@ -10,6 +10,11 @@
 // guard bytes, so windows starting anywhere inside the logical array never
 // read out of bounds and shifted writes never wrap (the paper appends w̄ − 2
 // bits for the same reason, §4.1).
+//
+// Storage is 64-byte aligned: the blocked variants (blocked_bloom,
+// blocked_shbf_m) confine each key's probes to one block-sized span, and
+// alignment makes a 512-bit block exactly one cache line instead of a
+// straddle of two.
 
 #ifndef SHBF_CORE_BIT_ARRAY_H_
 #define SHBF_CORE_BIT_ARRAY_H_
@@ -37,6 +42,13 @@ class BitArray {
   explicit BitArray(size_t num_bits,
                     size_t slack_bits = kDefaultMaxOffsetSpan);
 
+  // data_ points into storage_, so the compiler-generated copy would alias
+  // the source's buffer; re-anchor the cursor on every copy/move.
+  BitArray(const BitArray& other);
+  BitArray& operator=(const BitArray& other);
+  BitArray(BitArray&& other) noexcept;
+  BitArray& operator=(BitArray&& other) noexcept;
+
   /// Logical size m (hash values are reduced modulo this).
   size_t num_bits() const { return num_bits_; }
 
@@ -44,24 +56,24 @@ class BitArray {
   size_t total_bits() const { return total_bits_; }
 
   /// Allocated footprint in bytes (includes guard bytes).
-  size_t allocated_bytes() const { return bytes_.size(); }
+  size_t allocated_bytes() const { return size_bytes_; }
 
   /// Sets the bit at `pos` (pos < total_bits()).
   void SetBit(size_t pos) {
     SHBF_DCHECK(pos < total_bits_);
-    bytes_[pos >> 3] |= static_cast<uint8_t>(1u << (pos & 7));
+    data_[pos >> 3] |= static_cast<uint8_t>(1u << (pos & 7));
   }
 
   /// Clears the bit at `pos`.
   void ClearBit(size_t pos) {
     SHBF_DCHECK(pos < total_bits_);
-    bytes_[pos >> 3] &= static_cast<uint8_t>(~(1u << (pos & 7)));
+    data_[pos >> 3] &= static_cast<uint8_t>(~(1u << (pos & 7)));
   }
 
   /// Reads the bit at `pos`.
   bool GetBit(size_t pos) const {
     SHBF_DCHECK(pos < total_bits_);
-    return (bytes_[pos >> 3] >> (pos & 7)) & 1u;
+    return (data_[pos >> 3] >> (pos & 7)) & 1u;
   }
 
   /// One unaligned 8-byte load; returns a word whose bit i equals
@@ -70,15 +82,20 @@ class BitArray {
   uint64_t LoadWindow(size_t pos) const {
     SHBF_DCHECK(pos < total_bits_);
     uint64_t word;
-    std::memcpy(&word, bytes_.data() + (pos >> 3), sizeof(word));
+    std::memcpy(&word, data_ + (pos >> 3), sizeof(word));
     return word >> (pos & 7);
   }
 
   /// Hints the cache to fetch the line holding `pos` (used by the batch
   /// query paths to overlap hashing with memory latency).
   void Prefetch(size_t pos) const {
-    __builtin_prefetch(bytes_.data() + (pos >> 3), /*rw=*/0, /*locality=*/1);
+    __builtin_prefetch(data_ + (pos >> 3), /*rw=*/0, /*locality=*/1);
   }
+
+  /// 64-byte-aligned raw storage (guard bytes included) — the blocked
+  /// variants hand whole blocks of it to the SIMD subset-test kernel.
+  const uint8_t* data() const { return data_; }
+  uint8_t* mutable_data() { return data_; }
 
   /// Zeroes every bit.
   void Clear();
@@ -111,7 +128,9 @@ class BitArray {
  private:
   size_t num_bits_;
   size_t total_bits_;
-  std::vector<uint8_t> bytes_;
+  size_t size_bytes_;            ///< payload + guard (what data_ spans)
+  std::vector<uint8_t> storage_; ///< size_bytes_ + alignment headroom
+  uint8_t* data_;                ///< 64-byte-aligned cursor into storage_
 };
 
 }  // namespace shbf

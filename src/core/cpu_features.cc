@@ -1,0 +1,68 @@
+#include "core/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace shbf {
+namespace simd {
+namespace {
+
+Level Detect() {
+#if defined(__aarch64__) || defined(_M_ARM64)
+  // Advanced SIMD is mandatory on AArch64.
+  return Level::kNeon;
+#elif defined(__x86_64__) || defined(_M_X64)
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+#else
+  return Level::kScalar;
+#endif
+}
+
+bool EnvForcesScalar() {
+  const char* value = std::getenv("SHBF_FORCE_SCALAR");
+  return value != nullptr && value[0] != '\0' &&
+         std::strcmp(value, "0") != 0;
+}
+
+// -1 = follow the environment/hardware, 0 = native, 1 = scalar. Relaxed
+// atomics suffice: the override is a test/bench knob, not a synchronization
+// point, and every kernel re-reads it per call.
+std::atomic<int> g_force_scalar_override{-1};
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kNeon:   return "neon";
+    case Level::kAvx2:   return "avx2";
+  }
+  return "unknown";
+}
+
+Level DetectedLevel() {
+  static const Level detected = Detect();
+  return detected;
+}
+
+Level ActiveLevel() {
+  const int override_state =
+      g_force_scalar_override.load(std::memory_order_relaxed);
+  if (override_state == 1) return Level::kScalar;
+  if (override_state == -1) {
+    static const bool env_scalar = EnvForcesScalar();
+    if (env_scalar) return Level::kScalar;
+  }
+  return DetectedLevel();
+}
+
+void ForceScalar(bool on) {
+  g_force_scalar_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace simd
+}  // namespace shbf

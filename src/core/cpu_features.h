@@ -1,0 +1,45 @@
+// Runtime CPU-feature detection and the scalar-fallback override switch.
+//
+// The SIMD probe kernels (core/simd.h) are compiled per-function with
+// target attributes, so the binary runs on any x86-64/AArch64 machine and
+// picks the widest instruction set at runtime. Tests and benches need to
+// pin the decision: the SHBF_FORCE_SCALAR environment variable (read once,
+// at first query) and the programmatic ForceScalar() override both demote
+// every kernel to its scalar reference implementation, which the SIMD paths
+// must match bit for bit (tests/simd_kernel_test.cc).
+
+#ifndef SHBF_CORE_CPU_FEATURES_H_
+#define SHBF_CORE_CPU_FEATURES_H_
+
+namespace shbf {
+namespace simd {
+
+/// Instruction-set tiers the dispatcher distinguishes. The numeric order is
+/// meaningful: higher levels strictly extend lower ones.
+enum class Level : int {
+  kScalar = 0,  ///< portable C++ reference path
+  kNeon = 1,    ///< AArch64 Advanced SIMD (128-bit)
+  kAvx2 = 2,    ///< x86-64 AVX2 (256-bit)
+};
+
+/// Human-readable tier name ("scalar", "neon", "avx2") for logs and benches.
+const char* LevelName(Level level);
+
+/// The tier the hardware supports, ignoring every override. Detected once
+/// and cached.
+Level DetectedLevel();
+
+/// The tier the kernels actually dispatch to: DetectedLevel() unless the
+/// SHBF_FORCE_SCALAR=1 environment variable (read at first call) or a
+/// ForceScalar(true) call demotes it to kScalar.
+Level ActiveLevel();
+
+/// Programmatic override used by tests and benches to compare SIMD and
+/// scalar answers in one process. ForceScalar(true) pins ActiveLevel() to
+/// kScalar; ForceScalar(false) restores the environment/hardware decision.
+void ForceScalar(bool on);
+
+}  // namespace simd
+}  // namespace shbf
+
+#endif  // SHBF_CORE_CPU_FEATURES_H_

@@ -122,6 +122,8 @@ enum class StructureTag : uint8_t {
   kDynamicCountFilter = 12,
   kGeneralizedShbfM = 13,
   kCountingShbfM = 14,
+  kBlockedBloomFilter = 15,
+  kBlockedShbfM = 16,
 };
 
 /// Writes the common header.

@@ -11,12 +11,19 @@
 //   pass 2  ResolveProbe   test the now-resident (or in-flight) windows
 //
 // The protocol is implemented natively — without virtual dispatch — by the
-// four structures whose query is a pure windowed-read (ShbfM §3, ShbfA §4,
-// ShbfX §5, and the classic Bloom filter); the engine discovers them through
+// six structures whose query is a pure windowed-read (ShbfM §3, ShbfA §4,
+// ShbfX §5, the classic Bloom filter, and the cache-blocked variants
+// BlockedBloomFilter / BlockedShbfM); the engine discovers them through
 // MembershipFilter::batch_fast_path(). Every other registered filter is
-// served through its virtual interface, so the engine answers for all 17
+// served through its virtual interface, so the engine answers for all
 // schemes and is bit-identical to the per-key path in every case
 // (tests/batch_engine_test.cc enforces this).
+//
+// The blocked ShBF_M path goes one step further: pass 2 gathers every pair
+// window of the group into a flat array and hands it to the SIMD kernel
+// (core/simd.h) — 4 windows = 8 probed bits per AVX2 op (NEON: 2 = 4) —
+// instead of testing windows one at a time. SHBF_FORCE_SCALAR demotes the
+// kernel to its scalar reference without changing any answer.
 
 #ifndef SHBF_ENGINE_BATCH_QUERY_ENGINE_H_
 #define SHBF_ENGINE_BATCH_QUERY_ENGINE_H_
@@ -24,6 +31,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "api/set_query_filter.h"
@@ -55,6 +63,14 @@ class BatchQueryEngine {
   /// ContainsBatch otherwise.
   void ContainsBatch(const MembershipFilter& filter,
                      const std::vector<std::string>& keys,
+                     std::vector<uint8_t>* results) const;
+
+  /// View-indexed overload: identical answers without requiring the caller
+  /// to own the key bytes (the multi-set frontier descent passes views into
+  /// its caller's keys instead of copying survivors). Views must stay valid
+  /// for the duration of the call.
+  void ContainsBatch(const MembershipFilter& filter,
+                     const std::vector<std::string_view>& keys,
                      std::vector<uint8_t>* results) const;
 
   /// `counts` is resized to `keys.size()`; entry i becomes

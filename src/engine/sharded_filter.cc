@@ -19,7 +19,7 @@ ShardedMembershipFilter::ShardedMembershipFilter(
   // Route each shard's sub-batch through the engine so the non-virtual
   // prefetching path engages per shard.
   sharded_.SetBatchFn([this](const MembershipFilter& filter,
-                             const std::vector<std::string>& keys,
+                             const std::vector<std::string_view>& keys,
                              std::vector<uint8_t>* results) {
     engine_.ContainsBatch(filter, keys, results);
   });

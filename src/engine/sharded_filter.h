@@ -61,9 +61,12 @@ template <typename F>
 class ShardedFilter {
  public:
   /// Dispatches one sub-batch to a shard's filter; replaceable so the
-  /// interface-level wrapper can route through a BatchQueryEngine.
-  using BatchFn = std::function<void(const F&, const std::vector<std::string>&,
-                                     std::vector<uint8_t>*)>;
+  /// interface-level wrapper can route through a BatchQueryEngine. The
+  /// sub-batch is view-indexed: the views point into the caller's keys, so
+  /// partitioning a batch across shards copies no key bytes.
+  using BatchFn =
+      std::function<void(const F&, const std::vector<std::string_view>&,
+                         std::vector<uint8_t>*)>;
 
   /// Builds `num_shards` shards by calling `make_shard(i)` for each index.
   ShardedFilter(size_t num_shards,
@@ -80,9 +83,19 @@ class ShardedFilter {
       }
       shards_.push_back(std::move(shard));
     }
-    batch_fn_ = [](const F& filter, const std::vector<std::string>& keys,
+    batch_fn_ = [](const F& filter, const std::vector<std::string_view>& keys,
                    std::vector<uint8_t>* results) {
-      filter.ContainsBatch(keys, results);
+      if constexpr (std::is_base_of_v<MembershipFilter, F>) {
+        // The interface has a view-indexed batch entry point.
+        filter.ContainsBatch(keys, results);
+      } else {
+        // Concrete filters take string batches; querying per key through
+        // their string_view Contains avoids materializing copies.
+        results->resize(keys.size());
+        for (size_t i = 0; i < keys.size(); ++i) {
+          (*results)[i] = filter.Contains(keys[i]) ? 1 : 0;
+        }
+      }
     };
   }
 
@@ -132,30 +145,17 @@ class ShardedFilter {
   /// Thread-safe batched query: keys are partitioned by shard, each shard
   /// answers its sub-batch through `batch_fn` under one lock hold, and the
   /// answers scatter back into caller order. `results` is resized to
-  /// `keys.size()`; entry i equals Contains(keys[i]).
+  /// `keys.size()`; entry i equals Contains(keys[i]). Partitioning gathers
+  /// views into the caller's keys — no key bytes are copied.
   void ContainsBatch(const std::vector<std::string>& keys,
                      std::vector<uint8_t>* results) const {
-    results->resize(keys.size());
-    if (keys.empty()) return;
-    std::vector<std::vector<size_t>> partition(shards_.size());
-    for (size_t i = 0; i < keys.size(); ++i) {
-      partition[ShardOf(keys[i])].push_back(i);
-    }
-    std::vector<std::string> shard_keys;
-    std::vector<uint8_t> shard_results;
-    for (size_t s = 0; s < shards_.size(); ++s) {
-      if (partition[s].empty()) continue;
-      shard_keys.clear();
-      shard_keys.reserve(partition[s].size());
-      for (size_t i : partition[s]) shard_keys.push_back(keys[i]);
-      const Shard& shard = *shards_[s];
-      WithReadLock(shard, [&] {
-        batch_fn_(*shard.filter, shard_keys, &shard_results);
-      });
-      for (size_t j = 0; j < partition[s].size(); ++j) {
-        (*results)[partition[s][j]] = shard_results[j];
-      }
-    }
+    ContainsBatchAnyKeys(keys, results);
+  }
+
+  /// View-indexed overload; the views must outlive the call.
+  void ContainsBatch(const std::vector<std::string_view>& keys,
+                     std::vector<uint8_t>* results) const {
+    ContainsBatchAnyKeys(keys, results);
   }
 
   /// Sum of the shards' element counts.
@@ -195,6 +195,32 @@ class ShardedFilter {
     /// reads then need the exclusive lock.
     bool exclusive_reads = false;
   };
+
+  template <typename Keys>
+  void ContainsBatchAnyKeys(const Keys& keys,
+                            std::vector<uint8_t>* results) const {
+    results->resize(keys.size());
+    if (keys.empty()) return;
+    std::vector<std::vector<size_t>> partition(shards_.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      partition[ShardOf(keys[i])].push_back(i);
+    }
+    std::vector<std::string_view> shard_keys;
+    std::vector<uint8_t> shard_results;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (partition[s].empty()) continue;
+      shard_keys.clear();
+      shard_keys.reserve(partition[s].size());
+      for (size_t i : partition[s]) shard_keys.emplace_back(keys[i]);
+      const Shard& shard = *shards_[s];
+      WithReadLock(shard, [&] {
+        batch_fn_(*shard.filter, shard_keys, &shard_results);
+      });
+      for (size_t j = 0; j < partition[s].size(); ++j) {
+        (*results)[partition[s][j]] = shard_results[j];
+      }
+    }
+  }
 
   template <typename Fn>
   void WithReadLock(const Shard& shard, Fn&& fn) const {
@@ -246,6 +272,11 @@ class ShardedMembershipFilter : public MembershipFilter {
   }
 
   void ContainsBatch(const std::vector<std::string>& keys,
+                     std::vector<uint8_t>* results) const override {
+    sharded_.ContainsBatch(keys, results);
+  }
+
+  void ContainsBatch(const std::vector<std::string_view>& keys,
                      std::vector<uint8_t>* results) const override {
     sharded_.ContainsBatch(keys, results);
   }

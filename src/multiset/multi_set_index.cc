@@ -204,8 +204,9 @@ void MultiSetIndex::WhichSets(std::string_view key, SetIdBitmap* out) const {
   probes_.fetch_add(probes, std::memory_order_relaxed);
 }
 
-void MultiSetIndex::WhichSetsBatch(const std::vector<std::string>& keys,
-                                   std::vector<SetIdBitmap>* out) const {
+template <typename Keys>
+void MultiSetIndex::WhichSetsBatchImpl(const Keys& keys,
+                                       std::vector<SetIdBitmap>* out) const {
   out->assign(keys.size(), SetIdBitmap(id_bound_));
   if (keys.empty()) return;
   uint64_t probes = 0;
@@ -236,23 +237,26 @@ void MultiSetIndex::WhichSetsBatch(const std::vector<std::string>& keys,
   queue.reserve(roots_.size());
   for (size_t root : roots_) queue.push_back(Work{root, all});
 
-  std::vector<std::string> gathered;
+  // Survivor frontiers are views into the caller's keys — the descent
+  // copies indices and pointers, never key bytes.
+  std::vector<std::string_view> gathered;
   while (!queue.empty()) {
     Work work = std::move(queue.back());
     queue.pop_back();
     const Node& node = nodes_[work.node];
     if (node.is_leaf && (!node.live || node.filter == nullptr)) continue;
-    // Roots see the whole frame: probe `keys` directly instead of copying
-    // every string (the single biggest gather, once per root per batch).
+    // Roots see the whole frame: probe `keys` directly, skipping even the
+    // view gather (once per root per batch).
     const bool full_frontier = work.alive.size() == keys.size();
-    if (!full_frontier) {
+    if (full_frontier) {
+      engine_.ContainsBatch(*node.filter, keys, &results);
+    } else {
       gathered.clear();
       gathered.reserve(work.alive.size());
-      for (uint32_t i : work.alive) gathered.push_back(keys[i]);
+      for (uint32_t i : work.alive) gathered.emplace_back(keys[i]);
+      engine_.ContainsBatch(*node.filter, gathered, &results);
     }
     probes += work.alive.size();
-    engine_.ContainsBatch(*node.filter, full_frontier ? keys : gathered,
-                          &results);
     std::vector<uint32_t> survivors;
     survivors.reserve(work.alive.size());
     for (size_t g = 0; g < work.alive.size(); ++g) {
@@ -269,6 +273,16 @@ void MultiSetIndex::WhichSetsBatch(const std::vector<std::string>& keys,
     queue.push_back(Work{node.children.back(), std::move(survivors)});
   }
   probes_.fetch_add(probes, std::memory_order_relaxed);
+}
+
+void MultiSetIndex::WhichSetsBatch(const std::vector<std::string>& keys,
+                                   std::vector<SetIdBitmap>* out) const {
+  WhichSetsBatchImpl(keys, out);
+}
+
+void MultiSetIndex::WhichSetsBatch(const std::vector<std::string_view>& keys,
+                                   std::vector<SetIdBitmap>* out) const {
+  WhichSetsBatchImpl(keys, out);
 }
 
 Status MultiSetIndex::AddKey(uint32_t set_id, std::string_view key) {

@@ -89,8 +89,16 @@ class MultiSetIndex {
   void WhichSets(std::string_view key, SetIdBitmap* out) const;
 
   /// Batched WhichSets: `out` is resized to keys.size(); entry i receives
-  /// WhichSets(keys[i]). Frontier descent with one engine batch per node.
+  /// WhichSets(keys[i]). Frontier descent with one engine batch per node;
+  /// survivor frontiers are gathered as views into `keys`, so no key bytes
+  /// are copied during the descent.
   void WhichSetsBatch(const std::vector<std::string>& keys,
+                      std::vector<SetIdBitmap>* out) const;
+
+  /// View-indexed overload for callers that do not own contiguous
+  /// std::strings (e.g. keys parsed in place from a request buffer). The
+  /// views must stay valid for the duration of the call.
+  void WhichSetsBatch(const std::vector<std::string_view>& keys,
                       std::vector<SetIdBitmap>* out) const;
 
   /// Incremental maintenance: adds `key` to set `set_id`'s filter AND to
@@ -152,6 +160,12 @@ class MultiSetIndex {
   static Status CloneFilter(const MembershipFilter& source,
                             const FilterRegistry& registry,
                             std::unique_ptr<MembershipFilter>* out);
+
+  /// Shared frontier descent behind both WhichSetsBatch overloads; `Keys`
+  /// is a vector of std::string or std::string_view.
+  template <typename Keys>
+  void WhichSetsBatchImpl(const Keys& keys,
+                          std::vector<SetIdBitmap>* out) const;
 
   MultiSetIndexOptions options_;
   BatchQueryEngine engine_{BatchOptions{}};

@@ -1,0 +1,253 @@
+#include "shbf/blocked_shbf_membership.h"
+
+#include <algorithm>
+
+#include "core/rng.h"
+
+namespace shbf {
+
+namespace {
+bool IsPowerOfTwo(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Status BlockedShbfM::Params::Validate() const {
+  if (num_bits == 0) {
+    return Status::InvalidArgument("BlockedShbfM: num_bits must be positive");
+  }
+  if (num_hashes < 2 || num_hashes % 2 != 0) {
+    return Status::InvalidArgument(
+        "BlockedShbfM: num_hashes must be even and >= 2 (k/2 pairs)");
+  }
+  if (max_offset_span < 2) {
+    return Status::InvalidArgument(
+        "BlockedShbfM: max_offset_span must be >= 2 so offsets are nonzero");
+  }
+  if (max_offset_span > BitArray::kWindowBits) {
+    return Status::InvalidArgument(
+        "BlockedShbfM: max_offset_span exceeds the one-access window");
+  }
+  if (block_bits < kMinBlockBits || block_bits > kMaxBlockBits ||
+      !IsPowerOfTwo(block_bits)) {
+    return Status::InvalidArgument(
+        "BlockedShbfM: block_bits must be a power of two in [128, 512]");
+  }
+  if (block_bits <= max_offset_span) {
+    return Status::InvalidArgument(
+        "BlockedShbfM: block_bits must exceed max_offset_span so a pair "
+        "fits inside one block");
+  }
+  return Status::Ok();
+}
+
+BlockedShbfM::BlockedShbfM(const Params& params)
+    : family_(params.hash_algorithm, 2, params.seed),
+      num_hashes_(params.num_hashes),
+      max_offset_span_(params.max_offset_span),
+      block_bits_(params.block_bits),
+      num_blocks_(CeilDiv(params.num_bits, size_t{params.block_bits})),
+      // Pairs never leave their block (bases are capped below), so no slack
+      // bits are needed beyond the guard bytes.
+      bits_(num_blocks_ * params.block_bits, /*slack_bits=*/0) {
+  CheckOk(params.Validate());
+}
+
+// Everything a query needs is derived from TWO passes over the key bytes:
+// the block from h1, the offset from h2, and the k/2 base positions from a
+// SplitMix64 stream seeded by both. Plain ShBF_M pays one key pass per
+// base; the blocked variant is the throughput play, so it uses the standard
+// blocked-filter recipe (Putze et al.) of hashing once and mixing cheaply —
+// the hash cost per query is O(|key|), not O(k·|key|).
+void BlockedShbfM::Derive(const void* data, size_t len, size_t* block_bit,
+                          uint64_t* offset, uint64_t* mix_state) const {
+  const uint64_t h1 = family_.Hash(0, data, len);
+  const uint64_t h2 = family_.Hash(1, data, len);
+  *block_bit = (h1 % num_blocks_) * block_bits_;
+  *offset = h2 % (max_offset_span_ - 1) + 1;
+  // Golden-ratio fold keeps the base stream decorrelated from the raw low
+  // bits the block and offset consumed.
+  *mix_state = h1 ^ (h2 * 0x9e3779b97f4a7c15ull);
+}
+
+uint64_t BlockedShbfM::OffsetOf(std::string_view key) const {
+  return family_.Hash(1, key.data(), key.size()) % (max_offset_span_ - 1) + 1;
+}
+
+size_t BlockedShbfM::BlockBitOf(const void* data, size_t len) const {
+  return (family_.Hash(0, data, len) % num_blocks_) * block_bits_;
+}
+
+void BlockedShbfM::Add(const void* data, size_t len) {
+  const uint32_t pairs = num_hashes_ / 2;
+  // base + offset <= block_bits − 1 must hold for the largest offset, so
+  // bases are drawn from [0, block_bits − w̄].
+  const uint64_t base_span = block_bits_ - max_offset_span_ + 1;
+  size_t block_bit;
+  uint64_t offset, state;
+  Derive(data, len, &block_bit, &offset, &state);
+  for (uint32_t i = 0; i < pairs; ++i) {
+    const size_t base = block_bit + SplitMix64(state) % base_span;
+    bits_.SetBit(base);
+    bits_.SetBit(base + offset);
+  }
+  ++num_elements_;
+}
+
+bool BlockedShbfM::Contains(const void* data, size_t len) const {
+  const uint32_t pairs = num_hashes_ / 2;
+  const uint64_t base_span = block_bits_ - max_offset_span_ + 1;
+  size_t block_bit;
+  uint64_t offset, state;
+  Derive(data, len, &block_bit, &offset, &state);
+  const uint64_t need = 1ull | (1ull << offset);
+  for (uint32_t i = 0; i < pairs; ++i) {
+    const size_t base = block_bit + SplitMix64(state) % base_span;
+    if ((bits_.LoadWindow(base) & need) != need) return false;
+  }
+  return true;
+}
+
+bool BlockedShbfM::ContainsWithStats(std::string_view key,
+                                     QueryStats* stats) const {
+  ++stats->queries;
+  // Two key passes (h1, h2) derive block, offset AND every base; every
+  // window lives in the one resident cache line, so the whole query is one
+  // memory access under the paper's cost model.
+  stats->hash_computations += 2;
+  ++stats->memory_accesses;
+  const uint32_t pairs = num_hashes_ / 2;
+  const uint64_t base_span = block_bits_ - max_offset_span_ + 1;
+  size_t block_bit;
+  uint64_t offset, state;
+  Derive(key.data(), key.size(), &block_bit, &offset, &state);
+  const uint64_t need = 1ull | (1ull << offset);
+  for (uint32_t i = 0; i < pairs; ++i) {
+    const size_t base = block_bit + SplitMix64(state) % base_span;
+    if ((bits_.LoadWindow(base) & need) != need) return false;
+  }
+  return true;
+}
+
+void BlockedShbfM::PrepareProbe(std::string_view key, Probe* probe) const {
+  const uint32_t pairs = num_hashes_ / 2;
+  SHBF_DCHECK(pairs <= kMaxBatchPairs);
+  const uint64_t base_span = block_bits_ - max_offset_span_ + 1;
+  size_t block_bit;
+  uint64_t offset, state;
+  Derive(key.data(), key.size(), &block_bit, &offset, &state);
+  probe->need = 1ull | (1ull << offset);
+  for (uint32_t i = 0; i < pairs; ++i) {
+    probe->bases[i] = block_bit + SplitMix64(state) % base_span;
+  }
+}
+
+void BlockedShbfM::PrefetchProbe(const Probe& probe) const {
+  // Every base lives in the same block: one line hint covers them all.
+  bits_.Prefetch(probe.bases[0]);
+}
+
+bool BlockedShbfM::ResolveProbe(const Probe& probe) const {
+  const uint32_t pairs = num_hashes_ / 2;
+  for (uint32_t i = 0; i < pairs; ++i) {
+    if ((bits_.LoadWindow(probe.bases[i]) & probe.need) != probe.need) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BlockedShbfM::ContainsBatch(const std::vector<std::string>& keys,
+                                 std::vector<uint8_t>* results) const {
+  results->resize(keys.size());
+  if (keys.empty()) return;
+  constexpr size_t kGroup = 16;
+  SHBF_CHECK(num_hashes_ / 2 <= kMaxBatchPairs)
+      << "batch path supports k <= 64";
+  Probe probes[kGroup];
+  for (size_t start = 0; start < keys.size(); start += kGroup) {
+    const size_t group = std::min(kGroup, keys.size() - start);
+    for (size_t g = 0; g < group; ++g) {
+      PrepareProbe(keys[start + g], &probes[g]);
+      PrefetchProbe(probes[g]);
+    }
+    for (size_t g = 0; g < group; ++g) {
+      (*results)[start + g] = ResolveProbe(probes[g]) ? 1 : 0;
+    }
+  }
+}
+
+void BlockedShbfM::Clear() {
+  bits_.Clear();
+  num_elements_ = 0;
+}
+
+Status BlockedShbfM::MergeFrom(const BlockedShbfM& other) {
+  if (family_.algorithm() != other.family_.algorithm() ||
+      family_.master_seed() != other.family_.master_seed() ||
+      num_hashes_ != other.num_hashes_ ||
+      max_offset_span_ != other.max_offset_span_ ||
+      block_bits_ != other.block_bits_) {
+    return Status::FailedPrecondition(
+        "BlockedShbfM::MergeFrom: hash families differ");
+  }
+  if (!bits_.OrWith(other.bits_)) {
+    return Status::FailedPrecondition(
+        "BlockedShbfM::MergeFrom: geometry differs");
+  }
+  num_elements_ += other.num_elements_;
+  return Status::Ok();
+}
+
+std::string BlockedShbfM::ToBytes() const {
+  ByteWriter writer;
+  serde::WriteHeader(&writer, serde::StructureTag::kBlockedShbfM);
+  writer.PutU64(bits_.num_bits());
+  writer.PutU32(num_hashes_);
+  writer.PutU32(max_offset_span_);
+  writer.PutU32(block_bits_);
+  writer.PutU8(static_cast<uint8_t>(family_.algorithm()));
+  writer.PutU64(family_.master_seed());
+  writer.PutU64(num_elements_);
+  bits_.AppendPayload(&writer);
+  return writer.Take();
+}
+
+Status BlockedShbfM::FromBytes(std::string_view bytes,
+                               std::optional<BlockedShbfM>* out) {
+  ByteReader reader(bytes);
+  Status header = serde::ReadHeader(&reader, serde::StructureTag::kBlockedShbfM);
+  if (!header.ok()) return header;
+  uint64_t num_bits = 0;
+  uint32_t num_hashes = 0;
+  uint32_t max_offset_span = 0;
+  uint32_t block_bits = 0;
+  uint8_t alg = 0;
+  uint64_t seed = 0;
+  uint64_t num_elements = 0;
+  if (!reader.GetU64(&num_bits) || !reader.GetU32(&num_hashes) ||
+      !reader.GetU32(&max_offset_span) || !reader.GetU32(&block_bits) ||
+      !reader.GetU8(&alg) || !reader.GetU64(&seed) ||
+      !reader.GetU64(&num_elements)) {
+    return Status::InvalidArgument("BlockedShbfM: truncated parameter block");
+  }
+  if (alg > 3) return Status::InvalidArgument("BlockedShbfM: unknown hash id");
+  Params params{.num_bits = num_bits,
+                .num_hashes = num_hashes,
+                .block_bits = block_bits,
+                .max_offset_span = max_offset_span,
+                .hash_algorithm = static_cast<HashAlgorithm>(alg),
+                .seed = seed};
+  Status valid = params.Validate();
+  if (!valid.ok()) return valid;
+  if (num_bits % block_bits != 0) {
+    return Status::InvalidArgument("BlockedShbfM: num_bits not block-aligned");
+  }
+  out->emplace(params);
+  (*out)->num_elements_ = num_elements;
+  if (!(*out)->bits_.ReadPayload(&reader) || !reader.AtEnd()) {
+    out->reset();
+    return Status::InvalidArgument("BlockedShbfM: payload size mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace shbf

@@ -1,0 +1,142 @@
+// Blocked ShBF_M — the shifting Bloom filter with cache-line-confined pairs.
+//
+// Plain ShBF_M (shbf_membership.h) already packs each (base, base+offset)
+// pair into ONE unaligned word load, but its k/2 pairs still scatter across
+// the whole m-bit array: a query touches up to k/2 distinct cache lines.
+// The blocked variant adds the Putze-style blocking idea on top of the
+// paper's word-pair trick: an extra hash confines ALL of a key's pairs to
+// one `block_bits` block (default 512 bits = one 64-byte line, aligned by
+// BitArray). Bases are drawn from [0, block_bits − w̄] so base + offset
+// never leaves the block — a query is one cache-line fetch regardless of k,
+// and the engine's SIMD resolve tests four pair windows (8 probed bits) per
+// AVX2 op across a batch group.
+//
+// FPR: keys sharing a block collide more than in plain ShBF_M (same
+// blocked-Bloom tradeoff); the acceptance gate bounds the penalty at 2x at
+// equal bits/key.
+
+#ifndef SHBF_SHBF_BLOCKED_SHBF_MEMBERSHIP_H_
+#define SHBF_SHBF_BLOCKED_SHBF_MEMBERSHIP_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/bit_array.h"
+#include "core/bits.h"
+#include "core/query_stats.h"
+#include "core/serde.h"
+#include "core/status.h"
+#include "hash/hash_family.h"
+
+namespace shbf {
+
+class BlockedShbfM {
+ public:
+  /// block_bits bounds: the base range [0, block_bits − w̄] must be
+  /// non-degenerate (block_bits = 64 would leave 8 base positions with the
+  /// default span, collapsing the FPR), so at least two words; at most one
+  /// cache line — the whole point of blocking.
+  static constexpr uint32_t kMinBlockBits = 128;
+  static constexpr uint32_t kMaxBlockBits = 512;
+
+  struct Params {
+    size_t num_bits = 0;       ///< m; rounded up to a multiple of block_bits
+    uint32_t num_hashes = 0;   ///< k; must be even (k/2 pairs), >= 2
+    uint32_t block_bits = 512; ///< power-of-two multiple of 64 in [128, 512]
+    /// w̄: offsets lie in [1, max_offset_span − 1]; see ShbfM::Params.
+    uint32_t max_offset_span = kDefaultMaxOffsetSpan;
+    HashAlgorithm hash_algorithm = HashAlgorithm::kMurmur3;
+    uint64_t seed = 0x5eed5eed5eed5eedull;
+
+    Status Validate() const;
+  };
+
+  explicit BlockedShbfM(const Params& params);
+
+  /// Inserts `key`: two hash passes over the key bytes (block, offset and
+  /// all k/2 bases derive from them), k bits set — all inside one block.
+  void Add(std::string_view key) { Add(key.data(), key.size()); }
+  void Add(const void* data, size_t len);
+
+  /// Membership query; no false negatives. One cache line touched.
+  bool Contains(std::string_view key) const {
+    return Contains(key.data(), key.size());
+  }
+  bool Contains(const void* data, size_t len) const;
+
+  /// Query under the paper's cost model: every pair window lives in the one
+  /// resident block, so the whole query is one memory access.
+  bool ContainsWithStats(std::string_view key, QueryStats* stats) const;
+
+  /// Batched membership query (two-pass prepare/prefetch/resolve groups).
+  void ContainsBatch(const std::vector<std::string>& keys,
+                     std::vector<uint8_t>* results) const;
+
+  /// Largest k/2 the probe/batch paths support (k <= 64).
+  static constexpr uint32_t kMaxBatchPairs = 32;
+
+  /// Precomputed query state, same shape as ShbfM::Probe: the shared pair
+  /// pattern plus k/2 absolute base positions (all within one block, so
+  /// PrefetchProbe issues a single line hint).
+  struct Probe {
+    uint64_t need;                 ///< bit 0 | bit o(e): the pair pattern
+    size_t bases[kMaxBatchPairs];  ///< absolute bit positions, one block
+  };
+
+  /// Computes `key`'s block, bases and pair pattern (hashes only).
+  void PrepareProbe(std::string_view key, Probe* probe) const;
+
+  /// Hints the cache to fetch the (single) block `probe` reads.
+  void PrefetchProbe(const Probe& probe) const;
+
+  /// Resolves a prepared probe; identical answer to Contains(key).
+  bool ResolveProbe(const Probe& probe) const;
+
+  /// The offset o(key) ∈ [1, max_offset_span − 1]; exposed for tests.
+  uint64_t OffsetOf(std::string_view key) const;
+
+  size_t num_bits() const { return bits_.num_bits(); }
+  uint32_t num_hashes() const { return num_hashes_; }
+  uint32_t num_pairs() const { return num_hashes_ / 2; }
+  uint32_t max_offset_span() const { return max_offset_span_; }
+  uint32_t block_bits() const { return block_bits_; }
+  size_t num_blocks() const { return num_blocks_; }
+  size_t num_elements() const { return num_elements_; }
+  const BitArray& bits() const { return bits_; }
+
+  void Clear();
+
+  /// Set-union via bitwise OR; both filters must share geometry, hash
+  /// family, seed, offset span and block size.
+  Status MergeFrom(const BlockedShbfM& other);
+
+  /// Serializes parameters + bit payload to a versioned byte blob.
+  std::string ToBytes() const;
+
+  /// Reconstructs a filter that answers identically to the serialized one.
+  static Status FromBytes(std::string_view bytes,
+                          std::optional<BlockedShbfM>* out);
+
+ private:
+  /// First bit of `key`'s block (h1 selects the block).
+  size_t BlockBitOf(const void* data, size_t len) const;
+
+  /// Runs the two key passes and hands back the block's first bit, the
+  /// pair offset, and the seeded SplitMix64 state the bases stream from.
+  void Derive(const void* data, size_t len, size_t* block_bit,
+              uint64_t* offset, uint64_t* mix_state) const;
+
+  HashFamily family_;  // two functions; bases derive via SplitMix64
+  uint32_t num_hashes_;
+  uint32_t max_offset_span_;
+  uint32_t block_bits_;
+  size_t num_blocks_;
+  BitArray bits_;
+  size_t num_elements_ = 0;
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_SHBF_BLOCKED_SHBF_MEMBERSHIP_H_

@@ -1,6 +1,6 @@
 // Engine-vs-per-key differential: BatchQueryEngine must be bit-identical to
 // the scalar interface for every registered filter — the fast paths are an
-// execution strategy, never a semantic change. Also pins down that the four
+// execution strategy, never a semantic change. Also pins down that the six
 // probe-protocol structures actually expose their fast path (a silently
 // dropped fast path would keep answers right and throughput wrong).
 
@@ -69,6 +69,8 @@ TEST(BatchEngineTest, ProbeProtocolFiltersExposeTheirFastPath) {
       {"bloom", BatchFastPath::Kind::kBloom},
       {"shbf_x", BatchFastPath::Kind::kShbfX},
       {"shbf_a", BatchFastPath::Kind::kShbfA},
+      {"blocked_bloom", BatchFastPath::Kind::kBlockedBloom},
+      {"blocked_shbf_m", BatchFastPath::Kind::kBlockedShbfM},
   };
   for (const auto& [name, kind] : expected) {
     SCOPED_TRACE(name);
@@ -153,7 +155,7 @@ TEST(BatchEngineTest, EmptyKeysAndStaleResultsAreHandled) {
   filter->Add("present");
   BatchQueryEngine engine;
   std::vector<uint8_t> results(17, 255);  // stale, oversized
-  engine.ContainsBatch(*filter, {}, &results);
+  engine.ContainsBatch(*filter, std::vector<std::string>{}, &results);
   EXPECT_TRUE(results.empty());
   std::vector<std::string> keys = {"present", "absent-xyzzy"};
   engine.ContainsBatch(*filter, keys, &results);

@@ -1,0 +1,268 @@
+// The cache-blocked variants (blocked_bloom, blocked_shbf_m) trade a little
+// FPR for one-cache-line queries; everything else about them must behave
+// exactly like the rest of the catalog. Pinned here: block confinement (the
+// one-access claim), no false negatives, registry + native serde round
+// trips, engine answers identical under forced-scalar and native SIMD
+// dispatch for EVERY registered filter, and the string_view batch overloads
+// (engine, sharded wrapper, multi-set index) answering bit-identically to
+// the string paths they shadow.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/filter_registry.h"
+#include "api/set_catalog.h"
+#include "baselines/blocked_bloom_filter.h"
+#include "core/cpu_features.h"
+#include "engine/batch_query_engine.h"
+#include "engine/sharded_filter.h"
+#include "multiset/multi_set_index.h"
+#include "shbf/blocked_shbf_membership.h"
+#include "trace/trace_generator.h"
+
+namespace shbf {
+namespace {
+
+constexpr size_t kNumKeys = 3000;
+
+FilterSpec TestSpec(uint64_t seed) {
+  FilterSpec spec;
+  spec.num_cells = 12 * kNumKeys;
+  spec.num_hashes = 8;
+  spec.expected_keys = kNumKeys;
+  spec.max_count = 8;
+  spec.seed = seed;
+  return spec;
+}
+
+std::vector<std::string> Universe(uint64_t seed) {
+  TraceGenerator gen(seed);
+  return gen.DistinctFlowKeys(2 * kNumKeys);  // half members, half absent
+}
+
+TEST(BlockedShbfMTest, AllProbesStayInsideOneBlock) {
+  for (uint32_t block_bits : {128u, 256u, 512u}) {
+    BlockedShbfM filter({.num_bits = 1 << 20,
+                         .num_hashes = 8,
+                         .block_bits = block_bits});
+    for (int i = 0; i < 2000; ++i) {
+      const std::string key = "key-" + std::to_string(i);
+      BlockedShbfM::Probe probe;
+      filter.PrepareProbe(key, &probe);
+      const size_t block_start =
+          probe.bases[0] / block_bits * block_bits;
+      for (uint32_t p = 0; p < filter.num_pairs(); ++p) {
+        ASSERT_GE(probe.bases[p], block_start) << key;
+        // The window read at a base spans max_offset_span bits; all of it
+        // must land inside the block (the one-cache-line guarantee).
+        ASSERT_LE(probe.bases[p] + filter.max_offset_span(),
+                  block_start + block_bits)
+            << key << " pair " << p;
+      }
+    }
+  }
+}
+
+TEST(BlockedShbfMTest, StatsReportOneMemoryAccessPerQuery) {
+  BlockedShbfM filter({.num_bits = 1 << 18, .num_hashes = 8});
+  filter.Add("present");
+  QueryStats stats;
+  filter.ContainsWithStats("present", &stats);
+  filter.ContainsWithStats("absent", &stats);
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.memory_accesses, 2u);  // one block per query
+}
+
+TEST(BlockedBloomTest, StatsReportOneMemoryAccessPerQuery) {
+  BlockedBloomFilter filter({.num_bits = 1 << 18, .num_hashes = 8});
+  filter.Add("present");
+  QueryStats stats;
+  filter.ContainsWithStats("present", &stats);
+  filter.ContainsWithStats("absent", &stats);
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.memory_accesses, 2u);
+}
+
+// Differential check against the exact set: every member answers yes (no
+// false negatives — the hard guarantee) and absent keys answer yes rarely
+// (FPR sanity at 12 bits/key; generous bound, not the 2x acceptance gate,
+// which the bench measures at scale).
+TEST(BlockedFilterTest, DifferentialAgainstExactSet) {
+  const auto universe = Universe(0xd1ff);
+  for (const char* name : {"blocked_bloom", "blocked_shbf_m"}) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<MembershipFilter> filter;
+    ASSERT_TRUE(
+        FilterRegistry::Global().Create(name, TestSpec(0xd1ff), &filter).ok());
+    std::unordered_set<std::string> exact;
+    for (size_t i = 0; i < kNumKeys; ++i) {
+      filter->Add(universe[i]);
+      exact.insert(universe[i]);
+    }
+    size_t false_positives = 0;
+    for (const auto& key : universe) {
+      const bool in_filter = filter->Contains(key);
+      if (exact.count(key)) {
+        ASSERT_TRUE(in_filter) << "false negative: " << key;
+      } else if (in_filter) {
+        ++false_positives;
+      }
+    }
+    // 12 bits/key puts classic filters near 0.1–0.5% FPR; blocking costs
+    // at most a small factor. 5% of the absent half = two orders of slack.
+    EXPECT_LT(false_positives, kNumKeys / 20) << "FPR collapsed";
+  }
+}
+
+TEST(BlockedFilterTest, NativeSerdeRoundTripsAnswerIdentically) {
+  const auto universe = Universe(0x5e7de);
+  {
+    BlockedShbfM original({.num_bits = 1 << 16,
+                           .num_hashes = 6,
+                           .block_bits = 256});
+    for (size_t i = 0; i < 1000; ++i) original.Add(universe[i]);
+    std::optional<BlockedShbfM> restored;
+    ASSERT_TRUE(BlockedShbfM::FromBytes(original.ToBytes(), &restored).ok());
+    for (const auto& key : universe) {
+      ASSERT_EQ(restored->Contains(key), original.Contains(key)) << key;
+    }
+  }
+  {
+    BlockedBloomFilter original({.num_bits = 1 << 16,
+                                 .num_hashes = 5,
+                                 .block_bits = 256});
+    for (size_t i = 0; i < 1000; ++i) original.Add(universe[i]);
+    std::optional<BlockedBloomFilter> restored;
+    ASSERT_TRUE(
+        BlockedBloomFilter::FromBytes(original.ToBytes(), &restored).ok());
+    for (const auto& key : universe) {
+      ASSERT_EQ(restored->Contains(key), original.Contains(key)) << key;
+    }
+  }
+}
+
+TEST(BlockedFilterTest, RegistryEnvelopeRoundTripsAnswerIdentically) {
+  const auto universe = Universe(0xe14e);
+  const auto& registry = FilterRegistry::Global();
+  for (const char* name : {"blocked_bloom", "blocked_shbf_m"}) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<MembershipFilter> filter;
+    ASSERT_TRUE(registry.Create(name, TestSpec(0xe14e), &filter).ok());
+    for (size_t i = 0; i < kNumKeys; ++i) filter->Add(universe[i]);
+    std::unique_ptr<MembershipFilter> restored;
+    ASSERT_TRUE(
+        registry.Deserialize(FilterRegistry::Serialize(*filter), &restored)
+            .ok());
+    for (const auto& key : universe) {
+      ASSERT_EQ(restored->Contains(key), filter->Contains(key)) << key;
+    }
+  }
+}
+
+TEST(BlockedFilterTest, MergeIsSetUnion) {
+  BlockedShbfM a({.num_bits = 1 << 16, .num_hashes = 6});
+  BlockedShbfM b({.num_bits = 1 << 16, .num_hashes = 6});
+  a.Add("only-a");
+  b.Add("only-b");
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_TRUE(a.Contains("only-a"));
+  EXPECT_TRUE(a.Contains("only-b"));
+
+  BlockedShbfM mismatched({.num_bits = 1 << 16,
+                           .num_hashes = 6,
+                           .block_bits = 256});
+  EXPECT_FALSE(a.MergeFrom(mismatched).ok());
+}
+
+// The bit-identity acceptance gate: for every registered filter, the
+// engine's batched answers must equal the per-key loop under BOTH dispatch
+// modes — native SIMD and SHBF_FORCE_SCALAR-equivalent scalar demotion.
+TEST(BlockedFilterTest, EngineMatchesPerKeyUnderBothDispatchModes) {
+  const auto universe = Universe(0x51ca1);
+  const auto& registry = FilterRegistry::Global();
+  for (const auto& name : registry.Names()) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<MembershipFilter> filter;
+    ASSERT_TRUE(registry.Create(name, TestSpec(0x51ca1), &filter).ok());
+    for (size_t i = 0; i < kNumKeys; ++i) filter->Add(universe[i]);
+    std::vector<uint8_t> expected(universe.size());
+    for (size_t i = 0; i < universe.size(); ++i) {
+      expected[i] = filter->Contains(universe[i]) ? 1 : 0;
+    }
+    BatchQueryEngine engine({.batch_size = 32});
+    for (bool scalar : {false, true}) {
+      SCOPED_TRACE(scalar ? "scalar" : "native");
+      simd::ForceScalar(scalar);
+      std::vector<uint8_t> batched;
+      engine.ContainsBatch(*filter, universe, &batched);
+      ASSERT_EQ(batched, expected);
+    }
+    simd::ForceScalar(false);
+  }
+}
+
+// The view overloads exist to kill survivor-key copies; they must not be
+// able to change a single answer. One sweep pins engine, sharded wrapper
+// and multi-set index view paths against their string counterparts.
+TEST(BlockedFilterTest, StringViewBatchOverloadsMatchStringPaths) {
+  const auto universe = Universe(0x71e11);
+  std::vector<std::string_view> views(universe.begin(), universe.end());
+  const auto& registry = FilterRegistry::Global();
+
+  // Engine: every registered filter, both key containers.
+  BatchQueryEngine engine({.batch_size = 32});
+  for (const auto& name : registry.Names()) {
+    SCOPED_TRACE(name);
+    std::unique_ptr<MembershipFilter> filter;
+    ASSERT_TRUE(registry.Create(name, TestSpec(0x71e11), &filter).ok());
+    for (size_t i = 0; i < kNumKeys; ++i) filter->Add(universe[i]);
+    std::vector<uint8_t> by_string, by_view;
+    engine.ContainsBatch(*filter, universe, &by_string);
+    engine.ContainsBatch(*filter, views, &by_view);
+    ASSERT_EQ(by_view, by_string);
+  }
+
+  // Sharded wrapper: the view overload partitions and scatters like the
+  // string one.
+  FilterSpec sharded_spec = TestSpec(0x71e11);
+  sharded_spec.shards = 4;
+  std::unique_ptr<MembershipFilter> sharded;
+  ASSERT_TRUE(registry.Create("blocked_shbf_m", sharded_spec, &sharded).ok());
+  for (size_t i = 0; i < kNumKeys; ++i) sharded->Add(universe[i]);
+  std::vector<uint8_t> by_string, by_view;
+  sharded->ContainsBatch(universe, &by_string);
+  sharded->ContainsBatch(views, &by_view);
+  ASSERT_EQ(by_view, by_string);
+
+  // Multi-set index: the view descent must produce the same bitmaps.
+  SetCatalog catalog;
+  for (int s = 0; s < 6; ++s) {
+    std::unique_ptr<MembershipFilter> member;
+    FilterSpec spec = FilterSpec::ForKeys(500, 64.0, 4);
+    spec.max_count = 8;
+    ASSERT_TRUE(registry.Create(s % 2 ? "bloom" : "shbf_m", spec, &member)
+                    .ok());
+    for (int k = 0; k < 500; ++k) {
+      member->Add(universe[(s * 500 + k) % universe.size()]);
+    }
+    ASSERT_TRUE(
+        catalog.AddSet("set-" + std::to_string(s), std::move(member)).ok());
+  }
+  std::unique_ptr<MultiSetIndex> index;
+  ASSERT_TRUE(MultiSetIndex::Build(&catalog, {}, &index).ok());
+  std::vector<SetIdBitmap> string_maps, view_maps;
+  index->WhichSetsBatch(universe, &string_maps);
+  index->WhichSetsBatch(views, &view_maps);
+  ASSERT_EQ(view_maps.size(), string_maps.size());
+  for (size_t i = 0; i < string_maps.size(); ++i) {
+    ASSERT_EQ(view_maps[i], string_maps[i]) << "key " << i;
+  }
+}
+
+}  // namespace
+}  // namespace shbf

@@ -271,7 +271,7 @@ TEST(RegistrySerdeTest, VersionMismatchNamesVersionsAndFilter) {
   Status s = registry.Deserialize(blob, &out);
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("version 2"), std::string::npos) << s.ToString();
-  EXPECT_NE(s.message().find("supported: 3"), std::string::npos)
+  EXPECT_NE(s.message().find("supported: 4"), std::string::npos)
       << s.ToString();
   EXPECT_NE(s.message().find("\"shbf_m\""), std::string::npos)
       << s.ToString();
@@ -341,11 +341,11 @@ TEST(RegistrySerdeTest, EnvelopeNamesUnknownFilter) {
 }
 
 /// Forges a registry envelope carrying `name` over `payload` (the layout
-/// Serialize writes: SHBR magic, version 3, length-prefixed name, payload).
+/// Serialize writes: SHBR magic, version 4, length-prefixed name, payload).
 std::string ForgeEnvelope(std::string_view name, std::string_view payload) {
   ByteWriter writer;
   writer.PutU32(0x52424853);  // "SHBR"
-  writer.PutU8(3);
+  writer.PutU8(4);
   writer.PutU32(static_cast<uint32_t>(name.size()));
   writer.PutBytes(name.data(), name.size());
   writer.PutBytes(payload.data(), payload.size());
