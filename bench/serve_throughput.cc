@@ -1,6 +1,9 @@
 // serve_throughput — multi-connection load generator for shbf_server:
 // queries/sec and p50/p99 frame latency through the full wire path
-// (client → TCP loopback → server → BatchQueryEngine → response).
+// (client → TCP loopback → server → BatchQueryEngine → response), with
+// frame pipelining (--pipeline=N keeps N request frames in flight per
+// connection) and C1K-scale connection counts against the epoll serving
+// mode.
 //
 // Two ways to point it at a server:
 //   default              spins up an in-process ShbfServer on an ephemeral
@@ -8,27 +11,33 @@
 //                        self-contained acceptance bench
 //   --connect=host:port  drives an external shbf_server; the target must
 //                        serve a filter named by --serve-name (queries are
-//                        member keys "key-0".."key-N" unless --query-file)
+//                        member keys "key-0".."key-N")
 //
 // usage: bench_serve_throughput [--connect=host:port] [--filter=shbf_m]
 //          [--serve-name=bench] [--build-keys=N] [--query-keys=N]
 //          [--bits-per-key=B] [--k=K] [--shards=S] [--connections=C]
-//          [--frame-keys=N] [--smoke]
+//          [--frame-keys=N] [--pipeline=N] [--server-mode=epoll|legacy]
+//          [--workers=N] [--compare] [--json=PATH] [--smoke]
 //
-// CSV on stdout: filter,connections,frame_keys,queries,seconds,qps,
-// p50_us,p99_us — latency is per frame (one batched request/response).
+// CSV on stdout: filter,mode,connections,pipeline,frame_keys,queries,
+// seconds,qps,p50_us,p99_us — latency is per frame (one batched
+// request/response; under pipelining it includes queue time in the
+// window). --compare runs the epoll AND legacy modes over the identical
+// workload and prints one row each. --json appends the same rows to a
+// JSON report (CI archives BENCH_serve.json).
 //
-// --smoke is the CI mode: small sizes, and instead of chasing qps it
-// verifies the remote answers are bit-identical to a local
-// BatchQueryEngine over an identical filter — membership on the main
-// filter AND counts on a multiplicity filter — then checks the server
-// shuts down cleanly (all connection threads joined, no protocol errors)
-// and prints "# smoke OK". Exits nonzero on any divergence.
+// --smoke is the CI mode: 256 pipelined connections over small sizes, and
+// instead of chasing qps it verifies the remote answers are bit-identical
+// to a local BatchQueryEngine over an identical filter — membership on
+// the main filter AND counts on a multiplicity filter — then checks the
+// server shuts down cleanly with zero protocol errors and prints
+// "# smoke OK". Exits nonzero on any divergence.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <memory>
 #include <random>
 #include <string>
@@ -36,9 +45,13 @@
 #include <vector>
 
 #include "api/filter_registry.h"
+#include "bench_util/json_report.h"
 #include "bench_util/timer.h"
+#include "core/serde.h"
 #include "engine/batch_query_engine.h"
 #include "server/client.h"
+#include "server/net.h"
+#include "server/protocol.h"
 #include "server/server.h"
 
 namespace shbf {
@@ -55,6 +68,12 @@ struct Config {
   uint32_t shards = 4;
   uint32_t connections = 4;
   size_t frame_keys = 512;
+  size_t pipeline = 1;        // request frames in flight per connection
+  size_t driver_threads = 0;  // 0 = min(connections, 8)
+  bool legacy_mode = false;   // --server-mode=legacy
+  bool compare = false;       // run epoll AND legacy, one row each
+  size_t workers = 0;         // event-loop workers (0 = auto)
+  std::string json_path;
   bool smoke = false;
 };
 
@@ -74,30 +93,107 @@ double Percentile(std::vector<double>* sorted_into, double fraction) {
   return (*sorted_into)[index];
 }
 
-/// One connection's work: its slice of the query stream, framed; returns
-/// false on any client error. Frame latencies append to `latencies_us`.
-bool DriveConnection(const std::string& host, uint16_t port,
-                     const std::string& serve_name,
-                     const std::vector<std::string>& queries, size_t begin,
-                     size_t end, size_t frame_keys,
-                     std::vector<double>* latencies_us,
-                     std::vector<uint8_t>* answers) {
-  ShbfClient client;
-  if (!client.Connect(host, port).ok()) return false;
-  std::vector<std::string> frame;
-  std::vector<uint8_t> results;
-  for (size_t cursor = begin; cursor < end; cursor += frame_keys) {
-    const size_t stop = std::min(cursor + frame_keys, end);
-    frame.assign(queries.begin() + cursor, queries.begin() + stop);
+/// One pipelined connection's driver-side state.
+struct ConnState {
+  int fd = -1;
+  size_t cursor = 0;  // next query index to send
+  size_t end = 0;     // one past the slice
+  struct InFlight {
+    size_t cursor;  // first query index of the frame
+    size_t count;   // keys in the frame
     WallTimer timer;
-    if (!client.Query(serve_name, frame, &results).ok()) return false;
-    latencies_us->push_back(timer.ElapsedSeconds() * 1e6);
-    if (answers != nullptr) {
-      std::copy(results.begin(), results.end(),
-                answers->begin() + static_cast<ptrdiff_t>(cursor));
+  };
+  std::deque<InFlight> in_flight;
+
+  bool finished() const { return cursor >= end && in_flight.empty(); }
+};
+
+/// Round-robins one driver thread over MANY pipelined connections: fill
+/// each connection's window (up to `window` request frames in flight),
+/// then retire one response per visit — so a thousand connections cost a
+/// handful of driver threads, not a thousand. Responses are validated and
+/// (optionally) collected; frame latencies (send → response, including
+/// window queue time) append to `latencies_us`. Returns false on any wire
+/// error.
+bool DriveConnections(const std::string& host, uint16_t port,
+                      const std::string& serve_name,
+                      const std::vector<std::string>& queries,
+                      std::vector<ConnState>* conns, size_t frame_keys,
+                      size_t window, std::vector<double>* latencies_us,
+                      std::vector<uint8_t>* answers) {
+  const std::string hello = wire::BuildHello();
+  std::string response;
+  bool ok = true;
+  for (ConnState& conn : *conns) {
+    Status status;
+    conn.fd = net::ConnectTcp(host, port, &status);
+    if (conn.fd < 0 ||
+        !net::SendAll(conn.fd, hello.data(), hello.size()) ||
+        net::ReadFrame(conn.fd, wire::kMaxFrameBytes, &response) !=
+            net::FrameRead::kOk ||
+        response.empty() || response[0] != 0) {
+      ok = false;
+      break;
     }
   }
-  return true;
+  std::vector<std::string> frame;
+  size_t live = conns->size();
+  while (ok && live > 0) {
+    live = 0;
+    for (ConnState& conn : *conns) {
+      if (conn.finished()) continue;
+      ++live;
+      while (conn.cursor < conn.end && conn.in_flight.size() < window) {
+        const size_t stop = std::min(conn.cursor + frame_keys, conn.end);
+        frame.assign(queries.begin() + static_cast<ptrdiff_t>(conn.cursor),
+                     queries.begin() + static_cast<ptrdiff_t>(stop));
+        const std::string request = wire::BuildQuery(
+            serve_name, wire::QueryMode::kMembership, frame);
+        conn.in_flight.push_back(
+            {conn.cursor, stop - conn.cursor, WallTimer()});
+        if (!net::SendAll(conn.fd, request.data(), request.size())) {
+          ok = false;
+          break;
+        }
+        conn.cursor = stop;
+      }
+      if (!ok || conn.in_flight.empty()) break;
+      // Retire the oldest response (they arrive in request order).
+      if (net::ReadFrame(conn.fd, wire::kMaxFrameBytes, &response) !=
+          net::FrameRead::kOk) {
+        ok = false;
+        break;
+      }
+      ConnState::InFlight done = conn.in_flight.front();
+      conn.in_flight.pop_front();
+      latencies_us->push_back(done.timer.ElapsedSeconds() * 1e6);
+      wire::WireStatus wire_status;
+      std::string_view payload;
+      std::string message;
+      if (!wire::ParseResponse(response, &wire_status, &payload, &message) ||
+          wire_status != wire::WireStatus::kOk) {
+        ok = false;
+        break;
+      }
+      ByteReader reader(payload);
+      uint8_t mode = 0;
+      uint64_t count = 0;
+      if (!reader.GetU8(&mode) || !reader.GetU64(&count) ||
+          count != done.count || reader.remaining() != count) {
+        ok = false;
+        break;
+      }
+      if (answers != nullptr) {
+        for (size_t i = 0; i < count; ++i) {
+          uint8_t bit = 0;
+          reader.GetU8(&bit);
+          (*answers)[done.cursor + i] = bit;
+        }
+      }
+    }
+  }
+  for (ConnState& conn : *conns) net::CloseFd(conn.fd);
+  return ok;
 }
 
 int Fail(const char* what) {
@@ -105,101 +201,31 @@ int Fail(const char* what) {
   return 1;
 }
 
-int Main(int argc, char** argv) {
-  Config config;
-  for (int i = 1; i < argc; ++i) {
-    std::string value;
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      config.smoke = true;
-    } else if (ParseFlag(argv[i], "connect", &value)) {
-      config.connect = value;
-    } else if (ParseFlag(argv[i], "filter", &value)) {
-      config.filter_name = value;
-    } else if (ParseFlag(argv[i], "serve-name", &value)) {
-      config.serve_name = value;
-    } else if (ParseFlag(argv[i], "build-keys", &value)) {
-      config.build_keys = std::strtoull(value.c_str(), nullptr, 0);
-    } else if (ParseFlag(argv[i], "query-keys", &value)) {
-      config.query_keys = std::strtoull(value.c_str(), nullptr, 0);
-    } else if (ParseFlag(argv[i], "bits-per-key", &value)) {
-      config.bits_per_key = std::atof(value.c_str());
-    } else if (ParseFlag(argv[i], "k", &value)) {
-      config.num_hashes = static_cast<uint32_t>(std::atoi(value.c_str()));
-    } else if (ParseFlag(argv[i], "shards", &value)) {
-      config.shards = static_cast<uint32_t>(std::atoi(value.c_str()));
-    } else if (ParseFlag(argv[i], "connections", &value)) {
-      config.connections = static_cast<uint32_t>(std::atoi(value.c_str()));
-    } else if (ParseFlag(argv[i], "frame-keys", &value)) {
-      config.frame_keys = std::strtoull(value.c_str(), nullptr, 0);
-    } else {
-      std::fprintf(stderr,
-                   "usage: bench_serve_throughput [--connect=host:port] "
-                   "[--filter=<name>] [--serve-name=bench] [--build-keys=N] "
-                   "[--query-keys=N] [--bits-per-key=B] [--k=K] [--shards=S] "
-                   "[--connections=C] [--frame-keys=N] [--smoke]\n");
-      return 2;
-    }
-  }
-  if (config.smoke) {
-    config.build_keys = 20000;
-    config.query_keys = 10000;
-    config.connections = 2;
-    config.frame_keys = 256;
-  }
-  if (config.build_keys == 0 || config.query_keys == 0 ||
-      config.connections == 0 || config.frame_keys == 0) {
-    std::fprintf(stderr, "error: all sizes must be positive\n");
-    return 2;
-  }
-
-  std::vector<std::string> build_keys(config.build_keys);
-  for (size_t i = 0; i < config.build_keys; ++i) {
-    build_keys[i] = "key-" + std::to_string(i);
-  }
-  std::vector<std::string> queries(config.query_keys);
-  std::mt19937_64 rng(0xbe9c4);
-  for (size_t i = 0; i < config.query_keys; ++i) {
-    queries[i] = build_keys[rng() % build_keys.size()];
-  }
-
-  if (config.smoke && !config.connect.empty()) {
-    std::fprintf(stderr,
-                 "error: --smoke needs the in-process server "
-                 "(drop --connect)\n");
-    return 2;
-  }
-
-  // ---- the server (in-process unless --connect) and the local twin ------
+/// One measured (or verified) pass against one serving mode. Prints a CSV
+/// row (and appends a JSON row); in smoke mode also runs the bit-identical
+/// and clean-shutdown checks. Returns a process exit code.
+int RunMode(const Config& config, bool legacy, const std::string& host_in,
+            uint16_t port_in, const std::string& served_blob,
+            const std::vector<std::string>& build_keys,
+            const std::vector<std::string>& queries,
+            const MembershipFilter* local, const FilterSpec& spec,
+            JsonReport* report) {
   const auto& registry = FilterRegistry::Global();
-  FilterSpec spec = FilterSpec::ForKeys(config.build_keys,
-                                        config.bits_per_key,
-                                        config.num_hashes);
-  spec.max_count = 8;
-  spec.shards = config.shards;
-  std::unique_ptr<MembershipFilter> local;
-  Status s;
   std::unique_ptr<ShbfServer> server;
-  std::string host = "127.0.0.1";
-  uint16_t port = 0;
+  std::string host = host_in;
+  uint16_t port = port_in;
+  const char* mode_name = legacy ? "legacy" : "epoll";
   if (config.connect.empty()) {
-    // The local twin exists only to feed the in-process server and the
-    // smoke comparison; an external-server run skips it entirely.
-    s = registry.Create(config.filter_name, spec, &local);
-    if (!s.ok()) {
-      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
-      return 1;
-    }
-    for (const auto& key : build_keys) local->Add(key);
-    local->PrepareForConstReads();
-    // The served copy travels through the registry envelope, exactly as a
-    // production blob would — serde divergence fails the smoke too.
     std::unique_ptr<MembershipFilter> served;
-    s = registry.Deserialize(FilterRegistry::Serialize(*local), &served);
+    Status s = registry.Deserialize(served_blob, &served);
     if (!s.ok()) {
       std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
       return 1;
     }
-    server = std::make_unique<ShbfServer>();
+    ServerOptions options;
+    options.legacy_threads = legacy;
+    options.num_workers = config.workers;
+    server = std::make_unique<ShbfServer>(options);
     CheckOk(server->RegisterFilter(config.serve_name, std::move(served)));
     if (config.smoke) {
       // Count-mode twin: a bare multiplicity filter with duplicate adds.
@@ -208,7 +234,7 @@ int Main(int argc, char** argv) {
       std::unique_ptr<MembershipFilter> counting;
       CheckOk(registry.Create("shbf_x", count_spec, &counting));
       for (const auto& key : build_keys) counting->Add(key);
-      for (size_t i = 0; i < config.build_keys; i += 3) {
+      for (size_t i = 0; i < build_keys.size(); i += 3) {
         counting->Add(build_keys[i]);  // every third key has count 2
       }
       CheckOk(server->RegisterFilter("bench_counts", std::move(counting)));
@@ -220,40 +246,46 @@ int Main(int argc, char** argv) {
     }
     port = server->port();
   } else {
-    const size_t colon = config.connect.rfind(':');
-    if (colon == std::string::npos) {
-      std::fprintf(stderr, "error: --connect needs host:port\n");
-      return 2;
-    }
-    host = config.connect.substr(0, colon);
-    port = static_cast<uint16_t>(
-        std::strtoul(config.connect.c_str() + colon + 1, nullptr, 10));
+    mode_name = "external";
   }
 
-  // ---- the measured (or verified) run -----------------------------------
+  // Each driver thread round-robins a shard of the connections, so the
+  // load generator itself stays cheap at C1K (a thousand blocking driver
+  // threads would measure the driver's scheduler, not the server).
+  const size_t driver_threads =
+      config.driver_threads != 0
+          ? std::min<size_t>(config.driver_threads, config.connections)
+          : std::min<size_t>(config.connections, 8);
   std::vector<uint8_t> remote_answers(config.query_keys, 0);
-  std::vector<std::vector<double>> latencies(config.connections);
-  std::vector<uint8_t> ok(config.connections, 0);
+  std::vector<std::vector<double>> latencies(driver_threads);
+  std::vector<uint8_t> ok(driver_threads, 0);
   const size_t slice =
       (config.query_keys + config.connections - 1) / config.connections;
-  WallTimer timer;
-  std::vector<std::thread> workers;
+  std::vector<std::vector<ConnState>> shards(driver_threads);
   for (uint32_t c = 0; c < config.connections; ++c) {
-    workers.emplace_back([&, c] {
-      const size_t begin = std::min<size_t>(c * slice, config.query_keys);
-      const size_t end = std::min(begin + slice, config.query_keys);
-      ok[c] = DriveConnection(host, port, config.serve_name, queries, begin,
-                              end, config.frame_keys, &latencies[c],
-                              config.smoke ? &remote_answers : nullptr)
+    ConnState conn;
+    conn.cursor = std::min<size_t>(c * slice, config.query_keys);
+    conn.end = std::min(conn.cursor + slice, config.query_keys);
+    shards[c % driver_threads].push_back(conn);
+  }
+  WallTimer timer;
+  std::vector<std::thread> drivers;
+  for (size_t t = 0; t < driver_threads; ++t) {
+    drivers.emplace_back([&, t] {
+      ok[t] = DriveConnections(host, port, config.serve_name, queries,
+                               &shards[t], config.frame_keys,
+                               config.pipeline, &latencies[t],
+                               config.smoke ? &remote_answers : nullptr)
                   ? 1
                   : 0;
     });
   }
-  for (auto& worker : workers) worker.join();
+  for (auto& driver : drivers) driver.join();
   const double seconds = timer.ElapsedSeconds();
-  for (uint32_t c = 0; c < config.connections; ++c) {
-    if (!ok[c]) {
-      std::fprintf(stderr, "error: connection %u failed\n", c);
+  for (size_t t = 0; t < driver_threads; ++t) {
+    if (!ok[t]) {
+      std::fprintf(stderr, "error: driver thread %zu failed (%s)\n", t,
+                   mode_name);
       return 1;
     }
   }
@@ -266,12 +298,24 @@ int Main(int argc, char** argv) {
   std::vector<double> p99_copy = all_latencies;
   const double p50 = Percentile(&all_latencies, 0.50);
   const double p99 = Percentile(&p99_copy, 0.99);
-  std::printf("filter,connections,frame_keys,queries,seconds,qps,"
-              "p50_us,p99_us\n");
-  std::printf("%s,%u,%zu,%zu,%.4f,%.0f,%.1f,%.1f\n",
-              config.filter_name.c_str(), config.connections,
-              config.frame_keys, config.query_keys, seconds,
-              config.query_keys / seconds, p50, p99);
+  const double qps = static_cast<double>(config.query_keys) / seconds;
+  std::printf("%s,%s,%u,%zu,%zu,%zu,%.4f,%.0f,%.1f,%.1f\n",
+              config.filter_name.c_str(), mode_name, config.connections,
+              config.pipeline, config.frame_keys, config.query_keys, seconds,
+              qps, p50, p99);
+  if (report != nullptr) {
+    report->AddRow()
+        .Set("filter", config.filter_name)
+        .Set("mode", mode_name)
+        .Set("connections", uint64_t{config.connections})
+        .Set("pipeline", uint64_t{config.pipeline})
+        .Set("frame_keys", uint64_t{config.frame_keys})
+        .Set("queries", uint64_t{config.query_keys})
+        .Set("seconds", seconds)
+        .Set("keys_per_sec", qps)
+        .Set("p50_us", p50)
+        .Set("p99_us", p99);
+  }
 
   // ---- smoke verification ------------------------------------------------
   if (config.smoke) {
@@ -282,8 +326,9 @@ int Main(int argc, char** argv) {
     engine.ContainsBatch(*local, queries, &local_answers);
     for (size_t i = 0; i < queries.size(); ++i) {
       if ((remote_answers[i] != 0) != (local_answers[i] != 0)) {
-        std::fprintf(stderr, "SMOKE FAILED: membership divergence at %zu\n",
-                     i);
+        std::fprintf(stderr,
+                     "SMOKE FAILED: membership divergence at %zu (%s)\n", i,
+                     mode_name);
         return 1;
       }
     }
@@ -293,7 +338,7 @@ int Main(int argc, char** argv) {
     std::unique_ptr<MultiplicityFilter> local_counts;
     CheckOk(registry.CreateMultiplicity("shbf_x", count_spec, &local_counts));
     for (const auto& key : build_keys) local_counts->Add(key);
-    for (size_t i = 0; i < config.build_keys; i += 3) {
+    for (size_t i = 0; i < build_keys.size(); i += 3) {
       local_counts->Add(build_keys[i]);
     }
     std::vector<uint64_t> local_count_answers;
@@ -320,13 +365,164 @@ int Main(int argc, char** argv) {
     const ShbfServer::Counters counters = server->counters();
     server->Stop();
     if (server->running()) return Fail("server still running after Stop");
+    if (server->active_connections() != 0) {
+      return Fail("connections leaked past Stop");
+    }
     if (counters.protocol_errors != 0) return Fail("protocol errors");
     if (counters.keys_queried < config.query_keys) {
       return Fail("server undercounted queries");
     }
-    std::printf("# smoke OK (%llu frames, %llu keys, clean shutdown)\n",
-                static_cast<unsigned long long>(counters.frames),
+    std::printf("# smoke OK (%s: %llu frames, %llu keys, clean shutdown)\n",
+                mode_name, static_cast<unsigned long long>(counters.frames),
                 static_cast<unsigned long long>(counters.keys_queried));
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      config.smoke = true;
+    } else if (std::strcmp(argv[i], "--compare") == 0) {
+      config.compare = true;
+    } else if (ParseFlag(argv[i], "connect", &value)) {
+      config.connect = value;
+    } else if (ParseFlag(argv[i], "filter", &value)) {
+      config.filter_name = value;
+    } else if (ParseFlag(argv[i], "serve-name", &value)) {
+      config.serve_name = value;
+    } else if (ParseFlag(argv[i], "build-keys", &value)) {
+      config.build_keys = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (ParseFlag(argv[i], "query-keys", &value)) {
+      config.query_keys = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (ParseFlag(argv[i], "bits-per-key", &value)) {
+      config.bits_per_key = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "k", &value)) {
+      config.num_hashes = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "shards", &value)) {
+      config.shards = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "connections", &value)) {
+      config.connections = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(argv[i], "frame-keys", &value)) {
+      config.frame_keys = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (ParseFlag(argv[i], "pipeline", &value)) {
+      config.pipeline = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (ParseFlag(argv[i], "driver-threads", &value)) {
+      config.driver_threads = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (ParseFlag(argv[i], "workers", &value)) {
+      config.workers = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (ParseFlag(argv[i], "json", &value)) {
+      config.json_path = value;
+    } else if (ParseFlag(argv[i], "server-mode", &value)) {
+      if (value == "legacy") {
+        config.legacy_mode = true;
+      } else if (value != "epoll") {
+        std::fprintf(stderr, "error: --server-mode=epoll|legacy\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve_throughput [--connect=host:port] "
+                   "[--filter=<name>] [--serve-name=bench] [--build-keys=N] "
+                   "[--query-keys=N] [--bits-per-key=B] [--k=K] [--shards=S] "
+                   "[--connections=C] [--frame-keys=N] [--pipeline=N] "
+                   "[--driver-threads=T] [--server-mode=epoll|legacy] "
+                   "[--workers=N] [--compare] [--json=PATH] [--smoke]\n");
+      return 2;
+    }
+  }
+  if (config.smoke) {
+    // C256 with pipelining: the event-loop acceptance shape, small enough
+    // for sanitizer CI. 65536 queries / 256 connections = 16 frames of 16
+    // keys per connection, window 4.
+    config.build_keys = 20000;
+    config.query_keys = 65536;
+    config.connections = 256;
+    config.frame_keys = 16;
+    config.pipeline = 4;
+  }
+  if (config.build_keys == 0 || config.query_keys == 0 ||
+      config.connections == 0 || config.frame_keys == 0 ||
+      config.pipeline == 0) {
+    std::fprintf(stderr, "error: all sizes must be positive\n");
+    return 2;
+  }
+  if (config.smoke && !config.connect.empty()) {
+    std::fprintf(stderr,
+                 "error: --smoke needs the in-process server "
+                 "(drop --connect)\n");
+    return 2;
+  }
+  if (config.compare && !config.connect.empty()) {
+    std::fprintf(stderr, "error: --compare needs the in-process server\n");
+    return 2;
+  }
+
+  std::vector<std::string> build_keys(config.build_keys);
+  for (size_t i = 0; i < config.build_keys; ++i) {
+    build_keys[i] = "key-" + std::to_string(i);
+  }
+  std::vector<std::string> queries(config.query_keys);
+  std::mt19937_64 rng(0xbe9c4);
+  for (size_t i = 0; i < config.query_keys; ++i) {
+    queries[i] = build_keys[rng() % build_keys.size()];
+  }
+
+  // ---- the local twin (feeds the in-process server + smoke compare) ------
+  const auto& registry = FilterRegistry::Global();
+  FilterSpec spec = FilterSpec::ForKeys(config.build_keys,
+                                        config.bits_per_key,
+                                        config.num_hashes);
+  spec.max_count = 8;
+  spec.shards = config.shards;
+  std::unique_ptr<MembershipFilter> local;
+  std::string served_blob;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  if (config.connect.empty()) {
+    Status s = registry.Create(config.filter_name, spec, &local);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    for (const auto& key : build_keys) local->Add(key);
+    local->PrepareForConstReads();
+    // The served copy travels through the registry envelope, exactly as a
+    // production blob would — serde divergence fails the smoke too.
+    served_blob = FilterRegistry::Serialize(*local);
+  } else {
+    const size_t colon = config.connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "error: --connect needs host:port\n");
+      return 2;
+    }
+    host = config.connect.substr(0, colon);
+    port = static_cast<uint16_t>(
+        std::strtoul(config.connect.c_str() + colon + 1, nullptr, 10));
+  }
+
+  JsonReport report("serve_throughput");
+  std::printf("filter,mode,connections,pipeline,frame_keys,queries,seconds,"
+              "qps,p50_us,p99_us\n");
+  int rc;
+  if (config.compare) {
+    rc = RunMode(config, /*legacy=*/false, host, port, served_blob,
+                 build_keys, queries, local.get(), spec, &report);
+    if (rc == 0) {
+      rc = RunMode(config, /*legacy=*/true, host, port, served_blob,
+                   build_keys, queries, local.get(), spec, &report);
+    }
+  } else {
+    rc = RunMode(config, config.legacy_mode, host, port, served_blob,
+                 build_keys, queries, local.get(), spec, &report);
+  }
+  if (rc != 0) return rc;
+  Status s = report.WriteToFile(config.json_path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,47 @@
+#include "server/connection.h"
+
+#include <cstdint>
+
+namespace shbf {
+namespace server {
+
+void FrameSplitter::Feed(const char* data, size_t len) {
+  // Compact before growing: consumed bytes at the front would otherwise
+  // accumulate for the lifetime of a long connection.
+  if (cursor_ > 0 && (cursor_ == buffer_.size() || cursor_ >= 64 * 1024)) {
+    buffer_.erase(0, cursor_);
+    cursor_ = 0;
+  }
+  buffer_.append(data, len);
+}
+
+FrameSplitter::Event FrameSplitter::Next(std::string_view* frame) {
+  const size_t available = buffer_.size() - cursor_;
+  if (available < 4) return Event::kNeedMore;
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(
+                  static_cast<uint8_t>(buffer_[cursor_ + i]))
+              << (8 * i);
+  }
+  // Violations consume nothing: the caller answers and stops reading, so
+  // the poisoned bytes are simply never looked at again.
+  if (length == 0) return Event::kEmpty;
+  if (length > max_frame_bytes_) return Event::kTooLarge;
+  if (available < 4 + static_cast<size_t>(length)) return Event::kNeedMore;
+  *frame = std::string_view(buffer_).substr(cursor_ + 4, length);
+  cursor_ += 4 + static_cast<size_t>(length);
+  return Event::kFrame;
+}
+
+void Connection::AppendOutput(std::string_view bytes) {
+  if (out_cursor > 0 &&
+      (out_cursor == outbuf.size() || out_cursor >= 256 * 1024)) {
+    outbuf.erase(0, out_cursor);
+    out_cursor = 0;
+  }
+  outbuf.append(bytes.data(), bytes.size());
+}
+
+}  // namespace server
+}  // namespace shbf

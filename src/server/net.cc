@@ -1,6 +1,7 @@
 #include "server/net.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -42,7 +43,9 @@ int ListenTcp(const std::string& bind_address, uint16_t port, Status* status) {
     CloseFd(fd);
     return -1;
   }
-  if (::listen(fd, 128) != 0) {
+  // 1024: the event loop accepts whole bursts per wakeup, so the backlog
+  // only needs to absorb one scheduling gap even at C10K connect storms.
+  if (::listen(fd, 1024) != 0) {
     *status = Status::Internal(Errno("listen"));
     CloseFd(fd);
     return -1;
@@ -150,8 +153,47 @@ void ShutdownFd(int fd) {
   if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
 }
 
+void ShutdownReadFd(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RD);
+}
+
 void CloseFd(int fd) {
   if (fd >= 0) ::close(fd);
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+IoResult RecvSome(int fd, void* data, size_t len, size_t* transferred) {
+  *transferred = 0;
+  ssize_t got;
+  do {
+    got = ::recv(fd, data, len, 0);
+  } while (got < 0 && errno == EINTR);
+  if (got > 0) {
+    *transferred = static_cast<size_t>(got);
+    return IoResult::kOk;
+  }
+  if (got == 0) return IoResult::kEof;
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+  return IoResult::kError;
+}
+
+IoResult SendSome(int fd, const void* data, size_t len, size_t* transferred) {
+  *transferred = 0;
+  ssize_t sent;
+  do {
+    sent = ::send(fd, data, len, MSG_NOSIGNAL);
+  } while (sent < 0 && errno == EINTR);
+  if (sent >= 0) {
+    *transferred = static_cast<size_t>(sent);
+    return IoResult::kOk;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+  return IoResult::kError;
 }
 
 }  // namespace net

@@ -2,10 +2,10 @@
 // protocol-robustness tests: listen/connect, full-buffer send/recv, and
 // one-frame reads with the length-prefix discipline of protocol.h.
 //
-// Deliberately thin — blocking sockets, no event loop. The server's
-// concurrency model is thread-per-connection (server.h); a connection's
-// socket is driven by exactly one thread at a time, plus shutdown() from
-// the owner during Stop() to unblock a read.
+// Deliberately thin — the blocking calls serve the client library, the
+// legacy thread-per-connection path, and the tests; the nonblocking
+// helpers at the bottom serve the epoll event loop (event_loop.h), which
+// does its own buffered reads and writes.
 
 #ifndef SHBF_SERVER_NET_H_
 #define SHBF_SERVER_NET_H_
@@ -57,8 +57,30 @@ inline bool SendFrame(int fd, std::string_view frame) {
 /// shutdown(SHUT_RDWR) — unblocks any thread inside recv on `fd`.
 void ShutdownFd(int fd);
 
+/// shutdown(SHUT_RD) only: unblocks a thread inside recv while letting an
+/// in-flight send on another thread finish — the drain half of Stop().
+void ShutdownReadFd(int fd);
+
 /// close(fd), ignoring errors; no-op on fd < 0.
 void CloseFd(int fd);
+
+/// O_NONBLOCK on. False (with errno set) on failure.
+bool SetNonBlocking(int fd);
+
+/// Outcome of one nonblocking send/recv attempt.
+enum class IoResult {
+  kOk,        ///< progress was made (`*transferred` bytes)
+  kWouldBlock,///< the socket is not ready; try again on the next event
+  kEof,       ///< recv only: the peer closed its write side
+  kError,     ///< hard failure (errno) — drop the connection
+};
+
+/// One nonblocking recv into `data`; never blocks on an O_NONBLOCK fd.
+IoResult RecvSome(int fd, void* data, size_t len, size_t* transferred);
+
+/// One nonblocking send of `data`; MSG_NOSIGNAL, never blocks on an
+/// O_NONBLOCK fd. Partial sends report kOk with the partial count.
+IoResult SendSome(int fd, const void* data, size_t len, size_t* transferred);
 
 }  // namespace net
 }  // namespace shbf

@@ -113,28 +113,90 @@ Status ShbfServer::Start() {
   listen_fd_ = net::ListenTcp(options_.bind_address, options_.port, &s);
   if (listen_fd_ < 0) return s;
   port_ = net::LocalPort(listen_fd_);
+  if (options_.legacy_threads) {
+    running_.store(true, std::memory_order_release);
+    acceptor_ = std::thread(&ShbfServer::AcceptLoop, this);
+    return Status::Ok();
+  }
+  server::EventLoopOptions loop_options;
+  loop_options.max_frame_bytes = options_.max_frame_bytes;
+  loop_options.num_workers = options_.num_workers;
+  loop_options.max_connections = options_.max_connections;
+  loop_options.drain_timeout_ms = options_.drain_timeout_ms;
+  // Byte-identical to what the legacy read loop sends on each violation.
+  loop_options.empty_frame_response =
+      wire::BuildError(wire::WireStatus::kBadFrame, "zero-length frame");
+  loop_options.too_large_response = wire::BuildError(
+      wire::WireStatus::kTooLarge, "frame exceeds the body limit");
+  loop_ = std::make_unique<server::EventLoop>(
+      listen_fd_, std::move(loop_options),
+      [this](std::string_view body, bool* hello_done) {
+        Response response = HandleRequest(body, hello_done);
+        frames_served_.fetch_add(1, std::memory_order_relaxed);
+        return server::EventLoop::FrameResult{std::move(response.frame),
+                                              response.close_connection};
+      });
+  listen_fd_ = -1;  // the loop owns it now
+  s = loop_->Start();
+  if (!s.ok()) {
+    loop_.reset();
+    return s;
+  }
   running_.store(true, std::memory_order_release);
-  acceptor_ = std::thread(&ShbfServer::AcceptLoop, this);
   return Status::Ok();
 }
 
 void ShbfServer::Stop() {
-  const bool was_running = running_.exchange(false);
+  running_.store(false, std::memory_order_release);
+  if (loop_ != nullptr) {
+    // Drains per the EventLoop contract; kept alive for its counters.
+    loop_->Stop();
+    return;
+  }
   // Unblock the acceptor first so no new connection slips in mid-teardown.
   net::ShutdownFd(listen_fd_);
   if (acceptor_.joinable()) acceptor_.join();
   net::CloseFd(listen_fd_);
   listen_fd_ = -1;
   {
-    // Unblock every connection thread stuck in recv; their fds stay open
-    // until the join below, so no fd number can be recycled under us.
+    // Unblock every connection thread stuck in recv — but with SHUT_RD
+    // only: a thread mid-send of a large response keeps its write side and
+    // finishes the frame. (A full SHUT_RDWR here used to cut responses off
+    // mid-send when Stop raced an in-flight reply.)
     std::lock_guard<std::mutex> lock(connections_mu_);
     for (const auto& connection : connections_) {
-      net::ShutdownFd(connection->fd);
+      net::ShutdownReadFd(connection->fd);
+    }
+  }
+  // Grace period: wait for the in-flight responses to finish, bounded by
+  // drain_timeout_ms, then cut whatever is still stuck (a peer that has
+  // stopped reading can stall a send indefinitely).
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.drain_timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool all_done = true;
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      for (const auto& connection : connections_) {
+        if (!connection->done.load(std::memory_order_acquire)) {
+          all_done = false;
+          break;
+        }
+      }
+    }
+    if (all_done) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (const auto& connection : connections_) {
+      if (!connection->done.load(std::memory_order_acquire)) {
+        net::ShutdownFd(connection->fd);
+      }
     }
   }
   ReapConnections(/*all=*/true);
-  (void)was_running;
 }
 
 ShbfServer::Counters ShbfServer::counters() const {
@@ -143,7 +205,23 @@ ShbfServer::Counters ShbfServer::counters() const {
   counters.frames = frames_served_.load();
   counters.keys_queried = keys_queried_.load();
   counters.protocol_errors = protocol_errors_.load();
+  if (loop_ != nullptr) {
+    counters.connections += loop_->connections_accepted();
+    // Framing violations never reach HandleRequest in loop mode; they are
+    // counted at the loop and folded in here.
+    counters.protocol_errors += loop_->framing_errors();
+  }
   return counters;
+}
+
+uint64_t ShbfServer::active_connections() const {
+  if (loop_ != nullptr) return loop_->active_connections();
+  uint64_t live = 0;
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  for (const auto& connection : connections_) {
+    if (!connection->done.load(std::memory_order_acquire)) ++live;
+  }
+  return live;
 }
 
 void ShbfServer::AcceptLoop() {
@@ -164,9 +242,9 @@ void ShbfServer::AcceptLoop() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    auto connection = std::make_unique<Connection>();
+    auto connection = std::make_unique<LegacyConnection>();
     connection->fd = fd;
-    Connection* raw = connection.get();
+    LegacyConnection* raw = connection.get();
     {
       std::lock_guard<std::mutex> lock(connections_mu_);
       connections_.push_back(std::move(connection));
@@ -180,7 +258,7 @@ void ShbfServer::ReapConnections(bool all) {
   std::lock_guard<std::mutex> lock(connections_mu_);
   auto it = connections_.begin();
   while (it != connections_.end()) {
-    Connection& connection = **it;
+    LegacyConnection& connection = **it;
     if (!all && !connection.done.load(std::memory_order_acquire)) {
       ++it;
       continue;
@@ -191,7 +269,7 @@ void ShbfServer::ReapConnections(bool all) {
   }
 }
 
-void ShbfServer::ServeConnection(Connection* connection) {
+void ShbfServer::ServeConnection(LegacyConnection* connection) {
   const int fd = connection->fd;
   bool hello_done = false;
   std::string body;

@@ -2,18 +2,26 @@
 // registry can build or deserialize becomes a remotely addressable backend
 // under a string name (cf. Bloofi's "many filters, one service" framing).
 //
-// Model: one acceptor thread plus one thread per connection. Each request
-// frame carries a *batch* of keys, which the handler resolves in one
-// BatchQueryEngine call under the filter's reader lock — so concurrent
-// connections querying the same filter stay on the shared-lock path, and a
-// sharded/dynamic wrapper underneath additionally spreads them across its
-// per-shard locks. Mutating opcodes (ADD / REMOVE / RELOAD) take the
-// writer lock and finish with PrepareForConstReads(), so lazily-rebuilt
-// bases (shbf_x, shbf_a) never mutate inside a shared-lock read.
+// Model (default): one epoll event-loop thread multiplexing every
+// connection plus a fixed worker pool (server::EventLoop) — thread count
+// is O(workers), not O(connections), so C10K+ concurrent connections and
+// pipelined request frames are first-class. Each request frame carries a
+// *batch* of keys, which the handler resolves in one BatchQueryEngine call
+// under the filter's reader lock — so concurrent connections querying the
+// same filter stay on the shared-lock path, and a sharded/dynamic wrapper
+// underneath additionally spreads them across its per-shard locks.
+// Mutating opcodes (ADD / REMOVE / RELOAD) take the writer lock and finish
+// with PrepareForConstReads(), so lazily-rebuilt bases (shbf_x, shbf_a)
+// never mutate inside a shared-lock read.
+//
+// Fallback (options.legacy_threads): the original acceptor thread plus one
+// blocking thread per connection — the reference implementation the event
+// loop is differential-tested against; both speak byte-identical wire.
 //
 // Lifecycle: RegisterFilter/LoadFilter before Start(); the served-name map
 // is immutable while serving (RELOAD swaps a filter's *contents* under its
-// writer lock, never the map shape). Stop() is idempotent and joins every
+// writer lock, never the map shape). Stop() is idempotent, drains
+// in-flight responses (bounded by drain_timeout_ms) and joins every
 // thread — safe from signal-driven shutdown paths and from tests.
 //
 // The wire protocol is protocol.h / docs/serving.md; the matching client
@@ -38,6 +46,7 @@
 #include "core/status.h"
 #include "engine/batch_query_engine.h"
 #include "multiset/multi_set_index.h"
+#include "server/event_loop.h"
 #include "server/protocol.h"
 
 namespace shbf {
@@ -58,6 +67,23 @@ struct ServerOptions {
 
   /// Keys-per-frame ceiling (see wire::kMaxKeysPerFrame).
   size_t max_keys_per_frame = wire::kMaxKeysPerFrame;
+
+  /// Serve with the original thread-per-connection model instead of the
+  /// epoll event loop. Kept as the differential-testing reference and as
+  /// an operational escape hatch; both modes speak identical bytes.
+  bool legacy_threads = false;
+
+  /// Event-loop worker threads. 0 = one per hardware thread, clamped to
+  /// [1, 8]. Ignored under legacy_threads.
+  size_t num_workers = 0;
+
+  /// Concurrent-connection ceiling; past it new sockets are accepted and
+  /// immediately closed. 0 = unlimited. Ignored under legacy_threads.
+  size_t max_connections = 0;
+
+  /// Stop(): how long to keep flushing in-flight responses before
+  /// aborting connections whose peers have stalled (both modes).
+  int drain_timeout_ms = 5000;
 };
 
 class ShbfServer {
@@ -112,6 +138,10 @@ class ShbfServer {
   };
   Counters counters() const;
 
+  /// Currently-open connections — the fuzz suite's slot-leak probe. Always
+  /// 0 after Stop().
+  uint64_t active_connections() const;
+
  private:
   /// One served filter: the object, its RW lock, and serving metadata.
   struct Served {
@@ -124,8 +154,9 @@ class ShbfServer {
     mutable std::shared_mutex mu;
   };
 
-  /// A connection thread and its socket, so Stop() can unblock + join.
-  struct Connection {
+  /// (legacy mode) A connection thread and its socket, so Stop() can
+  /// unblock + join.
+  struct LegacyConnection {
     int fd = -1;
     std::thread thread;
     std::atomic<bool> done{false};
@@ -140,7 +171,7 @@ class ShbfServer {
   };
 
   void AcceptLoop();
-  void ServeConnection(Connection* connection);
+  void ServeConnection(LegacyConnection* connection);
 
   /// Dispatches one request body. `*hello_done` tracks the connection's
   /// handshake state.
@@ -187,9 +218,15 @@ class ShbfServer {
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
+
+  /// The default serving core (null under legacy_threads or before Start).
+  /// Kept alive after Stop() so its counters remain readable.
+  std::unique_ptr<server::EventLoop> loop_;
+
+  // ---- legacy thread-per-connection state ----
   std::thread acceptor_;
-  std::mutex connections_mu_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  mutable std::mutex connections_mu_;
+  std::vector<std::unique_ptr<LegacyConnection>> connections_;
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> frames_served_{0};
