@@ -25,6 +25,7 @@
 #include "api/filter_spec.h"
 #include "api/set_query_filter.h"
 #include "baselines/blocked_bloom_filter.h"
+#include "baselines/split_block_bloom_filter.h"
 #include "baselines/bloom_filter.h"
 #include "baselines/cm_sketch.h"
 #include "baselines/counting_bloom_filter.h"
@@ -36,6 +37,7 @@
 #include "baselines/spectral_bloom_filter.h"
 #include "core/serde.h"
 #include "shbf/blocked_shbf_membership.h"
+#include "shbf/split_block_shbf_membership.h"
 #include "shbf/counting_shbf_membership.h"
 #include "shbf/generalized_shbf.h"
 #include "shbf/scm_sketch.h"
@@ -272,6 +274,92 @@ class BlockedShbfMAdapter
   }
   Status MergeFrom(const MembershipFilter& other) override {
     const auto* peer = dynamic_cast<const BlockedShbfMAdapter*>(&other);
+    if (peer == nullptr) {
+      return Status::FailedPrecondition(
+          name_ + ": MergeFrom needs another " + name_ + " instance");
+    }
+    Status s = impl_.MergeFrom(peer->impl_);
+    if (s.ok()) adds_ += peer->adds_;
+    return s;
+  }
+  size_t num_elements() const override { return impl_.num_elements(); }
+  size_t memory_bytes() const override {
+    return impl_.bits().allocated_bytes();
+  }
+  std::string ToBytes() const override { return WrapNative(impl_.ToBytes()); }
+};
+
+class SplitBlockBloomAdapter
+    : public AdapterCore<MembershipFilter, SplitBlockBloomFilter> {
+ public:
+  using AdapterCore::AdapterCore;
+  void Add(std::string_view key) override {
+    impl_.Add(key);
+    ++adds_;
+  }
+  bool Contains(std::string_view key) const override {
+    return impl_.Contains(key);
+  }
+  bool ContainsWithStats(std::string_view key,
+                         QueryStats* stats) const override {
+    return impl_.ContainsWithStats(key, stats);
+  }
+  void ContainsBatch(const std::vector<std::string>& keys,
+                     std::vector<uint8_t>* results) const override {
+    impl_.ContainsBatch(keys, results);
+  }
+  using MembershipFilter::ContainsBatch;  // keep the view overload visible
+  BatchFastPath batch_fast_path() const override {
+    return {BatchFastPath::Kind::kSplitBlockBloom, &impl_};
+  }
+  uint32_t capabilities() const override {
+    return kIncrementalAdd | kMergeable;
+  }
+  Status MergeFrom(const MembershipFilter& other) override {
+    const auto* peer = dynamic_cast<const SplitBlockBloomAdapter*>(&other);
+    if (peer == nullptr) {
+      return Status::FailedPrecondition(
+          name_ + ": MergeFrom needs another " + name_ + " instance");
+    }
+    Status s = impl_.MergeFrom(peer->impl_);
+    if (s.ok()) adds_ += peer->adds_;
+    return s;
+  }
+  size_t num_elements() const override { return impl_.num_elements(); }
+  size_t memory_bytes() const override {
+    return impl_.bits().allocated_bytes();
+  }
+  std::string ToBytes() const override { return WrapNative(impl_.ToBytes()); }
+};
+
+class SplitBlockShbfMAdapter
+    : public AdapterCore<MembershipFilter, SplitBlockShbfM> {
+ public:
+  using AdapterCore::AdapterCore;
+  void Add(std::string_view key) override {
+    impl_.Add(key);
+    ++adds_;
+  }
+  bool Contains(std::string_view key) const override {
+    return impl_.Contains(key);
+  }
+  bool ContainsWithStats(std::string_view key,
+                         QueryStats* stats) const override {
+    return impl_.ContainsWithStats(key, stats);
+  }
+  void ContainsBatch(const std::vector<std::string>& keys,
+                     std::vector<uint8_t>* results) const override {
+    impl_.ContainsBatch(keys, results);
+  }
+  using MembershipFilter::ContainsBatch;  // keep the view overload visible
+  BatchFastPath batch_fast_path() const override {
+    return {BatchFastPath::Kind::kSplitBlockShbfM, &impl_};
+  }
+  uint32_t capabilities() const override {
+    return kIncrementalAdd | kMergeable;
+  }
+  Status MergeFrom(const MembershipFilter& other) override {
+    const auto* peer = dynamic_cast<const SplitBlockShbfMAdapter*>(&other);
     if (peer == nullptr) {
       return Status::FailedPrecondition(
           name_ + ": MergeFrom needs another " + name_ + " instance");
@@ -1079,6 +1167,83 @@ Status RegisterAll(FilterRegistry* r) {
            },
        .deserializer = NativeDeserializer<BlockedShbfMAdapter, BlockedShbfM>(
            "blocked_shbf_m")});
+  if (!s.ok()) return s;
+
+  // split_block_bloom: each of the k probes owns one sub_block_bits-wide
+  // sub-word; block_bits is sized to k * sub_block_bits (clamped to one
+  // cache line, rounded to whole words) so no sub-word goes unused and the
+  // probe mask builds in one variable-shift vector op.
+  s = r->Register(
+      {.name = "split_block_bloom",
+       .family = FilterFamily::kMembership,
+       .description =
+           "split-block Bloom filter (Boost.Bloom multiblock; one vector op "
+           "per key)",
+       .capabilities = kIncrementalAdd | kMergeable,
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             const uint32_t k =
+                 std::min(spec.num_hashes < 1 ? 1u : spec.num_hashes,
+                          SplitBlockBloomFilter::kMaxBatchHashes);
+             const uint32_t sub = spec.sub_block_bits;
+             const uint32_t block_bits = static_cast<uint32_t>(std::clamp(
+                 RoundUp(size_t{k} * sub, 64),
+                 size_t{SplitBlockBloomFilter::kMinBlockBits},
+                 size_t{SplitBlockBloomFilter::kMaxBlockBits}));
+             return MakeAdapter<SplitBlockBloomAdapter>(
+                 "split_block_bloom",
+                 SplitBlockBloomFilter::Params{.num_bits = spec.num_cells,
+                                               .num_hashes = k,
+                                               .block_bits = block_bits,
+                                               .sub_block_bits = sub,
+                                               .hash_algorithm =
+                                                   spec.hash_algorithm,
+                                               .seed = spec.seed},
+                 out);
+           },
+       .deserializer = NativeDeserializer<SplitBlockBloomAdapter,
+                                          SplitBlockBloomFilter>(
+           "split_block_bloom")});
+  if (!s.ok()) return s;
+
+  // split_block_shbf_m: num_hashes rounded up to even (k/2 pairs), each
+  // pair confined to its own sub-word. sub_block_bits raised to the
+  // scheme's 16-bit minimum; the offset span is half the sub-word — wide
+  // enough for base entropy, small enough that base + offset stays inside.
+  s = r->Register(
+      {.name = "split_block_shbf_m",
+       .family = FilterFamily::kMembership,
+       .description =
+           "split-block shifting Bloom filter, membership (paper §3 + "
+           "multiblock layout; one vector op per key)",
+       .capabilities = kIncrementalAdd | kMergeable,
+       .factory =
+           [](const FilterSpec& spec, std::unique_ptr<MembershipFilter>* out) {
+             const uint32_t k = std::min(
+                 RoundUpToMultiple(spec.num_hashes < 2 ? 2 : spec.num_hashes,
+                                   2),
+                 2 * SplitBlockShbfM::kMaxBatchPairs);
+             const uint32_t pairs = k / 2;
+             const uint32_t sub =
+                 spec.sub_block_bits < 16 ? 16 : spec.sub_block_bits;
+             const uint32_t block_bits = static_cast<uint32_t>(std::clamp(
+                 RoundUp(size_t{pairs} * sub, 64),
+                 size_t{SplitBlockShbfM::kMinBlockBits},
+                 size_t{SplitBlockShbfM::kMaxBlockBits}));
+             return MakeAdapter<SplitBlockShbfMAdapter>(
+                 "split_block_shbf_m",
+                 SplitBlockShbfM::Params{.num_bits = spec.num_cells,
+                                         .num_hashes = k,
+                                         .block_bits = block_bits,
+                                         .sub_block_bits = sub,
+                                         .max_offset_span = sub / 2,
+                                         .hash_algorithm = spec.hash_algorithm,
+                                         .seed = spec.seed},
+                 out);
+           },
+       .deserializer = NativeDeserializer<SplitBlockShbfMAdapter,
+                                          SplitBlockShbfM>(
+           "split_block_shbf_m")});
   if (!s.ok()) return s;
 
   // shbf_g: t = num_shifts (must divide 56); k rounded up to a multiple of

@@ -20,7 +20,12 @@ constexpr uint32_t kEnvelopeMagic = 0x52424853;  // "SHBR" little-endian
 // pipeline), again shifting every payload that embeds a spec.
 // v4: FilterSpec wire records grew block_bits (the cache-blocked variants),
 // appended past the v3 layout.
-constexpr uint8_t kEnvelopeVersion = 4;
+// v5: FilterSpec wire records grew sub_block_bits (the split-block
+// variants), appended past the v4 layout. The v5 reader still accepts v4
+// blobs: spec-bearing payloads deserialize under a SpecWireVersionScope so
+// mid-payload ReadSpec calls skip the absent trailing field.
+constexpr uint8_t kEnvelopeVersion = 5;
+constexpr uint8_t kMinReadableEnvelopeVersion = 4;
 constexpr size_t kMaxNameLength = 256;
 
 bool ConsumePrefix(std::string_view* name, std::string_view prefix) {
@@ -253,7 +258,7 @@ Status FilterRegistry::Deserialize(
   if (!reader.GetU8(&version)) {
     return Status::InvalidArgument("FilterRegistry: truncated envelope");
   }
-  if (version != kEnvelopeVersion) {
+  if (version < kMinReadableEnvelopeVersion || version > kEnvelopeVersion) {
     // The name field's layout has been stable across every envelope
     // version, so surface which filter the stale/foreign blob carries —
     // "unsupported version" alone sends the operator grepping hex dumps.
@@ -269,6 +274,7 @@ Status FilterRegistry::Deserialize(
     return Status::InvalidArgument(
         "FilterRegistry: unsupported envelope version " +
         std::to_string(version) + " (supported: " +
+        std::to_string(kMinReadableEnvelopeVersion) + ".." +
         std::to_string(kEnvelopeVersion) + ")" + context +
         "; rebuild the blob with this library version");
   }
@@ -281,6 +287,11 @@ Status FilterRegistry::Deserialize(
     return Status::InvalidArgument("FilterRegistry: truncated envelope");
   }
   std::string_view payload = bytes.substr(bytes.size() - reader.remaining());
+  // Spec records sit mid-payload (replay adapters, wrapper internals), so
+  // the envelope version must reach every nested ReadSpec call. Nested
+  // envelopes (sharded shards) re-enter Deserialize and install their own
+  // scope — each blob reads under its own header's version.
+  spec_serde::SpecWireVersionScope spec_version_scope(version);
   const std::string_view name_view(name);
   if (name_view.substr(0, ShardedMembershipFilter::kNamePrefix.size()) ==
           ShardedMembershipFilter::kNamePrefix ||

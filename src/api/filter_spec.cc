@@ -40,6 +40,11 @@ Status FilterSpec::Validate() const {
     return Status::InvalidArgument(
         "FilterSpec: block_bits must be a power of two in [64, 512]");
   }
+  if (sub_block_bits < 8 || sub_block_bits > 64 ||
+      (sub_block_bits & (sub_block_bits - 1)) != 0) {
+    return Status::InvalidArgument(
+        "FilterSpec: sub_block_bits must be a power of two in [8, 64]");
+  }
   if (shards == 0) {
     return Status::InvalidArgument("FilterSpec: shards must be positive");
   }
@@ -70,6 +75,8 @@ void WriteSpec(ByteWriter* writer, const FilterSpec& spec) {
   writer->PutU64(spec.seed);
   // Envelope v4 extension: fields appended past the v3 layout.
   writer->PutU32(spec.block_bits);
+  // Envelope v5 extension.
+  writer->PutU32(spec.sub_block_bits);
 }
 
 bool ReadSpec(ByteReader* reader, FilterSpec* spec) {
@@ -92,12 +99,36 @@ bool ReadSpec(ByteReader* reader, FilterSpec* spec) {
   }
   if (alg > 3 || auto_scale > 1) return false;
   if (!reader->GetU32(&spec->block_bits)) return false;
+  if (CurrentSpecWireVersion() >= 5) {
+    if (!reader->GetU32(&spec->sub_block_bits)) return false;
+  } else {
+    // v4 blobs predate the split-block layouts; the default matches what
+    // any v4-era factory would have built.
+    spec->sub_block_bits = 64;
+  }
   spec->num_cells = num_cells;
   spec->expected_keys = expected_keys;
   spec->delta_capacity = delta_capacity;
   spec->auto_scale = auto_scale != 0;
   spec->hash_algorithm = static_cast<HashAlgorithm>(alg);
   return true;
+}
+
+namespace {
+// Thread-local so concurrent deserializations (e.g. server RELOADs on two
+// worker threads) cannot see each other's envelope version.
+thread_local int g_spec_wire_version = kSpecWireLatest;
+}  // namespace
+
+int CurrentSpecWireVersion() { return g_spec_wire_version; }
+
+SpecWireVersionScope::SpecWireVersionScope(int version)
+    : saved_(g_spec_wire_version) {
+  g_spec_wire_version = version;
+}
+
+SpecWireVersionScope::~SpecWireVersionScope() {
+  g_spec_wire_version = saved_;
 }
 
 }  // namespace spec_serde

@@ -53,6 +53,13 @@ struct FilterSpec {
   /// Ignored by the unblocked schemes.
   uint32_t block_bits = 512;
 
+  /// Sub-word width of the split-block variants (split_block_bloom,
+  /// split_block_shbf_m): each probe/pair owns one sub-word of this many
+  /// bits inside its block, which is what makes the one-vector-op resolve
+  /// possible. Power of two in [8, 64] (the shbf_m layout needs >= 16);
+  /// the factories size block_bits from k and this. Ignored elsewhere.
+  uint32_t sub_block_bits = 64;
+
   /// Optional capacity hint; when nonzero the cuckoo factory sizes buckets
   /// from it instead of num_cells.
   size_t expected_keys = 0;
@@ -109,9 +116,38 @@ struct FilterSpec {
 
 namespace spec_serde {
 
+/// The spec wire layout version written by WriteSpec — tracks the registry
+/// envelope version (filter_registry.cc) for the versions that extended the
+/// spec record: v4 appended block_bits, v5 appended sub_block_bits.
+inline constexpr int kSpecWireLatest = 5;
+
 /// Fixed-layout FilterSpec codec used by adapter-level (replay) serde.
+/// WriteSpec always writes the latest layout; ReadSpec honors the wire
+/// version of the enclosing envelope (see SpecWireVersionScope), defaulting
+/// missing trailing fields, so pre-v5 blobs keep loading.
 void WriteSpec(ByteWriter* writer, const FilterSpec& spec);
 bool ReadSpec(ByteReader* reader, FilterSpec* spec);
+
+/// The envelope version the current deserialization runs under (defaults
+/// to kSpecWireLatest when no scope is active).
+int CurrentSpecWireVersion();
+
+/// Thread-local RAII scope the registry wraps around payload dispatch:
+/// spec records sit mid-payload at several nesting depths (wrappers,
+/// shards), so "are the v5 fields present" cannot be inferred from the
+/// reader position — the envelope header decides, and nested envelopes
+/// each install their own scope.
+class SpecWireVersionScope {
+ public:
+  explicit SpecWireVersionScope(int version);
+  ~SpecWireVersionScope();
+
+  SpecWireVersionScope(const SpecWireVersionScope&) = delete;
+  SpecWireVersionScope& operator=(const SpecWireVersionScope&) = delete;
+
+ private:
+  int saved_;
+};
 
 }  // namespace spec_serde
 }  // namespace shbf

@@ -48,6 +48,8 @@ struct BatchFastPath {
     kShbfA = 4,         ///< `impl` is a `const ShbfA*`
     kBlockedBloom = 5,  ///< `impl` is a `const BlockedBloomFilter*`
     kBlockedShbfM = 6,  ///< `impl` is a `const BlockedShbfM*`
+    kSplitBlockBloom = 7,  ///< `impl` is a `const SplitBlockBloomFilter*`
+    kSplitBlockShbfM = 8,  ///< `impl` is a `const SplitBlockShbfM*`
   };
   Kind kind = Kind::kNone;
   const void* impl = nullptr;

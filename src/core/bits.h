@@ -34,6 +34,15 @@ constexpr uint64_t NextPowerOfTwo(uint64_t v) {
   return p;
 }
 
+/// Lemire's multiply-shift range reduction: maps a uniform 64-bit `x` to
+/// [0, n) with one multiply instead of a division. Consumes the HIGH bits
+/// of `x`, so callers that also need independent low-entropy fields can
+/// take them from the low bits of the same word.
+constexpr uint64_t FastRange64(uint64_t x, uint64_t n) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(x) * n) >> 64);
+}
+
 }  // namespace shbf
 
 #endif  // SHBF_CORE_BITS_H_

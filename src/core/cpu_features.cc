@@ -14,6 +14,9 @@ Level Detect() {
   return Level::kNeon;
 #elif defined(__x86_64__) || defined(_M_X64)
 #if defined(__GNUC__) || defined(__clang__)
+  // AVX-512F machines always have AVX2, so the tiers stay a strict ladder;
+  // kernels without a 512-bit body fall back to their AVX2 one.
+  if (__builtin_cpu_supports("avx512f")) return Level::kAvx512;
   if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
 #endif
   return Level::kScalar;
@@ -40,6 +43,7 @@ const char* LevelName(Level level) {
     case Level::kScalar: return "scalar";
     case Level::kNeon:   return "neon";
     case Level::kAvx2:   return "avx2";
+    case Level::kAvx512: return "avx512";
   }
   return "unknown";
 }

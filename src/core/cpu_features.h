@@ -20,9 +20,11 @@ enum class Level : int {
   kScalar = 0,  ///< portable C++ reference path
   kNeon = 1,    ///< AArch64 Advanced SIMD (128-bit)
   kAvx2 = 2,    ///< x86-64 AVX2 (256-bit)
+  kAvx512 = 3,  ///< x86-64 AVX-512F (512-bit); implies AVX2
 };
 
-/// Human-readable tier name ("scalar", "neon", "avx2") for logs and benches.
+/// Human-readable tier name ("scalar", "neon", "avx2", "avx512") for logs
+/// and benches.
 const char* LevelName(Level level);
 
 /// The tier the hardware supports, ignoring every override. Detected once

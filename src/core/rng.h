@@ -16,6 +16,19 @@ namespace shbf {
 /// expand one user seed into independent sub-seeds.
 uint64_t SplitMix64(uint64_t& state);
 
+/// The stateless SplitMix64 finalizer: a full-avalanche 64→64 bit mix.
+/// Unlike SplitMix64 there is no serial state chain — callers derive
+/// independent words in parallel as Mix64(x + i * constant), which is what
+/// the split-block probe derivation does on its hot path.
+constexpr uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
 /// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:

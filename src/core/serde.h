@@ -124,6 +124,8 @@ enum class StructureTag : uint8_t {
   kCountingShbfM = 14,
   kBlockedBloomFilter = 15,
   kBlockedShbfM = 16,
+  kSplitBlockBloomFilter = 17,
+  kSplitBlockShbfM = 18,
 };
 
 /// Writes the common header.

@@ -1,0 +1,94 @@
+#include "core/task_pool.h"
+
+#include <algorithm>
+
+namespace shbf {
+
+TaskPool::TaskPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskPool::RunJob(Job* job) {
+  size_t i;
+  while ((i = job->next.fetch_add(1, std::memory_order_relaxed)) < job->n) {
+    (*job->fn)(i);
+    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 == job->n) {
+      // Last index: wake the ParallelFor caller. The lock pairs with the
+      // caller's wait so the notify cannot slip between its check and sleep.
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->cv.notify_all();
+    }
+  }
+}
+
+void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(job);
+  }
+  cv_.notify_all();
+  // The caller works too: if every pool thread is busy elsewhere this
+  // degrades to a serial loop instead of blocking, which is what makes
+  // nested ParallelFor calls deadlock-free.
+  RunJob(job.get());
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->cv.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->n;
+    });
+  }
+  // done == n implies every fn(i) returned, so dropping `fn` is safe;
+  // stragglers that claim an index >= n touch only the Job they share.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find(jobs_.begin(), jobs_.end(), job);
+  if (it != jobs_.end()) jobs_.erase(it);
+}
+
+void TaskPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !jobs_.empty(); });
+      if (stop_) return;
+      job = jobs_.front();
+      if (job->next.load(std::memory_order_relaxed) >= job->n) {
+        // Exhausted but not yet erased by its caller; don't spin on it.
+        jobs_.pop_front();
+        continue;
+      }
+    }
+    RunJob(job.get());
+  }
+}
+
+TaskPool& TaskPool::Shared() {
+  static TaskPool* pool = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const size_t workers = hw > 1 ? std::min<size_t>(hw - 1, 7) : 0;
+    return new TaskPool(workers);
+  }();
+  return *pool;
+}
+
+}  // namespace shbf

@@ -1,0 +1,80 @@
+// TaskPool — a small work-stealing-free fork/join pool for data-parallel
+// fan-out on the query path (shard sub-batches, multiset tree waves).
+//
+// This is deliberately NOT the server's frame pool (server/EventLoop owns
+// that one): a frame worker that re-entered its own queue to fan a batch
+// out across shards could deadlock waiting on itself. ParallelFor here is
+// deadlock-free by construction — the calling thread participates, so every
+// call completes even when all pool threads are busy (it just degrades to
+// serial). That also makes nested calls safe: an inner ParallelFor running
+// on a pool thread drains its own indices inline.
+//
+// Answers never depend on the pool: callers hand ParallelFor index-disjoint
+// work (each i writes its own slot), so parallel and serial execution are
+// bit-identical, and tests/benches exercise both by sizing the pool.
+
+#ifndef SHBF_CORE_TASK_POOL_H_
+#define SHBF_CORE_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace shbf {
+
+class TaskPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means every ParallelFor runs inline on
+  /// the caller (handy for tests pinning serial behavior).
+  explicit TaskPool(size_t num_threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for every i in [0, n) across the pool threads plus the
+  /// calling thread, returning once all n calls have finished. fn must not
+  /// throw and must write only state owned by its index. Safe to call from
+  /// inside a pool task (the nested call runs on its caller).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Process-wide pool sized to the hardware (hardware_concurrency − 1,
+  /// clamped to [0, 7] — the caller thread is the +1). Never destroyed.
+  static TaskPool& Shared();
+
+ private:
+  /// One fork/join region. Lives on the shared_ptr until the last
+  /// participant drops it, so workers may outlive the ParallelFor call's
+  /// stack frame safely.
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  /// Claims and runs indices until the job is exhausted.
+  static void RunJob(Job* job);
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace shbf
+
+#endif  // SHBF_CORE_TASK_POOL_H_

@@ -4,13 +4,43 @@
 
 #include "baselines/blocked_bloom_filter.h"
 #include "baselines/bloom_filter.h"
+#include "baselines/split_block_bloom_filter.h"
 #include "core/simd.h"
 #include "shbf/blocked_shbf_membership.h"
 #include "shbf/shbf_association.h"
 #include "shbf/shbf_membership.h"
+#include "shbf/split_block_shbf_membership.h"
 
 namespace shbf {
 namespace {
+
+// Below this footprint the filter is cache-resident and the two-pass
+// prefetch protocol is pure overhead: the staging pass writes probes to a
+// scratch vector that pass 2 immediately re-reads, while the prefetches hit
+// lines already in cache. Group size 1 degrades TwoPassLoop to the straight
+// hash → mask → test loop (prepare and resolve back to back, no staging
+// traffic), which measures faster for every blocked/split variant that fits
+// here (docs/benchmarks.md "Cache-resident batch sizing"). 4 MiB sits below
+// typical shared-LLC slices while safely above L2, so filters this small are
+// resident once the batch has touched them.
+constexpr size_t kCacheResidentBytes = size_t{4} << 20;
+
+// The group size the blocked/split fast paths actually run with: the
+// configured batch_size for memory-resident filters (prefetch pipelining
+// wins), 1 for cache-resident ones (staging overhead loses).
+size_t EffectiveGroupSize(size_t filter_bytes, size_t batch_size) {
+  return filter_bytes <= kCacheResidentBytes ? 1 : batch_size;
+}
+
+// A split-block probe touches exactly one line, prefetched inside
+// PrepareProbe, so the staging group only has to keep one fetch per key in
+// flight — eight keys ahead already saturates the core's line-fill buffers
+// (10-12 on current x86). Deeper groups spill probe state out of registers
+// while the surplus prefetches queue behind the buffers: group 8 measures
+// ~14% over group 32 at gate scale (docs/benchmarks.md "Cache-resident
+// batch sizing"). Gather-style paths keep the full batch_size — they issue
+// k fetches per key and need the wider window.
+constexpr size_t kSplitBlockGroupCap = 8;
 
 // Runs the two-pass protocol over `keys` in groups of `group_size`:
 // hash + prefetch the whole group, then resolve it, so every window pass 2
@@ -52,8 +82,10 @@ void BlockedShbfMGroupLoop(const BlockedShbfM& impl, const Keys& keys,
   for (size_t start = 0; start < keys.size(); start += group_size) {
     const size_t group = std::min(group_size, keys.size() - start);
     for (size_t g = 0; g < group; ++g) {
+      // No PrefetchProbe here: Derive already prefetched the block between
+      // its two hash passes, and a second prefetch instruction per key is
+      // measurable overhead on prefetch-queue-limited parts.
       impl.PrepareProbe(keys[start + g], &probes[g]);
-      impl.PrefetchProbe(probes[g]);
     }
     size_t n = 0;
     for (size_t g = 0; g < group; ++g) {
@@ -68,6 +100,67 @@ void BlockedShbfMGroupLoop(const BlockedShbfM& impl, const Keys& keys,
       uint8_t ok = 1;
       for (uint32_t p = 0; p < pairs; ++p, ++n) ok &= hits[n];
       (*results)[start + g] = ok;
+    }
+  }
+}
+
+// The split-block probe loop: like TwoPassLoop, but without the explicit
+// PrefetchProbe pass — the split filters' PrepareProbe issues the block
+// prefetch the moment the block index exists (before the mask build), so a
+// second prefetch per key is pure instruction overhead. Pass 2 is one
+// BlockSubsetTest per key; no gather/staging of windows at all. With
+// group_size 1 this degrades to the straight hash → mask → test loop the
+// cache-resident path wants.
+template <typename Impl, typename Keys>
+void SplitBlockProbeLoop(const Impl& impl, const Keys& keys,
+                         size_t group_size, std::vector<uint8_t>* results) {
+  std::vector<typename Impl::Probe> probes(
+      std::min(group_size, keys.size()));
+  for (size_t start = 0; start < keys.size(); start += group_size) {
+    const size_t group = std::min(group_size, keys.size() - start);
+    for (size_t g = 0; g < group; ++g) {
+      impl.PrepareProbe(keys[start + g], &probes[g]);
+    }
+    for (size_t g = 0; g < group; ++g) {
+      (*results)[start + g] = impl.ResolveProbe(probes[g]) ? 1 : 0;
+    }
+  }
+}
+
+// The fused-kernel variant: pass 1 hashes every key of the group into its
+// shift-lane array (PrepareShiftLanes also issues the block prefetch), ONE
+// simd::MaskFromShifts call turns the whole group's lanes into bit words
+// (AVX2 `vpsllvq`: 4 lanes per op, AVX-512: 8), and pass 2 folds each
+// key's words back into its block mask and resolves.
+//
+// This only beats the probe loop's per-key scalar build when there are
+// enough lanes per key to amortize the round-trip: the lanes detour
+// through a scratch array, and at the default geometry (k = 8 → 8 lanes)
+// the sporadically-issued vector shift pays more in transitions than it
+// saves over 8 independent shift/ORs the OoO core pipelines for free —
+// measured ~8% slower at gate scale (docs/benchmarks.md "Split-block
+// probe loop"). Past kFuseLanes lanes the scalar build is long enough
+// that the 4-8x lane throughput wins.
+constexpr uint32_t kFuseLanes = 16;
+
+template <typename Impl, typename Keys>
+void SplitBlockGroupLoop(const Impl& impl, const Keys& keys,
+                         size_t group_size, std::vector<uint8_t>* results) {
+  const uint32_t lanes = impl.probe_lanes();
+  const size_t cap = std::min(group_size, keys.size());
+  std::vector<size_t> blocks(cap);
+  std::vector<uint64_t> shifts(cap * lanes);
+  std::vector<uint64_t> bit_words(cap * lanes);
+  for (size_t start = 0; start < keys.size(); start += group_size) {
+    const size_t group = std::min(group_size, keys.size() - start);
+    for (size_t g = 0; g < group; ++g) {
+      impl.PrepareShiftLanes(keys[start + g], &blocks[g],
+                             &shifts[g * lanes]);
+    }
+    simd::MaskFromShifts(shifts.data(), 1, group * lanes, bit_words.data());
+    for (size_t g = 0; g < group; ++g) {
+      (*results)[start + g] =
+          impl.ResolveLanes(blocks[g], &bit_words[g * lanes]) ? 1 : 0;
     }
   }
 }
@@ -97,6 +190,12 @@ bool FastPathSupported(BatchFastPath::Kind kind, const void* impl) {
     case BatchFastPath::Kind::kBlockedShbfM:
       return static_cast<const BlockedShbfM*>(impl)->num_pairs() <=
              BlockedShbfM::kMaxBatchPairs;
+    case BatchFastPath::Kind::kSplitBlockBloom:
+      return static_cast<const SplitBlockBloomFilter*>(impl)->num_hashes() <=
+             SplitBlockBloomFilter::kMaxBatchHashes;
+    case BatchFastPath::Kind::kSplitBlockShbfM:
+      return static_cast<const SplitBlockShbfM*>(impl)->num_pairs() <=
+             SplitBlockShbfM::kMaxBatchPairs;
     case BatchFastPath::Kind::kNone:
       return false;
   }
@@ -156,7 +255,9 @@ void ContainsBatchImpl(const MembershipFilter& filter, const Keys& keys,
         // block (256 bits per AVX2 op), so the per-key resolve is vector
         // code all the way down.
         const auto* impl = static_cast<const BlockedBloomFilter*>(fp.impl);
-        TwoPassLoop(*impl, keys, batch_size,
+        TwoPassLoop(*impl, keys,
+                    EffectiveGroupSize(impl->bits().allocated_bytes(),
+                                       batch_size),
                     [&](size_t i, const BlockedBloomFilter::Probe& probe) {
                       (*results)[i] = impl->ResolveProbe(probe) ? 1 : 0;
                     });
@@ -164,7 +265,43 @@ void ContainsBatchImpl(const MembershipFilter& filter, const Keys& keys,
       }
       case BatchFastPath::Kind::kBlockedShbfM: {
         const auto* impl = static_cast<const BlockedShbfM*>(fp.impl);
-        BlockedShbfMGroupLoop(*impl, keys, batch_size, results);
+        BlockedShbfMGroupLoop(
+            *impl, keys,
+            EffectiveGroupSize(impl->bits().allocated_bytes(), batch_size),
+            results);
+        return;
+      }
+      case BatchFastPath::Kind::kSplitBlockBloom: {
+        // No gather/staging pass at all: a key's whole answer is one
+        // block mask + one BlockSubsetTest. Narrow-k filters stage probes
+        // (scalar mask build inside PrepareProbe); wide-k ones fuse the
+        // group's mask construction into one MaskFromShifts kernel call.
+        const auto* impl = static_cast<const SplitBlockBloomFilter*>(fp.impl);
+        const size_t group =
+            std::min(EffectiveGroupSize(impl->bits().allocated_bytes(),
+                                        batch_size),
+                     kSplitBlockGroupCap);
+        if (group > 1 && impl->probe_lanes() >= kFuseLanes) {
+          SplitBlockGroupLoop(*impl, keys, group, results);
+        } else {
+          SplitBlockProbeLoop(*impl, keys, group, results);
+        }
+        return;
+      }
+      case BatchFastPath::Kind::kSplitBlockShbfM: {
+        // Same one-vector-op shape as split_block_bloom: the pair bits are
+        // baked into the block mask, so no per-pair gather loop (the
+        // blocked_shbf_m path above needs one).
+        const auto* impl = static_cast<const SplitBlockShbfM*>(fp.impl);
+        const size_t group =
+            std::min(EffectiveGroupSize(impl->bits().allocated_bytes(),
+                                        batch_size),
+                     kSplitBlockGroupCap);
+        if (group > 1 && impl->probe_lanes() >= kFuseLanes) {
+          SplitBlockGroupLoop(*impl, keys, group, results);
+        } else {
+          SplitBlockProbeLoop(*impl, keys, group, results);
+        }
         return;
       }
       case BatchFastPath::Kind::kNone:

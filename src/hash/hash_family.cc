@@ -34,6 +34,11 @@ HashFamily::HashFamily(HashAlgorithm alg, uint32_t num_functions,
   for (uint32_t i = 0; i < num_functions; ++i) seeds_.push_back(SplitMix64(sm));
 }
 
+std::pair<uint64_t, uint64_t> HashFamily::HashPairFallback(
+    uint32_t i, const void* data, size_t len) const {
+  return {Hash(i, data, len), Hash(i + 1, data, len)};
+}
+
 uint64_t HashFamily::Hash(uint32_t i, const void* data, size_t len) const {
   SHBF_DCHECK(i < seeds_.size());
   uint64_t seed = seeds_[i];

@@ -12,9 +12,11 @@
 
 #include <cstdint>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/check.h"
+#include "hash/murmur3.h"
 
 namespace shbf {
 
@@ -44,11 +46,37 @@ class HashFamily {
   /// Evaluates the i-th function on `len` bytes at `data`.
   uint64_t Hash(uint32_t i, const void* data, size_t len) const;
 
+  /// Two 64-bit hashes in one pass over the key bytes where the algorithm
+  /// natively emits 128 bits (murmur3's two halves — the second of which
+  /// Hash() discards); otherwise falls back to {Hash(i), Hash(i+1)}.
+  /// NOTE: the murmur3 pair is NOT {Hash(i), Hash(i+1)} — callers define
+  /// their bit placement in terms of this function and must use it on both
+  /// the insert and the query side. Requires i + 1 < num_functions() for
+  /// the fallback algorithms. The murmur3 branch is inline so a split-block
+  /// derivation's single hash pass folds into its caller.
+  std::pair<uint64_t, uint64_t> HashPair(uint32_t i, const void* data,
+                                         size_t len) const {
+    SHBF_DCHECK(i < seeds_.size());
+    if (alg_ == HashAlgorithm::kMurmur3) {
+      return Murmur3_128(data, len, seeds_[i]);
+    }
+    return HashPairFallback(i, data, len);
+  }
+
+  std::pair<uint64_t, uint64_t> HashPair(uint32_t i,
+                                         std::string_view key) const {
+    return HashPair(i, key.data(), key.size());
+  }
+
   uint64_t Hash(uint32_t i, std::string_view key) const {
     return Hash(i, key.data(), key.size());
   }
 
  private:
+  /// The two-pass pair for algorithms without a native 128-bit output.
+  std::pair<uint64_t, uint64_t> HashPairFallback(uint32_t i, const void* data,
+                                                 size_t len) const;
+
   HashAlgorithm alg_;
   uint64_t master_seed_;
   std::vector<uint64_t> seeds_;

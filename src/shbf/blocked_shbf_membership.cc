@@ -60,8 +60,12 @@ BlockedShbfM::BlockedShbfM(const Params& params)
 void BlockedShbfM::Derive(const void* data, size_t len, size_t* block_bit,
                           uint64_t* offset, uint64_t* mix_state) const {
   const uint64_t h1 = family_.Hash(0, data, len);
-  const uint64_t h2 = family_.Hash(1, data, len);
   *block_bit = (h1 % num_blocks_) * block_bits_;
+  // The block index only needs h1, so the block fetch starts before the
+  // second key pass — the h2 hash and the base mixing run inside the line
+  // fetch latency.
+  bits_.Prefetch(*block_bit);
+  const uint64_t h2 = family_.Hash(1, data, len);
   *offset = h2 % (max_offset_span_ - 1) + 1;
   // Golden-ratio fold keeps the base stream decorrelated from the raw low
   // bits the block and offset consumed.
@@ -166,8 +170,9 @@ void BlockedShbfM::ContainsBatch(const std::vector<std::string>& keys,
   for (size_t start = 0; start < keys.size(); start += kGroup) {
     const size_t group = std::min(kGroup, keys.size() - start);
     for (size_t g = 0; g < group; ++g) {
+      // Derive prefetched the block between its two hash passes; a second
+      // prefetch of the same line would just occupy a prefetch slot.
       PrepareProbe(keys[start + g], &probes[g]);
-      PrefetchProbe(probes[g]);
     }
     for (size_t g = 0; g < group; ++g) {
       (*results)[start + g] = ResolveProbe(probes[g]) ? 1 : 0;

@@ -116,6 +116,31 @@ TEST(SimdKernelTest, ExtractFieldManyMatchesScalarIncludingStraddles) {
   }
 }
 
+TEST(SimdKernelTest, MaskFromShiftsMatchesScalarAtEveryLength) {
+  std::mt19937_64 rng(0x5f1f7);
+  // Patterns the split-block filters actually shift: a single bit, the
+  // ShBF two-bit pair, and a dense byte. Shift 0 and 63 (the in-word
+  // extremes) always appear; lengths cover the 4-lane / 8-lane main loops
+  // plus their scalar tails.
+  for (uint64_t pattern :
+       {uint64_t{1}, uint64_t{1} | (uint64_t{1} << 9), uint64_t{0xff}}) {
+    for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{7},
+                     size_t{8}, size_t{9}, size_t{33}, size_t{64}}) {
+      std::vector<uint64_t> shifts(n);
+      for (size_t i = 0; i < n; ++i) {
+        shifts[i] = (i == 0) ? 0 : (i == 1 ? 63 : rng() % 64);
+      }
+      std::vector<uint64_t> expected(n);
+      simd::MaskFromShiftsScalar(shifts.data(), pattern, n, expected.data());
+      UnderBothDispatchModes([&] {
+        std::vector<uint64_t> got(n, ~0ull);
+        simd::MaskFromShifts(shifts.data(), pattern, n, got.data());
+        ASSERT_EQ(got, expected) << "pattern=" << pattern << " n=" << n;
+      });
+    }
+  }
+}
+
 TEST(SimdKernelTest, PackedCounterGetManyMatchesGet) {
   std::mt19937_64 rng(0x9e7);
   // 6-bit counters guarantee word straddles (gcd(6, 64) != 64); the last
