@@ -1067,6 +1067,96 @@ Status MakeAdapter(const std::string& name, const Params& params,
   return Status::Ok();
 }
 
+// ------------------------------------------------------------------------
+// Mapped-image hooks (flat zero-copy persistence; docs/persistence.md)
+// ------------------------------------------------------------------------
+
+/// Saver body shared by the single-bit-array membership filters: unwraps
+/// the adapter, fills the geometry record from the live impl's getters via
+/// `fill`, and borrows the bit payload as the image's one region.
+template <typename Adapter, typename FillGeometry>
+Status SaveBitArrayImage(const char* name, const MembershipFilter& filter,
+                         storage::ImageHeader* header,
+                         std::vector<storage::RegionPayload>* payloads,
+                         FillGeometry fill) {
+  const auto* adapter = dynamic_cast<const Adapter*>(&filter);
+  if (adapter == nullptr) {
+    return Status::FailedPrecondition(
+        std::string(name) +
+        ": mapped image needs an unwrapped instance (engine wrappers have no "
+        "flat layout)");
+  }
+  const auto& impl = adapter->impl();
+  storage::ImageGeometry& g = header->geometry;
+  g.num_bits = impl.num_bits();
+  g.num_hashes = impl.num_hashes();
+  g.hash_algorithm = static_cast<uint8_t>(impl.hash_algorithm());
+  g.seed = impl.seed();
+  g.num_elements = adapter->num_elements();
+  g.array_total_bits = impl.bits().total_bits();
+  fill(impl, &g);
+  payloads->push_back({impl.bits().data(), impl.bits().PayloadBytes()});
+  return Status::Ok();
+}
+
+/// Opener-side geometry-vs-region cross-checks shared by the single-region
+/// filters. Everything here is a Status, never a CHECK: the values come off
+/// disk and must not be able to crash the process. Callers run the Params
+/// Validate() FIRST so every field below is already range-sane.
+Status CheckSingleRegion(const storage::ImageHeader& header,
+                         const std::vector<storage::MappedRegionView>& regions,
+                         uint64_t expected_slack) {
+  const storage::ImageGeometry& g = header.geometry;
+  if (regions.size() != 1) {
+    return Status::InvalidArgument(
+        "field region_count: expected 1 region, image carries " +
+        std::to_string(regions.size()));
+  }
+  if (g.array_total_bits != g.num_bits + expected_slack) {
+    return Status::InvalidArgument(
+        "field array_total_bits: " + std::to_string(g.array_total_bits) +
+        " != num_bits + slack = " +
+        std::to_string(g.num_bits + expected_slack));
+  }
+  const uint64_t want_bytes = (g.array_total_bits + 7) / 8;
+  if (regions[0].bytes != want_bytes) {
+    return Status::InvalidArgument(
+        "field region[0].bytes: " + std::to_string(regions[0].bytes) +
+        " != bit payload bytes " + std::to_string(want_bytes));
+  }
+  return Status::Ok();
+}
+
+/// Rejects hash ids this build doesn't know (the enum is open on disk).
+Status CheckHashId(uint8_t hash_algorithm) {
+  if (hash_algorithm > 3) {
+    return Status::InvalidArgument("field hash_algorithm: unknown hash id " +
+                                   std::to_string(hash_algorithm));
+  }
+  return Status::Ok();
+}
+
+/// Opener body: params already Validate()d, geometry already cross-checked,
+/// so the Impl view constructor's CHECKs cannot fire. Builds the adapter
+/// over a BitArray::View of the mapped region — zero copies.
+template <typename Adapter, typename Impl, typename Params>
+Status OpenBitArrayImage(const char* name, const Params& params,
+                         const storage::ImageHeader& header,
+                         const std::vector<storage::MappedRegionView>& regions,
+                         uint64_t expected_slack,
+                         std::unique_ptr<MembershipFilter>* out) {
+  const storage::ImageGeometry& g = header.geometry;
+  BitArray bits = BitArray::View(regions[0].data,
+                                 static_cast<size_t>(g.num_bits),
+                                 static_cast<size_t>(expected_slack));
+  auto adapter = std::make_unique<Adapter>(
+      name, Impl(params, std::move(bits),
+                 static_cast<size_t>(g.num_elements)));
+  adapter->RestoreAddCount(static_cast<size_t>(g.num_elements));
+  *out = std::move(adapter);
+  return Status::Ok();
+}
+
 Status RegisterAll(FilterRegistry* r) {
   Status s;
 
@@ -1087,7 +1177,33 @@ Status RegisterAll(FilterRegistry* r) {
                                      .seed = spec.seed},
                  out);
            },
-       .deserializer = NativeDeserializer<BloomAdapter, BloomFilter>("bloom")});
+       .deserializer = NativeDeserializer<BloomAdapter, BloomFilter>("bloom"),
+       .mapped_saver =
+           [](const MembershipFilter& filter, storage::ImageHeader* header,
+              std::vector<storage::RegionPayload>* payloads) {
+             return SaveBitArrayImage<BloomAdapter>(
+                 "bloom", filter, header, payloads,
+                 [](const BloomFilter&, storage::ImageGeometry*) {});
+           },
+       .mapped_opener =
+           [](const storage::ImageHeader& header,
+              const std::vector<storage::MappedRegionView>& regions,
+              std::unique_ptr<MembershipFilter>* out) -> Status {
+             const storage::ImageGeometry& g = header.geometry;
+             Status s = CheckHashId(g.hash_algorithm);
+             if (!s.ok()) return s;
+             BloomFilter::Params params{
+                 .num_bits = static_cast<size_t>(g.num_bits),
+                 .num_hashes = g.num_hashes,
+                 .hash_algorithm = static_cast<HashAlgorithm>(g.hash_algorithm),
+                 .seed = g.seed};
+             s = params.Validate();
+             if (!s.ok()) return s;
+             s = CheckSingleRegion(header, regions, /*expected_slack=*/0);
+             if (!s.ok()) return s;
+             return OpenBitArrayImage<BloomAdapter, BloomFilter>(
+                 "bloom", params, header, regions, /*expected_slack=*/0, out);
+           }});
   if (!s.ok()) return s;
 
   // shbf_m: num_hashes rounded up to even (k/2 base-offset pairs).
@@ -1109,7 +1225,37 @@ Status RegisterAll(FilterRegistry* r) {
                                .seed = spec.seed},
                  out);
            },
-       .deserializer = NativeDeserializer<ShbfMAdapter, ShbfM>("shbf_m")});
+       .deserializer = NativeDeserializer<ShbfMAdapter, ShbfM>("shbf_m"),
+       .mapped_saver =
+           [](const MembershipFilter& filter, storage::ImageHeader* header,
+              std::vector<storage::RegionPayload>* payloads) {
+             return SaveBitArrayImage<ShbfMAdapter>(
+                 "shbf_m", filter, header, payloads,
+                 [](const ShbfM& impl, storage::ImageGeometry* g) {
+                   g->max_offset_span = impl.max_offset_span();
+                 });
+           },
+       .mapped_opener =
+           [](const storage::ImageHeader& header,
+              const std::vector<storage::MappedRegionView>& regions,
+              std::unique_ptr<MembershipFilter>* out) -> Status {
+             const storage::ImageGeometry& g = header.geometry;
+             Status s = CheckHashId(g.hash_algorithm);
+             if (!s.ok()) return s;
+             ShbfM::Params params{
+                 .num_bits = static_cast<size_t>(g.num_bits),
+                 .num_hashes = g.num_hashes,
+                 .max_offset_span = g.max_offset_span,
+                 .hash_algorithm = static_cast<HashAlgorithm>(g.hash_algorithm),
+                 .seed = g.seed};
+             s = params.Validate();
+             if (!s.ok()) return s;
+             // Shifted writes spill up to w̄ − 1 bits past m − 1: slack = w̄.
+             s = CheckSingleRegion(header, regions, g.max_offset_span);
+             if (!s.ok()) return s;
+             return OpenBitArrayImage<ShbfMAdapter, ShbfM>(
+                 "shbf_m", params, header, regions, g.max_offset_span, out);
+           }});
   if (!s.ok()) return s;
 
   // blocked_bloom: num_cells bits rounded up to whole block_bits blocks; an
@@ -1203,7 +1349,49 @@ Status RegisterAll(FilterRegistry* r) {
            },
        .deserializer = NativeDeserializer<SplitBlockBloomAdapter,
                                           SplitBlockBloomFilter>(
-           "split_block_bloom")});
+           "split_block_bloom"),
+       .mapped_saver =
+           [](const MembershipFilter& filter, storage::ImageHeader* header,
+              std::vector<storage::RegionPayload>* payloads) {
+             return SaveBitArrayImage<SplitBlockBloomAdapter>(
+                 "split_block_bloom", filter, header, payloads,
+                 [](const SplitBlockBloomFilter& impl,
+                    storage::ImageGeometry* g) {
+                   g->block_bits = impl.block_bits();
+                   g->sub_block_bits = impl.sub_block_bits();
+                 });
+           },
+       .mapped_opener =
+           [](const storage::ImageHeader& header,
+              const std::vector<storage::MappedRegionView>& regions,
+              std::unique_ptr<MembershipFilter>* out) -> Status {
+             const storage::ImageGeometry& g = header.geometry;
+             Status s = CheckHashId(g.hash_algorithm);
+             if (!s.ok()) return s;
+             SplitBlockBloomFilter::Params params{
+                 .num_bits = static_cast<size_t>(g.num_bits),
+                 .num_hashes = g.num_hashes,
+                 .block_bits = g.block_bits,
+                 .sub_block_bits = g.sub_block_bits,
+                 .hash_algorithm = static_cast<HashAlgorithm>(g.hash_algorithm),
+                 .seed = g.seed};
+             s = params.Validate();
+             if (!s.ok()) return s;
+             // The owning ctor rounds m up to whole blocks; a saved image
+             // must already be aligned or the view ctor would CHECK.
+             if (g.num_bits % g.block_bits != 0) {
+               return Status::InvalidArgument(
+                   "field num_bits: " + std::to_string(g.num_bits) +
+                   " not a multiple of block_bits " +
+                   std::to_string(g.block_bits));
+             }
+             s = CheckSingleRegion(header, regions, /*expected_slack=*/0);
+             if (!s.ok()) return s;
+             return OpenBitArrayImage<SplitBlockBloomAdapter,
+                                      SplitBlockBloomFilter>(
+                 "split_block_bloom", params, header, regions,
+                 /*expected_slack=*/0, out);
+           }});
   if (!s.ok()) return s;
 
   // split_block_shbf_m: num_hashes rounded up to even (k/2 pairs), each
@@ -1243,7 +1431,48 @@ Status RegisterAll(FilterRegistry* r) {
            },
        .deserializer = NativeDeserializer<SplitBlockShbfMAdapter,
                                           SplitBlockShbfM>(
-           "split_block_shbf_m")});
+           "split_block_shbf_m"),
+       .mapped_saver =
+           [](const MembershipFilter& filter, storage::ImageHeader* header,
+              std::vector<storage::RegionPayload>* payloads) {
+             return SaveBitArrayImage<SplitBlockShbfMAdapter>(
+                 "split_block_shbf_m", filter, header, payloads,
+                 [](const SplitBlockShbfM& impl, storage::ImageGeometry* g) {
+                   g->block_bits = impl.block_bits();
+                   g->sub_block_bits = impl.sub_block_bits();
+                   g->max_offset_span = impl.max_offset_span();
+                 });
+           },
+       .mapped_opener =
+           [](const storage::ImageHeader& header,
+              const std::vector<storage::MappedRegionView>& regions,
+              std::unique_ptr<MembershipFilter>* out) -> Status {
+             const storage::ImageGeometry& g = header.geometry;
+             Status s = CheckHashId(g.hash_algorithm);
+             if (!s.ok()) return s;
+             SplitBlockShbfM::Params params{
+                 .num_bits = static_cast<size_t>(g.num_bits),
+                 .num_hashes = g.num_hashes,
+                 .block_bits = g.block_bits,
+                 .sub_block_bits = g.sub_block_bits,
+                 .max_offset_span = g.max_offset_span,
+                 .hash_algorithm = static_cast<HashAlgorithm>(g.hash_algorithm),
+                 .seed = g.seed};
+             s = params.Validate();
+             if (!s.ok()) return s;
+             if (g.num_bits % g.block_bits != 0) {
+               return Status::InvalidArgument(
+                   "field num_bits: " + std::to_string(g.num_bits) +
+                   " not a multiple of block_bits " +
+                   std::to_string(g.block_bits));
+             }
+             // Pairs never leave their sub-word: slack 0, unlike flat shbf_m.
+             s = CheckSingleRegion(header, regions, /*expected_slack=*/0);
+             if (!s.ok()) return s;
+             return OpenBitArrayImage<SplitBlockShbfMAdapter, SplitBlockShbfM>(
+                 "split_block_shbf_m", params, header, regions,
+                 /*expected_slack=*/0, out);
+           }});
   if (!s.ok()) return s;
 
   // shbf_g: t = num_shifts (must divide 56); k rounded up to a multiple of

@@ -331,4 +331,88 @@ Status FilterRegistry::Deserialize(
   return entry->deserializer(payload, out);
 }
 
+bool FilterRegistry::SupportsMapped(std::string_view name) const {
+  const Entry* entry = Find(name);
+  return entry != nullptr && entry->mapped_saver != nullptr &&
+         entry->mapped_opener != nullptr;
+}
+
+Status FilterRegistry::SaveMapped(const MembershipFilter& filter,
+                                  const std::string& path,
+                                  uint64_t generation) const {
+  // A mapped filter re-saves transparently (snapshot of an mmap-served
+  // filter): the saver needs the concrete adapter it wraps.
+  const MembershipFilter* source = &filter;
+  if (const auto* mapped = dynamic_cast<const storage::MappedFilter*>(source)) {
+    source = &mapped->inner();
+  }
+  const std::string name(source->name());
+  const Entry* entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("SaveMapped: no filter named \"" + name + "\"");
+  }
+  if (entry->mapped_saver == nullptr) {
+    return Status::FailedPrecondition(
+        "SaveMapped: \"" + name +
+        "\" has no flat image layout (heap serde only)");
+  }
+  storage::ImageHeader header;
+  header.generation = generation;
+  header.filter_name = name;
+  std::vector<storage::RegionPayload> payloads;
+  Status s = entry->mapped_saver(*source, &header, &payloads);
+  if (!s.ok()) return s;
+  return storage::WriteImageFile(path, &header, payloads);
+}
+
+Status FilterRegistry::OpenMapped(const std::string& path,
+                                  std::unique_ptr<MembershipFilter>* out,
+                                  const storage::OpenOptions& options) const {
+  storage::MappedFile file;
+  Status s = storage::MappedFile::OpenReadOnly(path, &file);
+  if (!s.ok()) return s;
+  // Everything below reads the immutable mapping — the header is validated
+  // against, and the filter built over, the same bytes (no reopen, no
+  // TOCTOU window against a concurrent SaveMapped's rename).
+  storage::ImageHeader header;
+  s = storage::DecodeImageHeader(file.data(), file.size(), &header);
+  if (!s.ok()) {
+    return Status::InvalidArgument("OpenMapped " + path + ": " + s.message());
+  }
+  const Entry* entry = Find(header.filter_name);
+  if (entry == nullptr) {
+    return Status::NotFound("OpenMapped " + path +
+                            ": field name: unknown filter \"" +
+                            header.filter_name + "\"");
+  }
+  if (entry->mapped_opener == nullptr) {
+    return Status::FailedPrecondition("OpenMapped " + path + ": \"" +
+                                      header.filter_name +
+                                      "\" has no flat image layout");
+  }
+  if (options.verify_payload) {
+    for (size_t i = 0; i < header.regions.size(); ++i) {
+      s = storage::VerifyRegionChecksum(header, i, file.data());
+      if (!s.ok()) {
+        return Status::InvalidArgument("OpenMapped " + path + ": " +
+                                       s.message());
+      }
+    }
+  }
+  std::vector<storage::MappedRegionView> regions;
+  regions.reserve(header.regions.size());
+  for (const storage::RegionDesc& region : header.regions) {
+    regions.push_back({file.data() + region.offset,
+                       static_cast<size_t>(region.bytes)});
+  }
+  std::unique_ptr<MembershipFilter> inner;
+  s = entry->mapped_opener(header, regions, &inner);
+  if (!s.ok()) {
+    return Status::InvalidArgument("OpenMapped " + path + ": " + s.message());
+  }
+  *out = std::make_unique<storage::MappedFilter>(
+      std::move(file), std::move(inner), header.generation);
+  return Status::Ok();
+}
+
 }  // namespace shbf

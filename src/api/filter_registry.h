@@ -24,6 +24,8 @@
 #include "api/filter_spec.h"
 #include "api/set_query_filter.h"
 #include "core/status.h"
+#include "storage/filter_image.h"
+#include "storage/mapped_filter.h"
 
 namespace shbf {
 
@@ -46,6 +48,23 @@ class FilterRegistry {
       std::function<Status(std::string_view payload,
                            std::unique_ptr<MembershipFilter>* out)>;
 
+  /// Mapped-image save hook: fills `header`'s geometry record from the live
+  /// filter and hands back borrowed pointers to its array payload(s). Fails
+  /// with kFailedPrecondition when `filter` is not the unwrapped concrete
+  /// type this entry builds (engine wrappers have no flat layout).
+  using MappedSaver = std::function<Status(
+      const MembershipFilter& filter, storage::ImageHeader* header,
+      std::vector<storage::RegionPayload>* payloads)>;
+
+  /// Mapped-image open hook: validates the decoded geometry against what
+  /// this entry would derive and builds the filter with array *views* into
+  /// the mapped regions (no copy). Any mismatch is a Status naming the
+  /// offending field — never a CHECK, since the bytes come off disk.
+  using MappedOpener = std::function<Status(
+      const storage::ImageHeader& header,
+      const std::vector<storage::MappedRegionView>& regions,
+      std::unique_ptr<MembershipFilter>* out)>;
+
   struct Entry {
     std::string name;
     FilterFamily family = FilterFamily::kMembership;
@@ -57,6 +76,10 @@ class FilterRegistry {
     uint32_t capabilities = kIncrementalAdd;
     Factory factory;
     Deserializer deserializer;
+    /// Flat-image hooks (null = heap serde only). The hot membership read
+    /// paths (bloom, shbf_m, split_block_*) register both.
+    MappedSaver mapped_saver = nullptr;
+    MappedOpener mapped_opener = nullptr;
   };
 
   /// The process-wide registry, pre-populated with every built-in filter.
@@ -97,6 +120,27 @@ class FilterRegistry {
   /// stored in the envelope.
   Status Deserialize(std::string_view bytes,
                      std::unique_ptr<MembershipFilter>* out) const;
+
+  /// True when `name`'s entry registered the flat-image hooks.
+  bool SupportsMapped(std::string_view name) const;
+
+  /// Writes `filter` as a flat mmap-able image at `path` (versioned header
+  /// page + page-aligned array regions; docs/persistence.md), crash-
+  /// consistently: temp file → msync → rename → directory fsync.
+  /// `generation` is stamped into the header for old-vs-new assertions
+  /// across a crash. `filter` must be an unwrapped instance of a mapped-
+  /// capable entry (a MappedFilter is unwrapped transparently).
+  Status SaveMapped(const MembershipFilter& filter, const std::string& path,
+                    uint64_t generation = 0) const;
+
+  /// Opens an image read-only: maps the file, validates the header (and
+  /// payload checksums when `options.verify_payload`), and serves queries
+  /// straight off the mapping via a storage::MappedFilter. O(1) in filter
+  /// size by default. Every failure is a Status naming `path` and the
+  /// offending field.
+  Status OpenMapped(const std::string& path,
+                    std::unique_ptr<MembershipFilter>* out,
+                    const storage::OpenOptions& options = {}) const;
 
  private:
   /// Builds one (unsharded) filter: the entry's factory, wrapped in the

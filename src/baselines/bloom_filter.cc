@@ -37,6 +37,17 @@ BloomFilter::BloomFilter(const Params& params)
   CheckOk(params.Validate());
 }
 
+BloomFilter::BloomFilter(const Params& params, BitArray bits,
+                         size_t num_elements)
+    : family_(params.hash_algorithm, params.num_hashes, params.seed),
+      bits_(std::move(bits)),
+      num_elements_(num_elements) {
+  CheckOk(params.Validate());
+  SHBF_CHECK(bits_.num_bits() == params.num_bits &&
+             bits_.total_bits() == params.num_bits)
+      << "bloom: adopted bits don't match the spec geometry";
+}
+
 void BloomFilter::Add(const void* data, size_t len) {
   const size_t m = bits_.num_bits();
   for (uint32_t i = 0; i < family_.num_functions(); ++i) {

@@ -44,6 +44,13 @@ class BloomFilter {
 
   explicit BloomFilter(const Params& params);
 
+  /// Wraps externally stored bits (a BitArray::View into an mmap'd image
+  /// region) without copying: geometry from `params`, storage from `bits`.
+  /// The view's num_bits/slack must match what the owning constructor
+  /// would build — callers (the registry's mapped opener) validate the
+  /// on-disk geometry before constructing. Read-only usage.
+  BloomFilter(const Params& params, BitArray bits, size_t num_elements);
+
   /// Inserts `key`: sets bits h_1(e)%m, ..., h_k(e)%m.
   void Add(std::string_view key) { Add(key.data(), key.size()); }
   void Add(const void* data, size_t len);
@@ -83,6 +90,8 @@ class BloomFilter {
 
   size_t num_bits() const { return bits_.num_bits(); }
   uint32_t num_hashes() const { return family_.num_functions(); }
+  HashAlgorithm hash_algorithm() const { return family_.algorithm(); }
+  uint64_t seed() const { return family_.master_seed(); }
   size_t num_elements() const { return num_elements_; }
   const BitArray& bits() const { return bits_; }
 

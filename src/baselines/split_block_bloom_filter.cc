@@ -47,6 +47,24 @@ SplitBlockBloomFilter::SplitBlockBloomFilter(const Params& params)
   BuildLayout();
 }
 
+SplitBlockBloomFilter::SplitBlockBloomFilter(const Params& params,
+                                             BitArray bits,
+                                             size_t num_elements)
+    : family_(params.hash_algorithm, 2, params.seed),
+      num_hashes_(params.num_hashes),
+      block_bits_(params.block_bits),
+      sub_block_bits_(params.sub_block_bits),
+      num_blocks_(params.num_bits / params.block_bits),
+      bits_(std::move(bits)),
+      num_elements_(num_elements) {
+  CheckOk(params.Validate());
+  SHBF_CHECK(params.num_bits % params.block_bits == 0 &&
+             bits_.num_bits() == params.num_bits &&
+             bits_.total_bits() == params.num_bits)
+      << "split_block_bloom: adopted bits don't match the spec geometry";
+  BuildLayout();
+}
+
 void SplitBlockBloomFilter::BuildLayout() {
   const uint32_t num_sub = block_bits_ / sub_block_bits_;
   for (uint32_t i = 0; i < num_hashes_; ++i) {

@@ -74,6 +74,13 @@ class SplitBlockBloomFilter {
 
   explicit SplitBlockBloomFilter(const Params& params);
 
+  /// Wraps externally stored bits (a BitArray::View into an mmap'd image
+  /// region) without copying. `params.num_bits` must already be block-
+  /// aligned and equal the view's num_bits (slack 0); the registry's
+  /// mapped opener validates the on-disk geometry first. Read-only usage.
+  SplitBlockBloomFilter(const Params& params, BitArray bits,
+                        size_t num_elements);
+
   /// Inserts `key`: one 128-bit hash pass over the key bytes (the block and
   /// all k sub-word positions derive from its two halves).
   void Add(std::string_view key) { Add(key.data(), key.size()); }
@@ -132,6 +139,8 @@ class SplitBlockBloomFilter {
   uint32_t sub_block_bits() const { return sub_block_bits_; }
   uint32_t num_sub_blocks() const { return block_bits_ / sub_block_bits_; }
   size_t num_blocks() const { return num_blocks_; }
+  HashAlgorithm hash_algorithm() const { return family_.algorithm(); }
+  uint64_t seed() const { return family_.master_seed(); }
   size_t num_elements() const { return num_elements_; }
   const BitArray& bits() const { return bits_; }
 

@@ -27,6 +27,22 @@ BitArray::BitArray(size_t num_bits, size_t slack_bits)
   data_ = AlignCursor(storage_.data());
 }
 
+BitArray BitArray::View(const uint8_t* data, size_t num_bits,
+                        size_t slack_bits) {
+  SHBF_CHECK(data != nullptr && num_bits > 0);
+  SHBF_CHECK((reinterpret_cast<uintptr_t>(data) & (kAlignment - 1)) == 0)
+      << "mapped BitArray views require 64-byte-aligned storage";
+  BitArray view;
+  view.num_bits_ = num_bits;
+  view.total_bits_ = num_bits + slack_bits;
+  view.size_bytes_ = CeilDiv(view.total_bits_, 8) + kGuardBytes;
+  // Read-only contract: every mutator checks is_view_ before touching data_.
+  view.data_ = const_cast<uint8_t*>(data);
+  view.is_view_ = true;
+  return view;
+}
+
+// Copying a view materializes an owning twin — the copy outlives the mapping.
 BitArray::BitArray(const BitArray& other)
     : num_bits_(other.num_bits_),
       total_bits_(other.total_bits_),
@@ -44,18 +60,22 @@ BitArray& BitArray::operator=(const BitArray& other) {
   storage_.assign(size_bytes_ + kAlignment - 1, 0);
   data_ = AlignCursor(storage_.data());
   std::memcpy(data_, other.data_, size_bytes_);
+  is_view_ = false;
   return *this;
 }
 
 // std::vector's heap buffer is stable across moves, so the source's aligned
-// cursor stays valid for the destination.
+// cursor stays valid for the destination (and a view's borrowed pointer
+// moves along with its is_view_ flag).
 BitArray::BitArray(BitArray&& other) noexcept
     : num_bits_(other.num_bits_),
       total_bits_(other.total_bits_),
       size_bytes_(other.size_bytes_),
       storage_(std::move(other.storage_)),
-      data_(other.data_) {
+      data_(other.data_),
+      is_view_(other.is_view_) {
   other.data_ = nullptr;
+  other.is_view_ = false;
 }
 
 BitArray& BitArray::operator=(BitArray&& other) noexcept {
@@ -65,15 +85,19 @@ BitArray& BitArray::operator=(BitArray&& other) noexcept {
   size_bytes_ = other.size_bytes_;
   storage_ = std::move(other.storage_);
   data_ = other.data_;
+  is_view_ = other.is_view_;
   other.data_ = nullptr;
+  other.is_view_ = false;
   return *this;
 }
 
 void BitArray::Clear() {
+  SHBF_CHECK(!is_view_) << "Clear on a mapped BitArray view";
   std::memset(data_, 0, size_bytes_);
 }
 
 bool BitArray::OrWith(const BitArray& other) {
+  SHBF_CHECK(!is_view_) << "OrWith into a mapped BitArray view";
   if (num_bits_ != other.num_bits_ || total_bits_ != other.total_bits_ ||
       size_bytes_ != other.size_bytes_) {
     return false;
@@ -93,6 +117,7 @@ void BitArray::AppendPayload(ByteWriter* writer) const {
 }
 
 bool BitArray::ReadPayload(ByteReader* reader) {
+  SHBF_CHECK(!is_view_) << "ReadPayload into a mapped BitArray view";
   return reader->GetBytes(data_, PayloadBytes());
 }
 

@@ -42,6 +42,19 @@ class BitArray {
   explicit BitArray(size_t num_bits,
                     size_t slack_bits = kDefaultMaxOffsetSpan);
 
+  /// Non-owning read-only view over externally managed bits (an mmap'd
+  /// filter image region). `data` must be 64-byte aligned, hold the same
+  /// PayloadBytes() the owning layout would, stay readable for
+  /// PayloadBytes() + 8 guard bytes (LoadWindow reads past the last bit),
+  /// and outlive the view. Mutators (SetBit, Clear, OrWith, ReadPayload,
+  /// mutable_data) CHECK-fail on a view; copying a view materializes an
+  /// owning deep copy.
+  static BitArray View(const uint8_t* data, size_t num_bits,
+                       size_t slack_bits);
+
+  /// True when this array borrows its bits (built by View()).
+  bool is_view() const { return is_view_; }
+
   // data_ points into storage_, so the compiler-generated copy would alias
   // the source's buffer; re-anchor the cursor on every copy/move.
   BitArray(const BitArray& other);
@@ -61,12 +74,14 @@ class BitArray {
   /// Sets the bit at `pos` (pos < total_bits()).
   void SetBit(size_t pos) {
     SHBF_DCHECK(pos < total_bits_);
+    SHBF_DCHECK(!is_view_);
     data_[pos >> 3] |= static_cast<uint8_t>(1u << (pos & 7));
   }
 
   /// Clears the bit at `pos`.
   void ClearBit(size_t pos) {
     SHBF_DCHECK(pos < total_bits_);
+    SHBF_DCHECK(!is_view_);
     data_[pos >> 3] &= static_cast<uint8_t>(~(1u << (pos & 7)));
   }
 
@@ -95,7 +110,10 @@ class BitArray {
   /// 64-byte-aligned raw storage (guard bytes included) — the blocked
   /// variants hand whole blocks of it to the SIMD subset-test kernel.
   const uint8_t* data() const { return data_; }
-  uint8_t* mutable_data() { return data_; }
+  uint8_t* mutable_data() {
+    SHBF_CHECK(!is_view_) << "mutable access to a mapped BitArray view";
+    return data_;
+  }
 
   /// Zeroes every bit.
   void Clear();
@@ -126,11 +144,16 @@ class BitArray {
   size_t PayloadBytes() const { return CeilDiv(total_bits_, 8); }
 
  private:
-  size_t num_bits_;
-  size_t total_bits_;
-  size_t size_bytes_;            ///< payload + guard (what data_ spans)
-  std::vector<uint8_t> storage_; ///< size_bytes_ + alignment headroom
-  uint8_t* data_;                ///< 64-byte-aligned cursor into storage_
+  /// View() uses this to adopt foreign storage; everything else goes
+  /// through the allocating constructor.
+  BitArray() = default;
+
+  size_t num_bits_ = 0;
+  size_t total_bits_ = 0;
+  size_t size_bytes_ = 0;        ///< payload + guard (what data_ spans)
+  std::vector<uint8_t> storage_; ///< size_bytes_ + alignment headroom; empty for views
+  uint8_t* data_ = nullptr;      ///< 64-byte-aligned cursor into storage_, or the viewed buffer
+  bool is_view_ = false;         ///< borrowed read-only bits (mmap region)
 };
 
 }  // namespace shbf

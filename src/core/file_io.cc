@@ -1,25 +1,110 @@
 #include "core/file_io.h"
 
-#include <fstream>
-#include <sstream>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 
 namespace shbf {
 
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path, int err) {
+  return what + " " + path + ": " + std::strerror(err);
+}
+
+/// ENOSPC-class errno values surface as kResourceExhausted so callers (and
+/// operators reading server logs) can tell a full disk from a code bug.
+Status WriteError(const std::string& what, const std::string& path, int err) {
+  const std::string message = Errno(what, path, err);
+  if (err == ENOSPC || err == EDQUOT || err == EFBIG) {
+    return Status::ResourceExhausted(message);
+  }
+  return Status::Internal(message);
+}
+
+}  // namespace
+
 Status ReadFileToString(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return Status::NotFound("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  *out = buffer.str();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::NotFound(Errno("cannot open", path, errno));
+  std::string bytes;
+  struct stat st;
+  if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+    bytes.reserve(static_cast<size_t>(st.st_size));
+  }
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return Status::Internal(Errno("cannot read", path, err));
+    }
+    bytes.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  *out = std::move(bytes);
   return Status::Ok();
 }
 
 Status WriteStringToFile(const std::string& path, const std::string& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out.good()) return Status::Internal("cannot write " + path);
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return WriteError("cannot create", path, errno);
+  // Loop over partial writes: a short write with no errno (size-capped file,
+  // almost-full disk) is still a failure once the remainder won't go.
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return WriteError("short write to", path, err);
+    }
+    if (n == 0) {
+      ::close(fd);
+      return WriteError("short write to", path, ENOSPC);
+    }
+    written += static_cast<size_t>(n);
+  }
+  // fsync before the verdict: an OK means the bytes reached the device, not
+  // just the page cache — a snapshot that "succeeded" must survive a crash.
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return WriteError("cannot fsync", path, err);
+  }
+  if (::close(fd) != 0) {
+    return WriteError("cannot close", path, errno);
+  }
   return Status::Ok();
+}
+
+Status SyncDirectory(const std::string& dir_path) {
+  const std::string dir = dir_path.empty() ? "." : dir_path;
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Status::NotFound(Errno("cannot open directory", dir, errno));
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(Errno("cannot fsync directory", dir, err));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+std::string DirectoryOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
 }
 
 }  // namespace shbf

@@ -1,7 +1,8 @@
-// Whole-file read/write helpers shared by the CLI tools and the serving
-// layer (filter envelopes are shipped as files: build → serve → snapshot
-// → reload). WriteStringToFile flushes before reporting success, so an
-// OK really means the bytes reached the filesystem.
+// Whole-file read/write helpers shared by the CLI tools, the serving layer
+// and the mmap storage layer (filter envelopes and images are shipped as
+// files: build → serve → snapshot → reload). All helpers use POSIX fds
+// directly so short writes, ENOSPC and fsync failures surface as Status —
+// never as a silently truncated file out of an iostream destructor.
 
 #ifndef SHBF_CORE_FILE_IO_H_
 #define SHBF_CORE_FILE_IO_H_
@@ -12,12 +13,25 @@
 
 namespace shbf {
 
-/// Reads the whole file at `path` into `*out`. kNotFound if unreadable.
+/// Reads the whole file at `path` into `*out`. kNotFound if unopenable,
+/// kInternal on a mid-read error.
 Status ReadFileToString(const std::string& path, std::string* out);
 
-/// Replaces the file at `path` with `bytes`, flushing before the verdict
-/// (a full disk fails here, not silently in a destructor).
+/// Replaces the file at `path` with `bytes` and fsyncs before the verdict:
+/// an OK means every byte reached the device. A short write or write error
+/// fails with the path and errno in the message — kResourceExhausted for
+/// the ENOSPC/EDQUOT/EFBIG family (full disk, size-capped file), kInternal
+/// otherwise.
 Status WriteStringToFile(const std::string& path, const std::string& bytes);
+
+/// fsyncs the directory itself, making a just-renamed entry durable (the
+/// second half of the write-temp-then-rename crash-consistency protocol;
+/// see docs/persistence.md).
+Status SyncDirectory(const std::string& dir_path);
+
+/// The directory component of `path` ("." when there is none) — the target
+/// SyncDirectory wants after renaming `path` into place.
+std::string DirectoryOf(const std::string& path);
 
 }  // namespace shbf
 

@@ -18,7 +18,82 @@ PackedCounterArray::PackedCounterArray(size_t num_counters,
   size_t total_bits = num_counters * static_cast<size_t>(bits_per_counter);
   // One extra word so counters straddling the final word boundary can be
   // read/written with the two-word fast path.
-  words_.assign(CeilDiv(total_bits, 64) + 1, 0);
+  num_words_ = CeilDiv(total_bits, 64) + 1;
+  storage_.assign(num_words_, 0);
+  words_data_ = storage_.data();
+}
+
+PackedCounterArray PackedCounterArray::View(const uint64_t* words,
+                                            size_t num_counters,
+                                            uint32_t bits_per_counter,
+                                            uint64_t saturation_events) {
+  SHBF_CHECK(words != nullptr && num_counters > 0);
+  SHBF_CHECK(bits_per_counter >= 1 && bits_per_counter <= 32);
+  PackedCounterArray view;
+  view.num_counters_ = num_counters;
+  view.bits_per_counter_ = bits_per_counter;
+  view.max_value_ = (1ull << bits_per_counter) - 1;
+  view.saturation_events_ = saturation_events;
+  view.num_words_ =
+      CeilDiv(num_counters * static_cast<size_t>(bits_per_counter), 64) + 1;
+  view.words_data_ = words;
+  view.is_view_ = true;
+  return view;
+}
+
+PackedCounterArray::PackedCounterArray(const PackedCounterArray& other)
+    : num_counters_(other.num_counters_),
+      bits_per_counter_(other.bits_per_counter_),
+      max_value_(other.max_value_),
+      saturation_events_(other.saturation_events_),
+      storage_(other.words_data_, other.words_data_ + other.num_words_),
+      num_words_(other.num_words_) {
+  words_data_ = storage_.data();
+}
+
+PackedCounterArray& PackedCounterArray::operator=(
+    const PackedCounterArray& other) {
+  if (this == &other) return *this;
+  num_counters_ = other.num_counters_;
+  bits_per_counter_ = other.bits_per_counter_;
+  max_value_ = other.max_value_;
+  saturation_events_ = other.saturation_events_;
+  storage_.assign(other.words_data_, other.words_data_ + other.num_words_);
+  num_words_ = other.num_words_;
+  words_data_ = storage_.data();
+  is_view_ = false;
+  return *this;
+}
+
+PackedCounterArray::PackedCounterArray(PackedCounterArray&& other) noexcept
+    : num_counters_(other.num_counters_),
+      bits_per_counter_(other.bits_per_counter_),
+      max_value_(other.max_value_),
+      saturation_events_(other.saturation_events_),
+      storage_(std::move(other.storage_)),
+      words_data_(other.words_data_),
+      num_words_(other.num_words_),
+      is_view_(other.is_view_) {
+  // The vector's heap buffer is stable across moves (and a view's borrowed
+  // pointer moves along unchanged).
+  other.words_data_ = nullptr;
+  other.is_view_ = false;
+}
+
+PackedCounterArray& PackedCounterArray::operator=(
+    PackedCounterArray&& other) noexcept {
+  if (this == &other) return *this;
+  num_counters_ = other.num_counters_;
+  bits_per_counter_ = other.bits_per_counter_;
+  max_value_ = other.max_value_;
+  saturation_events_ = other.saturation_events_;
+  storage_ = std::move(other.storage_);
+  words_data_ = other.words_data_;
+  num_words_ = other.num_words_;
+  is_view_ = other.is_view_;
+  other.words_data_ = nullptr;
+  other.is_view_ = false;
+  return *this;
 }
 
 uint64_t PackedCounterArray::Get(size_t i) const {
@@ -26,9 +101,9 @@ uint64_t PackedCounterArray::Get(size_t i) const {
   size_t bit = i * bits_per_counter_;
   size_t word = bit >> 6;
   uint32_t shift = bit & 63;
-  uint64_t value = words_[word] >> shift;
+  uint64_t value = words_data_[word] >> shift;
   if (shift + bits_per_counter_ > 64) {
-    value |= words_[word + 1] << (64 - shift);
+    value |= words_data_[word + 1] << (64 - shift);
   }
   return value & max_value_;
 }
@@ -50,8 +125,8 @@ void PackedCounterArray::GetMany(const size_t* indices, size_t n,
       SHBF_DCHECK(i < num_counters_);
       const size_t bit = i * bits_per_counter_;
       const size_t word = bit >> 6;
-      lo[j] = words_[word];
-      hi[j] = words_[word + 1];
+      lo[j] = words_data_[word];
+      hi[j] = words_data_[word + 1];
       shifts[j] = bit & 63;
     }
     simd::ExtractFieldMany(lo, hi, shifts, max_value_, m, out + start);
@@ -61,15 +136,16 @@ void PackedCounterArray::GetMany(const size_t* indices, size_t n,
 void PackedCounterArray::Set(size_t i, uint64_t value) {
   SHBF_DCHECK(i < num_counters_);
   SHBF_DCHECK(value <= max_value_);
+  uint64_t* words = mutable_words();
   size_t bit = i * bits_per_counter_;
   size_t word = bit >> 6;
   uint32_t shift = bit & 63;
-  words_[word] &= ~(max_value_ << shift);
-  words_[word] |= value << shift;
+  words[word] &= ~(max_value_ << shift);
+  words[word] |= value << shift;
   if (shift + bits_per_counter_ > 64) {
     uint32_t spill = 64 - shift;
-    words_[word + 1] &= ~(max_value_ >> spill);
-    words_[word + 1] |= value >> spill;
+    words[word + 1] &= ~(max_value_ >> spill);
+    words[word + 1] |= value >> spill;
   }
 }
 
@@ -95,18 +171,20 @@ void PackedCounterArray::Decrement(size_t i) {
 }
 
 void PackedCounterArray::Clear() {
-  std::fill(words_.begin(), words_.end(), 0);
+  SHBF_CHECK(!is_view_) << "Clear on a mapped counter view";
+  std::fill(storage_.begin(), storage_.end(), 0);
   saturation_events_ = 0;
 }
 
 void PackedCounterArray::AppendPayload(ByteWriter* writer) const {
   writer->PutU64(saturation_events_);
-  for (uint64_t word : words_) writer->PutU64(word);
+  for (size_t i = 0; i < num_words_; ++i) writer->PutU64(words_data_[i]);
 }
 
 bool PackedCounterArray::ReadPayload(ByteReader* reader) {
+  SHBF_CHECK(!is_view_) << "ReadPayload into a mapped counter view";
   if (!reader->GetU64(&saturation_events_)) return false;
-  for (uint64_t& word : words_) {
+  for (uint64_t& word : storage_) {
     if (!reader->GetU64(&word)) return false;
   }
   return true;

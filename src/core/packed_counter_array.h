@@ -25,6 +25,27 @@ class PackedCounterArray {
   /// Creates `num_counters` zeroed counters of `bits_per_counter` bits each.
   PackedCounterArray(size_t num_counters, uint32_t bits_per_counter);
 
+  /// Non-owning read-only view over externally managed packed words (an
+  /// mmap'd filter image region). `words` must be 8-byte aligned, hold the
+  /// owning layout's ⌈num_counters·z/64⌉ + 1 words (the straddle word
+  /// included), and outlive the view. Mutators (Set, Increment, Decrement,
+  /// Clear, ReadPayload) CHECK-fail on a view. `saturation_events` restores
+  /// the metadata the owning serde carries in its payload.
+  static PackedCounterArray View(const uint64_t* words, size_t num_counters,
+                                 uint32_t bits_per_counter,
+                                 uint64_t saturation_events);
+
+  /// True when this array borrows its words (built by View()).
+  bool is_view() const { return is_view_; }
+
+  // words_data_ points into storage_, so the compiler-generated copy would
+  // alias the source's buffer; re-anchor on every copy/move (a copied view
+  // becomes an owning deep copy, as with BitArray).
+  PackedCounterArray(const PackedCounterArray& other);
+  PackedCounterArray& operator=(const PackedCounterArray& other);
+  PackedCounterArray(PackedCounterArray&& other) noexcept;
+  PackedCounterArray& operator=(PackedCounterArray&& other) noexcept;
+
   size_t num_counters() const { return num_counters_; }
   uint32_t bits_per_counter() const { return bits_per_counter_; }
 
@@ -62,8 +83,16 @@ class PackedCounterArray {
   /// Number of counters with value zero.
   size_t CountZero() const;
 
-  /// Allocated footprint in bytes.
-  size_t allocated_bytes() const { return words_.size() * sizeof(uint64_t); }
+  /// Allocated footprint in bytes (the viewed span for views).
+  size_t allocated_bytes() const { return num_words_ * sizeof(uint64_t); }
+
+  /// Serialized/mapped payload of the packed words alone (straddle word
+  /// included, saturation counter excluded) — the image region size.
+  size_t WordPayloadBytes() const { return num_words_ * sizeof(uint64_t); }
+
+  /// The packed words (num_words words; the last is the straddle word).
+  const uint64_t* words() const { return words_data_; }
+  size_t num_words() const { return num_words_; }
 
   /// Appends the raw payload (saturation counter + packed words) to `writer`.
   void AppendPayload(ByteWriter* writer) const;
@@ -73,11 +102,22 @@ class PackedCounterArray {
   bool ReadPayload(ByteReader* reader);
 
  private:
-  size_t num_counters_;
-  uint32_t bits_per_counter_;
-  uint64_t max_value_;
+  /// View() uses this to adopt foreign words.
+  PackedCounterArray() = default;
+
+  uint64_t* mutable_words() {
+    SHBF_CHECK(!is_view_) << "mutable access to a mapped counter view";
+    return storage_.data();
+  }
+
+  size_t num_counters_ = 0;
+  uint32_t bits_per_counter_ = 0;
+  uint64_t max_value_ = 0;
   uint64_t saturation_events_ = 0;
-  std::vector<uint64_t> words_;
+  std::vector<uint64_t> storage_;      ///< owning words; empty for views
+  const uint64_t* words_data_ = nullptr;  ///< storage_.data() or the viewed span
+  size_t num_words_ = 0;
+  bool is_view_ = false;
 };
 
 }  // namespace shbf

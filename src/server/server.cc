@@ -3,6 +3,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 
 #include <cerrno>
 #include <chrono>
@@ -16,6 +17,20 @@
 namespace shbf {
 
 namespace {
+
+/// Path prefix selecting flat-image (mmap) persistence on SNAPSHOT /
+/// RELOAD / --load targets; everything after it is the filesystem path.
+constexpr std::string_view kMmapPrefix = "mmap:";
+
+/// True (and strips the prefix into `*path`) when `path` selects mmap mode.
+bool StripMmapPrefix(std::string* path) {
+  if (path->size() < kMmapPrefix.size() ||
+      std::string_view(*path).substr(0, kMmapPrefix.size()) != kMmapPrefix) {
+    return false;
+  }
+  path->erase(0, kMmapPrefix.size());
+  return true;
+}
 
 /// The per-filter stats record shared by STATS and LIST responses.
 void WriteStatsRecord(ByteWriter* writer, const MembershipFilter& filter) {
@@ -56,6 +71,13 @@ Status ShbfServer::RegisterFilter(std::string serve_name,
   filter->PrepareForConstReads();
   auto served = std::make_unique<Served>();
   served->multiplicity = dynamic_cast<MultiplicityFilter*>(filter.get());
+  // A mapped image is read-only by construction: gate the mutating opcodes
+  // here instead of letting them trip the MappedFilter's CHECK.
+  if (const auto* mapped =
+          dynamic_cast<const storage::MappedFilter*>(filter.get())) {
+    served->read_only = true;
+    served->snapshot_generation = mapped->generation();
+  }
   served->filter = std::move(filter);
   served->source_path = std::move(source_path);
   served_.emplace(std::move(serve_name), std::move(served));
@@ -64,6 +86,18 @@ Status ShbfServer::RegisterFilter(std::string serve_name,
 
 Status ShbfServer::LoadFilter(std::string serve_name,
                               const std::string& path) {
+  std::string target = path;
+  if (StripMmapPrefix(&target)) {
+    // Flat image: map it and serve zero-copy. Checksums are verified once
+    // here — after that the kernel pages bits in on demand.
+    std::unique_ptr<MembershipFilter> filter;
+    Status s = FilterRegistry::Global().OpenMapped(
+        target, &filter, storage::OpenOptions{.verify_payload = true});
+    if (!s.ok()) return s;
+    // Remember the *prefixed* path so empty-path SNAPSHOT / RELOAD frames
+    // stay in mmap mode.
+    return RegisterFilter(std::move(serve_name), std::move(filter), path);
+  }
   std::string blob;
   Status s = ReadFileToString(path, &blob);
   if (!s.ok()) return s;
@@ -453,6 +487,11 @@ ShbfServer::Response ShbfServer::HandleAdd(ByteReader* reader) {
   }
   {
     std::unique_lock<std::shared_mutex> lock(served->mu);
+    if (served->read_only) {
+      return Error(wire::WireStatus::kUnsupported,
+                   "ADD: filter serves a read-only mapped image; RELOAD a "
+                   "heap snapshot to mutate");
+    }
     for (const auto& key : keys) served->filter->Add(key);
     // Fold any deferred rebuild into this writer section, so subsequent
     // reads stay pure under the shared lock.
@@ -479,6 +518,11 @@ ShbfServer::Response ShbfServer::HandleRemove(ByteReader* reader) {
   std::vector<uint8_t> removed(keys.size(), 0);
   {
     std::unique_lock<std::shared_mutex> lock(served->mu);
+    if (served->read_only) {
+      return Error(wire::WireStatus::kUnsupported,
+                   "REMOVE: filter serves a read-only mapped image; RELOAD "
+                   "a heap snapshot to mutate");
+    }
     if ((served->filter->capabilities() & kRemove) == 0) {
       return Error(wire::WireStatus::kUnsupported,
                    std::string(served->filter->name()) +
@@ -540,6 +584,30 @@ ShbfServer::Response ShbfServer::HandleSnapshot(ByteReader* reader) {
       return Error(wire::WireStatus::kIoError,
                    "SNAPSHOT: no path given and none remembered");
     }
+    std::string image_path = path;
+    if (StripMmapPrefix(&image_path)) {
+      // Flat-image snapshot. The saver borrows pointers into the live
+      // array, so the write (temp + msync + rename; crash-consistent)
+      // happens under the writer lock — unlike the heap branch there is
+      // no intermediate blob to copy out.
+      const uint64_t generation = served->snapshot_generation + 1;
+      Status s = FilterRegistry::Global().SaveMapped(*served->filter,
+                                                     image_path, generation);
+      if (!s.ok()) {
+        return Error(wire::WireStatus::kIoError, "SNAPSHOT: " + s.ToString());
+      }
+      served->snapshot_generation = generation;
+      served->source_path = path;  // keep the mmap: prefix
+      struct stat st {};
+      const uint64_t written =
+          ::stat(image_path.c_str(), &st) == 0
+              ? static_cast<uint64_t>(st.st_size)
+              : 0;
+      ByteWriter writer;
+      writer.PutU64(written);
+      wire::WriteString(&writer, path);
+      return Response{wire::BuildOk(writer.Take()), false};
+    }
     blob = FilterRegistry::Serialize(*served->filter);
   }
   // File I/O outside the lock; the remembered path only moves to the new
@@ -577,15 +645,30 @@ ShbfServer::Response ShbfServer::HandleReload(ByteReader* reader) {
   }
   // Read + deserialize + prepare outside the lock: queries keep flowing
   // against the old filter until the swap below.
-  std::string blob;
-  Status s = ReadFileToString(path, &blob);
-  if (!s.ok()) {
-    return Error(wire::WireStatus::kIoError, "RELOAD: " + s.ToString());
-  }
   std::unique_ptr<MembershipFilter> fresh;
-  s = FilterRegistry::Global().Deserialize(blob, &fresh);
-  if (!s.ok()) {
-    return Error(wire::WireStatus::kIoError, "RELOAD: " + s.ToString());
+  bool fresh_read_only = false;
+  uint64_t fresh_generation = 0;
+  std::string image_path = path;
+  if (StripMmapPrefix(&image_path)) {
+    // Flat image: verify checksums once, then serve zero-copy (read-only).
+    Status s = FilterRegistry::Global().OpenMapped(
+        image_path, &fresh, storage::OpenOptions{.verify_payload = true});
+    if (!s.ok()) {
+      return Error(wire::WireStatus::kIoError, "RELOAD: " + s.ToString());
+    }
+    fresh_read_only = true;
+    fresh_generation =
+        static_cast<const storage::MappedFilter*>(fresh.get())->generation();
+  } else {
+    std::string blob;
+    Status s = ReadFileToString(path, &blob);
+    if (!s.ok()) {
+      return Error(wire::WireStatus::kIoError, "RELOAD: " + s.ToString());
+    }
+    s = FilterRegistry::Global().Deserialize(blob, &fresh);
+    if (!s.ok()) {
+      return Error(wire::WireStatus::kIoError, "RELOAD: " + s.ToString());
+    }
   }
   fresh->PrepareForConstReads();
   uint64_t elements = 0;
@@ -594,6 +677,8 @@ ShbfServer::Response ShbfServer::HandleReload(ByteReader* reader) {
     served->multiplicity = dynamic_cast<MultiplicityFilter*>(fresh.get());
     served->filter = std::move(fresh);
     served->source_path = path;
+    served->read_only = fresh_read_only;
+    if (fresh_read_only) served->snapshot_generation = fresh_generation;
     elements = served->filter->num_elements();
   }
   ByteWriter writer;

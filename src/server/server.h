@@ -102,7 +102,10 @@ class ShbfServer {
                         std::string source_path = {});
 
   /// Deserializes a registry-envelope blob from `path` and serves it
-  /// under `serve_name` with `path` as its remembered source.
+  /// under `serve_name` with `path` as its remembered source. An "mmap:"
+  /// prefix instead opens the path as a flat image (checksums verified)
+  /// and serves queries zero-copy off the mapping — instant restart, the
+  /// open cost is O(1) in filter size — with the entry read-only.
   Status LoadFilter(std::string serve_name, const std::string& path);
 
   /// Serves `catalog` behind a MultiSetIndex: WHICH_SETS answers "which of
@@ -148,8 +151,18 @@ class ShbfServer {
     std::unique_ptr<MembershipFilter> filter;
     /// Cached MultiplicityFilter view (null → COUNT mode unsupported).
     MultiplicityFilter* multiplicity = nullptr;
-    /// Default SNAPSHOT/RELOAD target; updated by either opcode.
+    /// Default SNAPSHOT/RELOAD target; updated by either opcode. An
+    /// "mmap:" prefix marks a flat-image target (docs/persistence.md), so
+    /// an empty-path RELOAD round-trips in the same mode it snapshot in.
     std::string source_path;
+    /// True when `filter` serves straight off a read-only mapped image
+    /// (storage::MappedFilter): ADD / REMOVE answer kUnsupported instead
+    /// of tripping the mapped filter's mutation CHECK.
+    bool read_only = false;
+    /// Generation stamped into the last mapped snapshot (or carried by the
+    /// mapped image this entry was loaded from); the next mmap SNAPSHOT
+    /// writes generation + 1 so crash tooling can tell old from new.
+    uint64_t snapshot_generation = 0;
     /// Readers shared, mutators exclusive (see file comment).
     mutable std::shared_mutex mu;
   };

@@ -34,6 +34,18 @@ ShbfM::ShbfM(const Params& params)
   CheckOk(params.Validate());
 }
 
+ShbfM::ShbfM(const Params& params, BitArray bits, size_t num_elements)
+    : family_(params.hash_algorithm, params.num_hashes / 2 + 1, params.seed),
+      num_hashes_(params.num_hashes),
+      max_offset_span_(params.max_offset_span),
+      bits_(std::move(bits)),
+      num_elements_(num_elements) {
+  CheckOk(params.Validate());
+  SHBF_CHECK(bits_.num_bits() == params.num_bits &&
+             bits_.total_bits() == params.num_bits + params.max_offset_span)
+      << "shbf_m: adopted bits don't match the spec geometry";
+}
+
 uint64_t ShbfM::OffsetOf(std::string_view key) const {
   // o(e) = h_{k/2+1}(e) % (w̄ − 1) + 1, never zero (§3.1: o = 0 would merge
   // the pair into one bit and raise the FPR).

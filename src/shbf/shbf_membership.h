@@ -44,6 +44,13 @@ class ShbfM {
 
   explicit ShbfM(const Params& params);
 
+  /// Wraps externally stored bits (a BitArray::View into an mmap'd image
+  /// region) without copying: geometry from `params`, storage from `bits`.
+  /// The view's num_bits/slack must match the owning layout (slack ==
+  /// max_offset_span); the registry's mapped opener validates the on-disk
+  /// geometry before constructing. Read-only usage.
+  ShbfM(const Params& params, BitArray bits, size_t num_elements);
+
   /// Inserts `key`: k/2 + 1 hash computations, k bits set.
   void Add(std::string_view key) { Add(key.data(), key.size()); }
   void Add(const void* data, size_t len);
@@ -96,6 +103,8 @@ class ShbfM {
   uint32_t num_hashes() const { return num_hashes_; }
   uint32_t num_pairs() const { return num_hashes_ / 2; }
   uint32_t max_offset_span() const { return max_offset_span_; }
+  HashAlgorithm hash_algorithm() const { return family_.algorithm(); }
+  uint64_t seed() const { return family_.master_seed(); }
   size_t num_elements() const { return num_elements_; }
   const BitArray& bits() const { return bits_; }
 

@@ -56,6 +56,24 @@ SplitBlockShbfM::SplitBlockShbfM(const Params& params)
   BuildLayout();
 }
 
+SplitBlockShbfM::SplitBlockShbfM(const Params& params, BitArray bits,
+                                 size_t num_elements)
+    : family_(params.hash_algorithm, 2, params.seed),
+      num_hashes_(params.num_hashes),
+      max_offset_span_(params.max_offset_span),
+      block_bits_(params.block_bits),
+      sub_block_bits_(params.sub_block_bits),
+      num_blocks_(params.num_bits / params.block_bits),
+      bits_(std::move(bits)),
+      num_elements_(num_elements) {
+  CheckOk(params.Validate());
+  SHBF_CHECK(params.num_bits % params.block_bits == 0 &&
+             bits_.num_bits() == params.num_bits &&
+             bits_.total_bits() == params.num_bits)
+      << "split_block_shbf_m: adopted bits don't match the spec geometry";
+  BuildLayout();
+}
+
 void SplitBlockShbfM::BuildLayout() {
   const uint32_t num_sub = block_bits_ / sub_block_bits_;
   const uint32_t pairs = num_hashes_ / 2;

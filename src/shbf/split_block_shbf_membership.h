@@ -70,6 +70,12 @@ class SplitBlockShbfM {
 
   explicit SplitBlockShbfM(const Params& params);
 
+  /// Wraps externally stored bits (a BitArray::View into an mmap'd image
+  /// region) without copying. `params.num_bits` must already be block-
+  /// aligned and equal the view's num_bits (slack 0); the registry's
+  /// mapped opener validates the on-disk geometry first. Read-only usage.
+  SplitBlockShbfM(const Params& params, BitArray bits, size_t num_elements);
+
   /// Inserts `key`: one 128-bit hash pass over the key bytes (block, offset
   /// and all k/2 rotations derive from its halves), k bits set — all inside
   /// one block.
@@ -137,6 +143,8 @@ class SplitBlockShbfM {
   uint32_t sub_block_bits() const { return sub_block_bits_; }
   uint32_t num_sub_blocks() const { return block_bits_ / sub_block_bits_; }
   size_t num_blocks() const { return num_blocks_; }
+  HashAlgorithm hash_algorithm() const { return family_.algorithm(); }
+  uint64_t seed() const { return family_.master_seed(); }
   size_t num_elements() const { return num_elements_; }
   const BitArray& bits() const { return bits_; }
 

@@ -1,0 +1,75 @@
+#include "storage/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace shbf {
+namespace storage {
+
+MappedFile::~MappedFile() { Reset(); }
+
+void MappedFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_), path_(std::move(other.path_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  Reset();
+  data_ = other.data_;
+  size_ = other.size_;
+  path_ = std::move(other.path_);
+  other.data_ = nullptr;
+  other.size_ = 0;
+  return *this;
+}
+
+Status MappedFile::OpenReadOnly(const std::string& path, MappedFile* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("cannot stat " + path + ": " +
+                            std::strerror(err));
+  }
+  if (!S_ISREG(st.st_mode) || st.st_size <= 0) {
+    ::close(fd);
+    return Status::InvalidArgument(path + ": not a non-empty regular file");
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  // The mapping outlives the fd: pages stay valid until munmap.
+  ::close(fd);
+  if (mapping == MAP_FAILED) {
+    return Status::Internal("cannot mmap " + path + ": " +
+                            std::strerror(errno));
+  }
+  out->Reset();
+  out->data_ = static_cast<const uint8_t*>(mapping);
+  out->size_ = size;
+  out->path_ = path;
+  return Status::Ok();
+}
+
+}  // namespace storage
+}  // namespace shbf

@@ -1,0 +1,30 @@
+#include "storage/mapped_filter.h"
+
+#include <utility>
+
+#include "core/check.h"
+
+namespace shbf {
+namespace storage {
+
+MappedFilter::MappedFilter(MappedFile file,
+                           std::unique_ptr<MembershipFilter> inner,
+                           uint64_t generation)
+    : file_(std::move(file)),
+      inner_(std::move(inner)),
+      generation_(generation) {
+  SHBF_CHECK(file_.valid() && inner_ != nullptr);
+}
+
+void MappedFilter::Clear() {
+  SHBF_CHECK(false) << "Clear on read-only mapped filter " << file_.path();
+}
+
+void MappedFilter::Add(std::string_view key) {
+  (void)key;
+  SHBF_CHECK(false) << "Add on read-only mapped filter " << file_.path()
+                    << "; RELOAD a heap envelope to mutate";
+}
+
+}  // namespace storage
+}  // namespace shbf

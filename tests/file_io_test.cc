@@ -1,0 +1,112 @@
+// core/file_io contract tests: round trips, error Statuses that name the
+// path, and — the part that only shows up when a disk fills — short writes
+// surfacing as kResourceExhausted instead of a silently truncated file.
+// ENOSPC is injected two ways: RLIMIT_FSIZE (a size-capped process makes
+// write(2) past the cap fail with EFBIG, same Status family) and /dev/full
+// where the platform provides it.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/file_io.h"
+
+namespace shbf {
+namespace {
+
+TEST(FileIoTest, RoundTripsBinaryBytes) {
+  const std::string path = ::testing::TempDir() + "/file_io_roundtrip.bin";
+  std::string bytes;
+  for (int i = 0; i < 4096; ++i) bytes.push_back(static_cast<char>(i * 31));
+  bytes[100] = '\0';  // embedded NUL must survive
+  ASSERT_TRUE(WriteStringToFile(path, bytes).ok());
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, bytes);
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, OverwriteReplacesNotAppends) {
+  const std::string path = ::testing::TempDir() + "/file_io_overwrite.bin";
+  ASSERT_TRUE(WriteStringToFile(path, std::string(1000, 'a')).ok());
+  ASSERT_TRUE(WriteStringToFile(path, "short").ok());
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, "short");
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MissingFileNamesThePath) {
+  std::string out;
+  Status s = ReadFileToString("/nonexistent/dir/nothing.bin", &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("/nonexistent/dir/nothing.bin"),
+            std::string::npos);
+}
+
+TEST(FileIoTest, UnwritableTargetNamesThePath) {
+  Status s = WriteStringToFile("/nonexistent/dir/out.bin", "bytes");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("/nonexistent/dir/out.bin"), std::string::npos);
+}
+
+TEST(FileIoTest, DirectoryOfSplitsPaths) {
+  EXPECT_EQ(DirectoryOf("/a/b/c.bin"), "/a/b");
+  EXPECT_EQ(DirectoryOf("/c.bin"), "/");
+  EXPECT_EQ(DirectoryOf("c.bin"), ".");
+}
+
+TEST(FileIoTest, SyncDirectoryAcceptsRealDirectoriesOnly) {
+  EXPECT_TRUE(SyncDirectory(::testing::TempDir()).ok());
+  EXPECT_FALSE(SyncDirectory("/nonexistent/dir").ok());
+}
+
+TEST(FileIoTest, SizeCappedProcessReportsResourceExhaustion) {
+  // RLIMIT_FSIZE injection, in a child so the parent's own file I/O stays
+  // uncapped: cap file size at 8 KB, attempt a 64 KB write, and require a
+  // kResourceExhausted-family failure that names the path — NOT an OK with
+  // a truncated file on disk.
+  const std::string path = ::testing::TempDir() + "/file_io_capped.bin";
+  std::remove(path.c_str());
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // write(2) past the cap delivers SIGXFSZ before failing with EFBIG;
+    // ignore the signal so the error surfaces through errno.
+    signal(SIGXFSZ, SIG_IGN);
+    struct rlimit cap{.rlim_cur = 8192, .rlim_max = 8192};
+    if (setrlimit(RLIMIT_FSIZE, &cap) != 0) _exit(20);
+    Status s = WriteStringToFile(path, std::string(65536, 'x'));
+    if (s.ok()) _exit(21);  // silent truncation: the bug this test exists for
+    if (s.code() != Status::Code::kResourceExhausted) _exit(22);
+    if (s.message().find(path) == std::string::npos) _exit(23);
+    _exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0)
+      << "child exit " << WEXITSTATUS(status)
+      << " (21 = silent truncation, 22 = wrong code, 23 = path missing)";
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, DevFullReportsResourceExhaustion) {
+  // /dev/full fails every write with ENOSPC; skip on platforms without it.
+  if (access("/dev/full", W_OK) != 0) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  Status s = WriteStringToFile("/dev/full", "bytes");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kResourceExhausted) << s.ToString();
+}
+
+}  // namespace
+}  // namespace shbf

@@ -5,11 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "api/filter_registry.h"
+#include "core/file_io.h"
+#include "storage/filter_image.h"
 #include "trace/trace_generator.h"
 
 namespace shbf {
@@ -419,6 +422,116 @@ TEST(RegistrySerdeTest, TruncatedWrapperBlobsAreRejectedAtEveryLength) {
   // serializer).
   ASSERT_TRUE(registry.Deserialize(blob, &out).ok());
   EXPECT_EQ(out->name(), "sharded/dynamic/shbf_m");
+}
+
+// ---------------------------------------------------------------------
+// Mapped-image rejection cases: every failure mode an operator will
+// actually hit (a stale build, a mismatched geometry record, flipped
+// payload bits) must come back as a Status naming the file AND the field —
+// the difference between a fixable incident and a mystery.
+// ---------------------------------------------------------------------
+
+/// Saves a populated shbf_m image and returns its raw bytes + path.
+std::string SaveMappedImage(const std::string& path) {
+  FilterSpec spec = TestSpec();
+  std::unique_ptr<MembershipFilter> filter;
+  EXPECT_TRUE(FilterRegistry::Global().Create("shbf_m", spec, &filter).ok());
+  for (int i = 0; i < 500; ++i) filter->Add("key-" + std::to_string(i));
+  EXPECT_TRUE(FilterRegistry::Global().SaveMapped(*filter, path, 1).ok());
+  std::string image;
+  EXPECT_TRUE(ReadFileToString(path, &image).ok());
+  return image;
+}
+
+TEST(RegistrySerdeTest, MappedImageStaleVersionNamesFileAndField) {
+  const std::string path =
+      ::testing::TempDir() + "/serde_stale_version.shbi";
+  std::string image = SaveMappedImage(path);
+  // The version field is the u32 at offset 4 (after the magic); a future
+  // build's image must be refused BY VERSION, before the checksum verdict,
+  // so the message says "upgrade" rather than "corrupt".
+  image[4] = static_cast<char>(storage::kImageVersion + 9);
+  ASSERT_TRUE(WriteStringToFile(path, image).ok());
+
+  std::unique_ptr<MembershipFilter> out;
+  Status s = FilterRegistry::Global().OpenMapped(path, &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find(path), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("field version"), std::string::npos)
+      << s.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(RegistrySerdeTest, MappedImageGeometryMismatchNamesFileAndField) {
+  const std::string path = ::testing::TempDir() + "/serde_geometry.shbi";
+  std::string image = SaveMappedImage(path);
+
+  // Decode, lie about the geometry, re-encode (recomputing the header
+  // checksum — this is a *consistent* header describing the wrong filter),
+  // and splice the forged page back in. Only the opener's cross-checks can
+  // catch this class of mismatch.
+  storage::ImageHeader header;
+  ASSERT_TRUE(storage::DecodeImageHeader(
+                  reinterpret_cast<const uint8_t*>(image.data()),
+                  image.size(), &header)
+                  .ok());
+  header.geometry.num_bits += 64;  // no longer matches array_total_bits
+  const std::string forged = storage::EncodeImageHeader(header);
+  ASSERT_EQ(forged.size(), storage::kImagePageBytes);
+  image.replace(0, forged.size(), forged);
+  ASSERT_TRUE(WriteStringToFile(path, image).ok());
+
+  std::unique_ptr<MembershipFilter> out;
+  Status s = FilterRegistry::Global().OpenMapped(path, &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find(path), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("field array_total_bits"), std::string::npos)
+      << s.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(RegistrySerdeTest, MappedImageChecksumFlipNamesFileAndField) {
+  const std::string path = ::testing::TempDir() + "/serde_checksum.shbi";
+  std::string image = SaveMappedImage(path);
+  // Flip one payload bit. The default open doesn't read the payload at
+  // all; the verifying open must name the region checksum.
+  image[storage::kImagePageBytes + 1234] ^= 0x10;
+  ASSERT_TRUE(WriteStringToFile(path, image).ok());
+
+  std::unique_ptr<MembershipFilter> out;
+  Status s = FilterRegistry::Global().OpenMapped(
+      path, &out, storage::OpenOptions{.verify_payload = true});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find(path), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("checksum"), std::string::npos) << s.ToString();
+
+  // Same image, header-only open: succeeds by design (the documented
+  // trade-off behind the O(1) open).
+  EXPECT_TRUE(FilterRegistry::Global().OpenMapped(path, &out).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RegistrySerdeTest, MappedImageUnknownFilterNameIsNamed) {
+  const std::string path = ::testing::TempDir() + "/serde_unknown.shbi";
+  std::string image = SaveMappedImage(path);
+  storage::ImageHeader header;
+  ASSERT_TRUE(storage::DecodeImageHeader(
+                  reinterpret_cast<const uint8_t*>(image.data()),
+                  image.size(), &header)
+                  .ok());
+  header.filter_name = "filter_from_the_future";
+  const std::string forged = storage::EncodeImageHeader(header);
+  image.replace(0, forged.size(), forged);
+  ASSERT_TRUE(WriteStringToFile(path, image).ok());
+
+  std::unique_ptr<MembershipFilter> out;
+  Status s = FilterRegistry::Global().OpenMapped(path, &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("filter_from_the_future"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("field name"), std::string::npos)
+      << s.ToString();
+  std::remove(path.c_str());
 }
 
 }  // namespace

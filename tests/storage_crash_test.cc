@@ -1,0 +1,186 @@
+// Crash-consistency harness for the flat-image writer: a child process is
+// SIGKILLed at randomized points while it overwrites a generation-1 image
+// with generation 2; the survivor on disk must ALWAYS reopen clean
+// (checksums verified) as exactly one of the two generations, answering
+// exactly that generation's key set. A torn header, a half-written region
+// or a renamed-but-unsynced file each fail this loudly.
+//
+// The protocol under test (storage::WriteImageFile): write to a temp file,
+// msync(MS_SYNC) + fsync, rename(2) over the target, fsync the directory.
+// rename is the atomic commit point — the kill can land anywhere around it.
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "api/filter_registry.h"
+#include "storage/mapped_filter.h"
+#include "trace/trace_generator.h"
+
+namespace shbf {
+namespace {
+
+constexpr int kIterations = 220;
+
+FilterSpec SmallSpec() {
+  FilterSpec spec;
+  spec.num_cells = 60000;  // ~7.5 KB image payload: fast enough to rewrite
+  spec.num_hashes = 4;     // hundreds of times, big enough to span pages.
+  spec.expected_keys = 400;
+  spec.seed = 0xc4a5;
+  return spec;
+}
+
+std::unique_ptr<MembershipFilter> BuildGeneration(
+    const std::vector<std::string>& keys) {
+  std::unique_ptr<MembershipFilter> filter;
+  Status s = FilterRegistry::Global().Create("shbf_m", SmallSpec(), &filter);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  for (const auto& key : keys) filter->Add(key);
+  return filter;
+}
+
+/// Removes any writer temp files (path + ".tmp.<pid>") a killed child left
+/// behind, so 200 iterations don't litter the temp dir.
+void RemoveStrayTempFiles(const std::string& dir, const std::string& stem) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (struct dirent* entry = readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.rfind(stem + ".tmp.", 0) == 0) {
+      std::remove((dir + "/" + name).c_str());
+    }
+  }
+  closedir(d);
+}
+
+TEST(StorageCrashTest, KilledWriterAlwaysLeavesOldOrNewNeverTorn) {
+  TraceGenerator gen(0xdead);
+  auto keys = gen.DistinctFlowKeys(1200);
+  std::vector<std::string> gen1_keys(keys.begin(), keys.begin() + 400);
+  std::vector<std::string> gen2_keys(keys.begin() + 400, keys.begin() + 800);
+  std::vector<std::string> probes(keys.begin() + 800, keys.end());
+
+  auto filter1 = BuildGeneration(gen1_keys);
+  auto filter2 = BuildGeneration(gen2_keys);
+  ASSERT_NE(filter1, nullptr);
+  ASSERT_NE(filter2, nullptr);
+
+  // Reference answers per generation over one shared probe list.
+  std::vector<std::string> all = gen1_keys;
+  all.insert(all.end(), gen2_keys.begin(), gen2_keys.end());
+  all.insert(all.end(), probes.begin(), probes.end());
+  std::vector<uint8_t> expect1(all.size()), expect2(all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    expect1[i] = filter1->Contains(all[i]) ? 1 : 0;
+    expect2[i] = filter2->Contains(all[i]) ? 1 : 0;
+  }
+
+  const std::string dir = ::testing::TempDir();
+  const std::string stem = "crash_harness.shbi";
+  const std::string path = dir + "/" + stem;
+  const auto& registry = FilterRegistry::Global();
+
+  // Calibrate the kill window: one full uncontested write, in microseconds.
+  auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(registry.SaveMapped(*filter2, path, 2).ok());
+  auto write_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  if (write_us < 50) write_us = 50;
+
+  std::mt19937_64 rng(0x5eed);
+  std::uniform_int_distribution<long> delay(0, 2 * write_us);
+  int survived_old = 0;
+  int survived_new = 0;
+
+  for (int iteration = 0; iteration < kIterations; ++iteration) {
+    SCOPED_TRACE(iteration);
+    // Reset to a known generation-1 image.
+    ASSERT_TRUE(registry.SaveMapped(*filter1, path, 1).ok());
+
+    const long kill_after_us = delay(rng);
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: overwrite with generation 2, then spin so the parent's
+      // SIGKILL always finds us (never exit the parent's gtest state).
+      Status s = registry.SaveMapped(*filter2, path, 2);
+      (void)s;
+      for (;;) pause();
+    }
+    if (kill_after_us > 0) usleep(static_cast<useconds_t>(kill_after_us));
+    kill(pid, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+
+    // The survivor must open clean — full payload verification — and be
+    // exactly generation 1 or generation 2.
+    std::unique_ptr<MembershipFilter> survivor;
+    Status s = registry.OpenMapped(
+        path, &survivor, storage::OpenOptions{.verify_payload = true});
+    ASSERT_TRUE(s.ok()) << "torn image after kill at " << kill_after_us
+                        << "us: " << s.ToString();
+    auto* mapped = dynamic_cast<storage::MappedFilter*>(survivor.get());
+    ASSERT_NE(mapped, nullptr);
+    const uint64_t generation = mapped->generation();
+    ASSERT_TRUE(generation == 1 || generation == 2) << generation;
+
+    const std::vector<uint8_t>& expect = generation == 1 ? expect1 : expect2;
+    for (size_t i = 0; i < all.size(); ++i) {
+      ASSERT_EQ(survivor->Contains(all[i]), expect[i] != 0)
+          << "generation " << generation << " answered wrong for key " << i;
+    }
+    (generation == 1 ? survived_old : survived_new)++;
+    RemoveStrayTempFiles(dir, stem);
+  }
+
+  // The harness is only meaningful if the kill window straddles the commit
+  // point: both outcomes must actually occur across 220 samples.
+  EXPECT_GT(survived_old, 0) << "every kill landed after the rename; "
+                                "shrink the image or widen the window";
+  EXPECT_GT(survived_new, 0) << "every kill landed before the rename";
+  std::remove(path.c_str());
+}
+
+TEST(StorageCrashTest, WriterTempFilesNeverShadowTheCommittedImage) {
+  // A killed writer may leave "<path>.tmp.<pid>" behind; reopening the
+  // committed path must be unaffected by any such stray, and the stray
+  // itself — a complete or partial image that was never renamed — must
+  // never be picked up by OpenMapped of the real path.
+  TraceGenerator gen(0xbeef);
+  auto keys = gen.DistinctFlowKeys(400);
+  auto filter = BuildGeneration(keys);
+  const std::string path = ::testing::TempDir() + "/crash_stray.shbi";
+  const auto& registry = FilterRegistry::Global();
+  ASSERT_TRUE(registry.SaveMapped(*filter, path, 5).ok());
+
+  // Plant a stray temp that looks like a half-finished generation 6.
+  std::string stray = path + ".tmp.12345";
+  ASSERT_TRUE(registry.SaveMapped(*filter, stray, 6).ok());
+  ASSERT_EQ(truncate(stray.c_str(), 4096), 0);  // header only, no payload
+
+  std::unique_ptr<MembershipFilter> reopened;
+  Status s = registry.OpenMapped(path, &reopened,
+                                 storage::OpenOptions{.verify_payload = true});
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(dynamic_cast<storage::MappedFilter*>(reopened.get())->generation(),
+            5u);
+  std::remove(stray.c_str());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace shbf

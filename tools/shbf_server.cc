@@ -71,7 +71,9 @@ void PrintUsage(std::FILE* out) {
       "                      model instead of the epoll event loop\n"
       "  --load=NAME=PATH    serve the envelope blob at PATH as NAME\n"
       "                      (repeatable; PATH becomes the default\n"
-      "                      SNAPSHOT/RELOAD target)\n"
+      "                      SNAPSHOT/RELOAD target). PATH=mmap:FILE maps\n"
+      "                      a flat filter image instead and serves it\n"
+      "                      zero-copy, read-only (docs/persistence.md)\n"
       "  --build=NAME=FILTER[,keys=N][,bpk=B][,k=K][,shards=S][,delta=N]"
       "[,scale]\n"
       "                      serve a freshly built (empty) FILTER as NAME;\n"
