@@ -18,13 +18,23 @@
 //          [--bits-per-key=B] [--k=K] [--shards=S] [--connections=C]
 //          [--frame-keys=N] [--pipeline=N] [--server-mode=epoll|legacy]
 //          [--workers=N] [--compare] [--json=PATH] [--smoke]
+//          [--compare-metrics] [--metrics-overhead-bound=PCT]
 //
 // CSV on stdout: filter,mode,connections,pipeline,frame_keys,queries,
-// seconds,qps,p50_us,p99_us — latency is per frame (one batched
+// seconds,qps,p50_us,p99_us,p999_us — latency is per frame (one batched
 // request/response; under pipelining it includes queue time in the
 // window). --compare runs the epoll AND legacy modes over the identical
 // workload and prints one row each. --json appends the same rows to a
-// JSON report (CI archives BENCH_serve.json).
+// JSON report (CI archives BENCH_serve.json); each row also carries the
+// SERVER-side queue-wait quantiles (server_queue_p50_us/p99/p999),
+// fetched over the wire with the METRICS opcode after the timed run.
+//
+// --compare-metrics is the observability overhead gate: it drives the
+// identical workload with metrics recording ON and then OFF (the runtime
+// obs::SetEnabled toggle; best of three passes each) and fails if the
+// instrumented build is more than --metrics-overhead-bound percent
+// (default 3) slower. CI runs it against the default (compiled-in) build,
+// so the bound also holds transitively against -DSHBF_DISABLE_METRICS=ON.
 //
 // --smoke is the CI mode: 256 pipelined connections over small sizes, and
 // instead of chasing qps it verifies the remote answers are bit-identical
@@ -49,6 +59,7 @@
 #include "bench_util/timer.h"
 #include "core/serde.h"
 #include "engine/batch_query_engine.h"
+#include "obs/metrics.h"
 #include "server/client.h"
 #include "server/net.h"
 #include "server/protocol.h"
@@ -75,6 +86,8 @@ struct Config {
   size_t workers = 0;         // event-loop workers (0 = auto)
   std::string json_path;
   bool smoke = false;
+  bool compare_metrics = false;       // metrics on vs off overhead gate
+  double metrics_overhead_bound = 3;  // max % slowdown tolerated
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -209,7 +222,7 @@ int RunMode(const Config& config, bool legacy, const std::string& host_in,
             const std::vector<std::string>& build_keys,
             const std::vector<std::string>& queries,
             const MembershipFilter* local, const FilterSpec& spec,
-            JsonReport* report) {
+            JsonReport* report, double* qps_out = nullptr) {
   const auto& registry = FilterRegistry::Global();
   std::unique_ptr<ShbfServer> server;
   std::string host = host_in;
@@ -296,16 +309,19 @@ int RunMode(const Config& config, bool legacy, const std::string& host_in,
                          thread_latencies.end());
   }
   std::vector<double> p99_copy = all_latencies;
+  std::vector<double> p999_copy = all_latencies;
   const double p50 = Percentile(&all_latencies, 0.50);
   const double p99 = Percentile(&p99_copy, 0.99);
+  const double p999 = Percentile(&p999_copy, 0.999);
   const double qps = static_cast<double>(config.query_keys) / seconds;
-  std::printf("%s,%s,%u,%zu,%zu,%zu,%.4f,%.0f,%.1f,%.1f\n",
+  if (qps_out != nullptr) *qps_out = qps;
+  std::printf("%s,%s,%u,%zu,%zu,%zu,%.4f,%.0f,%.1f,%.1f,%.1f\n",
               config.filter_name.c_str(), mode_name, config.connections,
               config.pipeline, config.frame_keys, config.query_keys, seconds,
-              qps, p50, p99);
+              qps, p50, p99, p999);
   if (report != nullptr) {
-    report->AddRow()
-        .Set("filter", config.filter_name)
+    JsonRow& row = report->AddRow();
+    row.Set("filter", config.filter_name)
         .Set("mode", mode_name)
         .Set("connections", uint64_t{config.connections})
         .Set("pipeline", uint64_t{config.pipeline})
@@ -314,7 +330,24 @@ int RunMode(const Config& config, bool legacy, const std::string& host_in,
         .Set("seconds", seconds)
         .Set("keys_per_sec", qps)
         .Set("p50_us", p50)
-        .Set("p99_us", p99);
+        .Set("p99_us", p99)
+        .Set("p999_us", p999);
+    // The server's own view of the run: queue-wait quantiles over the
+    // METRICS opcode, splitting client-observed latency into waiting vs
+    // handling. Best effort — a pre-v3 --connect target just lacks the
+    // fields (legacy mode reports zeros: frames are handled inline).
+    ShbfClient metrics_client;
+    ShbfClient::ServerMetrics server_metrics;
+    if (metrics_client.Connect(host, port).ok() &&
+        metrics_client.Metrics(&server_metrics).ok()) {
+      if (const obs::HistogramSnapshot* queue_wait =
+              server_metrics.snapshot.FindHistogram("server.queue_wait_us")) {
+        row.Set("server_queue_p50_us", queue_wait->Quantile(0.50))
+            .Set("server_queue_p99_us", queue_wait->Quantile(0.99))
+            .Set("server_queue_p999_us", queue_wait->Quantile(0.999));
+      }
+    }
+    metrics_client.Close();
   }
 
   // ---- smoke verification ------------------------------------------------
@@ -387,6 +420,10 @@ int Main(int argc, char** argv) {
       config.smoke = true;
     } else if (std::strcmp(argv[i], "--compare") == 0) {
       config.compare = true;
+    } else if (std::strcmp(argv[i], "--compare-metrics") == 0) {
+      config.compare_metrics = true;
+    } else if (ParseFlag(argv[i], "metrics-overhead-bound", &value)) {
+      config.metrics_overhead_bound = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "connect", &value)) {
       config.connect = value;
     } else if (ParseFlag(argv[i], "filter", &value)) {
@@ -429,7 +466,8 @@ int Main(int argc, char** argv) {
                    "[--query-keys=N] [--bits-per-key=B] [--k=K] [--shards=S] "
                    "[--connections=C] [--frame-keys=N] [--pipeline=N] "
                    "[--driver-threads=T] [--server-mode=epoll|legacy] "
-                   "[--workers=N] [--compare] [--json=PATH] [--smoke]\n");
+                   "[--workers=N] [--compare] [--json=PATH] [--smoke] "
+                   "[--compare-metrics] [--metrics-overhead-bound=PCT]\n");
       return 2;
     }
   }
@@ -457,6 +495,11 @@ int Main(int argc, char** argv) {
   }
   if (config.compare && !config.connect.empty()) {
     std::fprintf(stderr, "error: --compare needs the in-process server\n");
+    return 2;
+  }
+  if (config.compare_metrics && !config.connect.empty()) {
+    std::fprintf(stderr,
+                 "error: --compare-metrics needs the in-process server\n");
     return 2;
   }
 
@@ -505,8 +548,45 @@ int Main(int argc, char** argv) {
 
   JsonReport report("serve_throughput");
   std::printf("filter,mode,connections,pipeline,frame_keys,queries,seconds,"
-              "qps,p50_us,p99_us\n");
+              "qps,p50_us,p99_us,p999_us\n");
   int rc;
+  if (config.compare_metrics) {
+    // The overhead gate: identical workload, metrics recording on vs off
+    // (the runtime toggle every increment and call-site clock read checks).
+    // Best of three passes each side irons out scheduler noise; the ratio
+    // of the bests is what the bound judges.
+    const bool was_enabled = obs::Enabled();
+    double best_on = 0.0;
+    double best_off = 0.0;
+    rc = 0;
+    for (int pass = 0; pass < 3 && rc == 0; ++pass) {
+      double qps = 0.0;
+      obs::SetEnabled(true);
+      rc = RunMode(config, config.legacy_mode, host, port, served_blob,
+                   build_keys, queries, local.get(), spec, nullptr, &qps);
+      best_on = std::max(best_on, qps);
+      if (rc != 0) break;
+      obs::SetEnabled(false);
+      rc = RunMode(config, config.legacy_mode, host, port, served_blob,
+                   build_keys, queries, local.get(), spec, nullptr, &qps);
+      best_off = std::max(best_off, qps);
+    }
+    obs::SetEnabled(was_enabled);
+    if (rc != 0) return rc;
+    const double overhead_pct =
+        best_off > 0.0 ? (best_off - best_on) / best_off * 100.0 : 0.0;
+    std::printf("# metrics overhead: %.2f%% (on %.0f qps, off %.0f qps, "
+                "bound %.1f%%)\n",
+                overhead_pct, best_on, best_off,
+                config.metrics_overhead_bound);
+    if (overhead_pct > config.metrics_overhead_bound) {
+      std::fprintf(stderr,
+                   "METRICS OVERHEAD GATE FAILED: %.2f%% > %.1f%%\n",
+                   overhead_pct, config.metrics_overhead_bound);
+      return 1;
+    }
+    return 0;
+  }
   if (config.compare) {
     rc = RunMode(config, /*legacy=*/false, host, port, served_blob,
                  build_keys, queries, local.get(), spec, &report);

@@ -1,11 +1,13 @@
 #include "api/filter_registry.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/serde.h"
 #include "engine/auto_scaling_filter.h"
 #include "engine/dynamic_filter.h"
 #include "engine/sharded_filter.h"
+#include "obs/metrics.h"
 
 namespace shbf {
 namespace {
@@ -33,6 +35,31 @@ bool ConsumePrefix(std::string_view* name, std::string_view prefix) {
   name->remove_prefix(prefix.size());
   return true;
 }
+
+/// Times one mapped-storage operation end to end (including validation and
+/// checksum verification) into `<name>` — an operation counter rides in the
+/// histogram's _count. Scoped so every early-return error path still records.
+class StorageTimer {
+ public:
+  explicit StorageTimer(const char* histogram_name) {
+    if (!obs::Enabled()) return;
+    histogram_ =
+        obs::MetricsRegistry::Global().GetHistogram(histogram_name);
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ~StorageTimer() {
+    if (histogram_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
+  }
+
+ private:
+  obs::Histogram* histogram_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
 
 }  // namespace
 
@@ -340,6 +367,7 @@ bool FilterRegistry::SupportsMapped(std::string_view name) const {
 Status FilterRegistry::SaveMapped(const MembershipFilter& filter,
                                   const std::string& path,
                                   uint64_t generation) const {
+  StorageTimer timer("storage.mapped_save_us");
   // A mapped filter re-saves transparently (snapshot of an mmap-served
   // filter): the saver needs the concrete adapter it wraps.
   const MembershipFilter* source = &filter;
@@ -368,6 +396,7 @@ Status FilterRegistry::SaveMapped(const MembershipFilter& filter,
 Status FilterRegistry::OpenMapped(const std::string& path,
                                   std::unique_ptr<MembershipFilter>* out,
                                   const storage::OpenOptions& options) const {
+  StorageTimer timer("storage.mapped_open_us");
   storage::MappedFile file;
   Status s = storage::MappedFile::OpenReadOnly(path, &file);
   if (!s.ok()) return s;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 
+#include "core/cpu_features.h"
 #include "core/file_io.h"
 
 namespace shbf {
@@ -68,8 +70,18 @@ std::string JsonRow::Render() const {
 }
 
 std::string JsonReport::Render() const {
+  // The host stamp: numbers from different machines (or the same machine
+  // at a different SIMD dispatch tier) are not comparable, so every report
+  // carries where it was measured and check_bench_trend.py refuses to diff
+  // reports whose stamps disagree.
   std::string out = "{\n  \"bench\": \"" + EscapeJson(bench_name_) +
-                    "\",\n  \"rows\": [\n";
+                    "\",\n  \"host\": {\"cpu\": \"" +
+                    EscapeJson(simd::CpuFeatureString()) +
+                    "\", \"dispatch\": \"" +
+                    EscapeJson(simd::LevelName(simd::ActiveLevel())) +
+                    "\", \"hw_concurrency\": " +
+                    std::to_string(std::thread::hardware_concurrency()) +
+                    "},\n  \"rows\": [\n";
   for (size_t i = 0; i < rows_.size(); ++i) {
     out += "    " + rows_[i].Render();
     if (i + 1 < rows_.size()) out += ",";

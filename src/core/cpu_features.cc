@@ -68,5 +68,16 @@ void ForceScalar(bool on) {
   g_force_scalar_override.store(on ? 1 : 0, std::memory_order_relaxed);
 }
 
+std::string CpuFeatureString() {
+#if defined(__aarch64__) || defined(_M_ARM64)
+  const char* arch = "aarch64";
+#elif defined(__x86_64__) || defined(_M_X64)
+  const char* arch = "x86-64";
+#else
+  const char* arch = "unknown";
+#endif
+  return std::string(arch) + " " + LevelName(DetectedLevel());
+}
+
 }  // namespace simd
 }  // namespace shbf

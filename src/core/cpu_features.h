@@ -11,6 +11,8 @@
 #ifndef SHBF_CORE_CPU_FEATURES_H_
 #define SHBF_CORE_CPU_FEATURES_H_
 
+#include <string>
+
 namespace shbf {
 namespace simd {
 
@@ -40,6 +42,12 @@ Level ActiveLevel();
 /// scalar answers in one process. ForceScalar(true) pins ActiveLevel() to
 /// kScalar; ForceScalar(false) restores the environment/hardware decision.
 void ForceScalar(bool on);
+
+/// Host feature string for bench-report stamping, e.g. "x86-64 avx512" or
+/// "aarch64 neon": architecture + the DETECTED tier (not the active one —
+/// two runs on the same machine stamp identically even if one forces
+/// scalar dispatch; the active level is reported separately).
+std::string CpuFeatureString();
 
 }  // namespace simd
 }  // namespace shbf

@@ -7,7 +7,9 @@
 
 namespace shbf {
 
-inline constexpr const char kShbfVersion[] = "0.5.0";
+// 0.6.0: protocol v3 (METRICS opcode), the src/obs/ metrics subsystem,
+// host-stamped bench reports.
+inline constexpr const char kShbfVersion[] = "0.6.0";
 
 }  // namespace shbf
 

@@ -6,6 +6,7 @@
 #include "baselines/bloom_filter.h"
 #include "baselines/split_block_bloom_filter.h"
 #include "core/simd.h"
+#include "obs/metrics.h"
 #include "shbf/blocked_shbf_membership.h"
 #include "shbf/shbf_association.h"
 #include "shbf/shbf_membership.h"
@@ -202,6 +203,41 @@ bool FastPathSupported(BatchFastPath::Kind kind, const void* impl) {
   return false;
 }
 
+// Handles into the process-global registry, resolved once. The fastpath /
+// virtual split is the number ops people tune first: a filter that silently
+// fell off its SIMD fast path (unsupported k, wrong impl) shows up here as
+// virtual_batches_total climbing instead of fastpath_batches_total.
+struct EngineMetrics {
+  obs::Counter* batches = nullptr;
+  obs::Counter* fastpath_batches = nullptr;
+  obs::Counter* virtual_batches = nullptr;
+  obs::Histogram* batch_keys = nullptr;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      EngineMetrics m;
+      m.batches = registry.GetCounter("engine.batches_total");
+      m.fastpath_batches =
+          registry.GetCounter("engine.fastpath_batches_total");
+      m.virtual_batches = registry.GetCounter("engine.virtual_batches_total");
+      m.batch_keys = registry.GetHistogram("engine.batch_keys");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+// Records one batch's entry stats and returns whether to keep recording
+// (saves repeated Enabled() loads at the branch exits).
+inline bool RecordBatchEntry(size_t num_keys) {
+  if (!obs::Enabled()) return false;
+  const EngineMetrics& m = EngineMetrics::Get();
+  m.batches->Increment();
+  m.batch_keys->Record(num_keys);
+  return true;
+}
+
 // One implementation serves both the string-keyed and the view-keyed public
 // overloads; the fast paths are container-generic.
 template <typename Keys>
@@ -209,8 +245,10 @@ void ContainsBatchImpl(const MembershipFilter& filter, const Keys& keys,
                        size_t batch_size, std::vector<uint8_t>* results) {
   results->resize(keys.size());
   if (keys.empty()) return;
+  const bool record = RecordBatchEntry(keys.size());
   const BatchFastPath fp = filter.batch_fast_path();
   if (FastPathSupported(fp.kind, fp.impl)) {
+    if (record) EngineMetrics::Get().fastpath_batches->Increment();
     switch (fp.kind) {
       case BatchFastPath::Kind::kShbfM: {
         const auto* impl = static_cast<const ShbfM*>(fp.impl);
@@ -308,6 +346,7 @@ void ContainsBatchImpl(const MembershipFilter& filter, const Keys& keys,
         break;
     }
   }
+  if (record) EngineMetrics::Get().virtual_batches->Increment();
   filter.ContainsBatch(keys, results);
 }
 
@@ -333,9 +372,11 @@ void BatchQueryEngine::QueryCountBatch(const MultiplicityFilter& filter,
                                        std::vector<uint64_t>* counts) const {
   counts->resize(keys.size());
   if (keys.empty()) return;
+  const bool record = RecordBatchEntry(keys.size());
   const BatchFastPath fp = filter.batch_fast_path();
   if (fp.kind == BatchFastPath::Kind::kShbfX &&
       FastPathSupported(fp.kind, fp.impl)) {
+    if (record) EngineMetrics::Get().fastpath_batches->Increment();
     const auto* impl = static_cast<const ShbfX*>(fp.impl);
     TwoPassLoop(*impl, keys, batch_size_,
                 [&](size_t i, const ShbfX::Probe& probe) {
@@ -343,6 +384,7 @@ void BatchQueryEngine::QueryCountBatch(const MultiplicityFilter& filter,
                 });
     return;
   }
+  if (record) EngineMetrics::Get().virtual_batches->Increment();
   for (size_t i = 0; i < keys.size(); ++i) {
     (*counts)[i] = filter.QueryCount(keys[i]);
   }
@@ -353,9 +395,11 @@ void BatchQueryEngine::QueryBatch(
     std::vector<AssociationOutcome>* outcomes) const {
   outcomes->resize(keys.size());
   if (keys.empty()) return;
+  const bool record = RecordBatchEntry(keys.size());
   const BatchFastPath fp = filter.batch_fast_path();
   if (fp.kind == BatchFastPath::Kind::kShbfA &&
       FastPathSupported(fp.kind, fp.impl)) {
+    if (record) EngineMetrics::Get().fastpath_batches->Increment();
     const auto* impl = static_cast<const ShbfA*>(fp.impl);
     TwoPassLoop(*impl, keys, batch_size_,
                 [&](size_t i, const ShbfA::Probe& probe) {
@@ -363,6 +407,7 @@ void BatchQueryEngine::QueryBatch(
                 });
     return;
   }
+  if (record) EngineMetrics::Get().virtual_batches->Increment();
   for (size_t i = 0; i < keys.size(); ++i) {
     (*outcomes)[i] = filter.Query(keys[i]);
   }

@@ -42,6 +42,7 @@
 #include "core/task_pool.h"
 #include "engine/batch_query_engine.h"
 #include "hash/hash_family.h"
+#include "obs/metrics.h"
 
 namespace shbf {
 
@@ -216,6 +217,18 @@ class ShardedFilter {
     active.reserve(shards_.size());
     for (size_t s = 0; s < shards_.size(); ++s) {
       if (!partition[s].empty()) active.push_back(s);
+    }
+    // Shard balance telemetry: the per-active-shard partition sizes. A
+    // healthy selector keeps the histogram tight around keys/shards; a
+    // heavy tail here means batch latency is pinned to one hot shard.
+    if (obs::Enabled()) {
+      static obs::Counter* const batches =
+          obs::MetricsRegistry::Global().GetCounter("sharded.batches_total");
+      static obs::Histogram* const shard_keys =
+          obs::MetricsRegistry::Global().GetHistogram(
+              "sharded.shard_batch_keys");
+      batches->Increment();
+      for (size_t s : active) shard_keys->Record(partition[s].size());
     }
     // One task per active shard: each gathers its views, answers under its
     // own lock, and scatters into result slots no other shard owns (every

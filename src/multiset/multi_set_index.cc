@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/task_pool.h"
+#include "obs/metrics.h"
 
 namespace shbf {
 
@@ -220,6 +221,10 @@ void MultiSetIndex::WhichSetsBatchImpl(const Keys& keys,
   out->assign(keys.size(), SetIdBitmap(id_bound_));
   if (keys.empty()) return;
   uint64_t probes = 0;
+  // Keys dropped at interior summaries (alive - survivors): the work the
+  // tree saved versus brute-force scanning every leaf. pruned/probes is the
+  // summary tree's effectiveness ratio in the metrics dump.
+  uint64_t pruned = 0;
   const bool parallel = keys.size() >= kParallelWhichSetsMinKeys;
 
   // Scan leaves see every key, in one engine pass per filter. Distinct
@@ -304,6 +309,9 @@ void MultiSetIndex::WhichSetsBatchImpl(const Keys& keys,
       const Node& node = nodes_[wave[t].node];
       if (node.is_leaf && (!node.live || node.filter == nullptr)) continue;
       probes += wave[t].alive.size();
+      if (!node.is_leaf) {
+        pruned += wave[t].alive.size() - survivors[t].size();
+      }
       if (survivors[t].empty()) continue;
       if (node.is_leaf) {
         for (uint32_t i : survivors[t]) (*out)[i].Set(node.set_id);
@@ -317,6 +325,15 @@ void MultiSetIndex::WhichSetsBatchImpl(const Keys& keys,
     wave = std::move(next);
   }
   probes_.fetch_add(probes, std::memory_order_relaxed);
+  if (obs::Enabled()) {
+    static obs::Counter* const probes_total =
+        obs::MetricsRegistry::Global().GetCounter("multiset.probes_total");
+    static obs::Counter* const pruned_total =
+        obs::MetricsRegistry::Global().GetCounter(
+            "multiset.pruned_keys_total");
+    probes_total->Increment(probes);
+    pruned_total->Increment(pruned);
+  }
 }
 
 void MultiSetIndex::WhichSetsBatch(const std::vector<std::string>& keys,

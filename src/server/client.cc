@@ -316,6 +316,73 @@ Status ShbfClient::MultisetList(MultisetInfo* info) {
   return Status::Ok();
 }
 
+Status ShbfClient::Metrics(ServerMetrics* metrics) {
+  std::string body;
+  std::string_view payload;
+  Status s = RoundTrip(wire::BuildMetrics(), &body, &payload);
+  if (!s.ok()) return s;
+  ByteReader reader(payload);
+  ServerMetrics parsed;
+  uint32_t counters = 0;
+  if (!reader.GetU64(&parsed.uptime_seconds) ||
+      !wire::ReadString(&reader, wire::kMaxNameBytes, &parsed.version) ||
+      !wire::ReadString(&reader, wire::kMaxNameBytes, &parsed.dispatch) ||
+      !reader.GetU32(&counters)) {
+    return Status::Internal("malformed METRICS response");
+  }
+  parsed.snapshot.uptime_seconds = parsed.uptime_seconds;
+  parsed.snapshot.version = parsed.version;
+  parsed.snapshot.dispatch = parsed.dispatch;
+  for (uint32_t i = 0; i < counters; ++i) {
+    std::string name;
+    uint64_t value = 0;
+    if (!wire::ReadString(&reader, wire::kMaxNameBytes, &name) ||
+        !reader.GetU64(&value)) {
+      return Status::Internal("malformed METRICS counter record");
+    }
+    parsed.snapshot.counters.emplace_back(std::move(name), value);
+  }
+  uint32_t gauges = 0;
+  if (!reader.GetU32(&gauges)) {
+    return Status::Internal("malformed METRICS response");
+  }
+  for (uint32_t i = 0; i < gauges; ++i) {
+    std::string name;
+    uint64_t value = 0;
+    if (!wire::ReadString(&reader, wire::kMaxNameBytes, &name) ||
+        !reader.GetU64(&value)) {
+      return Status::Internal("malformed METRICS gauge record");
+    }
+    parsed.snapshot.gauges.emplace_back(std::move(name),
+                                        static_cast<int64_t>(value));
+  }
+  uint32_t histograms = 0;
+  if (!reader.GetU32(&histograms)) {
+    return Status::Internal("malformed METRICS response");
+  }
+  for (uint32_t i = 0; i < histograms; ++i) {
+    obs::HistogramSnapshot h;
+    uint32_t buckets = 0;
+    if (!wire::ReadString(&reader, wire::kMaxNameBytes, &h.name) ||
+        !reader.GetU64(&h.count) || !reader.GetU64(&h.sum) ||
+        !reader.GetU32(&buckets) || buckets > reader.remaining() / 8) {
+      return Status::Internal("malformed METRICS histogram record");
+    }
+    // A newer server may speak a wider bucket array: fold the overflow
+    // into the last bucket rather than fail (the scheme is additive).
+    for (uint32_t b = 0; b < buckets; ++b) {
+      uint64_t bucket = 0;
+      reader.GetU64(&bucket);
+      const size_t index = b < obs::kNumBuckets ? b : obs::kNumBuckets - 1;
+      h.buckets[index] += bucket;
+    }
+    parsed.snapshot.histograms.push_back(std::move(h));
+  }
+  if (!reader.AtEnd()) return Status::Internal("malformed METRICS response");
+  *metrics = std::move(parsed);
+  return Status::Ok();
+}
+
 Status ShbfClient::Snapshot(std::string_view filter, std::string_view path,
                             uint64_t* bytes_written, std::string* path_used) {
   std::string body;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "obs/metrics.h"
 #include "server/protocol.h"
 
 namespace shbf {
@@ -35,7 +36,7 @@ class ShbfClient {
   void Close();
   bool connected() const { return fd_ >= 0; }
 
-  /// "shbf_server 0.5.0" — from the HELLO response.
+  /// "shbf_server 0.6.0" — from the HELLO response.
   const std::string& server_version() const { return server_version_; }
 
   /// Batched membership: `results` is resized to keys.size(); entry i is
@@ -103,6 +104,20 @@ class ShbfClient {
   };
 
   Status MultisetList(MultisetInfo* info);
+
+  /// The METRICS response (protocol v3): uptime, build version, SIMD
+  /// dispatch level, and the full registry snapshot — including the four
+  /// core counters as "server.*_total" entries, bit-identical to the
+  /// server's in-process counters() at response time. Fails with
+  /// kInvalidArgument against a pre-v3 server (UNKNOWN_OPCODE).
+  struct ServerMetrics {
+    uint64_t uptime_seconds = 0;
+    std::string version;
+    std::string dispatch;
+    obs::MetricsSnapshot snapshot;  ///< counters / gauges / histograms
+  };
+
+  Status Metrics(ServerMetrics* metrics);
 
   /// Serializes the served filter to `path` on the SERVER's filesystem
   /// (empty path = the server's remembered path for this filter).

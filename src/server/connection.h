@@ -14,6 +14,7 @@
 #ifndef SHBF_SERVER_CONNECTION_H_
 #define SHBF_SERVER_CONNECTION_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -66,6 +67,10 @@ struct PendingFrame {
   };
   Kind kind = Kind::kRequest;
   std::string body;
+  /// When the loop parsed the frame; the worker derives the queue-wait
+  /// metric from it. Left at epoch when metrics are disabled (a clock
+  /// read per frame is exactly what obs::Enabled() gates).
+  std::chrono::steady_clock::time_point enqueued{};
 };
 
 /// All loop-side state of one accepted socket. Lifetime is managed by
@@ -88,6 +93,7 @@ struct Connection {
 
   bool hello_done = false;      ///< worker-owned (see file comment)
   bool in_flight = false;       ///< one batch is at the workers
+  bool reads_paused = false;    ///< backpressure state (edge counting)
   bool no_more_reads = false;   ///< peer EOF'd or a fatal frame was seen
   bool close_after_flush = false;  ///< close once outbuf drains
   bool dead = false;            ///< discard any late completions

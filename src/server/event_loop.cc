@@ -12,6 +12,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "server/net.h"
 
 namespace shbf {
@@ -27,6 +28,39 @@ size_t DefaultWorkers() {
   const unsigned hw = std::thread::hardware_concurrency();
   return std::min<size_t>(std::max<size_t>(hw, 1), 8);
 }
+
+/// The loop's registry handles, resolved once per process (the registry
+/// returns stable pointers; increments after that are lock-free).
+struct LoopMetrics {
+  obs::Counter* connections_opened;
+  obs::Counter* connections_closed;
+  obs::Counter* connections_rejected;
+  obs::Counter* backpressure_engaged;
+  obs::Counter* backpressure_released;
+  obs::Counter* drains;
+  obs::Gauge* last_drain_us;
+
+  static const LoopMetrics& Get() {
+    static const LoopMetrics metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      LoopMetrics m;
+      m.connections_opened =
+          registry.GetCounter("server.connections_opened_total");
+      m.connections_closed =
+          registry.GetCounter("server.connections_closed_total");
+      m.connections_rejected =
+          registry.GetCounter("server.connections_rejected_total");
+      m.backpressure_engaged =
+          registry.GetCounter("server.backpressure_engaged_total");
+      m.backpressure_released =
+          registry.GetCounter("server.backpressure_released_total");
+      m.drains = registry.GetCounter("server.drains_total");
+      m.last_drain_us = registry.GetGauge("server.last_drain_us");
+      return m;
+    }();
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -106,9 +140,15 @@ bool EventLoop::ReadsPaused(const Connection& conn) const {
 
 void EventLoop::UpdateInterest(const std::shared_ptr<Connection>& conn) {
   if (conn->dead) return;
+  const bool paused = ReadsPaused(*conn);
+  if (paused != conn->reads_paused) {
+    conn->reads_paused = paused;
+    (paused ? LoopMetrics::Get().backpressure_engaged
+            : LoopMetrics::Get().backpressure_released)
+        ->Increment();
+  }
   uint32_t want = 0;
-  if (!conn->no_more_reads && !conn->close_after_flush &&
-      !ReadsPaused(*conn)) {
+  if (!conn->no_more_reads && !conn->close_after_flush && !paused) {
     want |= EPOLLIN;
   }
   if (conn->output_bytes() > 0) want |= EPOLLOUT;
@@ -129,6 +169,7 @@ void EventLoop::Kill(const std::shared_ptr<Connection>& conn) {
   net::CloseFd(fd);
   connections_.erase(fd);
   active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  LoopMetrics::Get().connections_closed->Increment();
 }
 
 void EventLoop::HandleAccept() {
@@ -145,6 +186,7 @@ void EventLoop::HandleAccept() {
         connections_.size() >= options_.max_connections) {
       net::CloseFd(fd);
       connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      LoopMetrics::Get().connections_rejected->Increment();
       continue;
     }
     int one = 1;
@@ -158,7 +200,11 @@ void EventLoop::HandleAccept() {
     conn->epoll_mask = EPOLLIN;
     connections_.emplace(fd, std::move(conn));
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.connections_counter != nullptr) {
+      options_.connections_counter->fetch_add(1, std::memory_order_relaxed);
+    }
     active_connections_.fetch_add(1, std::memory_order_relaxed);
+    LoopMetrics::Get().connections_opened->Increment();
   }
 }
 
@@ -191,11 +237,18 @@ void EventLoop::HandleReadable(const std::shared_ptr<Connection>& conn) {
       PendingFrame pending;
       if (event == FrameSplitter::Event::kFrame) {
         pending.body.assign(frame.data(), frame.size());
+        if (obs::Enabled()) {
+          pending.enqueued = std::chrono::steady_clock::now();
+        }
       } else {
         pending.kind = event == FrameSplitter::Event::kEmpty
                            ? PendingFrame::Kind::kEmpty
                            : PendingFrame::Kind::kTooLarge;
         framing_errors_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.framing_errors_counter != nullptr) {
+          options_.framing_errors_counter->fetch_add(
+              1, std::memory_order_relaxed);
+        }
         violation = true;
       }
       conn->pending.push_back(std::move(pending));
@@ -340,6 +393,7 @@ void EventLoop::LoopThread() {
 }
 
 void EventLoop::DrainAndClose() {
+  const auto drain_start = std::chrono::steady_clock::now();
   // 1. No new connections, no new requests: stop accepting and reading.
   //    Parsed-but-undispatched frames are abandoned (their requests never
   //    started), mirroring the legacy server abandoning unread bytes.
@@ -397,6 +451,11 @@ void EventLoop::DrainAndClose() {
   remaining.reserve(connections_.size());
   for (const auto& [fd, conn] : connections_) remaining.push_back(conn);
   for (const auto& conn : remaining) Kill(conn);
+  LoopMetrics::Get().drains->Increment();
+  LoopMetrics::Get().last_drain_us->Set(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - drain_start)
+          .count());
 }
 
 void EventLoop::WorkerThread() {
@@ -423,7 +482,16 @@ void EventLoop::WorkerThread() {
         completion.close_connection = true;
         break;
       }
-      FrameResult result = handler_(frame.body, &work.conn->hello_done);
+      FrameContext context;
+      context.connection_id = work.conn->id;
+      if (frame.enqueued != std::chrono::steady_clock::time_point{}) {
+        context.queue_wait_us = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - frame.enqueued)
+                .count());
+      }
+      FrameResult result =
+          handler_(frame.body, &work.conn->hello_done, context);
       completion.output += result.frame;
       if (result.close_connection) {
         completion.close_connection = true;

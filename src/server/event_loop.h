@@ -83,6 +83,13 @@ struct EventLoopOptions {
   /// sent in pipeline order, then the connection closes.
   std::string empty_frame_response;
   std::string too_large_response;
+
+  /// Owner-supplied counters the loop feeds alongside its internal ones,
+  /// so ShbfServer::counters() reports identical semantics in epoll and
+  /// legacy modes (the legacy paths increment the same atomics directly).
+  /// Optional; both may be null.
+  std::atomic<uint64_t>* connections_counter = nullptr;     ///< accepts
+  std::atomic<uint64_t>* framing_errors_counter = nullptr;  ///< violations
 };
 
 class EventLoop {
@@ -93,12 +100,21 @@ class EventLoop {
     bool close_connection = false;
   };
 
+  /// Per-frame serving context the loop knows and the handler does not:
+  /// which connection, and how long the frame waited parsed-but-unserved
+  /// before a worker picked it up (0 when metrics are disabled, and in
+  /// the legacy server, which handles frames inline with the read).
+  struct FrameContext {
+    uint64_t connection_id = 0;
+    uint64_t queue_wait_us = 0;
+  };
+
   /// Runs on worker threads. Must be safe to call concurrently for
   /// DIFFERENT connections; calls for one connection are serialized by
   /// the one-batch-in-flight rule. `*hello_done` is the connection's
   /// handshake state.
-  using FrameHandler =
-      std::function<FrameResult(std::string_view body, bool* hello_done)>;
+  using FrameHandler = std::function<FrameResult(
+      std::string_view body, bool* hello_done, const FrameContext& context)>;
 
   /// Takes ownership of `listen_fd` (made nonblocking in Start).
   EventLoop(int listen_fd, EventLoopOptions options, FrameHandler handler);

@@ -27,6 +27,38 @@ const char* WireStatusName(WireStatus status) {
   return "UNKNOWN_STATUS";
 }
 
+const char* OpcodeName(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kHello:
+      return "HELLO";
+    case Opcode::kQuery:
+      return "QUERY";
+    case Opcode::kAdd:
+      return "ADD";
+    case Opcode::kRemove:
+      return "REMOVE";
+    case Opcode::kStats:
+      return "STATS";
+    case Opcode::kList:
+      return "LIST";
+    case Opcode::kSnapshot:
+      return "SNAPSHOT";
+    case Opcode::kReload:
+      return "RELOAD";
+    case Opcode::kWhichSets:
+      return "WHICH_SETS";
+    case Opcode::kIndexAdd:
+      return "INDEX_ADD";
+    case Opcode::kIndexDrop:
+      return "INDEX_DROP";
+    case Opcode::kMultisetList:
+      return "MULTISET_LIST";
+    case Opcode::kMetrics:
+      return "METRICS";
+  }
+  return "?";
+}
+
 bool IsFatal(WireStatus status) {
   return status == WireStatus::kBadFrame || status == WireStatus::kTooLarge ||
          status == WireStatus::kVersionMismatch;
@@ -102,6 +134,8 @@ std::string BuildEmptyRequest(Opcode opcode) {
 }
 
 std::string BuildList() { return BuildEmptyRequest(Opcode::kList); }
+
+std::string BuildMetrics() { return BuildEmptyRequest(Opcode::kMetrics); }
 
 std::string BuildWhichSets(const std::vector<std::string>& keys) {
   ByteWriter writer;

@@ -47,7 +47,13 @@ inline constexpr uint32_t kMagic = 0x51424853;
 /// accept [kMinProtocolVersion, kProtocolVersion] and echo the version
 /// each connection will speak — a v1 client keeps working against a v2
 /// server (rolling upgrades), while unknown versions fail loudly.
-inline constexpr uint8_t kProtocolVersion = 2;
+///
+/// v3: the METRICS opcode (src/obs/, docs/observability.md) — an empty
+/// request answered with the server's full metrics snapshot (uptime,
+/// build version, dispatch level, counters, gauges, histograms). Purely
+/// additive: v1/v2 frames are byte-identical, so v1/v2 HELLOs are still
+/// accepted.
+inline constexpr uint8_t kProtocolVersion = 3;
 inline constexpr uint8_t kMinProtocolVersion = 1;
 
 /// Hard ceiling on one frame's body. A length prefix above this is answered
@@ -81,7 +87,14 @@ enum class Opcode : uint8_t {
   kIndexAdd = 10,      ///< set name + key list → u64 added (incremental)
   kIndexDrop = 11,     ///< set name → u64 remaining sets
   kMultisetList = 12,  ///< (empty) → index stats + per-set records
+
+  // ---- v3: observability (src/obs/, docs/observability.md) ----
+  kMetrics = 13,  ///< (empty) → uptime + version + dispatch + registry
 };
+
+/// "HELLO" / "QUERY" / ... — static strings for metric names, the trace
+/// ring and CLI output; "?" for bytes that are not an opcode.
+const char* OpcodeName(Opcode opcode);
 
 /// QUERY flavors (the paper's membership and multiplicity families).
 enum class QueryMode : uint8_t {
@@ -139,6 +152,8 @@ std::string BuildEmptyRequest(Opcode opcode);
 std::string BuildList();
 /// WHICH_SETS: a bare key list (the multiset index is server-global).
 std::string BuildWhichSets(const std::vector<std::string>& keys);
+/// METRICS (v3): empty payload, answered with the metrics snapshot.
+std::string BuildMetrics();
 
 // -------------------------------------------------- response builders ----
 

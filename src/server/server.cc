@@ -5,11 +5,13 @@
 #include <sys/socket.h>
 #include <sys/stat.h>
 
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <utility>
 
 #include "api/filter_registry.h"
+#include "core/cpu_features.h"
 #include "core/file_io.h"
 #include "core/version.h"
 #include "server/net.h"
@@ -40,11 +42,36 @@ void WriteStatsRecord(ByteWriter* writer, const MembershipFilter& filter) {
   writer->PutU32(filter.capabilities());
 }
 
+/// "WHICH_SETS" → "which_sets" for metric-name suffixes.
+std::string LowerOpcodeName(wire::Opcode opcode) {
+  std::string name = wire::OpcodeName(opcode);
+  for (char& c : name) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return name;
+}
+
 }  // namespace
 
 ShbfServer::ShbfServer(ServerOptions options)
     : options_(std::move(options)),
-      engine_(BatchOptions{.batch_size = options_.batch_size}) {}
+      engine_(BatchOptions{.batch_size = options_.batch_size}) {
+  if (options_.slow_request_ms > 0) {
+    trace_ring_.set_slow_threshold_us(
+        static_cast<uint64_t>(options_.slow_request_ms) * 1000);
+  }
+  auto& registry = obs::MetricsRegistry::Global();
+  queue_wait_us_ = registry.GetHistogram("server.queue_wait_us");
+  for (uint8_t byte = 1; byte < kOpcodeSlots; ++byte) {
+    const auto opcode = static_cast<wire::Opcode>(byte);
+    if (std::string_view(wire::OpcodeName(opcode)) == "?") continue;
+    const std::string lower = LowerOpcodeName(opcode);
+    op_metrics_[byte].frames =
+        registry.GetCounter("server.op." + lower + ".frames_total");
+    op_metrics_[byte].handle_us =
+        registry.GetHistogram("server.handle_us." + lower);
+  }
+}
 
 ShbfServer::~ShbfServer() { Stop(); }
 
@@ -147,6 +174,7 @@ Status ShbfServer::Start() {
   listen_fd_ = net::ListenTcp(options_.bind_address, options_.port, &s);
   if (listen_fd_ < 0) return s;
   port_ = net::LocalPort(listen_fd_);
+  start_time_ = std::chrono::steady_clock::now();
   if (options_.legacy_threads) {
     running_.store(true, std::memory_order_release);
     acceptor_ = std::thread(&ShbfServer::AcceptLoop, this);
@@ -162,11 +190,15 @@ Status ShbfServer::Start() {
       wire::BuildError(wire::WireStatus::kBadFrame, "zero-length frame");
   loop_options.too_large_response = wire::BuildError(
       wire::WireStatus::kTooLarge, "frame exceeds the body limit");
+  // Same counter semantics as legacy mode: the loop feeds the server's
+  // atomics directly (accepts; framing violations as protocol errors).
+  loop_options.connections_counter = &connections_accepted_;
+  loop_options.framing_errors_counter = &protocol_errors_;
   loop_ = std::make_unique<server::EventLoop>(
       listen_fd_, std::move(loop_options),
-      [this](std::string_view body, bool* hello_done) {
-        Response response = HandleRequest(body, hello_done);
-        frames_served_.fetch_add(1, std::memory_order_relaxed);
+      [this](std::string_view body, bool* hello_done,
+             const server::EventLoop::FrameContext& context) {
+        Response response = HandleFrame(body, hello_done, context);
         return server::EventLoop::FrameResult{std::move(response.frame),
                                               response.close_connection};
       });
@@ -234,18 +266,42 @@ void ShbfServer::Stop() {
 }
 
 ShbfServer::Counters ShbfServer::counters() const {
+  // Both modes feed the same four atomics (the event loop through its
+  // owner-counter hooks), so there is nothing mode-specific to fold in.
   Counters counters;
   counters.connections = connections_accepted_.load();
   counters.frames = frames_served_.load();
   counters.keys_queried = keys_queried_.load();
   counters.protocol_errors = protocol_errors_.load();
-  if (loop_ != nullptr) {
-    counters.connections += loop_->connections_accepted();
-    // Framing violations never reach HandleRequest in loop mode; they are
-    // counted at the loop and folded in here.
-    counters.protocol_errors += loop_->framing_errors();
+  counters.version = kShbfVersion;
+  if (start_time_ != std::chrono::steady_clock::time_point{}) {
+    counters.uptime_seconds = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - start_time_)
+            .count());
   }
   return counters;
+}
+
+obs::MetricsSnapshot ShbfServer::CollectMetrics() const {
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  const Counters core = counters();
+  snapshot.uptime_seconds = core.uptime_seconds;
+  snapshot.version = core.version;
+  snapshot.dispatch = simd::LevelName(simd::ActiveLevel());
+  snapshot.counters.emplace_back("server.connections_total",
+                                 core.connections);
+  snapshot.counters.emplace_back("server.frames_total", core.frames);
+  snapshot.counters.emplace_back("server.keys_queried_total",
+                                 core.keys_queried);
+  snapshot.counters.emplace_back("server.protocol_errors_total",
+                                 core.protocol_errors);
+  snapshot.counters.emplace_back("server.slow_requests_total",
+                                 trace_ring_.slow_count());
+  snapshot.counters.emplace_back("server.traces_recorded_total",
+                                 trace_ring_.recorded());
+  snapshot.SortByName();
+  return snapshot;
 }
 
 uint64_t ShbfServer::active_connections() const {
@@ -327,8 +383,11 @@ void ShbfServer::ServeConnection(LegacyConnection* connection) {
                              .frame);
       break;
     }
-    Response response = HandleRequest(body, &hello_done);
-    frames_served_.fetch_add(1, std::memory_order_relaxed);
+    // Legacy mode handles each frame inline with the read, so there is no
+    // queue and queue_wait_us is genuinely 0; the fd doubles as the id.
+    server::EventLoop::FrameContext context;
+    context.connection_id = static_cast<uint64_t>(fd);
+    Response response = HandleFrame(body, &hello_done, context);
     if (!net::SendFrame(fd, response.frame)) break;
     if (response.close_connection) break;
   }
@@ -337,6 +396,44 @@ void ShbfServer::ServeConnection(LegacyConnection* connection) {
   // concurrent Stop().
   net::ShutdownFd(fd);
   connection->done.store(true, std::memory_order_release);
+}
+
+ShbfServer::Response ShbfServer::HandleFrame(
+    std::string_view body, bool* hello_done,
+    const server::EventLoop::FrameContext& context) {
+  // Before the handler, not after: a METRICS frame must see itself in
+  // frames_total, so its snapshot is bit-identical to a counters() read
+  // taken once the response has arrived (the parity contract).
+  frames_served_.fetch_add(1, std::memory_order_relaxed);
+  if (!obs::Enabled()) return HandleRequest(body, hello_done);
+  const auto opcode_byte =
+      body.empty() ? uint8_t{0} : static_cast<uint8_t>(body[0]);
+  const bool known_opcode =
+      opcode_byte < kOpcodeSlots && op_metrics_[opcode_byte].frames != nullptr;
+  // Per-opcode frame counts share the parity contract: counted before the
+  // handler, so "server.op.metrics.frames_total" in a METRICS snapshot
+  // already includes the frame that produced it.
+  if (known_opcode) op_metrics_[opcode_byte].frames->Increment();
+  const auto start = std::chrono::steady_clock::now();
+  Response response = HandleRequest(body, hello_done);
+  const auto handle_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  if (known_opcode) op_metrics_[opcode_byte].handle_us->Record(handle_us);
+  queue_wait_us_->Record(context.queue_wait_us);
+  obs::RequestTrace trace;
+  trace.connection_id = context.connection_id;
+  trace.opcode = opcode_byte;
+  trace.opcode_name =
+      wire::OpcodeName(static_cast<wire::Opcode>(opcode_byte));
+  trace.key_count = response.keys_touched;
+  trace.bytes_in = body.size();
+  trace.bytes_out = response.frame.size();
+  trace.queue_wait_us = context.queue_wait_us;
+  trace.handle_us = handle_us;
+  trace_ring_.Record(trace);
+  return response;
 }
 
 ShbfServer::Response ShbfServer::HandleRequest(std::string_view body,
@@ -374,6 +471,8 @@ ShbfServer::Response ShbfServer::HandleRequest(std::string_view body,
       return HandleIndexDrop(&reader);
     case wire::Opcode::kMultisetList:
       return HandleMultisetList();
+    case wire::Opcode::kMetrics:
+      return HandleMetrics(&reader);
   }
   return Error(wire::WireStatus::kUnknownOpcode,
                "unknown opcode " + std::to_string(opcode_byte));
@@ -390,8 +489,8 @@ ShbfServer::Response ShbfServer::HandleHello(ByteReader* reader,
   if (magic != wire::kMagic) {
     return Error(wire::WireStatus::kBadFrame, "bad HELLO magic");
   }
-  // v2 only ADDED opcodes, so every older client's frames are still served
-  // verbatim — accept 1..kProtocolVersion and echo the version this
+  // v2 and v3 only ADDED opcodes, so every older client's frames are still
+  // served verbatim — accept 1..kProtocolVersion and echo the version this
   // connection will speak. Unknown (future/zero) versions stay loud.
   if (version < wire::kMinProtocolVersion ||
       version > wire::kProtocolVersion) {
@@ -469,7 +568,8 @@ ShbfServer::Response ShbfServer::HandleQuery(ByteReader* reader) {
     for (uint64_t count : counts) writer.PutU64(count);
   }
   keys_queried_.fetch_add(keys.size(), std::memory_order_relaxed);
-  return Response{wire::BuildOk(writer.Take()), false};
+  return Response{wire::BuildOk(writer.Take()), false,
+                  static_cast<uint32_t>(keys.size())};
 }
 
 ShbfServer::Response ShbfServer::HandleAdd(ByteReader* reader) {
@@ -499,7 +599,8 @@ ShbfServer::Response ShbfServer::HandleAdd(ByteReader* reader) {
   }
   ByteWriter writer;
   writer.PutU64(keys.size());
-  return Response{wire::BuildOk(writer.Take()), false};
+  return Response{wire::BuildOk(writer.Take()), false,
+                  static_cast<uint32_t>(keys.size())};
 }
 
 ShbfServer::Response ShbfServer::HandleRemove(ByteReader* reader) {
@@ -536,7 +637,8 @@ ShbfServer::Response ShbfServer::HandleRemove(ByteReader* reader) {
   ByteWriter writer;
   writer.PutU64(removed.size());
   for (uint8_t result : removed) writer.PutU8(result);
-  return Response{wire::BuildOk(writer.Take()), false};
+  return Response{wire::BuildOk(writer.Take()), false,
+                  static_cast<uint32_t>(keys.size())};
 }
 
 ShbfServer::Response ShbfServer::HandleStats(ByteReader* reader) {
@@ -738,7 +840,8 @@ ShbfServer::Response ShbfServer::HandleWhichSets(ByteReader* reader) {
     }
   }
   keys_queried_.fetch_add(keys.size(), std::memory_order_relaxed);
-  return Response{wire::BuildOk(writer.Take()), false};
+  return Response{wire::BuildOk(writer.Take()), false,
+                  static_cast<uint32_t>(keys.size())};
 }
 
 ShbfServer::Response ShbfServer::HandleIndexAdd(ByteReader* reader) {
@@ -777,7 +880,8 @@ ShbfServer::Response ShbfServer::HandleIndexAdd(ByteReader* reader) {
   }
   ByteWriter writer;
   writer.PutU64(keys.size());
-  return Response{wire::BuildOk(writer.Take()), false};
+  return Response{wire::BuildOk(writer.Take()), false,
+                  static_cast<uint32_t>(keys.size())};
 }
 
 ShbfServer::Response ShbfServer::HandleIndexDrop(ByteReader* reader) {
@@ -833,6 +937,41 @@ ShbfServer::Response ShbfServer::HandleMultisetList() {
       wire::WriteString(&writer, entry->filter->name());
       writer.PutU64(entry->filter->num_elements());
     }
+  }
+  return Response{wire::BuildOk(writer.Take()), false};
+}
+
+ShbfServer::Response ShbfServer::HandleMetrics(ByteReader* reader) {
+  if (!reader->AtEnd()) {
+    return Error(wire::WireStatus::kBadFrame, "METRICS: trailing bytes");
+  }
+  const obs::MetricsSnapshot snapshot = CollectMetrics();
+  ByteWriter writer;
+  writer.PutU64(snapshot.uptime_seconds);
+  wire::WriteString(&writer, snapshot.version);
+  wire::WriteString(&writer, snapshot.dispatch);
+  writer.PutU32(static_cast<uint32_t>(snapshot.counters.size()));
+  for (const auto& [name, value] : snapshot.counters) {
+    wire::WriteString(&writer, name);
+    writer.PutU64(value);
+  }
+  writer.PutU32(static_cast<uint32_t>(snapshot.gauges.size()));
+  for (const auto& [name, value] : snapshot.gauges) {
+    wire::WriteString(&writer, name);
+    // Two's complement through u64; the client casts back.
+    writer.PutU64(static_cast<uint64_t>(value));
+  }
+  writer.PutU32(static_cast<uint32_t>(snapshot.histograms.size()));
+  for (const obs::HistogramSnapshot& h : snapshot.histograms) {
+    wire::WriteString(&writer, h.name);
+    writer.PutU64(h.count);
+    writer.PutU64(h.sum);
+    writer.PutU32(static_cast<uint32_t>(h.buckets.size()));
+    for (uint64_t bucket : h.buckets) writer.PutU64(bucket);
+  }
+  if (writer.size() + 1 > options_.max_frame_bytes) {  // +1: status byte
+    return Error(wire::WireStatus::kTooLarge,
+                 "METRICS: snapshot exceeds the frame limit");
   }
   return Response{wire::BuildOk(writer.Take()), false};
 }

@@ -31,6 +31,7 @@
 #define SHBF_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -46,6 +47,8 @@
 #include "core/status.h"
 #include "engine/batch_query_engine.h"
 #include "multiset/multi_set_index.h"
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
 #include "server/event_loop.h"
 #include "server/protocol.h"
 
@@ -84,6 +87,11 @@ struct ServerOptions {
   /// Stop(): how long to keep flushing in-flight responses before
   /// aborting connections whose peers have stalled (both modes).
   int drain_timeout_ms = 5000;
+
+  /// Frames whose handle time crosses this threshold emit one stderr line
+  /// and count into server.slow_requests_total (docs/observability.md).
+  /// 0 disables the slow log; the trace ring records regardless.
+  int slow_request_ms = 0;
 };
 
 class ShbfServer {
@@ -133,13 +141,37 @@ class ShbfServer {
   uint16_t port() const { return port_; }
 
   /// Monotonic liveness counters (the STATS of the server itself).
+  ///
+  /// Both serving modes feed the SAME four atomics: accepts are counted by
+  /// the acceptor (legacy) or by the event loop through its
+  /// connections_counter hook; framing violations, which never reach
+  /// HandleRequest in loop mode, flow through the loop's
+  /// framing_errors_counter hook into protocol_errors; frames and keys are
+  /// counted in the shared HandleFrame path. A METRICS frame therefore
+  /// reports values bit-identical to counters() in either mode.
   struct Counters {
     uint64_t connections = 0;      ///< accepted since Start
     uint64_t frames = 0;           ///< request frames answered
     uint64_t keys_queried = 0;     ///< keys across QUERY + WHICH_SETS frames
     uint64_t protocol_errors = 0;  ///< non-OK responses sent
+    uint64_t uptime_seconds = 0;   ///< seconds since Start (0 before)
+    std::string version;           ///< core/version.h build version
   };
   Counters counters() const;
+
+  /// The full observability snapshot a METRICS frame answers with: the
+  /// process-global obs registry plus the four core counters above (as
+  /// "server.connections_total" / "server.frames_total" /
+  /// "server.keys_queried_total" / "server.protocol_errors_total"), slow
+  /// log totals, uptime, build version and SIMD dispatch level. Also the
+  /// source of --metrics-dump files.
+  obs::MetricsSnapshot CollectMetrics() const;
+
+  /// The per-frame trace ring (opcode, key count, queue wait, handle
+  /// time, bytes for the last ~1024 frames). Configure the slow threshold
+  /// via ServerOptions::slow_request_ms.
+  obs::RequestTraceRing& trace_ring() { return trace_ring_; }
+  const obs::RequestTraceRing& trace_ring() const { return trace_ring_; }
 
   /// Currently-open connections — the fuzz suite's slot-leak probe. Always
   /// 0 after Stop().
@@ -181,10 +213,22 @@ class ShbfServer {
   struct Response {
     std::string frame;
     bool close_connection = false;
+    /// Keys this frame touched (QUERY/ADD/REMOVE/WHICH_SETS/INDEX_ADD);
+    /// feeds the request-trace ring.
+    uint32_t keys_touched = 0;
   };
 
   void AcceptLoop();
   void ServeConnection(LegacyConnection* connection);
+
+  /// The shared per-frame entry point of BOTH serving modes: counts the
+  /// frame, dispatches via HandleRequest, and (when obs::Enabled) records
+  /// per-opcode latency, the queue-wait histogram and a trace-ring entry.
+  /// The frame counter is bumped BEFORE handling so a METRICS response
+  /// includes its own frame — the bit-for-bit parity contract with
+  /// counters().
+  Response HandleFrame(std::string_view body, bool* hello_done,
+                       const server::EventLoop::FrameContext& context);
 
   /// Dispatches one request body. `*hello_done` tracks the connection's
   /// handshake state.
@@ -202,6 +246,7 @@ class ShbfServer {
   Response HandleIndexAdd(ByteReader* reader);
   Response HandleIndexDrop(ByteReader* reader);
   Response HandleMultisetList();
+  Response HandleMetrics(ByteReader* reader);
 
   /// Reads the leading filter-name string and resolves it; on failure
   /// returns nullptr with `*error` set to the ready-to-send response.
@@ -245,6 +290,20 @@ class ShbfServer {
   std::atomic<uint64_t> frames_served_{0};
   std::atomic<uint64_t> keys_queried_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+
+  // ---- observability (src/obs/, docs/observability.md) ----
+  /// Set by Start(); epoch before it (uptime reads as 0).
+  std::chrono::steady_clock::time_point start_time_{};
+  obs::RequestTraceRing trace_ring_;
+  /// Per-opcode handles into the global registry, resolved once in the
+  /// constructor; index is the raw opcode byte.
+  static constexpr size_t kOpcodeSlots = 16;
+  struct OpcodeMetrics {
+    obs::Counter* frames = nullptr;
+    obs::Histogram* handle_us = nullptr;
+  };
+  OpcodeMetrics op_metrics_[kOpcodeSlots] = {};
+  obs::Histogram* queue_wait_us_ = nullptr;
 };
 
 }  // namespace shbf

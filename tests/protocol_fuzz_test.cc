@@ -64,6 +64,7 @@ std::vector<std::string> BuildCorpus() {
   corpus.push_back(
       wire::BuildNameRequest(wire::Opcode::kIndexDrop, "members"));
   corpus.push_back(wire::BuildEmptyRequest(wire::Opcode::kMultisetList));
+  corpus.push_back(wire::BuildMetrics());
   return corpus;
 }
 

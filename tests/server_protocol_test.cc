@@ -632,5 +632,85 @@ TEST(MultisetServerTest, ConcurrentWhichSetsReadersAndOneMaintainer) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+// ---- METRICS opcode parity (protocol v3) ----------------------------------
+// The acceptance contract: the wire snapshot's four core "server.*_total"
+// counters must be bit-identical to the in-process counters() accessor, in
+// BOTH serving modes. The snapshot includes its own METRICS frame (frames
+// are counted before handling), so a quiesced counters() read taken right
+// after the response must agree exactly.
+class ServerMetricsParityTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.legacy_threads = GetParam();
+    server_ = std::make_unique<ShbfServer>(options);
+    CheckOk(server_->RegisterFilter("members", BuildFilter("shbf_m", 2000)));
+    CheckOk(server_->Start());
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  std::unique_ptr<ShbfServer> server_;
+};
+
+TEST_P(ServerMetricsParityTest, SnapshotMatchesCountersBitForBit) {
+  ShbfClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  std::vector<std::string> keys;
+  for (int i = 0; i < 64; ++i) keys.push_back("key-" + std::to_string(i));
+  std::vector<uint8_t> results;
+  ASSERT_TRUE(client.Query("members", keys, &results).ok());
+  // A deliberate protocol error, so the error counter is nonzero too.
+  ASSERT_FALSE(client.Query("no-such-filter", keys, &results).ok());
+
+  ShbfClient::ServerMetrics metrics;
+  ASSERT_TRUE(client.Metrics(&metrics).ok());
+  const ShbfServer::Counters counters = server_->counters();
+
+  EXPECT_EQ(metrics.snapshot.CounterValue("server.frames_total"),
+            counters.frames);
+  EXPECT_EQ(metrics.snapshot.CounterValue("server.connections_total"),
+            counters.connections);
+  EXPECT_EQ(metrics.snapshot.CounterValue("server.keys_queried_total"),
+            counters.keys_queried);
+  EXPECT_EQ(metrics.snapshot.CounterValue("server.protocol_errors_total"),
+            counters.protocol_errors);
+  EXPECT_GE(counters.keys_queried, keys.size());
+  EXPECT_GE(counters.protocol_errors, 1u);
+
+  EXPECT_EQ(metrics.version, counters.version);
+  EXPECT_FALSE(metrics.version.empty());
+  EXPECT_FALSE(metrics.dispatch.empty());
+
+  if (obs::kCompiledIn && obs::Enabled()) {
+    // Per-opcode instrumentation saw the QUERY frames and the METRICS
+    // frame itself (global registry: >=, not ==, across tests).
+    EXPECT_GE(metrics.snapshot.CounterValue("server.op.query.frames_total"),
+              1u);
+    EXPECT_GE(
+        metrics.snapshot.CounterValue("server.op.metrics.frames_total"), 1u);
+    const obs::HistogramSnapshot* queue_wait =
+        metrics.snapshot.FindHistogram("server.queue_wait_us");
+    ASSERT_NE(queue_wait, nullptr);
+    EXPECT_GE(queue_wait->count, 1u);
+  }
+}
+
+TEST_P(ServerMetricsParityTest, SecondSnapshotCountsTheFirst) {
+  ShbfClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  ShbfClient::ServerMetrics first;
+  ASSERT_TRUE(client.Metrics(&first).ok());
+  ShbfClient::ServerMetrics second;
+  ASSERT_TRUE(client.Metrics(&second).ok());
+  EXPECT_EQ(second.snapshot.CounterValue("server.frames_total"),
+            first.snapshot.CounterValue("server.frames_total") + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ServerMetricsParityTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "legacy" : "epoll";
+                         });
+
 }  // namespace
 }  // namespace shbf

@@ -2,24 +2,36 @@
 """Fails when a committed benchmark regresses against its previous version.
 
 Usage: check_bench_trend.py BASELINE.json CURRENT.json [--max-regression=0.15]
-         [--max-mt-regression=0.50]
+         [--max-mt-regression=0.50] [--summary[=PATH]]
 
-Both files are bench_util/json_report.h reports: {"bench": ..., "rows": [...]}.
+Both files are bench_util/json_report.h reports: {"bench": ..., "host": ...,
+"rows": [...]}.
 Rows are matched by their identity fields (everything except measured
 metrics); a matched row whose keys/s falls more than --max-regression below
 the baseline fails the check. Rows that appear or disappear are reported but
 never fail — benches grow new workloads and retire old ones as the catalog
 evolves. Rows without a throughput metric (e.g. fpr rows) are ignored.
 
+Reports carry a "host" stamp ({"cpu": ..., "dispatch": ...,
+"hw_concurrency": N}) since v0.6. When both files are stamped and the stamps
+disagree, the comparison is refused (exit 0 with a note): numbers from a
+different machine or SIMD dispatch tier are weather, not a trend. Unstamped
+(pre-0.6) baselines still compare.
+
 Rows with threads > 1 use the wider --max-mt-regression bound: oversubscribed
 wall clock on a shared runner is scheduler luck as much as code (the same
 binary swings 30% run to run), so the tight single-thread envelope would
 flag weather. The wide bound still catches collapses.
 
+--summary appends a markdown delta table to PATH (default: the file named by
+$GITHUB_STEP_SUMMARY; stdout when unset), so the deltas land on the CI run's
+summary page without log spelunking.
+
 Exit codes: 0 ok, 1 regression, 2 usage/parse error.
 """
 
 import json
+import os
 import sys
 
 # Measured outputs (never part of a row's identity). Throughput is the gated
@@ -30,13 +42,17 @@ METRIC_FIELDS = {
     "keys_per_sec",
     "p50_us",
     "p99_us",
+    "p999_us",
+    "server_queue_p50_us",
+    "server_queue_p99_us",
+    "server_queue_p999_us",
     "seconds",
     "fpr",
 }
 THROUGHPUT_FIELDS = ("keys_per_s", "keys_per_sec")
 
 
-def load_rows(path):
+def load_report(path):
     try:
         with open(path, "r", encoding="utf-8") as handle:
             report = json.load(handle)
@@ -63,7 +79,8 @@ def load_rows(path):
         # warm-up artifacts.
         if key not in keyed or throughput > keyed[key]:
             keyed[key] = throughput
-    return keyed
+    host = report.get("host")
+    return keyed, host if isinstance(host, dict) else None
 
 
 def describe(key):
@@ -78,24 +95,64 @@ def bound_for(key, max_regression, max_mt_regression):
     return max_mt_regression if threads > 1 else max_regression
 
 
+def write_summary(path, lines):
+    text = "\n".join(lines) + "\n"
+    if path:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+
+
 def main(argv):
     max_regression = 0.15
     max_mt_regression = 0.50
+    summary = False
+    summary_path = None
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--max-regression="):
             max_regression = float(arg.split("=", 1)[1])
         elif arg.startswith("--max-mt-regression="):
             max_mt_regression = float(arg.split("=", 1)[1])
+        elif arg == "--summary":
+            summary = True
+            summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+        elif arg.startswith("--summary="):
+            summary = True
+            summary_path = arg.split("=", 1)[1]
         else:
             paths.append(arg)
     if len(paths) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    baseline = load_rows(paths[0])
-    current = load_rows(paths[1])
+    baseline, base_host = load_report(paths[0])
+    current, cur_host = load_report(paths[1])
+
+    # Cross-host guard: a baseline measured on different hardware (or a
+    # different SIMD dispatch tier) cannot gate this run. Refusing is not a
+    # failure — the next commit of the report re-baselines on this host.
+    if base_host is not None and cur_host is not None and base_host != cur_host:
+        print(
+            f"note: refusing comparison, host stamps differ\n"
+            f"  baseline: {json.dumps(base_host, sort_keys=True)}\n"
+            f"  current:  {json.dumps(cur_host, sort_keys=True)}"
+        )
+        if summary:
+            write_summary(
+                summary_path,
+                [
+                    f"### {os.path.basename(paths[1])}",
+                    "",
+                    "comparison skipped: baseline was measured on a "
+                    "different host/dispatch tier.",
+                    "",
+                ],
+            )
+        return 0
 
     failures = 0
+    table = []
     for key, base_tput in sorted(baseline.items()):
         if key not in current:
             print(f"note: row retired: {describe(key)}")
@@ -113,8 +170,28 @@ def main(argv):
             f"{status}: {describe(key)}: "
             f"{base_tput:.3g} -> {cur_tput:.3g} keys/s ({change:+.1%})"
         )
+        table.append((status, describe(key), base_tput, cur_tput, change))
     for key in sorted(set(current) - set(baseline)):
         print(f"note: new row: {describe(key)}")
+        table.append(("new", describe(key), None, current[key], None))
+
+    if summary:
+        lines = [
+            f"### {os.path.basename(paths[1])}",
+            "",
+            "| status | workload | baseline keys/s | current keys/s | Δ |",
+            "|---|---|---|---|---|",
+        ]
+        for status, name, base_tput, cur_tput, change in table:
+            base_text = f"{base_tput:.3g}" if base_tput is not None else "—"
+            delta_text = f"{change:+.1%}" if change is not None else "—"
+            marker = "❌ " if status == "REGRESSION" else ""
+            lines.append(
+                f"| {marker}{status} | {name} | {base_text} "
+                f"| {cur_tput:.3g} | {delta_text} |"
+            )
+        lines.append("")
+        write_summary(summary_path, lines)
 
     if failures:
         print(

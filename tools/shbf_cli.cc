@@ -657,6 +657,10 @@ void PrintRemoteUsage(std::FILE* out) {
       "  index-add <set> <keys.txt>    add keys to one catalog set\n"
       "  index-drop <set>              drop one catalog set from the index\n"
       "  multiset-list                 catalog sets + index shape\n"
+      "  metrics [--prom]              server metrics snapshot (METRICS\n"
+      "                                opcode, v3): counters, gauges, and\n"
+      "                                latency quantiles; --prom emits the\n"
+      "                                Prometheus exposition format\n"
       "wire protocol: docs/serving.md; server: shbf_server --help\n");
 }
 
@@ -892,6 +896,55 @@ int Remote(int argc, char** argv) {
       std::printf("%-4u %-24s %-18s %12llu elements\n", set.id,
                   set.name.c_str(), set.registry_name.c_str(),
                   static_cast<unsigned long long>(set.elements));
+    }
+    return 0;
+  }
+  if (op == "metrics" && (argc == 4 || argc == 5)) {
+    bool prometheus = false;
+    if (argc == 5) {
+      if (std::strcmp(argv[4], "--prom") != 0) {
+        std::fprintf(stderr, "error: unknown flag %s\n", argv[4]);
+        PrintRemoteUsage(stderr);
+        return 2;
+      }
+      prometheus = true;
+    }
+    ShbfClient::ServerMetrics metrics;
+    s = client.Metrics(&metrics);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (prometheus) {
+      std::fputs(metrics.snapshot.ToPrometheus().c_str(), stdout);
+      return 0;
+    }
+    std::printf("%s  dispatch=%s  uptime=%llus\n", metrics.version.c_str(),
+                metrics.dispatch.c_str(),
+                static_cast<unsigned long long>(metrics.uptime_seconds));
+    if (!metrics.snapshot.counters.empty()) {
+      std::printf("\n%-40s %20s\n", "counter", "value");
+      for (const auto& [name, value] : metrics.snapshot.counters) {
+        std::printf("%-40s %20llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      }
+    }
+    if (!metrics.snapshot.gauges.empty()) {
+      std::printf("\n%-40s %20s\n", "gauge", "value");
+      for (const auto& [name, value] : metrics.snapshot.gauges) {
+        std::printf("%-40s %20lld\n", name.c_str(),
+                    static_cast<long long>(value));
+      }
+    }
+    if (!metrics.snapshot.histograms.empty()) {
+      std::printf("\n%-32s %12s %10s %10s %10s %10s\n", "histogram", "count",
+                  "p50", "p90", "p99", "p99.9");
+      for (const auto& h : metrics.snapshot.histograms) {
+        std::printf("%-32s %12llu %10.0f %10.0f %10.0f %10.0f\n",
+                    h.name.c_str(), static_cast<unsigned long long>(h.count),
+                    h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99),
+                    h.Quantile(0.999));
+      }
     }
     return 0;
   }

@@ -23,13 +23,18 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -89,6 +94,13 @@ void PrintUsage(std::FILE* out) {
       "                      build the blob with shbf_cli multiset build)\n"
       "  --branching=N       children per multiset summary node "
       "(default 8)\n"
+      "  --metrics-dump=PATH[,SECONDS]\n"
+      "                      write the metrics snapshot (the METRICS opcode\n"
+      "                      payload, docs/observability.md) as JSON to PATH\n"
+      "                      every SECONDS (default 60) and once at\n"
+      "                      shutdown; the file is replaced atomically\n"
+      "  --slow-request-ms=N log requests whose handle time exceeds N ms to\n"
+      "                      stderr ('[shbf slow] ...'; default 0 = off)\n"
       "  --help              this text\n"
       "  --version           print the version and exit\n"
       "\n"
@@ -166,9 +178,77 @@ Status BuildFromSpec(const std::string& arg, std::string* name,
   return FilterRegistry::Global().Create(filter_name, spec, out);
 }
 
+/// Background writer for --metrics-dump: every `interval_seconds` (and once
+/// more at destruction, after the server drained) it serializes
+/// CollectMetrics() to JSON and atomically replaces `path` (write-to-temp +
+/// rename, so a scraper mid-read never sees a torn file).
+class MetricsDumper {
+ public:
+  MetricsDumper(const ShbfServer& server, std::string path,
+                int interval_seconds)
+      : server_(server),
+        path_(std::move(path)),
+        interval_(interval_seconds < 1 ? 1 : interval_seconds) {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~MetricsDumper() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    // The final snapshot, after Stop() drained, so shutdown-time counters
+    // land in the file supervisors collect.
+    WriteOnce();
+  }
+
+ private:
+  void Run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, std::chrono::seconds(interval_),
+                       [this] { return stop_; })) {
+        break;
+      }
+      lock.unlock();
+      WriteOnce();
+      lock.lock();
+    }
+  }
+
+  void WriteOnce() {
+    const std::string json = server_.CollectMetrics().ToJson();
+    const std::string tmp = path_ + ".tmp";
+    std::FILE* file = std::fopen(tmp.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "warning: --metrics-dump: cannot write %s\n",
+                   tmp.c_str());
+      return;
+    }
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+      std::fprintf(stderr, "warning: --metrics-dump: cannot rename to %s\n",
+                   path_.c_str());
+    }
+  }
+
+  const ShbfServer& server_;
+  const std::string path_;
+  const int interval_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 int Main(int argc, char** argv) {
   ServerOptions options;
   options.port = 7457;
+  std::string metrics_dump_path;
+  int metrics_dump_interval = 60;
   std::vector<std::pair<std::string, std::string>> loads;   // name, path
   std::vector<std::string> builds;                          // raw --build args
   std::string catalog_path;
@@ -220,6 +300,24 @@ int Main(int argc, char** argv) {
       catalog_path = value;
     } else if (ParseFlag(argv[i], "branching", &value)) {
       index_options.branching = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (ParseFlag(argv[i], "metrics-dump", &value)) {
+      const size_t comma = value.find(',');
+      metrics_dump_path = value.substr(0, comma);
+      if (comma != std::string::npos) {
+        metrics_dump_interval = std::atoi(value.c_str() + comma + 1);
+        if (metrics_dump_interval < 1) {
+          std::fprintf(stderr,
+                       "error: --metrics-dump interval must be >= 1s\n");
+          return 2;
+        }
+      }
+      if (metrics_dump_path.empty()) {
+        std::fprintf(stderr,
+                     "error: --metrics-dump needs PATH[,SECONDS]\n");
+        return 2;
+      }
+    } else if (ParseFlag(argv[i], "slow-request-ms", &value)) {
+      options.slow_request_ms = std::atoi(value.c_str());
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
       PrintUsage(stderr);
@@ -282,6 +380,13 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return 1;
   }
+  std::unique_ptr<MetricsDumper> dumper;
+  if (!metrics_dump_path.empty()) {
+    dumper = std::make_unique<MetricsDumper>(server, metrics_dump_path,
+                                             metrics_dump_interval);
+    std::printf("dumping metrics to %s every %ds\n",
+                metrics_dump_path.c_str(), metrics_dump_interval);
+  }
   std::printf(
       "serving %zu filter(s)%s on %s:%u (protocol v%u, %s, pid %d)\n",
       loads.size() + builds.size(),
@@ -294,8 +399,9 @@ int Main(int argc, char** argv) {
   while (read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
   }
   // Drain first, then read the counters, so frames answered during the
-  // drain show up in the summary.
+  // drain show up in the summary (and in the dumper's final snapshot).
   server.Stop();
+  dumper.reset();
   const ShbfServer::Counters counters = server.counters();
   std::printf("shut down cleanly: %llu connection(s), %llu frame(s), "
               "%llu key(s) queried, %llu protocol error(s)\n",
